@@ -1,0 +1,382 @@
+package amp_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"amp/internal/barrier"
+	"amp/internal/bench"
+	"amp/internal/consensus"
+	"amp/internal/core"
+	"amp/internal/counting"
+	"amp/internal/hashset"
+	"amp/internal/list"
+	"amp/internal/mutex"
+	"amp/internal/pqueue"
+	"amp/internal/queue"
+	"amp/internal/register"
+	"amp/internal/skiplist"
+	"amp/internal/spin"
+	"amp/internal/stack"
+	"amp/internal/steal"
+	"amp/internal/stm"
+)
+
+// benchThreads is the parallelism every experiment benchmark runs at; the
+// full thread sweeps live in cmd/ampbench.
+const benchThreads = 4
+
+// lockLike matches the spin/mutex lock shape.
+type lockLike interface {
+	Lock(me core.ThreadID)
+	Unlock(me core.ThreadID)
+}
+
+// splitOps distributes b.N over the worker threads.
+func splitOps(b *testing.B) int {
+	b.Helper()
+	return b.N/benchThreads + 1
+}
+
+// BenchmarkE1SpinLocks — experiment E1: spin-lock critical sections.
+func BenchmarkE1SpinLocks(b *testing.B) {
+	locks := []struct {
+		name string
+		mk   func() lockLike
+	}{
+		{"tas", func() lockLike { return &spin.TASLock{} }},
+		{"ttas", func() lockLike { return &spin.TTASLock{} }},
+		{"backoff", func() lockLike { return spin.NewBackoffLock(benchThreads) }},
+		{"alock", func() lockLike { return spin.NewALock(benchThreads) }},
+		{"clh", func() lockLike { return spin.NewCLHLock(benchThreads) }},
+		{"mcs", func() lockLike { return spin.NewMCSLock(benchThreads) }},
+		{"stdmutex", func() lockLike { return &spin.StdMutex{} }},
+	}
+	for _, l := range locks {
+		b.Run(l.name, func(b *testing.B) {
+			r := bench.CriticalSections(l.mk(), benchThreads, splitOps(b), 8)
+			b.ReportMetric(r.Throughput(), "ops/ms")
+		})
+	}
+}
+
+// BenchmarkE2ClassicalMutex — experiment E2: Chapter 2 locks.
+func BenchmarkE2ClassicalMutex(b *testing.B) {
+	locks := []struct {
+		name string
+		mk   func() lockLike
+	}{
+		{"filter", func() lockLike { return mutex.NewFilter(benchThreads) }},
+		{"bakery", func() lockLike { return mutex.NewBakery(benchThreads) }},
+		{"tournament", func() lockLike { return mutex.NewTournament(benchThreads) }},
+	}
+	for _, l := range locks {
+		b.Run(l.name, func(b *testing.B) {
+			r := bench.CriticalSections(l.mk(), benchThreads, splitOps(b), 8)
+			b.ReportMetric(r.Throughput(), "ops/ms")
+		})
+	}
+	b.Run("peterson2", func(b *testing.B) {
+		r := bench.CriticalSections(&mutex.Peterson{}, 2, b.N/2+1, 8)
+		b.ReportMetric(r.Throughput(), "ops/ms")
+	})
+}
+
+func benchSet(b *testing.B, mk func() list.Set, keyRange int) {
+	b.Helper()
+	mix := bench.SetMix{ContainsPct: 90, AddPct: 9, KeyRange: keyRange}
+	s := mk()
+	mix.Prefill(s)
+	r := mix.Run(s, benchThreads, splitOps(b))
+	b.ReportMetric(r.Throughput(), "ops/ms")
+}
+
+// BenchmarkE3ListSets — experiment E3: list-based sets, 90/9/1 mix.
+func BenchmarkE3ListSets(b *testing.B) {
+	sets := []struct {
+		name string
+		mk   func() list.Set
+	}{
+		{"coarse", func() list.Set { return list.NewCoarseList() }},
+		{"fine", func() list.Set { return list.NewFineList() }},
+		{"optimistic", func() list.Set { return list.NewOptimisticList() }},
+		{"lazy", func() list.Set { return list.NewLazyList() }},
+		{"lockfree", func() list.Set { return list.NewLockFreeList() }},
+	}
+	for _, s := range sets {
+		b.Run(s.name, func(b *testing.B) { benchSet(b, s.mk, 128) })
+	}
+}
+
+// BenchmarkE4Queues — experiment E4: enq/deq pairs.
+func BenchmarkE4Queues(b *testing.B) {
+	queues := []struct {
+		name string
+		mk   func() queue.Queue[int]
+	}{
+		{"twolock", func() queue.Queue[int] { return queue.NewUnboundedQueue[int]() }},
+		{"michaelscott", func() queue.Queue[int] { return queue.NewLockFreeQueue[int]() }},
+		{"channel", func() queue.Queue[int] { return queue.NewChanQueue[int](1 << 16) }},
+	}
+	for _, q := range queues {
+		b.Run(q.name, func(b *testing.B) {
+			r := bench.QueuePairs(q.mk(), benchThreads, splitOps(b))
+			b.ReportMetric(r.Throughput(), "ops/ms")
+		})
+	}
+}
+
+// BenchmarkE5Stacks — experiment E5: push/pop pairs.
+func BenchmarkE5Stacks(b *testing.B) {
+	stacks := []struct {
+		name string
+		mk   func() stack.Stack[int]
+	}{
+		{"locked", func() stack.Stack[int] { return stack.NewLockedStack[int]() }},
+		{"treiber", func() stack.Stack[int] { return stack.NewLockFreeStack[int]() }},
+		{"elimination", func() stack.Stack[int] { return stack.NewEliminationBackoffStack[int]() }},
+	}
+	for _, s := range stacks {
+		b.Run(s.name, func(b *testing.B) {
+			r := bench.StackPairs(s.mk(), benchThreads, splitOps(b))
+			b.ReportMetric(r.Throughput(), "ops/ms")
+		})
+	}
+}
+
+// BenchmarkE6Counting — experiment E6: shared counters.
+func BenchmarkE6Counting(b *testing.B) {
+	counters := []struct {
+		name string
+		mk   func() counting.Counter
+	}{
+		{"cas", func() counting.Counter { return &counting.CASCounter{} }},
+		{"lock", func() counting.Counter { return &counting.LockCounter{} }},
+		{"combining", func() counting.Counter { return counting.NewCombiningTree(benchThreads) }},
+		{"bitonic8", func() counting.Counter { return counting.NewNetworkCounter(counting.NewBitonic(8)) }},
+		{"periodic8", func() counting.Counter { return counting.NewNetworkCounter(counting.NewPeriodic(8)) }},
+	}
+	for _, c := range counters {
+		b.Run(c.name, func(b *testing.B) {
+			r := bench.CounterIncrements(c.mk(), benchThreads, splitOps(b))
+			b.ReportMetric(r.Throughput(), "ops/ms")
+		})
+	}
+}
+
+// BenchmarkE7HashSets — experiment E7: hash sets, 90/9/1 mix with resizing.
+func BenchmarkE7HashSets(b *testing.B) {
+	sets := []struct {
+		name string
+		mk   func() list.Set
+	}{
+		{"coarse", func() list.Set { return hashset.NewCoarseHashSet(16) }},
+		{"striped", func() list.Set { return hashset.NewStripedHashSet(64) }},
+		{"refinable", func() list.Set { return hashset.NewRefinableHashSet(16) }},
+		{"lockfree", func() list.Set { return hashset.NewLockFreeHashSet() }},
+		{"cuckoo", func() list.Set { return hashset.NewStripedCuckooHashSet(64) }},
+	}
+	for _, s := range sets {
+		b.Run(s.name, func(b *testing.B) { benchSet(b, s.mk, 4096) })
+	}
+}
+
+// BenchmarkE8SkipLists — experiment E8: skiplist sets.
+func BenchmarkE8SkipLists(b *testing.B) {
+	sets := []struct {
+		name string
+		mk   func() list.Set
+	}{
+		{"lazyskip", func() list.Set { return skiplist.NewLazySkipList() }},
+		{"lockfreeskip", func() list.Set { return skiplist.NewLockFreeSkipList() }},
+		{"lazylist", func() list.Set { return list.NewLazyList() }},
+	}
+	for _, s := range sets {
+		b.Run(s.name, func(b *testing.B) { benchSet(b, s.mk, 1024) })
+	}
+}
+
+// BenchmarkE9PriorityQueues — experiment E9: add/removeMin mix.
+func BenchmarkE9PriorityQueues(b *testing.B) {
+	const keyRange = 64
+	qs := []struct {
+		name string
+		mk   func() pqueue.PQueue
+	}{
+		{"lockedheap", func() pqueue.PQueue { return pqueue.NewLockedHeap() }},
+		{"fineheap", func() pqueue.PQueue { return pqueue.NewFineGrainedHeap(1 << 20) }},
+		{"skipqueue", func() pqueue.PQueue { return pqueue.NewSkipQueue() }},
+		{"linear", func() pqueue.PQueue { return pqueue.NewSimpleLinear(keyRange) }},
+		{"tree", func() pqueue.PQueue { return pqueue.NewSimpleTree(keyRange) }},
+	}
+	for _, q := range qs {
+		b.Run(q.name, func(b *testing.B) {
+			r := bench.PQueueMix(q.mk(), benchThreads, splitOps(b), keyRange)
+			b.ReportMetric(r.Throughput(), "ops/ms")
+		})
+	}
+}
+
+// BenchmarkE10WorkStealing — experiment E10: fork/join task tree.
+func BenchmarkE10WorkStealing(b *testing.B) {
+	executors := []struct {
+		name string
+		mk   func() steal.Executor
+	}{
+		{"stealing", func() steal.Executor { return steal.NewStealingExecutor(benchThreads) }},
+		{"sharing", func() steal.Executor { return steal.NewSharingExecutor(benchThreads) }},
+		{"singlequeue", func() steal.Executor { return steal.NewSingleQueueExecutor(benchThreads) }},
+	}
+	for _, ex := range executors {
+		b.Run(ex.name, func(b *testing.B) {
+			e := ex.mk()
+			var leaves atomic.Int64
+			var tree func(d int) steal.Task
+			tree = func(d int) steal.Task {
+				return func(s steal.Spawner) {
+					if d == 0 {
+						leaves.Add(1)
+						return
+					}
+					s.Spawn(tree(d - 1))
+					s.Spawn(tree(d - 1))
+				}
+			}
+			for i := 0; i < b.N; i++ {
+				e.Run(tree(8))
+			}
+			b.ReportMetric(float64(leaves.Load())/float64(b.N), "tasks/op")
+		})
+	}
+}
+
+// BenchmarkE11Barriers — experiment E11: barrier phase latency.
+func BenchmarkE11Barriers(b *testing.B) {
+	barriers := []struct {
+		name string
+		mk   func() barrier.Barrier
+	}{
+		{"sense", func() barrier.Barrier { return barrier.NewSenseBarrier(benchThreads) }},
+		{"tree2", func() barrier.Barrier { return barrier.NewTreeBarrier(benchThreads, 2) }},
+		{"static2", func() barrier.Barrier { return barrier.NewStaticTreeBarrier(benchThreads, 2) }},
+		{"dissemination", func() barrier.Barrier { return barrier.NewDisseminationBarrier(benchThreads) }},
+	}
+	for _, bb := range barriers {
+		b.Run(bb.name, func(b *testing.B) {
+			bar := bb.mk()
+			rounds := splitOps(b)
+			r := bench.Measure(benchThreads, rounds, func(me core.ThreadID, _ *rand.Rand, _ int) {
+				bar.Await(me)
+			})
+			b.ReportMetric(bench.PerMilli(int64(rounds), r.Elapsed), "phases/ms")
+		})
+	}
+}
+
+// BenchmarkE12STM — experiment E12: transactional bank transfers.
+func BenchmarkE12STM(b *testing.B) {
+	const accounts = 64
+	b.Run("stm", func(b *testing.B) {
+		s := stm.New()
+		acct := make([]*stm.TVar[int], accounts)
+		for i := range acct {
+			acct[i] = stm.NewTVar(1000)
+		}
+		r := bench.Measure(benchThreads, splitOps(b), func(_ core.ThreadID, rng *rand.Rand, _ int) {
+			from, to := rng.Intn(accounts), rng.Intn(accounts)
+			if from == to {
+				to = (to + 1) % accounts
+			}
+			s.Atomic(func(tx *stm.Tx) {
+				f := acct[from].Get(tx)
+				acct[from].Set(tx, f-1)
+				acct[to].Set(tx, acct[to].Get(tx)+1)
+			})
+		})
+		b.ReportMetric(r.Throughput(), "tx/ms")
+	})
+	b.Run("coarselock", func(b *testing.B) {
+		var mu spin.StdMutex
+		balances := make([]int, accounts)
+		r := bench.Measure(benchThreads, splitOps(b), func(me core.ThreadID, rng *rand.Rand, _ int) {
+			from, to := rng.Intn(accounts), rng.Intn(accounts)
+			mu.Lock(me)
+			balances[from]--
+			balances[to]++
+			mu.Unlock(me)
+		})
+		b.ReportMetric(r.Throughput(), "tx/ms")
+	})
+}
+
+// BenchmarkE13Universal — experiment E13: universal construction overhead.
+func BenchmarkE13Universal(b *testing.B) {
+	b.Run("lfuniversal", func(b *testing.B) {
+		u := consensus.NewLFUniversal(core.QueueModel(), benchThreads)
+		ops := min(splitOps(b), 2000) // replay cost is quadratic in log length
+		r := bench.Measure(benchThreads, ops, func(me core.ThreadID, _ *rand.Rand, op int) {
+			if op%2 == 0 {
+				u.Apply(me, "enq", op)
+			} else {
+				u.Apply(me, "deq", nil)
+			}
+		})
+		b.ReportMetric(r.Throughput(), "ops/ms")
+	})
+	b.Run("wfuniversal", func(b *testing.B) {
+		u := consensus.NewWFUniversal(core.QueueModel(), benchThreads)
+		ops := min(splitOps(b), 2000)
+		r := bench.Measure(benchThreads, ops, func(me core.ThreadID, _ *rand.Rand, op int) {
+			if op%2 == 0 {
+				u.Apply(me, "enq", op)
+			} else {
+				u.Apply(me, "deq", nil)
+			}
+		})
+		b.ReportMetric(r.Throughput(), "ops/ms")
+	})
+	b.Run("directqueue", func(b *testing.B) {
+		q := queue.NewLockFreeQueue[int]()
+		r := bench.QueuePairs(q, benchThreads, splitOps(b))
+		b.ReportMetric(r.Throughput(), "ops/ms")
+	})
+}
+
+// BenchmarkE14Snapshot — experiment E14: atomic snapshot cost.
+func BenchmarkE14Snapshot(b *testing.B) {
+	snapshots := []struct {
+		name string
+		mk   func() register.Snapshot
+	}{
+		{"waitfree", func() register.Snapshot { return register.NewWFSnapshot(benchThreads) }},
+		{"collecttwice", func() register.Snapshot { return register.NewSimpleSnapshot(benchThreads) }},
+		{"mutex", func() register.Snapshot { return register.NewMutexSnapshot(benchThreads) }},
+	}
+	for _, ss := range snapshots {
+		b.Run(ss.name, func(b *testing.B) {
+			s := ss.mk()
+			r := bench.Measure(benchThreads, splitOps(b), func(me core.ThreadID, _ *rand.Rand, op int) {
+				if op%4 == 0 {
+					s.Scan(me)
+				} else {
+					s.Update(me, int64(op))
+				}
+			})
+			b.ReportMetric(r.Throughput(), "ops/ms")
+		})
+	}
+}
+
+// TestBenchmarkNamesMatchExperiments pins the DESIGN.md experiment index to
+// the benchmark entry points above.
+func TestBenchmarkNamesMatchExperiments(t *testing.T) {
+	for _, e := range bench.All {
+		if _, ok := bench.ByID(e.ID); !ok {
+			t.Fatalf("experiment %s unregistered", e.ID)
+		}
+	}
+	if got := len(bench.All); got != 14 {
+		t.Fatalf("DESIGN.md lists 14 experiments; harness has %d", got)
+	}
+}

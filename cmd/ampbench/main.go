@@ -1,0 +1,114 @@
+// Command ampbench regenerates the evaluation tables of DESIGN.md: one
+// throughput table per reproduced figure (E1–E14), printed in the shape of
+// the book's plots.
+//
+// Usage:
+//
+//	ampbench                 # quick sweep of every experiment
+//	ampbench -full           # the full thread sweep (slow)
+//	ampbench -run E1,E5      # selected experiments only
+//	ampbench -list           # list experiments
+//	ampbench -threads 1,2,4  # custom thread axis
+//	ampbench -ops 5000       # per-thread operations per cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"amp/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ampbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ampbench", flag.ContinueOnError)
+	var (
+		full      = fs.Bool("full", false, "run the full thread sweep (1..32)")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		runIDs    = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		threads   = fs.String("threads", "", "comma-separated thread counts overriding the preset")
+		ops       = fs.Int("ops", 0, "per-thread operations per cell overriding the preset")
+		ablations = fs.Bool("ablations", false, "also run the design-choice ablations (A1..)")
+		procs     = fs.Int("procs", 0, "GOMAXPROCS override (0 = leave as is)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.AllAndAblations() {
+			fmt.Fprintf(out, "%-5s %-36s %s\n", e.ID, e.Title, e.Description)
+		}
+		return nil
+	}
+
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+
+	cfg := bench.Quick
+	if *full {
+		cfg = bench.Full
+	}
+	if *threads != "" {
+		axis, err := parseInts(*threads)
+		if err != nil {
+			return fmt.Errorf("parse -threads: %w", err)
+		}
+		cfg.Threads = axis
+	}
+	if *ops > 0 {
+		cfg.Ops = *ops
+	}
+
+	selected := bench.All
+	if *ablations {
+		selected = bench.AllAndAblations()
+	}
+	if *runIDs != "" {
+		selected = nil
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Fprintf(out, "ampbench: GOMAXPROCS=%d threads=%v ops/cell=%d\n\n",
+		runtime.GOMAXPROCS(0), cfg.Threads, cfg.Ops)
+	for _, e := range selected {
+		table := e.Run(cfg)
+		fmt.Fprintln(out, table.Format())
+		fmt.Fprintf(out, "  best at %d threads: %s\n\n",
+			cfg.Threads[len(cfg.Threads)-1], table.Winner())
+	}
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("thread count must be positive, got %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E7", "E14"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("-list output missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentTiny(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-run", "E5", "-threads", "1,2", "-ops", "50"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E5", "treiber", "elimination", "best at 2 threads"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E99"}, &out); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("expected error for non-integer")
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Fatal("expected error for non-positive thread count")
+	}
+}

@@ -1,0 +1,169 @@
+// Command linearize checks a recorded concurrent history against a
+// sequential model (Chapter 3): it reads a JSON history from a file or
+// stdin and reports whether the history is linearizable, printing a witness
+// order when it is.
+//
+// History format (one JSON array):
+//
+//	[
+//	  {"thread":0,"action":"enq","input":1,"call":1,"return":4},
+//	  {"thread":1,"action":"deq","output":1,"call":2,"return":6}
+//	]
+//
+// "output" may be the string "empty" to denote an empty-container response.
+// Inputs and outputs are integers otherwise.
+//
+// Usage:
+//
+//	linearize -model queue history.json
+//	cat history.json | linearize -model stack
+//
+// Models: queue, stack, set, counter, register, pqueue.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"amp/internal/core"
+)
+
+// jsonOp mirrors core.Operation for decoding.
+type jsonOp struct {
+	Thread int             `json:"thread"`
+	Action string          `json:"action"`
+	Input  *int            `json:"input"`
+	Output json.RawMessage `json:"output"`
+	Call   int64           `json:"call"`
+	Return int64           `json:"return"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "linearize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("linearize", flag.ContinueOnError)
+	var (
+		modelName = fs.String("model", "queue", "sequential model: queue, stack, set, counter, register, pqueue")
+		budget    = fs.Int("budget", core.DefaultMaxSteps, "search step budget")
+		verbose   = fs.Bool("v", false, "print the witness linearization")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	model, err := modelByName(*modelName)
+	if err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	history, err := decodeHistory(in)
+	if err != nil {
+		return fmt.Errorf("decode history: %w", err)
+	}
+	if *modelName == "counter" {
+		// The counter model works in int64; lift decoded ints.
+		for i := range history {
+			if v, ok := history[i].Input.(int); ok {
+				history[i].Input = int64(v)
+			}
+			if v, ok := history[i].Output.(int); ok {
+				history[i].Output = int64(v)
+			}
+		}
+	}
+
+	res := core.CheckBudget(model, history, *budget)
+	switch {
+	case res.Exhausted:
+		fmt.Fprintf(out, "UNDECIDED: search budget (%d steps) exhausted on %d operations\n",
+			*budget, len(history))
+		return nil
+	case res.Linearizable:
+		fmt.Fprintf(out, "LINEARIZABLE: %d operations\n", len(history))
+		if *verbose {
+			for i, op := range res.Witness {
+				fmt.Fprintf(out, "  %3d. %v\n", i+1, op)
+			}
+		}
+		return nil
+	default:
+		fmt.Fprintf(out, "NOT LINEARIZABLE: %d operations admit no legal sequential order\n",
+			len(history))
+		return nil
+	}
+}
+
+func modelByName(name string) (core.Model, error) {
+	switch name {
+	case "queue":
+		return core.QueueModel(), nil
+	case "stack":
+		return core.StackModel(), nil
+	case "set":
+		return core.SetModel(), nil
+	case "counter":
+		return core.CounterModel(), nil
+	case "register":
+		return core.RegisterModel(0), nil
+	case "pqueue":
+		return core.PQueueModel(), nil
+	default:
+		return core.Model{}, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+func decodeHistory(r io.Reader) (core.History, error) {
+	var ops []jsonOp
+	if err := json.NewDecoder(r).Decode(&ops); err != nil {
+		return nil, err
+	}
+	h := make(core.History, 0, len(ops))
+	for i, op := range ops {
+		if op.Return <= op.Call {
+			return nil, fmt.Errorf("op %d: return %d not after call %d", i, op.Return, op.Call)
+		}
+		rec := core.Operation{
+			Thread: core.ThreadID(op.Thread),
+			Action: op.Action,
+			Call:   op.Call,
+			Return: op.Return,
+		}
+		if op.Input != nil {
+			rec.Input = *op.Input
+		}
+		if len(op.Output) > 0 {
+			var s string
+			if err := json.Unmarshal(op.Output, &s); err == nil {
+				if s != "empty" {
+					return nil, fmt.Errorf("op %d: unknown output %q", i, s)
+				}
+				rec.Output = core.Empty
+			} else {
+				var v int
+				if err := json.Unmarshal(op.Output, &v); err != nil {
+					return nil, fmt.Errorf("op %d: output must be an int, \"empty\", or absent", i)
+				}
+				rec.Output = v
+			}
+		}
+		h = append(h, rec)
+	}
+	return h, nil
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"amp/internal/core"
+)
+
+func TestLinearizableQueueHistory(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-model", "queue", "-v", "../../testdata/history.json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "LINEARIZABLE: 5 operations") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "enq") {
+		t.Fatalf("witness not printed:\n%s", out.String())
+	}
+}
+
+func TestNonLinearizableHistory(t *testing.T) {
+	history := `[
+	  {"thread":0,"action":"enq","input":1,"call":1,"return":2},
+	  {"thread":1,"action":"enq","input":2,"call":3,"return":4},
+	  {"thread":0,"action":"deq","output":2,"call":5,"return":6},
+	  {"thread":1,"action":"deq","output":1,"call":7,"return":8}
+	]`
+	h, err := decodeHistory(strings.NewReader(history))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 4 {
+		t.Fatalf("decoded %d ops, want 4", len(h))
+	}
+	var out strings.Builder
+	f := writeTemp(t, history)
+	if err := run([]string{"-model", "queue", f}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "NOT LINEARIZABLE") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestStackModelSelection(t *testing.T) {
+	history := `[
+	  {"thread":0,"action":"push","input":1,"call":1,"return":2},
+	  {"thread":0,"action":"push","input":2,"call":3,"return":4},
+	  {"thread":0,"action":"pop","output":2,"call":5,"return":6}
+	]`
+	var out strings.Builder
+	if err := run([]string{"-model", "stack", writeTemp(t, history)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "LINEARIZABLE") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestCounterModelLiftsInts(t *testing.T) {
+	history := `[
+	  {"thread":0,"action":"getAndIncrement","output":0,"call":1,"return":2},
+	  {"thread":1,"action":"getAndIncrement","output":1,"call":3,"return":4}
+	]`
+	var out strings.Builder
+	if err := run([]string{"-model", "counter", writeTemp(t, history)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "LINEARIZABLE") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		body string
+	}{
+		{"unknown model", []string{"-model", "nope"}, `[]`},
+		{"bad json", nil, `{`},
+		{"return before call", nil, `[{"thread":0,"action":"enq","input":1,"call":5,"return":2}]`},
+		{"bad output", nil, `[{"thread":0,"action":"deq","output":"weird","call":1,"return":2}]`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out strings.Builder
+			args := append(tt.args, writeTemp(t, tt.body))
+			if err := run(args, &out); err == nil {
+				t.Fatalf("expected error, got output:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestUndecidedOnTinyBudget(t *testing.T) {
+	// A big all-concurrent history with budget 1 must come back UNDECIDED.
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i := 0; i < 12; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"thread":0,"action":"enq","input":1,"call":1,"return":100}`)
+	}
+	sb.WriteString("]")
+	var out strings.Builder
+	if err := run([]string{"-model", "queue", "-budget", "1", writeTemp(t, sb.String())}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "UNDECIDED") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func writeTemp(t *testing.T, body string) string {
+	t.Helper()
+	f := t.TempDir() + "/history.json"
+	if err := writeFile(f, body); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func writeFile(path, body string) error {
+	return os.WriteFile(path, []byte(body), 0o644)
+}
+
+// TestRecorderRoundtrip drives a concurrent run, exports the history with
+// core.History.WriteJSON, and feeds it back through the CLI.
+func TestRecorderRoundtrip(t *testing.T) {
+	rec := core.NewRecorder()
+	var (
+		mu sync.Mutex
+		q  []int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if i%2 == 0 {
+					v := int(me)*10 + i
+					p := rec.Call(me, "enq", v)
+					mu.Lock()
+					q = append(q, v)
+					mu.Unlock()
+					p.Done(nil)
+				} else {
+					p := rec.Call(me, "deq", nil)
+					mu.Lock()
+					var out any = core.Empty
+					if len(q) > 0 {
+						out = q[0]
+						q = q[1:]
+					}
+					mu.Unlock()
+					p.Done(out)
+				}
+			}
+		}(core.ThreadID(w))
+	}
+	wg.Wait()
+
+	path := t.TempDir() + "/recorded.json"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.History().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-model", "queue", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "LINEARIZABLE: 12 operations") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,33 @@
+// Package amp is a Go reproduction of Herlihy & Shavit, The Art of
+// Multiprocessor Programming (PODC 2006 keynote; Morgan Kaufmann 2008):
+// every algorithm family the book develops, built on the Go standard
+// library, with the measurement harness that regenerates the book's
+// figures.
+//
+// The implementation lives under internal/:
+//
+//	core       histories, linearizability checking, thread IDs (Ch. 3)
+//	register   register constructions and atomic snapshots (Ch. 4)
+//	consensus  consensus protocols and universal constructions (Ch. 5–6)
+//	mutex      Peterson, Filter, Bakery, tournament locks (Ch. 2)
+//	spin       TAS/TTAS/backoff/ALock/CLH/MCS/TOLock (Ch. 7)
+//	rwlock     semaphores and readers–writers locks (Ch. 8)
+//	list       coarse/fine/optimistic/lazy/lock-free list sets (Ch. 9)
+//	queue      bounded, two-lock, Michael–Scott, synchronous queues (Ch. 10)
+//	stack      Treiber and elimination-backoff stacks (Ch. 11)
+//	counting   combining trees and counting networks (Ch. 12)
+//	hashset    striped/refinable/split-ordered/cuckoo hash sets (Ch. 13)
+//	skiplist   lazy and lock-free skiplists (Ch. 14)
+//	pqueue     bounded pools, fine-grained heap, skip-queue (Ch. 15)
+//	steal      work-stealing deques and executors (Ch. 16)
+//	barrier    sense-reversing, tree, static-tree, dissemination (Ch. 17)
+//	stm        TL2-style software transactional memory (Ch. 18)
+//	bench      workload generators and the experiment harness
+//
+// Binaries: cmd/ampbench regenerates the evaluation tables (experiments
+// E1–E14, see DESIGN.md and EXPERIMENTS.md); cmd/linearize checks recorded
+// histories for linearizability. Runnable walkthroughs live in examples/.
+//
+// The benchmarks in bench_test.go expose every experiment through
+// `go test -bench`.
+package amp

@@ -1,0 +1,119 @@
+// Bank is the canonical transactional-memory example (Ch. 18): concurrent
+// transfers between accounts under the TL2-style STM, with a running
+// auditor that must always see the invariant total, and a comparison
+// against a global lock.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"amp/internal/stm"
+)
+
+const (
+	accounts  = 32
+	initial   = 1_000
+	workers   = 8
+	transfers = 5_000
+)
+
+func main() {
+	s := stm.New()
+	acct := make([]*stm.TVar[int], accounts)
+	for i := range acct {
+		acct[i] = stm.NewTVar(initial)
+	}
+
+	stop := make(chan struct{})
+	var audits, auditFailures int
+	auditDone := make(chan struct{})
+	go func() {
+		defer close(auditDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			total := 0
+			s.Atomic(func(tx *stm.Tx) {
+				total = 0
+				for _, a := range acct {
+					total += a.Get(tx)
+				}
+			})
+			audits++
+			if total != accounts*initial {
+				auditFailures++
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					to = (to + 1) % accounts
+				}
+				amount := rng.Intn(20) + 1
+				s.Atomic(func(tx *stm.Tx) {
+					f := acct[from].Get(tx)
+					acct[from].Set(tx, f-amount)
+					acct[to].Set(tx, acct[to].Get(tx)+amount)
+				})
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	<-auditDone
+
+	total := 0
+	for _, a := range acct {
+		total += a.Load()
+	}
+	fmt.Printf("STM bank: %d transfers by %d workers in %v\n",
+		workers*transfers, workers, elapsed.Round(time.Millisecond))
+	fmt.Printf("  final total %d (invariant %d)\n", total, accounts*initial)
+	fmt.Printf("  %d audits ran concurrently, %d saw a broken invariant\n",
+		audits, auditFailures)
+	fmt.Printf("  commits=%d aborts=%d (abort rate %.1f%%)\n",
+		s.Commits(), s.Aborts(),
+		100*float64(s.Aborts())/float64(s.Commits()+s.Aborts()))
+
+	// The coarse-lock version of the same workload, for contrast.
+	balances := make([]int, accounts)
+	for i := range balances {
+		balances[i] = initial
+	}
+	var mu sync.Mutex
+	start = time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				amount := rng.Intn(20) + 1
+				mu.Lock()
+				balances[from] -= amount
+				balances[to] += amount
+				mu.Unlock()
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	fmt.Printf("coarse-lock bank: same workload in %v\n",
+		time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,121 @@
+// Linearizability catches a seeded concurrency bug with the Chapter 3
+// checker: a "queue" whose dequeue reads the head and unlinks it in two
+// unsynchronized steps loses FIFO order under contention. The checker
+// rejects its histories while accepting the Michael–Scott queue's.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"amp/internal/core"
+	"amp/internal/queue"
+)
+
+// racyQueue is deliberately wrong: Deq reads head.next and swings head in
+// two separate atomic steps, so two dequeuers can return the same element
+// or skip one.
+type racyQueue struct {
+	head atomic.Pointer[racyNode]
+	tail atomic.Pointer[racyNode]
+}
+
+type racyNode struct {
+	value int
+	next  atomic.Pointer[racyNode]
+}
+
+func newRacyQueue() *racyQueue {
+	q := &racyQueue{}
+	sentinel := &racyNode{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+func (q *racyQueue) Enq(v int) {
+	node := &racyNode{value: v}
+	for {
+		last := q.tail.Load()
+		if last.next.CompareAndSwap(nil, node) {
+			q.tail.CompareAndSwap(last, node)
+			return
+		}
+		q.tail.CompareAndSwap(last, last.next.Load())
+	}
+}
+
+func (q *racyQueue) Deq() (int, bool) {
+	first := q.head.Load()
+	next := first.next.Load()
+	if next == nil {
+		return 0, false
+	}
+	runtime.Gosched()  // widen the window so the race shows up quickly
+	q.head.Store(next) // BUG: not a CAS — races with other dequeuers
+	return next.value, true
+}
+
+type intQueue interface {
+	Enq(int)
+	Deq() (int, bool)
+}
+
+func record(q intQueue, attempts int) (core.History, int) {
+	for attempt := 1; ; attempt++ {
+		rec := core.NewRecorder()
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(me core.ThreadID) {
+				defer wg.Done()
+				for i := 0; i < 6; i++ {
+					if i%2 == 0 {
+						v := int(me)*100 + i
+						p := rec.Call(me, "enq", v)
+						q.Enq(v)
+						p.Done(nil)
+					} else {
+						p := rec.Call(me, "deq", nil)
+						if v, ok := q.Deq(); ok {
+							p.Done(v)
+						} else {
+							p.Done(core.Empty)
+						}
+					}
+				}
+			}(core.ThreadID(w))
+		}
+		wg.Wait()
+		h := rec.History()
+		if res := core.Check(core.QueueModel(), h); !res.Linearizable || attempt == attempts {
+			return h, attempt
+		}
+	}
+}
+
+func main() {
+	fmt.Println("checking the Michael-Scott queue:")
+	h, attempts := record(queue.NewLockFreeQueue[int](), 50)
+	res := core.Check(core.QueueModel(), h)
+	fmt.Printf("  %d runs, last history (%d ops) linearizable = %v\n",
+		attempts, len(h), res.Linearizable)
+
+	fmt.Println("checking the deliberately racy queue:")
+	found := false
+	for trial := 0; trial < 200 && !found; trial++ {
+		h, _ := record(newRacyQueue(), 1)
+		if res := core.Check(core.QueueModel(), h); !res.Linearizable {
+			fmt.Printf("  violation found: %d-op history admits no sequential order\n", len(h))
+			for _, op := range h {
+				fmt.Printf("    %v\n", op)
+			}
+			found = true
+		}
+	}
+	if !found {
+		fmt.Println("  no violation surfaced this run (the race is probabilistic); try again")
+	}
+}

@@ -1,0 +1,133 @@
+// Quickstart tours the library: a lock-free set, a Michael–Scott queue, a
+// Treiber stack, a queue lock, and a recorded history checked for
+// linearizability — one stop per part of the book.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"amp/internal/core"
+	"amp/internal/list"
+	"amp/internal/queue"
+	"amp/internal/spin"
+	"amp/internal/stack"
+)
+
+func main() {
+	demoSet()
+	demoQueue()
+	demoStack()
+	demoLock()
+	demoChecker()
+}
+
+func demoSet() {
+	fmt.Println("— lock-free list set (Ch. 9) —")
+	s := list.NewLockFreeList()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Add(base + i)
+			}
+		}(w * 1000)
+	}
+	wg.Wait()
+	fmt.Printf("  contains(1042) = %v, contains(9999) = %v\n",
+		s.Contains(1042), s.Contains(9999))
+}
+
+func demoQueue() {
+	fmt.Println("— Michael–Scott queue (Ch. 10) —")
+	q := queue.NewLockFreeQueue[string]()
+	q.Enq("first")
+	q.Enq("second")
+	for {
+		v, ok := q.Deq()
+		if !ok {
+			break
+		}
+		fmt.Printf("  dequeued %q\n", v)
+	}
+}
+
+func demoStack() {
+	fmt.Println("— elimination-backoff stack (Ch. 11) —")
+	s := stack.NewEliminationBackoffStack[int]()
+	var wg sync.WaitGroup
+	var popped sync.Map
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Push(w*100 + i)
+				if v, ok := s.Pop(); ok {
+					popped.Store(v, true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := 0
+	popped.Range(func(any, any) bool { n++; return true })
+	fmt.Printf("  popped %d distinct values under contention\n", n)
+}
+
+func demoLock() {
+	fmt.Println("— MCS queue lock (Ch. 7) —")
+	const workers = 4
+	l := spin.NewMCSLock(workers)
+	reg := core.NewRegistry(workers)
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			me := reg.MustAcquire()
+			defer reg.Release(me)
+			for i := 0; i < 1000; i++ {
+				l.Lock(me)
+				counter++
+				l.Unlock(me)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("  counter = %d (want %d)\n", counter, workers*1000)
+}
+
+func demoChecker() {
+	fmt.Println("— linearizability checking (Ch. 3) —")
+	rec := core.NewRecorder()
+	q := queue.NewLockFreeQueue[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if i%2 == 0 {
+					p := rec.Call(me, "enq", int(me)*10+i)
+					q.Enq(int(me)*10 + i)
+					p.Done(nil)
+				} else {
+					p := rec.Call(me, "deq", nil)
+					if v, ok := q.Deq(); ok {
+						p.Done(v)
+					} else {
+						p.Done(core.Empty)
+					}
+				}
+			}
+		}(core.ThreadID(w))
+	}
+	wg.Wait()
+	res := core.Check(core.QueueModel(), rec.History())
+	fmt.Printf("  recorded %d operations; linearizable = %v\n",
+		rec.Len(), res.Linearizable)
+}

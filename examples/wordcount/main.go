@@ -1,0 +1,102 @@
+// Wordcount runs the data-parallel patterns (second-edition material) on
+// the Chapter 16 executors: MapReduce word counting, a parallel prefix
+// sum, and a fork/join matrix multiply checked against the serial answer.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"amp/internal/dataparallel"
+	"amp/internal/steal"
+)
+
+func main() {
+	ex := steal.NewStealingExecutor(4)
+	wordCount(ex)
+	prefixSum(ex)
+	matrix(ex)
+}
+
+func wordCount(ex steal.Executor) {
+	seed := []string{
+		"the art of multiprocessor programming",
+		"the free lunch is over",
+		"multiprocessor programming is the art of sharing",
+		"the queue the stack the list",
+	}
+	var docs []string
+	for i := 0; i < 2000; i++ {
+		docs = append(docs, seed[i%len(seed)])
+	}
+	start := time.Now()
+	counts := dataparallel.MapReduce(ex, docs,
+		func(doc string, emit func(string, int)) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+		},
+		func(_ string, vs []int) int {
+			total := 0
+			for _, v := range vs {
+				total += v
+			}
+			return total
+		},
+	)
+	type kv struct {
+		k string
+		v int
+	}
+	var top []kv
+	for k, v := range counts {
+		top = append(top, kv{k, v})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].v > top[j].v })
+	fmt.Printf("MapReduce counted %d distinct words over %d docs in %v; top 3:\n",
+		len(counts), len(docs), time.Since(start).Round(time.Millisecond))
+	for _, e := range top[:3] {
+		fmt.Printf("  %-16s %d\n", e.k, e.v)
+	}
+}
+
+func prefixSum(ex steal.Executor) {
+	rng := rand.New(rand.NewSource(42))
+	in := make([]int, 100_000)
+	for i := range in {
+		in[i] = rng.Intn(9)
+	}
+	start := time.Now()
+	out := dataparallel.Scan(ex, in, 0, func(a, b int) int { return a + b })
+	fmt.Printf("parallel prefix over %d ints in %v; total = %d\n",
+		len(in), time.Since(start).Round(time.Millisecond), out[len(out)-1])
+}
+
+func matrix(ex steal.Executor) {
+	const n = 256
+	rng := rand.New(rand.NewSource(7))
+	a := dataparallel.NewMatrix(n)
+	b := dataparallel.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, float64(rng.Intn(5)))
+			b.Set(i, j, float64(rng.Intn(5)))
+		}
+	}
+	c := dataparallel.NewMatrix(n)
+	start := time.Now()
+	dataparallel.MulMatrix(ex, c, a, b)
+	elapsed := time.Since(start)
+
+	// Spot-check one entry against the serial dot product.
+	i, j := n/3, n/2
+	want := 0.0
+	for k := 0; k < n; k++ {
+		want += a.At(i, k) * b.At(k, j)
+	}
+	fmt.Printf("fork/join %dx%d matrix multiply in %v (spot check: c[%d][%d]=%v, serial=%v)\n",
+		n, n, elapsed.Round(time.Millisecond), i, j, c.At(i, j), want)
+}

@@ -1,0 +1,66 @@
+// Worksteal runs an irregular fork/join computation — counting primes by
+// recursive range splitting — on the Chapter 16 executors and compares
+// work stealing against a single shared queue.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"amp/internal/steal"
+)
+
+const (
+	limit      = 200_000
+	grainSize  = 2_000
+	workerSets = 4
+)
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// countRange forks until ranges are grain-sized, then counts directly. The
+// split is deliberately lopsided (1/3 vs 2/3) so queues imbalance and
+// stealing has something to do.
+func countRange(lo, hi int, primes *atomic.Int64) steal.Task {
+	return func(s steal.Spawner) {
+		for hi-lo > grainSize {
+			mid := lo + (hi-lo)/3
+			s.Spawn(countRange(mid, hi, primes))
+			hi = mid
+		}
+		count := 0
+		for n := lo; n < hi; n++ {
+			if isPrime(n) {
+				count++
+			}
+		}
+		primes.Add(int64(count))
+	}
+}
+
+func run(name string, ex steal.Executor) {
+	var primes atomic.Int64
+	start := time.Now()
+	ex.Run(countRange(0, limit, &primes))
+	fmt.Printf("  %-13s %6d primes below %d in %v\n",
+		name, primes.Load(), limit, time.Since(start).Round(time.Millisecond))
+}
+
+func main() {
+	fmt.Printf("counting primes below %d with %d workers:\n", limit, workerSets)
+	run("stealing", steal.NewStealingExecutor(workerSets))
+	run("sharing", steal.NewSharingExecutor(workerSets))
+	run("single-queue", steal.NewSingleQueueExecutor(workerSets))
+	run("sequential", steal.NewStealingExecutor(1))
+}

@@ -1,0 +1,3 @@
+module amp
+
+go 1.22

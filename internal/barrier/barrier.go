@@ -1,0 +1,315 @@
+// Package barrier implements the Chapter 17 reusable barriers: the
+// sense-reversing barrier (Fig. 17.5), the combining tree barrier
+// (Fig. 17.6), the static tree barrier (Fig. 17.10), the
+// termination-detecting barrier for work stealing (§17.6), and — from the
+// chapter notes' wider literature — the dissemination barrier of
+// Hensgen, Finkel and Manber.
+//
+// All barriers are reusable: sense reversal distinguishes consecutive
+// phases. Threads identify themselves with dense core.ThreadID handles.
+package barrier
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"amp/internal/core"
+)
+
+// Barrier synchronizes a fixed set of threads: Await returns only after
+// every thread of the phase has called it.
+type Barrier interface {
+	Await(me core.ThreadID)
+	// Size reports the number of participating threads.
+	Size() int
+}
+
+// SenseBarrier is the sense-reversing barrier (Fig. 17.5): a shared count
+// and a phase flag ("sense") that the last arriver flips.
+type SenseBarrier struct {
+	count       atomic.Int64
+	size        int
+	sense       atomic.Bool
+	threadSense []bool // per-thread; each slot touched only by its owner
+}
+
+var _ Barrier = (*SenseBarrier)(nil)
+
+// NewSenseBarrier returns a barrier for n threads.
+func NewSenseBarrier(n int) *SenseBarrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("barrier: size must be positive, got %d", n))
+	}
+	b := &SenseBarrier{size: n, threadSense: make([]bool, n)}
+	b.count.Store(int64(n))
+	for i := range b.threadSense {
+		b.threadSense[i] = true
+	}
+	return b
+}
+
+// Await blocks until all n threads arrive.
+func (b *SenseBarrier) Await(me core.ThreadID) {
+	mySense := b.threadSense[me]
+	if b.count.Add(-1) == 0 {
+		b.count.Store(int64(b.size))
+		b.sense.Store(mySense) // release the phase
+	} else {
+		for b.sense.Load() != mySense {
+			runtime.Gosched()
+		}
+	}
+	b.threadSense[me] = !mySense
+}
+
+// Size reports the thread count.
+func (b *SenseBarrier) Size() int { return b.size }
+
+// treeNode is one node of the combining tree barrier.
+type treeNode struct {
+	count  atomic.Int64
+	sense  atomic.Bool
+	parent *treeNode
+	radix  int
+}
+
+// TreeBarrier is the combining tree barrier (Fig. 17.6): threads are
+// grouped radix-at-a-time onto leaves; the last arriver at each node climbs
+// to the parent, and releases cascade back down.
+type TreeBarrier struct {
+	radix       int
+	size        int
+	leaves      []*treeNode
+	threadSense []bool
+}
+
+var _ Barrier = (*TreeBarrier)(nil)
+
+// NewTreeBarrier returns a barrier for n threads combining radix-wise;
+// n must be a power of radix times radix (i.e. radix^k for some k ≥ 1).
+func NewTreeBarrier(n, radix int) *TreeBarrier {
+	if n <= 0 || radix < 2 {
+		panic(fmt.Sprintf("barrier: invalid tree barrier (n=%d, radix=%d)", n, radix))
+	}
+	for v := n; v > 1; v /= radix {
+		if v%radix != 0 {
+			panic(fmt.Sprintf("barrier: n=%d is not a power of radix %d", n, radix))
+		}
+	}
+	b := &TreeBarrier{radix: radix, size: n, threadSense: make([]bool, n)}
+	for i := range b.threadSense {
+		b.threadSense[i] = true
+	}
+	var build func(parent *treeNode, depth int)
+	build = func(parent *treeNode, depth int) {
+		node := &treeNode{parent: parent, radix: radix}
+		node.count.Store(int64(radix))
+		if depth == 0 {
+			b.leaves = append(b.leaves, node)
+			return
+		}
+		for i := 0; i < radix; i++ {
+			build(node, depth-1)
+		}
+	}
+	depth := 0
+	for v := radix; v < n; v *= radix {
+		depth++
+	}
+	build(nil, depth)
+	return b
+}
+
+// Await blocks until all threads arrive. Thread me enters at leaf me/radix.
+func (b *TreeBarrier) Await(me core.ThreadID) {
+	mySense := b.threadSense[me]
+	b.leaves[int(me)/b.radix].await(mySense)
+	b.threadSense[me] = !mySense
+}
+
+func (n *treeNode) await(mySense bool) {
+	if n.count.Add(-1) == 0 {
+		// Last arriver here: combine upward, then release this node.
+		if n.parent != nil {
+			n.parent.await(mySense)
+		}
+		n.count.Store(int64(n.radix))
+		n.sense.Store(mySense)
+	} else {
+		for n.sense.Load() != mySense {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Size reports the thread count.
+func (b *TreeBarrier) Size() int { return b.size }
+
+// staticNode is one thread's node in the static tree barrier.
+type staticNode struct {
+	children   int
+	childCount atomic.Int64
+	parent     *staticNode
+}
+
+// StaticTreeBarrier (Fig. 17.10) assigns every thread its own tree node:
+// a thread waits for its children, notifies its parent, and spins on the
+// global sense, which the root flips. Each thread spins on O(1) locations
+// and the barrier needs only O(n) space.
+type StaticTreeBarrier struct {
+	size        int
+	sense       atomic.Bool
+	nodes       []*staticNode
+	threadSense []bool
+}
+
+var _ Barrier = (*StaticTreeBarrier)(nil)
+
+// NewStaticTreeBarrier returns a barrier for n threads on a radix-ary
+// static tree.
+func NewStaticTreeBarrier(n, radix int) *StaticTreeBarrier {
+	if n <= 0 || radix < 2 {
+		panic(fmt.Sprintf("barrier: invalid static tree barrier (n=%d, radix=%d)", n, radix))
+	}
+	b := &StaticTreeBarrier{size: n, nodes: make([]*staticNode, n), threadSense: make([]bool, n)}
+	for i := range b.threadSense {
+		b.threadSense[i] = true
+	}
+	for i := 0; i < n; i++ {
+		b.nodes[i] = &staticNode{}
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			parent := b.nodes[(i-1)/radix]
+			b.nodes[i].parent = parent
+			parent.children++
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.nodes[i].childCount.Store(int64(b.nodes[i].children))
+	}
+	return b
+}
+
+// Await blocks until all threads arrive; thread me owns node me.
+func (b *StaticTreeBarrier) Await(me core.ThreadID) {
+	mySense := b.threadSense[me]
+	node := b.nodes[me]
+	for node.childCount.Load() > 0 {
+		runtime.Gosched() // wait for my children to arrive
+	}
+	node.childCount.Store(int64(node.children)) // reset for the next phase
+	if node.parent != nil {
+		node.parent.childCount.Add(-1)
+		for b.sense.Load() != mySense {
+			runtime.Gosched() // wait for the root's release
+		}
+	} else {
+		b.sense.Store(mySense) // root: release everyone
+	}
+	b.threadSense[me] = !mySense
+}
+
+// Size reports the thread count.
+func (b *StaticTreeBarrier) Size() int { return b.size }
+
+// DisseminationBarrier runs ⌈log2 n⌉ rounds; in round r, thread i signals
+// thread (i+2^r) mod n and waits to be signalled, so after the last round
+// every thread transitively heard from every other. Parity double-buffers
+// the flags so phases can overlap safely.
+type DisseminationBarrier struct {
+	size   int
+	rounds int
+	// flag[parity][thread][round], written by the partner, read by owner.
+	flag   [2][][]atomic.Bool
+	parity []int
+	sense  []bool
+}
+
+var _ Barrier = (*DisseminationBarrier)(nil)
+
+// NewDisseminationBarrier returns a barrier for n threads.
+func NewDisseminationBarrier(n int) *DisseminationBarrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("barrier: size must be positive, got %d", n))
+	}
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	b := &DisseminationBarrier{
+		size:   n,
+		rounds: rounds,
+		parity: make([]int, n),
+		sense:  make([]bool, n),
+	}
+	for p := 0; p < 2; p++ {
+		b.flag[p] = make([][]atomic.Bool, n)
+		for i := range b.flag[p] {
+			b.flag[p][i] = make([]atomic.Bool, rounds)
+		}
+	}
+	for i := range b.sense {
+		b.sense[i] = true
+	}
+	return b
+}
+
+// Await blocks until all threads arrive.
+func (b *DisseminationBarrier) Await(me core.ThreadID) {
+	i := int(me)
+	p := b.parity[i]
+	s := b.sense[i]
+	for r := 0; r < b.rounds; r++ {
+		partner := (i + 1<<r) % b.size
+		b.flag[p][partner][r].Store(s)
+		for b.flag[p][i][r].Load() != s {
+			runtime.Gosched()
+		}
+	}
+	if p == 1 {
+		b.sense[i] = !s
+	}
+	b.parity[i] = 1 - p
+}
+
+// Size reports the thread count.
+func (b *DisseminationBarrier) Size() int { return b.size }
+
+// TDBarrier is the termination-detecting barrier of §17.6: work-stealing
+// threads toggle between active and inactive; the pool has terminated when
+// no thread is active. A thread must declare itself active *before* making
+// new work visible to others, or termination could be announced early.
+type TDBarrier struct {
+	count atomic.Int64
+	size  int
+}
+
+// NewTDBarrier returns a detector for n threads, all initially active.
+func NewTDBarrier(n int) *TDBarrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("barrier: size must be positive, got %d", n))
+	}
+	b := &TDBarrier{size: n}
+	b.count.Store(int64(n))
+	return b
+}
+
+// SetActive announces a transition between looking-for-work (false) and
+// working (true).
+func (b *TDBarrier) SetActive(active bool) {
+	if active {
+		b.count.Add(1)
+	} else {
+		b.count.Add(-1)
+	}
+}
+
+// Terminated reports whether every thread is inactive.
+func (b *TDBarrier) Terminated() bool {
+	return b.count.Load() == 0
+}
+
+// Size reports the thread count.
+func (b *TDBarrier) Size() int { return b.size }

@@ -1,0 +1,193 @@
+package barrier
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"amp/internal/core"
+)
+
+func barriers(n int) map[string]Barrier {
+	return map[string]Barrier{
+		"sense":         NewSenseBarrier(n),
+		"tree":          NewTreeBarrier(n, 2),
+		"static":        NewStaticTreeBarrier(n, 2),
+		"dissemination": NewDisseminationBarrier(n),
+	}
+}
+
+// exercisePhases runs n threads through r barrier phases and checks the
+// barrier property: when a thread leaves phase p, every other thread has
+// entered phase p.
+func exercisePhases(t *testing.T, b Barrier, rounds int) {
+	t.Helper()
+	n := b.Size()
+	arrived := make([]atomic.Int64, n)
+	var wg sync.WaitGroup
+	for th := 0; th < n; th++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for round := 1; round <= rounds; round++ {
+				arrived[me].Store(int64(round))
+				b.Await(me)
+				for j := 0; j < n; j++ {
+					if got := arrived[j].Load(); got < int64(round) {
+						t.Errorf("thread %d left round %d but thread %d only reached %d",
+							me, round, j, got)
+						return
+					}
+				}
+			}
+		}(core.ThreadID(th))
+	}
+	wg.Wait()
+}
+
+func TestBarrierPhases4(t *testing.T) {
+	for name, b := range barriers(4) {
+		t.Run(name, func(t *testing.T) {
+			exercisePhases(t, b, 50)
+		})
+	}
+}
+
+func TestBarrierPhases8(t *testing.T) {
+	for name, b := range barriers(8) {
+		t.Run(name, func(t *testing.T) {
+			exercisePhases(t, b, 25)
+		})
+	}
+}
+
+func TestBarrierOddSizes(t *testing.T) {
+	// Sense and dissemination barriers take any n.
+	for _, n := range []int{1, 3, 5, 7} {
+		for name, b := range map[string]Barrier{
+			"sense":         NewSenseBarrier(n),
+			"dissemination": NewDisseminationBarrier(n),
+		} {
+			t.Run(name, func(t *testing.T) {
+				exercisePhases(t, b, 20)
+			})
+		}
+	}
+}
+
+func TestBarrierSizes(t *testing.T) {
+	for name, b := range barriers(4) {
+		if got := b.Size(); got != 4 {
+			t.Errorf("%s: Size = %d, want 4", name, got)
+		}
+	}
+}
+
+func TestTreeBarrierRejectsNonPower(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n not a power of radix did not panic")
+		}
+	}()
+	NewTreeBarrier(6, 2)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSenseBarrier(0) },
+		func() { NewTreeBarrier(0, 2) },
+		func() { NewTreeBarrier(4, 1) },
+		func() { NewStaticTreeBarrier(0, 2) },
+		func() { NewDisseminationBarrier(0) },
+		func() { NewTDBarrier(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBarrierBlocksUntilLastArrives(t *testing.T) {
+	for name, b := range barriers(2) {
+		t.Run(name, func(t *testing.T) {
+			released := make(chan struct{})
+			go func() {
+				b.Await(0)
+				close(released)
+			}()
+			select {
+			case <-released:
+				t.Fatal("Await(0) returned before Await(1)")
+			case <-time.After(50 * time.Millisecond):
+			}
+			b.Await(1)
+			select {
+			case <-released:
+			case <-time.After(5 * time.Second):
+				t.Fatal("Await(0) never released")
+			}
+		})
+	}
+}
+
+// TestTDBarrier simulates a small work-stealing pool: threads go inactive
+// when they find no work, reactivate when they steal some, and the barrier
+// announces termination exactly when all work is gone.
+func TestTDBarrier(t *testing.T) {
+	const workers = 4
+	td := NewTDBarrier(workers)
+	var work atomic.Int64
+	work.Store(1000)
+	var executed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			active := true
+			for {
+				if work.Add(-1) >= 0 {
+					executed.Add(1)
+					continue
+				}
+				work.Add(1) // undo the failed claim
+				if active {
+					td.SetActive(false)
+					active = false
+				}
+				if td.Terminated() {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := executed.Load(); got != 1000 {
+		t.Fatalf("executed %d work items, want 1000", got)
+	}
+	if !td.Terminated() {
+		t.Fatal("barrier not terminated after all workers exited")
+	}
+}
+
+func TestTDBarrierReactivation(t *testing.T) {
+	td := NewTDBarrier(2)
+	if td.Terminated() {
+		t.Fatal("terminated while all active")
+	}
+	td.SetActive(false)
+	td.SetActive(false)
+	if !td.Terminated() {
+		t.Fatal("not terminated with all inactive")
+	}
+	td.SetActive(true)
+	if td.Terminated() {
+		t.Fatal("terminated with one active thread")
+	}
+}

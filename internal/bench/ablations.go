@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"amp/internal/core"
+	"amp/internal/hashset"
+	"amp/internal/spin"
+	"amp/internal/stack"
+	"amp/internal/stm"
+)
+
+// Ablations are design-choice sweeps: each varies one tuning knob the book
+// (or this implementation) had to pick, holding the workload fixed.
+// Run them with `ampbench -run A1` etc.
+var Ablations = []Experiment{
+	{
+		ID:          "A1",
+		Title:       "elimination stack: array width",
+		Description: "push/pop throughput vs elimination-array width (Ch. 11 tuning)",
+		Run:         runA1,
+	},
+	{
+		ID:          "A2",
+		Title:       "backoff lock: delay window",
+		Description: "critical-section throughput vs max backoff delay (Ch. 7 tuning)",
+		Run:         runA2,
+	},
+	{
+		ID:          "A3",
+		Title:       "STM engine and contention manager",
+		Description: "TL2 locks vs obstruction-free DSTM (aggressive/backoff CM) (Ch. 18)",
+		Run:         runA3,
+	},
+	{
+		ID:          "A4",
+		Title:       "hash set stripe count",
+		Description: "90/9/1 mix vs number of lock stripes (Ch. 13 tuning)",
+		Run:         runA4,
+	},
+}
+
+// AllAndAblations returns the primary experiments followed by ablations.
+func AllAndAblations() []Experiment {
+	out := make([]Experiment, 0, len(All)+len(Ablations))
+	out = append(out, All...)
+	out = append(out, Ablations...)
+	return out
+}
+
+func runA1(cfg Config) *SeriesTable {
+	t := NewSeriesTable("A1", "elimination stack: array width", "threads", "ops/ms", cfg.Threads)
+	for _, n := range cfg.Threads {
+		for _, width := range []int{1, 2, 4, 8} {
+			s := stack.NewEliminationBackoffStackSized[int](width, 50*time.Microsecond)
+			r := StackPairs(s, n, cfg.Ops)
+			t.Add(fmt.Sprintf("width=%d", width), r.Throughput())
+		}
+	}
+	t.Note("wider arrays spread colliders; too wide and partners miss each other")
+	return t
+}
+
+func runA2(cfg Config) *SeriesTable {
+	t := NewSeriesTable("A2", "backoff lock: delay window", "threads", "ops/ms", cfg.Threads)
+	for _, n := range cfg.Threads {
+		for _, maxDelay := range []time.Duration{
+			8 * time.Microsecond,
+			64 * time.Microsecond,
+			512 * time.Microsecond,
+			4096 * time.Microsecond,
+		} {
+			l := spin.NewBackoffLockWindow(n, time.Microsecond, maxDelay)
+			r := CriticalSections(l, n, cfg.Ops, 8)
+			t.Add(fmt.Sprintf("max=%v", maxDelay), r.Throughput())
+		}
+	}
+	t.Note("too small a cap keeps the hot spot hot; too large strands the lock idle")
+	return t
+}
+
+func runA3(cfg Config) *SeriesTable {
+	t := NewSeriesTable("A3", "STM engine comparison", "threads", "tx/ms", cfg.Threads)
+	const accounts = 64
+	ops := cfg.Ops / 2
+	for _, n := range cfg.Threads {
+		// TL2-style lock-based engine.
+		tl2 := stm.New()
+		tl2Acct := make([]*stm.TVar[int], accounts)
+		for i := range tl2Acct {
+			tl2Acct[i] = stm.NewTVar(1000)
+		}
+		r := Measure(n, ops, func(_ core.ThreadID, rng *rand.Rand, _ int) {
+			from, to := rng.Intn(accounts), rng.Intn(accounts)
+			if from == to {
+				to = (to + 1) % accounts
+			}
+			tl2.Atomic(func(tx *stm.Tx) {
+				f := tl2Acct[from].Get(tx)
+				tl2Acct[from].Set(tx, f-1)
+				tl2Acct[to].Set(tx, tl2Acct[to].Get(tx)+1)
+			})
+		})
+		t.Add("tl2-locks", r.Throughput())
+
+		for _, engine := range []struct {
+			name string
+			s    *stm.OFSTM
+		}{
+			{"of-aggressive", stm.NewOF()},
+			{"of-backoff", stm.NewOF(stm.WithContentionManager(func() stm.ContentionManager {
+				return &stm.BackoffManager{}
+			}))},
+		} {
+			acct := make([]*stm.OFTVar[int], accounts)
+			for i := range acct {
+				acct[i] = stm.NewOFTVar(1000)
+			}
+			r := Measure(n, ops, func(_ core.ThreadID, rng *rand.Rand, _ int) {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					to = (to + 1) % accounts
+				}
+				engine.s.Atomic(func(tx *stm.OFTx) {
+					f := acct[from].Get(tx)
+					acct[from].Set(tx, f-1)
+					acct[to].Set(tx, acct[to].Get(tx)+1)
+				})
+			})
+			t.Add(engine.name, r.Throughput())
+			if n == cfg.Threads[len(cfg.Threads)-1] {
+				total := engine.s.Commits() + engine.s.Aborts()
+				if total > 0 {
+					t.Note("%s abort rate at %d threads: %.1f%%", engine.name, n,
+						100*float64(engine.s.Aborts())/float64(total))
+				}
+			}
+		}
+	}
+	return t
+}
+
+func runA4(cfg Config) *SeriesTable {
+	t := NewSeriesTable("A4", "hash set stripe count", "threads", "ops/ms", cfg.Threads)
+	mix := SetMix{ContainsPct: 90, AddPct: 9, KeyRange: 4096}
+	for _, n := range cfg.Threads {
+		for _, stripes := range []int{2, 16, 128, 1024} {
+			s := hashset.NewStripedHashSet(stripes)
+			mix.Prefill(s)
+			r := mix.Run(s, n, cfg.Ops)
+			t.Add(fmt.Sprintf("stripes=%d", stripes), r.Throughput())
+		}
+	}
+	t.Note("stripes trade memory for independence; past the thread count they buy nothing")
+	return t
+}

@@ -1,0 +1,155 @@
+// Package bench is the measurement harness behind EXPERIMENTS.md: workload
+// generators, thread sweeps, and table formatting for every figure and
+// table the library reproduces (experiments E1–E14 in DESIGN.md).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"amp/internal/core"
+)
+
+// Result is one measured cell: total operations over elapsed wall time.
+type Result struct {
+	Ops     int64
+	Elapsed time.Duration
+}
+
+// Throughput reports operations per millisecond.
+func (r Result) Throughput() float64 {
+	return PerMilli(r.Ops, r.Elapsed)
+}
+
+// PerMilli reports count per millisecond of elapsed time, resolving well
+// below one millisecond.
+func PerMilli(count int64, elapsed time.Duration) float64 {
+	ms := elapsed.Seconds() * 1000
+	if ms <= 0 {
+		ms = 1e-6
+	}
+	return float64(count) / ms
+}
+
+// Measure runs fn concurrently on `threads` goroutines, each performing
+// `opsPerThread` operations, and reports the aggregate throughput. fn
+// receives a dense thread ID and a private RNG.
+func Measure(threads, opsPerThread int, fn func(me core.ThreadID, rng *rand.Rand, op int)) Result {
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+	)
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(me)*2654435761 + 1))
+			<-start
+			for op := 0; op < opsPerThread; op++ {
+				fn(me, rng, op)
+			}
+		}(core.ThreadID(th))
+	}
+	began := time.Now()
+	close(start)
+	wg.Wait()
+	return Result{
+		Ops:     int64(threads) * int64(opsPerThread),
+		Elapsed: time.Since(began),
+	}
+}
+
+// SeriesTable is one experiment's output: a family of named series sampled
+// over a shared x axis (usually thread counts), in the shape of the paper's
+// figures.
+type SeriesTable struct {
+	ID     string
+	Title  string
+	XLabel string
+	Unit   string
+	X      []int
+	Names  []string // series display order
+	Data   map[string][]float64
+	Notes  []string
+}
+
+// NewSeriesTable returns an empty table over the given x axis.
+func NewSeriesTable(id, title, xlabel, unit string, x []int) *SeriesTable {
+	return &SeriesTable{
+		ID:     id,
+		Title:  title,
+		XLabel: xlabel,
+		Unit:   unit,
+		X:      x,
+		Data:   make(map[string][]float64),
+	}
+}
+
+// Add appends a sample to the named series, registering the series on first
+// use.
+func (t *SeriesTable) Add(name string, value float64) {
+	if _, ok := t.Data[name]; !ok {
+		t.Names = append(t.Names, name)
+	}
+	t.Data[name] = append(t.Data[name], value)
+}
+
+// Note attaches a footnote printed under the table.
+func (t *SeriesTable) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table with aligned columns.
+func (t *SeriesTable) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", t.ID, t.Title, t.Unit)
+	width := 14
+	for _, n := range t.Names {
+		if len(n)+2 > width {
+			width = len(n) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-10s", t.XLabel)
+	for _, n := range t.Names {
+		fmt.Fprintf(&b, "%*s", width, n)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.X {
+		fmt.Fprintf(&b, "%-10d", x)
+		for _, n := range t.Names {
+			series := t.Data[n]
+			if i < len(series) && !math.IsNaN(series[i]) {
+				fmt.Fprintf(&b, "%*.1f", width, series[i])
+			} else {
+				fmt.Fprintf(&b, "%*s", width, "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", note)
+	}
+	return b.String()
+}
+
+// Winner reports the series with the highest value at the largest x.
+func (t *SeriesTable) Winner() string {
+	best, bestV := "", -1.0
+	names := append([]string(nil), t.Names...)
+	sort.Strings(names)
+	for _, n := range names {
+		s := t.Data[n]
+		if len(s) == 0 {
+			continue
+		}
+		if v := s[len(s)-1]; v > bestV {
+			best, bestV = n, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"amp/internal/core"
+)
+
+func TestMeasureCountsOps(t *testing.T) {
+	r := Measure(3, 100, func(_ core.ThreadID, _ *rand.Rand, _ int) {})
+	if r.Ops != 300 {
+		t.Fatalf("Ops = %d, want 300", r.Ops)
+	}
+	if r.Throughput() <= 0 {
+		t.Fatalf("Throughput = %f, want positive", r.Throughput())
+	}
+}
+
+func TestSeriesTableFormat(t *testing.T) {
+	tb := NewSeriesTable("EX", "demo", "threads", "ops/ms", []int{1, 2})
+	tb.Add("a", 1.5)
+	tb.Add("b", 2.5)
+	tb.Add("a", 3.5)
+	tb.Add("b", math.NaN())
+	tb.Note("footnote %d", 7)
+	out := tb.Format()
+	for _, want := range []string{"EX — demo", "threads", "a", "b", "1.5", "3.5", "-", "footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesTableWinner(t *testing.T) {
+	tb := NewSeriesTable("EX", "demo", "threads", "ops/ms", []int{1})
+	tb.Add("slow", 1)
+	tb.Add("fast", 10)
+	if got := tb.Winner(); got != "fast" {
+		t.Fatalf("Winner = %q, want fast", got)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Fatal("E1 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 unexpectedly found")
+	}
+	seen := make(map[string]bool)
+	for _, e := range All {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" || e.Description == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(All) != 14 {
+		t.Fatalf("expected 14 experiments, have %d", len(All))
+	}
+}
+
+// TestExperimentsRunTiny smoke-tests every experiment end to end at a tiny
+// scale: tables come back fully populated.
+func TestExperimentsRunTiny(t *testing.T) {
+	tiny := Config{Threads: []int{1, 2}, Ops: 60}
+	for _, e := range AllAndAblations() {
+		t.Run(e.ID, func(t *testing.T) {
+			tb := e.Run(tiny)
+			if tb.ID != e.ID {
+				t.Fatalf("table ID %q != experiment ID %q", tb.ID, e.ID)
+			}
+			if len(tb.Names) == 0 {
+				t.Fatal("no series produced")
+			}
+			for _, name := range tb.Names {
+				if len(tb.Data[name]) != len(tb.X) {
+					t.Fatalf("series %q has %d samples for %d x values",
+						name, len(tb.Data[name]), len(tb.X))
+				}
+			}
+			if out := tb.Format(); !strings.Contains(out, e.ID) {
+				t.Fatalf("formatted table missing ID:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestSetMixPrefill(t *testing.T) {
+	mix := SetMix{ContainsPct: 90, AddPct: 9, KeyRange: 16}
+	s := newCountingSet()
+	mix.Prefill(s)
+	if s.adds != 8 {
+		t.Fatalf("prefill inserted %d keys, want 8", s.adds)
+	}
+}
+
+// countingSet is a trivial Set recording call counts.
+type countingSet struct {
+	adds, removes, contains int
+	m                       map[int]bool
+}
+
+func newCountingSet() *countingSet { return &countingSet{m: make(map[int]bool)} }
+
+func (s *countingSet) Add(x int) bool {
+	s.adds++
+	if s.m[x] {
+		return false
+	}
+	s.m[x] = true
+	return true
+}
+
+func (s *countingSet) Remove(x int) bool {
+	s.removes++
+	if !s.m[x] {
+		return false
+	}
+	delete(s.m, x)
+	return true
+}
+
+func (s *countingSet) Contains(x int) bool {
+	s.contains++
+	return s.m[x]
+}

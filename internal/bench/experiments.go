@@ -1,0 +1,564 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"amp/internal/barrier"
+	"amp/internal/consensus"
+	"amp/internal/core"
+	"amp/internal/counting"
+	"amp/internal/hashset"
+	"amp/internal/list"
+	"amp/internal/mutex"
+	"amp/internal/pqueue"
+	"amp/internal/queue"
+	"amp/internal/register"
+	"amp/internal/skiplist"
+	"amp/internal/spin"
+	"amp/internal/stack"
+	"amp/internal/steal"
+	"amp/internal/stm"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Threads is the x axis of every sweep.
+	Threads []int
+	// Ops is the per-thread operation count at each cell; individual
+	// experiments scale it down where an operation is inherently heavy.
+	Ops int
+}
+
+// Quick is the configuration used by `go test -bench` and `ampbench -quick`.
+var Quick = Config{Threads: []int{1, 2, 4, 8}, Ops: 2000}
+
+// Full is the configuration for `ampbench -full`.
+var Full = Config{Threads: []int{1, 2, 4, 8, 16, 32}, Ops: 20000}
+
+// Experiment reproduces one of the book's figures (see DESIGN.md).
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(cfg Config) *SeriesTable
+}
+
+// All lists every experiment in DESIGN.md order.
+var All = []Experiment{
+	{
+		ID:          "E1",
+		Title:       "spin-lock scalability",
+		Description: "critical-section throughput per lock as threads grow (Ch. 7 figures)",
+		Run:         runE1,
+	},
+	{
+		ID:          "E2",
+		Title:       "classical mutual exclusion",
+		Description: "Peterson/Filter/Bakery/tournament cost (Ch. 2, implemented)",
+		Run:         runE2,
+	},
+	{
+		ID:          "E3",
+		Title:       "list-based sets",
+		Description: "90/9/1 contains/add/remove over list sets (Ch. 9 figures)",
+		Run:         runE3,
+	},
+	{
+		ID:          "E4",
+		Title:       "queues",
+		Description: "enq/deq pairs: two-lock vs Michael–Scott vs channel (Ch. 10 figures)",
+		Run:         runE4,
+	},
+	{
+		ID:          "E5",
+		Title:       "stacks",
+		Description: "push/pop pairs: lock vs Treiber vs elimination (Ch. 11 figures)",
+		Run:         runE5,
+	},
+	{
+		ID:          "E6",
+		Title:       "shared counting",
+		Description: "getAndIncrement: CAS vs lock vs combining vs networks (Ch. 12 figures)",
+		Run:         runE6,
+	},
+	{
+		ID:          "E7",
+		Title:       "hash sets",
+		Description: "90/9/1 mix with resizing across hash sets (Ch. 13 figures)",
+		Run:         runE7,
+	},
+	{
+		ID:          "E8",
+		Title:       "skiplist sets",
+		Description: "90/9/1 mix: lazy vs lock-free skiplist vs lazy list (Ch. 14 figures)",
+		Run:         runE8,
+	},
+	{
+		ID:          "E9",
+		Title:       "priority queues",
+		Description: "add/removeMin mix across priority queues (Ch. 15 figures)",
+		Run:         runE9,
+	},
+	{
+		ID:          "E10",
+		Title:       "work distribution",
+		Description: "fork/join task tree: stealing vs sharing vs single queue (Ch. 16 figures)",
+		Run:         runE10,
+	},
+	{
+		ID:          "E11",
+		Title:       "barriers",
+		Description: "barrier phases per ms across barrier designs (Ch. 17 figures)",
+		Run:         runE11,
+	},
+	{
+		ID:          "E12",
+		Title:       "software transactional memory",
+		Description: "bank transfers: STM vs coarse vs fine locks, plus abort rate (Ch. 18 figures)",
+		Run:         runE12,
+	},
+	{
+		ID:          "E13",
+		Title:       "universal construction overhead",
+		Description: "queue via consensus universality vs direct Michael–Scott (Ch. 6, implemented)",
+		Run:         runE13,
+	},
+	{
+		ID:          "E14",
+		Title:       "atomic snapshots",
+		Description: "wait-free vs collect-twice vs mutex snapshot (Ch. 4, implemented)",
+		Run:         runE14,
+	},
+}
+
+// ByID returns the experiment (primary or ablation) with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range AllAndAblations() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func runE1(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E1", "spin-lock scalability", "threads", "ops/ms", cfg.Threads)
+	locks := []struct {
+		name string
+		mk   func(capacity int) lockLike
+	}{
+		{"TAS", func(int) lockLike { return &spin.TASLock{} }},
+		{"TTAS", func(int) lockLike { return &spin.TTASLock{} }},
+		{"Backoff", func(c int) lockLike { return spin.NewBackoffLock(c) }},
+		{"ALock", func(c int) lockLike { return spin.NewALock(c) }},
+		{"CLH", func(c int) lockLike { return spin.NewCLHLock(c) }},
+		{"MCS", func(c int) lockLike { return spin.NewMCSLock(c) }},
+		{"sync.Mutex", func(int) lockLike { return &spin.StdMutex{} }},
+	}
+	for _, n := range cfg.Threads {
+		for _, l := range locks {
+			r := CriticalSections(l.mk(n), n, cfg.Ops, 8)
+			t.Add(l.name, r.Throughput())
+		}
+	}
+	return t
+}
+
+func runE2(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E2", "classical mutual exclusion", "threads", "ops/ms", cfg.Threads)
+	for _, n := range cfg.Threads {
+		if n <= 2 {
+			r := CriticalSections(&mutex.Peterson{}, n, cfg.Ops, 8)
+			t.Add("Peterson", r.Throughput())
+		} else {
+			t.Add("Peterson", math.NaN()) // two-thread algorithm
+		}
+		pow2 := n
+		if pow2&(pow2-1) != 0 || pow2 < 2 {
+			pow2 = nextPow2(n)
+		}
+		for _, l := range []struct {
+			name string
+			lk   lockLike
+		}{
+			{"Filter", mutex.NewFilter(max(2, n))},
+			{"Bakery", mutex.NewBakery(max(1, n))},
+			{"Tournament", mutex.NewTournament(pow2)},
+			{"sync.Mutex", &spin.StdMutex{}},
+		} {
+			r := CriticalSections(l.lk, n, cfg.Ops, 8)
+			t.Add(l.name, r.Throughput())
+		}
+	}
+	t.Note("Peterson is defined for two threads only")
+	return t
+}
+
+func runE3(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E3", "list-based sets, 90/9/1 mix", "threads", "ops/ms", cfg.Threads)
+	mix := SetMix{ContainsPct: 90, AddPct: 9, KeyRange: 128}
+	sets := []struct {
+		name string
+		mk   func() list.Set
+	}{
+		{"coarse", func() list.Set { return list.NewCoarseList() }},
+		{"fine", func() list.Set { return list.NewFineList() }},
+		{"optimistic", func() list.Set { return list.NewOptimisticList() }},
+		{"lazy", func() list.Set { return list.NewLazyList() }},
+		{"lockfree", func() list.Set { return list.NewLockFreeList() }},
+	}
+	ops := cfg.Ops / 2
+	for _, n := range cfg.Threads {
+		for _, s := range sets {
+			set := s.mk()
+			mix.Prefill(set)
+			r := mix.Run(set, n, ops)
+			t.Add(s.name, r.Throughput())
+		}
+	}
+	return t
+}
+
+func runE4(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E4", "queue throughput, enq/deq pairs", "threads", "ops/ms", cfg.Threads)
+	for _, n := range cfg.Threads {
+		queues := []struct {
+			name string
+			q    queue.Queue[int]
+		}{
+			{"two-lock", queue.NewUnboundedQueue[int]()},
+			{"michael-scott", queue.NewLockFreeQueue[int]()},
+			{"channel", queue.NewChanQueue[int](1 << 16)},
+		}
+		for _, qq := range queues {
+			r := QueuePairs(qq.q, n, cfg.Ops)
+			t.Add(qq.name, r.Throughput())
+		}
+	}
+	return t
+}
+
+func runE5(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E5", "stack throughput, push/pop pairs", "threads", "ops/ms", cfg.Threads)
+	for _, n := range cfg.Threads {
+		stacks := []struct {
+			name string
+			s    stack.Stack[int]
+		}{
+			{"locked", stack.NewLockedStack[int]()},
+			{"treiber", stack.NewLockFreeStack[int]()},
+			{"elimination", stack.NewEliminationBackoffStack[int]()},
+		}
+		for _, ss := range stacks {
+			r := StackPairs(ss.s, n, cfg.Ops)
+			t.Add(ss.name, r.Throughput())
+		}
+	}
+	return t
+}
+
+func runE6(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E6", "shared counting", "threads", "ops/ms", cfg.Threads)
+	for _, n := range cfg.Threads {
+		counters := []struct {
+			name string
+			c    counting.Counter
+		}{
+			{"cas", &counting.CASCounter{}},
+			{"lock", &counting.LockCounter{}},
+			{"combining", counting.NewCombiningTree(max(2, n))},
+			{"bitonic[8]", counting.NewNetworkCounter(counting.NewBitonic(8))},
+			{"periodic[8]", counting.NewNetworkCounter(counting.NewPeriodic(8))},
+		}
+		for _, cc := range counters {
+			r := CounterIncrements(cc.c, n, cfg.Ops)
+			t.Add(cc.name, r.Throughput())
+		}
+	}
+	return t
+}
+
+func runE7(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E7", "hash sets, 90/9/1 mix", "threads", "ops/ms", cfg.Threads)
+	mix := SetMix{ContainsPct: 90, AddPct: 9, KeyRange: 4096}
+	sets := []struct {
+		name string
+		mk   func() hashset.Set
+	}{
+		{"coarse", func() hashset.Set { return hashset.NewCoarseHashSet(16) }},
+		{"striped", func() hashset.Set { return hashset.NewStripedHashSet(64) }},
+		{"refinable", func() hashset.Set { return hashset.NewRefinableHashSet(16) }},
+		{"lockfree", func() hashset.Set { return hashset.NewLockFreeHashSet() }},
+		{"cuckoo-striped", func() hashset.Set { return hashset.NewStripedCuckooHashSet(64) }},
+	}
+	for _, n := range cfg.Threads {
+		for _, s := range sets {
+			set := s.mk()
+			mix.Prefill(set)
+			r := mix.Run(set, n, cfg.Ops)
+			t.Add(s.name, r.Throughput())
+		}
+	}
+	return t
+}
+
+func runE8(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E8", "skiplist sets, 90/9/1 mix", "threads", "ops/ms", cfg.Threads)
+	mix := SetMix{ContainsPct: 90, AddPct: 9, KeyRange: 1024}
+	ops := cfg.Ops / 4
+	sets := []struct {
+		name string
+		mk   func() list.Set
+	}{
+		{"lazy-skip", func() list.Set { return skiplist.NewLazySkipList() }},
+		{"lockfree-skip", func() list.Set { return skiplist.NewLockFreeSkipList() }},
+		{"lazy-list", func() list.Set { return list.NewLazyList() }},
+	}
+	for _, n := range cfg.Threads {
+		for _, s := range sets {
+			set := s.mk()
+			mix.Prefill(set)
+			r := mix.Run(set, n, ops)
+			t.Add(s.name, r.Throughput())
+		}
+	}
+	t.Note("lazy-list is the O(n) Chapter 9 baseline the skiplists improve on")
+	return t
+}
+
+func runE9(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E9", "priority queues, add/removeMin", "threads", "ops/ms", cfg.Threads)
+	const keyRange = 64
+	for _, n := range cfg.Threads {
+		qs := []struct {
+			name string
+			q    pqueue.PQueue
+		}{
+			{"locked-heap", pqueue.NewLockedHeap()},
+			{"fine-heap", pqueue.NewFineGrainedHeap(1 << 18)},
+			{"skip-queue", pqueue.NewSkipQueue()},
+			{"linear", pqueue.NewSimpleLinear(keyRange)},
+			{"tree", pqueue.NewSimpleTree(keyRange)},
+		}
+		for _, qq := range qs {
+			r := PQueueMix(qq.q, n, cfg.Ops/2, keyRange)
+			t.Add(qq.name, r.Throughput())
+		}
+	}
+	return t
+}
+
+func runE10(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E10", "work distribution, fork/join tree", "workers", "tasks/ms", cfg.Threads)
+	depth := 12 // 2^13-1 tasks
+	if cfg.Ops < 5000 {
+		depth = 10
+	}
+	totalTasks := float64(int64(2)<<depth - 1)
+	for _, n := range cfg.Threads {
+		for _, ex := range []struct {
+			name string
+			e    steal.Executor
+		}{
+			{"stealing", steal.NewStealingExecutor(n)},
+			{"sharing", steal.NewSharingExecutor(n)},
+			{"single-queue", steal.NewSingleQueueExecutor(n)},
+		} {
+			var leaves atomic.Int64
+			var tree func(d int) steal.Task
+			tree = func(d int) steal.Task {
+				return func(s steal.Spawner) {
+					if d == 0 {
+						leaves.Add(1)
+						return
+					}
+					s.Spawn(tree(d - 1))
+					s.Spawn(tree(d - 1))
+				}
+			}
+			start := time.Now()
+			ex.e.Run(tree(depth))
+			elapsed := time.Since(start)
+			t.Add(ex.name, PerMilli(int64(totalTasks), elapsed))
+		}
+	}
+	return t
+}
+
+func runE11(cfg Config) *SeriesTable {
+	threads := make([]int, 0, len(cfg.Threads))
+	for _, n := range cfg.Threads {
+		if n >= 2 && n&(n-1) == 0 {
+			threads = append(threads, n) // tree barriers want powers of two
+		}
+	}
+	t := NewSeriesTable("E11", "barrier phases", "threads", "phases/ms", threads)
+	rounds := cfg.Ops / 10
+	for _, n := range threads {
+		for _, bb := range []struct {
+			name string
+			b    barrier.Barrier
+		}{
+			{"sense", barrier.NewSenseBarrier(n)},
+			{"tree[2]", barrier.NewTreeBarrier(n, 2)},
+			{"static[2]", barrier.NewStaticTreeBarrier(n, 2)},
+			{"dissemination", barrier.NewDisseminationBarrier(n)},
+		} {
+			r := Measure(n, rounds, func(me core.ThreadID, _ *rand.Rand, _ int) {
+				bb.b.Await(me)
+			})
+			t.Add(bb.name, PerMilli(int64(rounds), r.Elapsed))
+		}
+	}
+	return t
+}
+
+func runE12(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E12", "STM bank transfers", "threads", "transfers/ms", cfg.Threads)
+	const accounts = 64
+	ops := cfg.Ops / 2
+	for _, n := range cfg.Threads {
+		// STM.
+		s := stm.New()
+		acct := make([]*stm.TVar[int], accounts)
+		for i := range acct {
+			acct[i] = stm.NewTVar(1000)
+		}
+		r := Measure(n, ops, func(_ core.ThreadID, rng *rand.Rand, _ int) {
+			from, to := rng.Intn(accounts), rng.Intn(accounts)
+			if from == to {
+				to = (to + 1) % accounts
+			}
+			s.Atomic(func(tx *stm.Tx) {
+				f := acct[from].Get(tx)
+				acct[from].Set(tx, f-1)
+				acct[to].Set(tx, acct[to].Get(tx)+1)
+			})
+		})
+		t.Add("stm", r.Throughput())
+		if n == cfg.Threads[len(cfg.Threads)-1] {
+			total := s.Commits() + s.Aborts()
+			if total > 0 {
+				t.Note("stm abort rate at %d threads: %.1f%%", n, 100*float64(s.Aborts())/float64(total))
+			}
+		}
+
+		// Coarse lock.
+		var mu spin.StdMutex
+		balances := make([]int, accounts)
+		r = Measure(n, ops, func(me core.ThreadID, rng *rand.Rand, _ int) {
+			from, to := rng.Intn(accounts), rng.Intn(accounts)
+			if from == to {
+				to = (to + 1) % accounts
+			}
+			mu.Lock(me)
+			balances[from]--
+			balances[to]++
+			mu.Unlock(me)
+		})
+		t.Add("coarse-lock", r.Throughput())
+
+		// Fine per-account locks, ordered to avoid deadlock.
+		fine := newFineBank(accounts)
+		r = Measure(n, ops, func(_ core.ThreadID, rng *rand.Rand, _ int) {
+			from, to := rng.Intn(accounts), rng.Intn(accounts)
+			if from == to {
+				to = (to + 1) % accounts
+			}
+			fine.transfer(from, to)
+		})
+		t.Add("fine-locks", r.Throughput())
+	}
+	return t
+}
+
+func runE13(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E13", "universal construction overhead", "threads", "ops/ms", cfg.Threads)
+	ops := max(1, cfg.Ops/20) // the log replay is quadratic in total ops
+	for _, n := range cfg.Threads {
+		lf := consensus.NewLFUniversal(core.QueueModel(), n)
+		r := Measure(n, ops, func(me core.ThreadID, _ *rand.Rand, op int) {
+			if op%2 == 0 {
+				lf.Apply(me, "enq", op)
+			} else {
+				lf.Apply(me, "deq", nil)
+			}
+		})
+		t.Add("lf-universal", r.Throughput())
+
+		wf := consensus.NewWFUniversal(core.QueueModel(), n)
+		r = Measure(n, ops, func(me core.ThreadID, _ *rand.Rand, op int) {
+			if op%2 == 0 {
+				wf.Apply(me, "enq", op)
+			} else {
+				wf.Apply(me, "deq", nil)
+			}
+		})
+		t.Add("wf-universal", r.Throughput())
+
+		q := queue.NewLockFreeQueue[int]()
+		r = QueuePairs(q, n, ops)
+		t.Add("direct-msqueue", r.Throughput())
+	}
+	t.Note("universal constructions replay the whole log per operation; the gap IS the result")
+	return t
+}
+
+func runE14(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E14", "atomic snapshots", "threads", "ops/ms", cfg.Threads)
+	ops := cfg.Ops / 2
+	for _, n := range cfg.Threads {
+		for _, ss := range []struct {
+			name string
+			s    register.Snapshot
+		}{
+			{"wait-free", register.NewWFSnapshot(max(1, n))},
+			{"collect-twice", register.NewSimpleSnapshot(max(1, n))},
+			{"mutex", register.NewMutexSnapshot(max(1, n))},
+		} {
+			r := Measure(n, ops, func(me core.ThreadID, _ *rand.Rand, op int) {
+				if op%4 == 0 {
+					ss.s.Scan(me)
+				} else {
+					ss.s.Update(me, int64(op))
+				}
+			})
+			t.Add(ss.name, r.Throughput())
+		}
+	}
+	return t
+}
+
+// fineBank is the per-account-lock baseline for E12.
+type fineBank struct {
+	locks    []spin.StdMutex
+	balances []int
+}
+
+func newFineBank(n int) *fineBank {
+	return &fineBank{locks: make([]spin.StdMutex, n), balances: make([]int, n)}
+}
+
+func (b *fineBank) transfer(from, to int) {
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	b.locks[lo].Lock(0)
+	b.locks[hi].Lock(0)
+	b.balances[from]--
+	b.balances[to]++
+	b.locks[hi].Unlock(0)
+	b.locks[lo].Unlock(0)
+}
+
+func nextPow2(n int) int {
+	p := 2
+	for p < n {
+		p *= 2
+	}
+	return p
+}

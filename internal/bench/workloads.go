@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"amp/internal/core"
+	"amp/internal/counting"
+	"amp/internal/list"
+	"amp/internal/pqueue"
+	"amp/internal/queue"
+	"amp/internal/stack"
+)
+
+// SetMix is the canonical set workload of Chapters 9/13/14: a percentage
+// mix of contains/add/remove over a bounded key range, with the set
+// prefilled to half the range so adds and removes both succeed often.
+type SetMix struct {
+	ContainsPct int // e.g. 90
+	AddPct      int // e.g. 9; RemovePct is the remainder
+	KeyRange    int
+}
+
+// DefaultSetMix is the 90/9/1 read-dominated mix the book's figures use.
+var DefaultSetMix = SetMix{ContainsPct: 90, AddPct: 9, KeyRange: 256}
+
+// Prefill inserts every other key so the set starts half full.
+func (m SetMix) Prefill(s list.Set) {
+	for k := 0; k < m.KeyRange; k += 2 {
+		s.Add(k)
+	}
+}
+
+// Run measures the mix over the set.
+func (m SetMix) Run(s list.Set, threads, opsPerThread int) Result {
+	return Measure(threads, opsPerThread, func(_ core.ThreadID, rng *rand.Rand, _ int) {
+		k := rng.Intn(m.KeyRange)
+		switch p := rng.Intn(100); {
+		case p < m.ContainsPct:
+			s.Contains(k)
+		case p < m.ContainsPct+m.AddPct:
+			s.Add(k)
+		default:
+			s.Remove(k)
+		}
+	})
+}
+
+// QueuePairs measures alternating enqueue/dequeue pairs, the Chapter 10
+// workload: every thread enqueues then dequeues, keeping the queue short
+// and the ends contended.
+func QueuePairs(q queue.Queue[int], threads, opsPerThread int) Result {
+	return Measure(threads, opsPerThread, func(me core.ThreadID, _ *rand.Rand, op int) {
+		if op%2 == 0 {
+			q.Enq(int(me)<<20 | op)
+		} else {
+			q.Deq()
+		}
+	})
+}
+
+// StackPairs measures alternating push/pop pairs (Chapter 11).
+func StackPairs(s stack.Stack[int], threads, opsPerThread int) Result {
+	return Measure(threads, opsPerThread, func(me core.ThreadID, _ *rand.Rand, op int) {
+		if op%2 == 0 {
+			s.Push(int(me)<<20 | op)
+		} else {
+			s.Pop()
+		}
+	})
+}
+
+// CounterIncrements measures getAndIncrement throughput (Chapter 12).
+func CounterIncrements(c counting.Counter, threads, opsPerThread int) Result {
+	return Measure(threads, opsPerThread, func(me core.ThreadID, _ *rand.Rand, _ int) {
+		c.GetAndIncrement(me)
+	})
+}
+
+// lockLike is the shape shared by spin.Lock and mutex.Lock.
+type lockLike interface {
+	Lock(me core.ThreadID)
+	Unlock(me core.ThreadID)
+}
+
+// CriticalSections measures a tiny critical section guarded by the lock
+// (Chapters 2 and 7): shared counter increment plus a little local work to
+// mimic the book's "critical section + think time" loop. The think-time
+// result is published to a shared atomic so the loop cannot be optimized
+// away.
+func CriticalSections(l lockLike, threads, opsPerThread, localWork int) Result {
+	var shared int64
+	var sink atomic.Int64
+	return Measure(threads, opsPerThread, func(me core.ThreadID, _ *rand.Rand, _ int) {
+		l.Lock(me)
+		shared++
+		l.Unlock(me)
+		local := int64(0)
+		for i := 0; i < localWork; i++ {
+			local += int64(i)
+		}
+		sink.Store(local)
+	})
+}
+
+// PQueueMix measures a add/removeMin mix over priorities [0, keyRange)
+// (Chapter 15).
+func PQueueMix(q pqueue.PQueue, threads, opsPerThread, keyRange int) Result {
+	return Measure(threads, opsPerThread, func(_ core.ThreadID, rng *rand.Rand, op int) {
+		if op%2 == 0 {
+			q.Add(rng.Intn(keyRange))
+		} else {
+			q.RemoveMin()
+		}
+	})
+}

@@ -1,0 +1,79 @@
+// Package consensus implements the Chapter 5 consensus protocols and the
+// Chapter 6 universal constructions.
+//
+// Chapter 5 ranks synchronization primitives by their consensus number:
+// read/write registers cannot solve even 2-thread consensus; a FIFO queue
+// solves exactly 2-thread consensus; compareAndSet solves consensus for
+// any number of threads. Chapter 6 then shows the payoff: with n-thread
+// consensus, *any* sequential object has a lock-free — and with helping, a
+// wait-free — linearizable implementation.
+package consensus
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"amp/internal/core"
+	"amp/internal/queue"
+)
+
+// Protocol is a single-shot agreement object: every Decide call returns the
+// same value, and that value was some caller's input (consistency and
+// validity, §5.1).
+type Protocol[T any] interface {
+	Decide(me core.ThreadID, value T) T
+}
+
+// CASConsensus solves consensus for any number of threads with one
+// compareAndSet register (§5.8): the first successful CAS decides.
+type CASConsensus[T any] struct {
+	decided atomic.Pointer[T]
+}
+
+var _ Protocol[int] = (*CASConsensus[int])(nil)
+
+// NewCASConsensus returns an undecided consensus object.
+func NewCASConsensus[T any]() *CASConsensus[T] {
+	return &CASConsensus[T]{}
+}
+
+// Decide proposes value and returns the agreed value.
+func (c *CASConsensus[T]) Decide(_ core.ThreadID, value T) T {
+	c.decided.CompareAndSwap(nil, &value)
+	return *c.decided.Load()
+}
+
+// QueueConsensus solves 2-thread consensus with a FIFO queue (Fig. 5.5):
+// the queue is seeded with a WIN ball followed by a LOSE ball; whoever
+// dequeues WIN imposes its own proposal.
+type QueueConsensus[T any] struct {
+	q        *queue.LockFreeQueue[bool] // true = WIN
+	proposed [2]atomic.Pointer[T]
+}
+
+var _ Protocol[int] = (*QueueConsensus[int])(nil)
+
+// NewQueueConsensus returns an undecided 2-thread consensus object.
+func NewQueueConsensus[T any]() *QueueConsensus[T] {
+	c := &QueueConsensus[T]{q: queue.NewLockFreeQueue[bool]()}
+	c.q.Enq(true)  // WIN
+	c.q.Enq(false) // LOSE
+	return c
+}
+
+// Decide proposes value on behalf of thread me (0 or 1) and returns the
+// agreed value.
+func (c *QueueConsensus[T]) Decide(me core.ThreadID, value T) T {
+	if me != 0 && me != 1 {
+		panic(fmt.Sprintf("consensus: queue consensus is 2-thread only, got thread %d", me))
+	}
+	c.proposed[me].Store(&value)
+	status, ok := c.q.Deq()
+	if !ok {
+		panic("consensus: queue consensus used by more than two threads")
+	}
+	if status {
+		return value // dequeued WIN: my proposal decides
+	}
+	return *c.proposed[1-me].Load() // dequeued LOSE: the other thread won
+}

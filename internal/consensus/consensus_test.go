@@ -1,0 +1,217 @@
+package consensus
+
+import (
+	"sync"
+	"testing"
+
+	"amp/internal/core"
+)
+
+func TestCASConsensusAgreementAndValidity(t *testing.T) {
+	const threads = 8
+	for trial := 0; trial < 50; trial++ {
+		c := NewCASConsensus[int]()
+		results := make([]int, threads)
+		var wg sync.WaitGroup
+		for th := 0; th < threads; th++ {
+			wg.Add(1)
+			go func(me core.ThreadID) {
+				defer wg.Done()
+				results[me] = c.Decide(me, int(me)*10)
+			}(core.ThreadID(th))
+		}
+		wg.Wait()
+		first := results[0]
+		valid := false
+		for th, r := range results {
+			if r != first {
+				t.Fatalf("trial %d: disagreement: thread %d decided %d, thread 0 decided %d",
+					trial, th, r, first)
+			}
+			if first == th*10 {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("trial %d: decided value %d was never proposed", trial, first)
+		}
+	}
+}
+
+func TestQueueConsensusTwoThreads(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		c := NewQueueConsensus[string]()
+		var a, b string
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); a = c.Decide(0, "alpha") }()
+		go func() { defer wg.Done(); b = c.Decide(1, "beta") }()
+		wg.Wait()
+		if a != b {
+			t.Fatalf("trial %d: disagreement %q vs %q", trial, a, b)
+		}
+		if a != "alpha" && a != "beta" {
+			t.Fatalf("trial %d: invalid decision %q", trial, a)
+		}
+	}
+}
+
+func TestQueueConsensusSolo(t *testing.T) {
+	c := NewQueueConsensus[int]()
+	if got := c.Decide(0, 42); got != 42 {
+		t.Fatalf("solo Decide = %d, want 42", got)
+	}
+}
+
+func TestQueueConsensusRejectsThirdThread(t *testing.T) {
+	c := NewQueueConsensus[int]()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("thread 2 did not panic")
+		}
+	}()
+	c.Decide(2, 1)
+}
+
+func TestCASConsensusIdempotentDecide(t *testing.T) {
+	c := NewCASConsensus[int]()
+	first := c.Decide(0, 5)
+	second := c.Decide(0, 9) // re-deciding must return the original value
+	if first != 5 || second != 5 {
+		t.Fatalf("Decide results %d, %d; want 5, 5", first, second)
+	}
+}
+
+// universals builds both constructions over the counter model.
+func universals(n int) map[string]interface {
+	Apply(core.ThreadID, string, any) any
+} {
+	return map[string]interface {
+		Apply(core.ThreadID, string, any) any
+	}{
+		"lockfree": NewLFUniversal(core.CounterModel(), n),
+		"waitfree": NewWFUniversal(core.CounterModel(), n),
+	}
+}
+
+func TestUniversalSequential(t *testing.T) {
+	for name, u := range universals(2) {
+		t.Run(name, func(t *testing.T) {
+			for want := int64(0); want < 20; want++ {
+				got := u.Apply(0, "getAndIncrement", nil)
+				if got != want {
+					t.Fatalf("ticket = %v, want %d", got, want)
+				}
+			}
+			if got := u.Apply(1, "read", nil); got != int64(20) {
+				t.Fatalf("read = %v, want 20", got)
+			}
+		})
+	}
+}
+
+// TestUniversalCounterTickets: a counter implemented through either
+// universal construction must hand out each ticket exactly once.
+func TestUniversalCounterTickets(t *testing.T) {
+	const (
+		threads = 4
+		perT    = 60
+	)
+	for name, u := range universals(threads) {
+		t.Run(name, func(t *testing.T) {
+			seen := make([][]int64, threads)
+			var wg sync.WaitGroup
+			for th := 0; th < threads; th++ {
+				wg.Add(1)
+				go func(me core.ThreadID) {
+					defer wg.Done()
+					for i := 0; i < perT; i++ {
+						v := u.Apply(me, "getAndIncrement", nil).(int64)
+						seen[me] = append(seen[me], v)
+					}
+				}(core.ThreadID(th))
+			}
+			wg.Wait()
+			all := make(map[int64]bool)
+			for th := range seen {
+				last := int64(-1)
+				for _, v := range seen[th] {
+					if v <= last {
+						t.Fatalf("thread %d tickets not increasing: %d after %d", th, v, last)
+					}
+					last = v
+					if all[v] {
+						t.Fatalf("ticket %d issued twice", v)
+					}
+					all[v] = true
+				}
+			}
+			for v := int64(0); v < threads*perT; v++ {
+				if !all[v] {
+					t.Fatalf("ticket %d never issued", v)
+				}
+			}
+		})
+	}
+}
+
+// TestUniversalQueueLinearizable drives the universal construction wrapping
+// a queue model and checks the recorded history with the Chapter 3 checker.
+func TestUniversalQueueLinearizable(t *testing.T) {
+	const threads = 3
+	for _, name := range []string{"lockfree", "waitfree"} {
+		t.Run(name, func(t *testing.T) {
+			var u interface {
+				Apply(core.ThreadID, string, any) any
+			}
+			if name == "lockfree" {
+				u = NewLFUniversal(core.QueueModel(), threads)
+			} else {
+				u = NewWFUniversal(core.QueueModel(), threads)
+			}
+			rec := core.NewRecorder()
+			var wg sync.WaitGroup
+			for th := 0; th < threads; th++ {
+				wg.Add(1)
+				go func(me core.ThreadID) {
+					defer wg.Done()
+					for i := 0; i < 5; i++ {
+						if (int(me)+i)%2 == 0 {
+							v := int(me)*100 + i
+							p := rec.Call(me, "enq", v)
+							u.Apply(me, "enq", v)
+							p.Done(nil)
+						} else {
+							p := rec.Call(me, "deq", nil)
+							p.Done(u.Apply(me, "deq", nil))
+						}
+					}
+				}(core.ThreadID(th))
+			}
+			wg.Wait()
+			res := core.Check(core.QueueModel(), rec.History())
+			if res.Exhausted {
+				t.Skip("checker budget exhausted")
+			}
+			if !res.Linearizable {
+				t.Fatalf("universal queue produced a non-linearizable history:\n%v", rec.History())
+			}
+		})
+	}
+}
+
+func TestUniversalConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLFUniversal(core.CounterModel(), 0) },
+		func() { NewWFUniversal(core.CounterModel(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

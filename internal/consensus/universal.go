@@ -1,0 +1,155 @@
+package consensus
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"amp/internal/core"
+)
+
+// uNode is a log entry of the universal constructions (Fig. 6.2): an
+// invocation plus the consensus object that decides its successor. seq is 0
+// until the node is threaded into the log.
+type uNode struct {
+	action string
+	input  any
+
+	decideNext CASConsensus[*uNode]
+	next       atomic.Pointer[uNode]
+	seq        atomic.Int64
+}
+
+// maxNode returns the node with the highest sequence number among the
+// heads.
+func maxNode(head []atomic.Pointer[uNode]) *uNode {
+	max := head[0].Load()
+	for i := 1; i < len(head); i++ {
+		if n := head[i].Load(); n.seq.Load() > max.seq.Load() {
+			max = n
+		}
+	}
+	return max
+}
+
+// LFUniversal is the lock-free universal construction (Fig. 6.3): threads
+// agree, one log slot at a time, on the order of invocations; each thread
+// replays the log through its own private copy of the sequential object to
+// compute responses. Starvation is possible (a thread can lose every
+// consensus), but some thread always makes progress.
+type LFUniversal struct {
+	model core.Model
+	head  []atomic.Pointer[uNode]
+	tail  *uNode
+}
+
+// NewLFUniversal wraps the sequential specification for n threads.
+func NewLFUniversal(model core.Model, n int) *LFUniversal {
+	if n <= 0 {
+		panic(fmt.Sprintf("consensus: thread count must be positive, got %d", n))
+	}
+	tail := &uNode{}
+	tail.seq.Store(1)
+	u := &LFUniversal{model: model, head: make([]atomic.Pointer[uNode], n), tail: tail}
+	for i := range u.head {
+		u.head[i].Store(tail)
+	}
+	return u
+}
+
+// Apply linearizes action(input) and returns the sequential object's
+// response.
+func (u *LFUniversal) Apply(me core.ThreadID, action string, input any) any {
+	prefer := &uNode{action: action, input: input}
+	for prefer.seq.Load() == 0 {
+		before := maxNode(u.head)
+		after := before.decideNext.Decide(me, prefer)
+		before.next.Store(after)
+		after.seq.Store(before.seq.Load() + 1)
+		u.head[me].Store(after)
+	}
+	return u.replay(prefer)
+}
+
+// replay runs the log from the beginning through a fresh copy of the
+// sequential object, returning the response at the target node.
+func (u *LFUniversal) replay(target *uNode) any {
+	state := u.model.Init()
+	current := u.tail.next.Load()
+	for {
+		var out any
+		state, out = u.model.Apply(state, current.action, current.input)
+		if current == target {
+			return out
+		}
+		current = current.next.Load()
+	}
+}
+
+// WFUniversal is the wait-free universal construction (Fig. 6.4): before
+// threading its own node, a thread helps the announced node whose turn it
+// is (thread (seq+1) mod n), so every announced invocation is threaded
+// within n log steps — no thread starves.
+type WFUniversal struct {
+	model    core.Model
+	announce []atomic.Pointer[uNode]
+	head     []atomic.Pointer[uNode]
+	tail     *uNode
+}
+
+// NewWFUniversal wraps the sequential specification for n threads.
+func NewWFUniversal(model core.Model, n int) *WFUniversal {
+	if n <= 0 {
+		panic(fmt.Sprintf("consensus: thread count must be positive, got %d", n))
+	}
+	tail := &uNode{}
+	tail.seq.Store(1)
+	u := &WFUniversal{
+		model:    model,
+		announce: make([]atomic.Pointer[uNode], n),
+		head:     make([]atomic.Pointer[uNode], n),
+		tail:     tail,
+	}
+	for i := range u.head {
+		u.head[i].Store(tail)
+		u.announce[i].Store(tail) // already-threaded placeholder
+	}
+	return u
+}
+
+// Apply linearizes action(input) and returns the sequential object's
+// response.
+func (u *WFUniversal) Apply(me core.ThreadID, action string, input any) any {
+	n := len(u.head)
+	mine := &uNode{action: action, input: input}
+	u.announce[me].Store(mine)
+	u.head[me].Store(maxNode(u.head))
+	for mine.seq.Load() == 0 {
+		before := u.head[me].Load()
+		help := u.announce[int(before.seq.Load()+1)%n].Load()
+		prefer := mine
+		if help.seq.Load() == 0 {
+			prefer = help // it is the helped thread's turn
+		}
+		after := before.decideNext.Decide(me, prefer)
+		before.next.Store(after)
+		after.seq.Store(before.seq.Load() + 1)
+		u.head[me].Store(after)
+	}
+	u.head[me].Store(mine)
+	return u.replay(mine)
+}
+
+// replay runs the log from the beginning through a fresh copy of the
+// sequential object, returning the response at the target node.
+func (u *WFUniversal) replay(target *uNode) any {
+	state := u.model.Init()
+	current := u.tail.next.Load()
+	for {
+		var out any
+		state, out = u.model.Apply(state, current.action, current.input)
+		if current == target {
+			return out
+		}
+		current = current.next.Load()
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Operation is one completed method call in a concurrent history: an
+// invocation (Action, Input) by a thread and its matching response (Output),
+// with the real-time window [Call, Return] in which it was pending.
+//
+// Call/Return timestamps come from a single atomic counter, so for any two
+// operations a, b: a.Return < b.Call means a really did complete before b
+// began, which is exactly the precedence order linearizability must respect
+// (Herlihy & Shavit §3.6).
+type Operation struct {
+	Thread ThreadID
+	Action string
+	Input  any
+	Output any
+	Call   int64
+	Return int64
+}
+
+func (op Operation) String() string {
+	return fmt.Sprintf("t%d %s(%v) -> %v [%d,%d]", op.Thread, op.Action, op.Input, op.Output, op.Call, op.Return)
+}
+
+// History is a set of completed operations observed on one object.
+type History []Operation
+
+// SortByCall orders the history by invocation time; checkers rely on it.
+func (h History) SortByCall() {
+	sort.Slice(h, func(i, j int) bool { return h[i].Call < h[j].Call })
+}
+
+// Recorder collects a concurrent history while goroutines exercise an
+// object. Call returns a token; complete the operation with Done. The
+// recorder is safe for concurrent use and is the bridge between live
+// executions and the linearizability checker.
+type Recorder struct {
+	clock atomic.Int64
+
+	mu  sync.Mutex
+	ops []Operation
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// PendingOp is an invoked-but-not-yet-responded operation.
+type PendingOp struct {
+	rec *Recorder
+	op  Operation
+}
+
+// Call records the invocation of action(input) by thread and returns the
+// pending operation. The caller must invoke Done exactly once.
+func (r *Recorder) Call(thread ThreadID, action string, input any) *PendingOp {
+	return &PendingOp{
+		rec: r,
+		op: Operation{
+			Thread: thread,
+			Action: action,
+			Input:  input,
+			Call:   r.clock.Add(1),
+		},
+	}
+}
+
+// Done records the response of the pending operation.
+func (p *PendingOp) Done(output any) {
+	p.op.Return = p.rec.clock.Add(1)
+	p.op.Output = output
+	p.rec.mu.Lock()
+	p.rec.ops = append(p.rec.ops, p.op)
+	p.rec.mu.Unlock()
+}
+
+// History returns a copy of the operations recorded so far, ordered by
+// invocation time.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	h := make(History, len(r.ops))
+	copy(h, r.ops)
+	r.mu.Unlock()
+	h.SortByCall()
+	return h
+}
+
+// Len reports the number of completed operations recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

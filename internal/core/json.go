@@ -1,0 +1,53 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonOperation is the interchange form used by cmd/linearize: integer
+// inputs/outputs, with "empty" marking an empty-container response.
+type jsonOperation struct {
+	Thread int    `json:"thread"`
+	Action string `json:"action"`
+	Input  *int   `json:"input,omitempty"`
+	Output any    `json:"output,omitempty"`
+	Call   int64  `json:"call"`
+	Return int64  `json:"return"`
+}
+
+// WriteJSON serializes the history in the format cmd/linearize reads.
+// Inputs and outputs must be ints, nil, or EmptyOutput.
+func (h History) WriteJSON(w io.Writer) error {
+	out := make([]jsonOperation, 0, len(h))
+	for i, op := range h {
+		rec := jsonOperation{
+			Thread: int(op.Thread),
+			Action: op.Action,
+			Call:   op.Call,
+			Return: op.Return,
+		}
+		switch in := op.Input.(type) {
+		case nil:
+		case int:
+			v := in
+			rec.Input = &v
+		default:
+			return fmt.Errorf("core: op %d: input %T not representable in JSON interchange", i, op.Input)
+		}
+		switch outv := op.Output.(type) {
+		case nil:
+		case int:
+			rec.Output = outv
+		case EmptyOutput:
+			rec.Output = "empty"
+		default:
+			return fmt.Errorf("core: op %d: output %T not representable in JSON interchange", i, op.Output)
+		}
+		out = append(out, rec)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

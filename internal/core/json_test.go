@@ -1,0 +1,35 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONRoundtrips(t *testing.T) {
+	h := History{
+		{Thread: 0, Action: "enq", Input: 1, Call: 1, Return: 4},
+		{Thread: 1, Action: "deq", Output: 1, Call: 2, Return: 6},
+		{Thread: 2, Action: "deq", Output: Empty, Call: 7, Return: 8},
+	}
+	var sb strings.Builder
+	if err := h.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"action": "enq"`, `"input": 1`, `"output": "empty"`, `"call": 7`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONRejectsExoticValues(t *testing.T) {
+	h := History{{Thread: 0, Action: "write", Input: "not an int", Call: 1, Return: 2}}
+	if err := h.WriteJSON(&strings.Builder{}); err == nil {
+		t.Fatal("non-int input serialized without error")
+	}
+	h = History{{Thread: 0, Action: "read", Output: 1.5, Call: 1, Return: 2}}
+	if err := h.WriteJSON(&strings.Builder{}); err == nil {
+		t.Fatal("non-int output serialized without error")
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"reflect"
+)
+
+// Model is a sequential specification of an object, in the sense of
+// Chapter 3: legal histories are those obtainable by applying operations one
+// at a time to the sequential object.
+type Model struct {
+	// Name identifies the model in diagnostics.
+	Name string
+	// Init returns the initial sequential state. States must be treated as
+	// immutable: Apply must return a fresh state rather than mutating.
+	Init func() any
+	// Apply applies action(input) to the state, returning the successor
+	// state and the output the sequential object would produce.
+	Apply func(state any, action string, input any) (newState any, output any)
+	// Equal compares two states; nil means reflect.DeepEqual.
+	Equal func(a, b any) bool
+	// OutputEqual compares a sequential output with a recorded output; nil
+	// means reflect.DeepEqual.
+	OutputEqual func(want, got any) bool
+}
+
+func (m Model) stateEqual(a, b any) bool {
+	if m.Equal != nil {
+		return m.Equal(a, b)
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func (m Model) outputEqual(want, got any) bool {
+	if m.OutputEqual != nil {
+		return m.OutputEqual(want, got)
+	}
+	return reflect.DeepEqual(want, got)
+}
+
+// Result reports the outcome of a linearizability check.
+type Result struct {
+	// Linearizable is true when some legal sequential witness exists.
+	Linearizable bool
+	// Exhausted is true when the search hit its step budget before deciding;
+	// when set, Linearizable is necessarily false but means "unknown".
+	Exhausted bool
+	// Witness is a legal linearization order when Linearizable.
+	Witness History
+}
+
+// DefaultMaxSteps bounds the checker's search. Histories used in tests are
+// small; the budget exists so adversarial histories fail loudly instead of
+// hanging.
+const DefaultMaxSteps = 50_000_000
+
+// Check decides whether the history is linearizable with respect to the
+// model, using the Wing & Gong tree search with Lowe's (configuration)
+// caching — the algorithm sketched in the chapter notes of Chapter 3.
+// The history must contain only completed operations.
+func Check(model Model, h History) Result {
+	return CheckBudget(model, h, DefaultMaxSteps)
+}
+
+// CheckBudget is Check with an explicit step budget.
+func CheckBudget(model Model, h History, maxSteps int) Result {
+	n := len(h)
+	if n == 0 {
+		return Result{Linearizable: true}
+	}
+	ops := make(History, n)
+	copy(ops, h)
+	ops.SortByCall()
+
+	head := buildEventList(ops)
+	state := model.Init()
+	linearized := newBitset(n)
+	cache := make(map[uint64][]cacheEntry)
+	type frame struct {
+		node  *eventNode
+		state any
+	}
+	var stack []frame
+	steps := 0
+
+	entry := head.next
+	for head.next != nil {
+		steps++
+		if steps > maxSteps {
+			return Result{Exhausted: true}
+		}
+		if entry.match != nil {
+			// A call event: try to linearize this operation next.
+			op := ops[entry.index]
+			newState, out := model.Apply(state, op.Action, op.Input)
+			if model.outputEqual(out, op.Output) {
+				linearized.set(entry.index)
+				if cacheInsert(model, cache, linearized, newState) {
+					stack = append(stack, frame{node: entry, state: state})
+					state = newState
+					lift(entry)
+					entry = head.next
+					continue
+				}
+				linearized.clear(entry.index)
+			}
+			entry = entry.next
+			continue
+		}
+		// A return event: every candidate at this level failed; backtrack.
+		if len(stack) == 0 {
+			return Result{}
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		state = top.state
+		linearized.clear(top.node.index)
+		unlift(top.node)
+		entry = top.node.next
+	}
+
+	witness := make(History, 0, n)
+	for _, f := range stack {
+		witness = append(witness, ops[f.node.index])
+	}
+	return Result{Linearizable: true, Witness: witness}
+}
+
+// eventNode is one call or return event in the doubly linked event list.
+// Call nodes carry match = the corresponding return node; return nodes have
+// match == nil.
+type eventNode struct {
+	index      int
+	match      *eventNode
+	prev, next *eventNode
+}
+
+// buildEventList interleaves call and return events by timestamp and links
+// them behind a sentinel head node, which is returned.
+func buildEventList(ops History) *eventNode {
+	type ev struct {
+		time int64
+		node *eventNode
+	}
+	events := make([]ev, 0, 2*len(ops))
+	for i, op := range ops {
+		ret := &eventNode{index: i}
+		call := &eventNode{index: i, match: ret}
+		events = append(events,
+			ev{time: op.Call, node: call},
+			ev{time: op.Return, node: ret},
+		)
+	}
+	// Binary-insertion sort: histories are small and, with ops sorted by
+	// call time, events arrive nearly ordered.
+	for i := 1; i < len(events); i++ {
+		j := i
+		for j > 0 && events[j-1].time > events[j].time {
+			events[j-1], events[j] = events[j], events[j-1]
+			j--
+		}
+	}
+
+	head := &eventNode{index: -1}
+	prev := head
+	for _, e := range events {
+		prev.next = e.node
+		e.node.prev = prev
+		prev = e.node
+	}
+	return head
+}
+
+// lift removes a call node and its matching return node from the list.
+func lift(call *eventNode) {
+	call.prev.next = call.next
+	if call.next != nil {
+		call.next.prev = call.prev
+	}
+	ret := call.match
+	ret.prev.next = ret.next
+	if ret.next != nil {
+		ret.next.prev = ret.prev
+	}
+}
+
+// unlift reverses lift, splicing the call and return nodes back in. The
+// nodes retain their prev/next pointers from before removal, so re-linking
+// must happen in reverse order of removal.
+func unlift(call *eventNode) {
+	ret := call.match
+	ret.prev.next = ret
+	if ret.next != nil {
+		ret.next.prev = ret
+	}
+	call.prev.next = call
+	if call.next != nil {
+		call.next.prev = call
+	}
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+func (b bitset) hash() uint64 {
+	// FNV-1a over the words.
+	h := uint64(14695981039346656037)
+	for _, w := range b {
+		for s := 0; s < 64; s += 8 {
+			h ^= (w >> uint(s)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+type cacheEntry struct {
+	linearized bitset
+	state      any
+}
+
+// cacheInsert records the configuration (linearized, state) and reports
+// whether it was new. Revisiting a known configuration cannot lead to a new
+// outcome, so the search prunes it (Lowe's optimization).
+func cacheInsert(model Model, cache map[uint64][]cacheEntry, linearized bitset, state any) bool {
+	key := linearized.hash()
+	for _, e := range cache[key] {
+		if e.linearized.equal(linearized) && model.stateEqual(e.state, state) {
+			return false
+		}
+	}
+	cache[key] = append(cache[key], cacheEntry{linearized: linearized.clone(), state: state})
+	return true
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// seq builds a history of strictly sequential operations: each operation's
+// window follows the previous one.
+func seq(ops ...Operation) History {
+	t := int64(0)
+	h := make(History, len(ops))
+	for i, op := range ops {
+		t++
+		op.Call = t
+		t++
+		op.Return = t
+		h[i] = op
+	}
+	return h
+}
+
+func op(thread ThreadID, action string, input, output any) Operation {
+	return Operation{Thread: thread, Action: action, Input: input, Output: output}
+}
+
+func TestCheckEmptyHistory(t *testing.T) {
+	res := Check(QueueModel(), nil)
+	if !res.Linearizable {
+		t.Fatal("empty history must be linearizable")
+	}
+}
+
+func TestCheckSequentialQueue(t *testing.T) {
+	h := seq(
+		op(0, "enq", 1, nil),
+		op(0, "enq", 2, nil),
+		op(0, "deq", nil, 1),
+		op(0, "deq", nil, 2),
+		op(0, "deq", nil, Empty),
+	)
+	if res := Check(QueueModel(), h); !res.Linearizable {
+		t.Fatal("legal sequential queue history rejected")
+	}
+}
+
+func TestCheckSequentialQueueViolation(t *testing.T) {
+	h := seq(
+		op(0, "enq", 1, nil),
+		op(0, "enq", 2, nil),
+		op(0, "deq", nil, 2), // FIFO violation: 1 must come out first
+	)
+	if res := Check(QueueModel(), h); res.Linearizable {
+		t.Fatal("FIFO violation accepted")
+	}
+}
+
+func TestCheckOverlappingQueueReordering(t *testing.T) {
+	// Two concurrent enqueues may linearize in either order, so a dequeue
+	// seeing either value is legal.
+	h := History{
+		{Thread: 0, Action: "enq", Input: 1, Call: 1, Return: 4},
+		{Thread: 1, Action: "enq", Input: 2, Call: 2, Return: 3},
+		{Thread: 0, Action: "deq", Output: 2, Call: 5, Return: 6},
+		{Thread: 0, Action: "deq", Output: 1, Call: 7, Return: 8},
+	}
+	if res := Check(QueueModel(), h); !res.Linearizable {
+		t.Fatal("legal overlapping-enqueue history rejected")
+	}
+}
+
+func TestCheckRealTimeOrderRespected(t *testing.T) {
+	// enq(1) completes strictly before enq(2) begins, so deq must yield 1
+	// before 2. This is the history that is sequentially consistent but NOT
+	// linearizable (Ch. 3 discussion).
+	h := History{
+		{Thread: 0, Action: "enq", Input: 1, Call: 1, Return: 2},
+		{Thread: 1, Action: "enq", Input: 2, Call: 3, Return: 4},
+		{Thread: 0, Action: "deq", Output: 2, Call: 5, Return: 6},
+		{Thread: 1, Action: "deq", Output: 1, Call: 7, Return: 8},
+	}
+	if res := Check(QueueModel(), h); res.Linearizable {
+		t.Fatal("real-time order violation accepted")
+	}
+}
+
+func TestCheckWitnessIsLegal(t *testing.T) {
+	h := History{
+		{Thread: 0, Action: "enq", Input: 10, Call: 1, Return: 6},
+		{Thread: 1, Action: "enq", Input: 20, Call: 2, Return: 3},
+		{Thread: 2, Action: "deq", Output: 20, Call: 4, Return: 5},
+	}
+	res := Check(QueueModel(), h)
+	if !res.Linearizable {
+		t.Fatal("history should be linearizable")
+	}
+	if len(res.Witness) != len(h) {
+		t.Fatalf("witness has %d ops, want %d", len(res.Witness), len(h))
+	}
+	// Replaying the witness sequentially must produce the recorded outputs.
+	m := QueueModel()
+	state := m.Init()
+	for _, w := range res.Witness {
+		var out any
+		state, out = m.Apply(state, w.Action, w.Input)
+		if !m.outputEqual(out, w.Output) {
+			t.Fatalf("witness replay mismatch at %v: got %v", w, out)
+		}
+	}
+}
+
+func TestCheckRegisterNewOldInversion(t *testing.T) {
+	// Reader sees the new value, then a later (non-overlapping) reader sees
+	// the old value: not linearizable.
+	h := History{
+		{Thread: 0, Action: "write", Input: 1, Call: 1, Return: 10},
+		{Thread: 1, Action: "read", Output: 1, Call: 2, Return: 3},
+		{Thread: 1, Action: "read", Output: 0, Call: 4, Return: 5},
+	}
+	if res := Check(RegisterModel(0), h); res.Linearizable {
+		t.Fatal("new/old read inversion accepted")
+	}
+}
+
+func TestCheckRegisterConcurrentReadsEitherValue(t *testing.T) {
+	h := History{
+		{Thread: 0, Action: "write", Input: 1, Call: 1, Return: 10},
+		{Thread: 1, Action: "read", Output: 0, Call: 2, Return: 3},
+		{Thread: 2, Action: "read", Output: 1, Call: 4, Return: 5},
+	}
+	if res := Check(RegisterModel(0), h); !res.Linearizable {
+		t.Fatal("reads concurrent with a write may return old then new")
+	}
+}
+
+func TestCheckCAS(t *testing.T) {
+	h := seq(
+		op(0, "cas", [2]any{0, 5}, true),
+		op(1, "cas", [2]any{0, 6}, false),
+		op(1, "read", nil, 5),
+	)
+	if res := Check(RegisterModel(0), h); !res.Linearizable {
+		t.Fatal("legal CAS history rejected")
+	}
+	bad := seq(
+		op(0, "cas", [2]any{0, 5}, true),
+		op(1, "cas", [2]any{0, 6}, true), // second CAS must fail
+	)
+	if res := Check(RegisterModel(0), bad); res.Linearizable {
+		t.Fatal("double-winning CAS accepted")
+	}
+}
+
+func TestCheckStack(t *testing.T) {
+	good := seq(
+		op(0, "push", 1, nil),
+		op(0, "push", 2, nil),
+		op(0, "pop", nil, 2),
+		op(0, "pop", nil, 1),
+		op(0, "pop", nil, Empty),
+	)
+	if res := Check(StackModel(), good); !res.Linearizable {
+		t.Fatal("legal stack history rejected")
+	}
+	bad := seq(
+		op(0, "push", 1, nil),
+		op(0, "push", 2, nil),
+		op(0, "pop", nil, 1), // LIFO violation
+	)
+	if res := Check(StackModel(), bad); res.Linearizable {
+		t.Fatal("LIFO violation accepted")
+	}
+}
+
+func TestCheckSet(t *testing.T) {
+	good := seq(
+		op(0, "add", 7, true),
+		op(0, "add", 7, false),
+		op(0, "contains", 7, true),
+		op(0, "remove", 7, true),
+		op(0, "remove", 7, false),
+		op(0, "contains", 7, false),
+	)
+	if res := Check(SetModel(), good); !res.Linearizable {
+		t.Fatal("legal set history rejected")
+	}
+	bad := seq(
+		op(0, "add", 7, true),
+		op(1, "add", 7, true), // second add of same key must return false
+	)
+	if res := Check(SetModel(), bad); res.Linearizable {
+		t.Fatal("double successful add accepted")
+	}
+}
+
+func TestCheckPQueue(t *testing.T) {
+	good := seq(
+		op(0, "add", 5, nil),
+		op(0, "add", 3, nil),
+		op(0, "removeMin", nil, 3),
+		op(0, "removeMin", nil, 5),
+		op(0, "removeMin", nil, Empty),
+	)
+	if res := Check(PQueueModel(), good); !res.Linearizable {
+		t.Fatal("legal pqueue history rejected")
+	}
+	bad := seq(
+		op(0, "add", 5, nil),
+		op(0, "add", 3, nil),
+		op(0, "removeMin", nil, 5), // must be 3
+	)
+	if res := Check(PQueueModel(), bad); res.Linearizable {
+		t.Fatal("priority violation accepted")
+	}
+}
+
+func TestCheckCounter(t *testing.T) {
+	good := seq(
+		op(0, "getAndIncrement", nil, int64(0)),
+		op(1, "getAndIncrement", nil, int64(1)),
+		op(0, "read", nil, int64(2)),
+	)
+	if res := Check(CounterModel(), good); !res.Linearizable {
+		t.Fatal("legal counter history rejected")
+	}
+	bad := seq(
+		op(0, "getAndIncrement", nil, int64(0)),
+		op(1, "getAndIncrement", nil, int64(0)), // duplicate ticket
+	)
+	if res := Check(CounterModel(), bad); res.Linearizable {
+		t.Fatal("duplicate getAndIncrement ticket accepted")
+	}
+}
+
+func TestCheckBudgetExhaustion(t *testing.T) {
+	// A large all-concurrent history with a tiny budget must report
+	// Exhausted rather than deciding.
+	var h History
+	for i := 0; i < 12; i++ {
+		h = append(h, Operation{
+			Thread: ThreadID(i), Action: "enq", Input: i,
+			Call: 1, Return: 100,
+		})
+	}
+	res := CheckBudget(QueueModel(), h, 3)
+	if !res.Exhausted {
+		t.Fatal("tiny budget should exhaust")
+	}
+	if res.Linearizable {
+		t.Fatal("exhausted result must not claim linearizability")
+	}
+}
+
+// TestQuickSequentialHistoriesLinearizable: any history generated by
+// actually running ops one at a time against the sequential model is
+// linearizable — the checker must accept all of them.
+func TestQuickSequentialHistoriesLinearizable(t *testing.T) {
+	m := QueueModel()
+	f := func(seed int64, opsCode []byte) bool {
+		if len(opsCode) > 14 {
+			opsCode = opsCode[:14]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		state := m.Init()
+		var h History
+		clock := int64(0)
+		for _, c := range opsCode {
+			var action string
+			var input any
+			if c%2 == 0 {
+				action, input = "enq", int(c/2)
+			} else {
+				action = "deq"
+			}
+			var out any
+			state, out = m.Apply(state, action, input)
+			clock++
+			call := clock
+			clock++
+			h = append(h, Operation{
+				Thread: ThreadID(rng.Intn(4)), Action: action, Input: input,
+				Output: out, Call: call, Return: clock,
+			})
+		}
+		return Check(m, h).Linearizable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecorderConcurrent drives a real concurrent execution against a
+// mutex-protected queue and verifies the recorded history linearizes.
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	var (
+		mu sync.Mutex
+		q  []int
+	)
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id ThreadID) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				v := int(id)*100 + i
+				p := rec.Call(id, "enq", v)
+				mu.Lock()
+				q = append(q, v)
+				mu.Unlock()
+				p.Done(nil)
+
+				p = rec.Call(id, "deq", nil)
+				mu.Lock()
+				var out any = Empty
+				if len(q) > 0 {
+					out = q[0]
+					q = q[1:]
+				}
+				mu.Unlock()
+				p.Done(out)
+			}
+		}(ThreadID(w))
+	}
+	wg.Wait()
+	if rec.Len() != workers*20 {
+		t.Fatalf("recorded %d ops, want %d", rec.Len(), workers*20)
+	}
+	res := Check(QueueModel(), rec.History())
+	if res.Exhausted {
+		t.Fatal("checker exhausted on modest history")
+	}
+	if !res.Linearizable {
+		t.Fatal("mutex-protected queue produced a non-linearizable history")
+	}
+}

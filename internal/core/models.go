@@ -1,0 +1,208 @@
+package core
+
+import "sort"
+
+// EmptyOutput is the output recorded when an operation observed an empty
+// container (a dequeue or pop on an empty queue or stack, a removeMin on an
+// empty priority queue).
+type EmptyOutput struct{}
+
+// Empty is the canonical EmptyOutput value.
+var Empty = EmptyOutput{}
+
+// CounterModel specifies a shared counter supporting:
+//
+//	getAndIncrement() -> old value
+//	add(delta)        -> nil
+//	read()            -> value
+func CounterModel() Model {
+	return Model{
+		Name: "counter",
+		Init: func() any { return int64(0) },
+		Apply: func(state any, action string, input any) (any, any) {
+			v := state.(int64)
+			switch action {
+			case "getAndIncrement":
+				return v + 1, v
+			case "add":
+				return v + toInt64(input), nil
+			case "read":
+				return v, v
+			default:
+				panic("core: counter model: unknown action " + action)
+			}
+		},
+	}
+}
+
+// RegisterModel specifies an atomic read/write/CAS register holding any
+// value. cas takes input [2]any{expected, new} and outputs bool.
+func RegisterModel(initial any) Model {
+	return Model{
+		Name: "register",
+		Init: func() any { return initial },
+		Apply: func(state any, action string, input any) (any, any) {
+			switch action {
+			case "read":
+				return state, state
+			case "write":
+				return input, nil
+			case "cas":
+				pair := input.([2]any)
+				if state == pair[0] {
+					return pair[1], true
+				}
+				return state, false
+			default:
+				panic("core: register model: unknown action " + action)
+			}
+		},
+	}
+}
+
+// QueueModel specifies a FIFO queue of int values:
+//
+//	enq(v) -> nil
+//	deq()  -> v, or Empty when the queue is empty
+func QueueModel() Model {
+	return Model{
+		Name: "queue",
+		Init: func() any { return []int(nil) },
+		Apply: func(state any, action string, input any) (any, any) {
+			q := state.([]int)
+			switch action {
+			case "enq":
+				next := make([]int, len(q)+1)
+				copy(next, q)
+				next[len(q)] = input.(int)
+				return next, nil
+			case "deq":
+				if len(q) == 0 {
+					return q, Empty
+				}
+				next := make([]int, len(q)-1)
+				copy(next, q[1:])
+				return next, q[0]
+			default:
+				panic("core: queue model: unknown action " + action)
+			}
+		},
+	}
+}
+
+// StackModel specifies a LIFO stack of int values:
+//
+//	push(v) -> nil
+//	pop()   -> v, or Empty when the stack is empty
+func StackModel() Model {
+	return Model{
+		Name: "stack",
+		Init: func() any { return []int(nil) },
+		Apply: func(state any, action string, input any) (any, any) {
+			s := state.([]int)
+			switch action {
+			case "push":
+				next := make([]int, len(s)+1)
+				copy(next, s)
+				next[len(s)] = input.(int)
+				return next, nil
+			case "pop":
+				if len(s) == 0 {
+					return s, Empty
+				}
+				next := make([]int, len(s)-1)
+				copy(next, s[:len(s)-1])
+				return next, s[len(s)-1]
+			default:
+				panic("core: stack model: unknown action " + action)
+			}
+		},
+	}
+}
+
+// SetModel specifies an integer set:
+//
+//	add(k)      -> true if k was absent
+//	remove(k)   -> true if k was present
+//	contains(k) -> membership
+func SetModel() Model {
+	return Model{
+		Name: "set",
+		Init: func() any { return []int(nil) },
+		Apply: func(state any, action string, input any) (any, any) {
+			s := state.([]int)
+			k := input.(int)
+			i := sort.SearchInts(s, k)
+			present := i < len(s) && s[i] == k
+			switch action {
+			case "contains":
+				return s, present
+			case "add":
+				if present {
+					return s, false
+				}
+				next := make([]int, len(s)+1)
+				copy(next, s[:i])
+				next[i] = k
+				copy(next[i+1:], s[i:])
+				return next, true
+			case "remove":
+				if !present {
+					return s, false
+				}
+				next := make([]int, len(s)-1)
+				copy(next, s[:i])
+				copy(next[i:], s[i+1:])
+				return next, true
+			default:
+				panic("core: set model: unknown action " + action)
+			}
+		},
+	}
+}
+
+// PQueueModel specifies a min-priority queue of int priorities:
+//
+//	add(k)      -> nil
+//	removeMin() -> k, or Empty when the queue is empty
+func PQueueModel() Model {
+	return Model{
+		Name: "pqueue",
+		Init: func() any { return []int(nil) },
+		Apply: func(state any, action string, input any) (any, any) {
+			s := state.([]int)
+			switch action {
+			case "add":
+				k := input.(int)
+				i := sort.SearchInts(s, k)
+				next := make([]int, len(s)+1)
+				copy(next, s[:i])
+				next[i] = k
+				copy(next[i+1:], s[i:])
+				return next, nil
+			case "removeMin":
+				if len(s) == 0 {
+					return s, Empty
+				}
+				next := make([]int, len(s)-1)
+				copy(next, s[1:])
+				return next, s[0]
+			default:
+				panic("core: pqueue model: unknown action " + action)
+			}
+		},
+	}
+}
+
+func toInt64(v any) int64 {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case int64:
+		return x
+	default:
+		panic("core: expected integer input")
+	}
+}

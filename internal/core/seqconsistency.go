@@ -1,0 +1,143 @@
+package core
+
+import "sort"
+
+// Sequential consistency (§3.4): a history is sequentially consistent when
+// some interleaving that preserves each thread's *program order* — but not
+// necessarily real time across threads — is legal for the sequential
+// model. Every linearizable history is sequentially consistent; the
+// converse famously fails (two enqueues ordered in real time may be
+// reordered by an SC execution).
+
+// CheckSC decides sequential consistency of the history with respect to
+// the model, by depth-first search over per-thread frontiers with
+// configuration caching (the SC analogue of the Wing & Gong search).
+func CheckSC(model Model, h History) Result {
+	return CheckSCBudget(model, h, DefaultMaxSteps)
+}
+
+// CheckSCBudget is CheckSC with an explicit step budget.
+func CheckSCBudget(model Model, h History, maxSteps int) Result {
+	if len(h) == 0 {
+		return Result{Linearizable: true}
+	}
+	// Group operations by thread, in program (call) order.
+	byThread := make(map[ThreadID]History)
+	for _, op := range h {
+		byThread[op.Thread] = append(byThread[op.Thread], op)
+	}
+	threads := make([]ThreadID, 0, len(byThread))
+	for t := range byThread {
+		byThread[t].SortByCall()
+		threads = append(threads, t)
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i] < threads[j] })
+	lanes := make([]History, len(threads))
+	for i, t := range threads {
+		lanes[i] = byThread[t]
+	}
+
+	type frame struct {
+		lane  int
+		state any
+	}
+	var (
+		stack    []frame
+		frontier = make([]int, len(lanes))
+		state    = model.Init()
+		cache    = make(map[uint64][]scCacheEntry)
+		steps    = 0
+		total    = len(h)
+		done     = 0
+	)
+	// tryLane attempts to schedule lanes[lane]'s next op; reports success.
+	tryLane := func(lane int) bool {
+		ops := lanes[lane]
+		if frontier[lane] >= len(ops) {
+			return false
+		}
+		op := ops[frontier[lane]]
+		newState, out := model.Apply(state, op.Action, op.Input)
+		if !model.outputEqual(out, op.Output) {
+			return false
+		}
+		frontier[lane]++
+		if !scCacheInsert(model, cache, frontier, newState) {
+			frontier[lane]--
+			return false
+		}
+		stack = append(stack, frame{lane: lane, state: state})
+		state = newState
+		done++
+		return true
+	}
+
+	lane := 0
+	for done < total {
+		steps++
+		if steps > maxSteps {
+			return Result{Exhausted: true}
+		}
+		if lane < len(lanes) {
+			if tryLane(lane) {
+				lane = 0
+			} else {
+				lane++
+			}
+			continue
+		}
+		// Every lane failed at this configuration: backtrack.
+		if len(stack) == 0 {
+			return Result{}
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		frontier[top.lane]--
+		state = top.state
+		done--
+		lane = top.lane + 1
+	}
+	witness := make(History, 0, total)
+	replay := make([]int, len(lanes))
+	for _, f := range stack {
+		witness = append(witness, lanes[f.lane][replay[f.lane]])
+		replay[f.lane]++
+	}
+	return Result{Linearizable: true, Witness: witness}
+}
+
+type scCacheEntry struct {
+	frontier []int
+	state    any
+}
+
+// scCacheInsert records the configuration (frontier, state), reporting
+// whether it is new.
+func scCacheInsert(model Model, cache map[uint64][]scCacheEntry, frontier []int, state any) bool {
+	h := uint64(14695981039346656037)
+	for _, f := range frontier {
+		h ^= uint64(f)
+		h *= 1099511628211
+	}
+	for _, e := range cache[h] {
+		if equalInts(e.frontier, frontier) && model.stateEqual(e.state, state) {
+			return false
+		}
+	}
+	snapshot := make([]int, len(frontier))
+	copy(snapshot, frontier)
+	cache[h] = append(cache[h], scCacheEntry{frontier: snapshot, state: state})
+	return true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+// Package core provides the theoretical backbone of the library: dense
+// per-goroutine thread identifiers, recorded operation histories, and a
+// linearizability checker in the style of Wing & Gong, as developed in
+// Chapter 3 of Herlihy & Shavit.
+//
+// Many classical algorithms in this library (Filter and Bakery locks,
+// array-based queue locks, combining trees, …) are written for a fixed set
+// of threads 0..n-1. Go deliberately hides goroutine identities, so the
+// library makes the thread set explicit: a Registry hands out dense IDs,
+// and each participating goroutine acquires one for its lifetime.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoFreeIDs is returned by Registry.Acquire when every slot is taken.
+var ErrNoFreeIDs = errors.New("core: thread registry exhausted")
+
+// ThreadID is a dense identifier in [0, capacity) handed out by a Registry.
+type ThreadID int
+
+// Registry allocates dense thread identifiers for a bounded set of
+// goroutines. The zero value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	capacity int
+	free     []ThreadID
+}
+
+// NewRegistry returns a registry that can hand out up to capacity IDs,
+// numbered 0 through capacity-1.
+func NewRegistry(capacity int) *Registry {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("core: registry capacity must be positive, got %d", capacity))
+	}
+	free := make([]ThreadID, capacity)
+	for i := range free {
+		// Hand out low IDs first: free is used as a stack, so push the
+		// highest IDs at the bottom.
+		free[i] = ThreadID(capacity - 1 - i)
+	}
+	return &Registry{capacity: capacity, free: free}
+}
+
+// Capacity reports the total number of IDs the registry can hand out.
+func (r *Registry) Capacity() int { return r.capacity }
+
+// Acquire reserves a free thread ID. It fails with ErrNoFreeIDs when all
+// capacity IDs are in use.
+func (r *Registry) Acquire() (ThreadID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.free) == 0 {
+		return 0, ErrNoFreeIDs
+	}
+	id := r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	return id, nil
+}
+
+// MustAcquire is Acquire for callers that sized the registry to their
+// goroutine count; it panics on exhaustion.
+func (r *Registry) MustAcquire() ThreadID {
+	id, err := r.Acquire()
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Release returns an ID to the registry. Releasing an ID that is not
+// currently held corrupts the registry and panics where detectable.
+func (r *Registry) Release(id ThreadID) {
+	if id < 0 || int(id) >= r.capacity {
+		panic(fmt.Sprintf("core: release of out-of-range thread ID %d (capacity %d)", id, r.capacity))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.free {
+		if f == id {
+			panic(fmt.Sprintf("core: double release of thread ID %d", id))
+		}
+	}
+	r.free = append(r.free, id)
+}
+
+// InUse reports how many IDs are currently held.
+func (r *Registry) InUse() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.capacity - len(r.free)
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryAcquireRelease(t *testing.T) {
+	r := NewRegistry(4)
+	if got := r.Capacity(); got != 4 {
+		t.Fatalf("Capacity() = %d, want 4", got)
+	}
+	seen := make(map[ThreadID]bool)
+	for i := 0; i < 4; i++ {
+		id, err := r.Acquire()
+		if err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+		if id < 0 || id >= 4 {
+			t.Fatalf("Acquire returned out-of-range id %d", id)
+		}
+		if seen[id] {
+			t.Fatalf("Acquire returned duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	if _, err := r.Acquire(); err != ErrNoFreeIDs {
+		t.Fatalf("Acquire on exhausted registry: err = %v, want ErrNoFreeIDs", err)
+	}
+	r.Release(2)
+	id, err := r.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	if id != 2 {
+		t.Fatalf("Acquire after Release = %d, want 2", id)
+	}
+}
+
+func TestRegistryLowIDsFirst(t *testing.T) {
+	r := NewRegistry(3)
+	for want := ThreadID(0); want < 3; want++ {
+		if got := r.MustAcquire(); got != want {
+			t.Fatalf("MustAcquire = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestRegistryInUse(t *testing.T) {
+	r := NewRegistry(8)
+	if r.InUse() != 0 {
+		t.Fatalf("InUse on fresh registry = %d, want 0", r.InUse())
+	}
+	a := r.MustAcquire()
+	b := r.MustAcquire()
+	if r.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", r.InUse())
+	}
+	r.Release(a)
+	r.Release(b)
+	if r.InUse() != 0 {
+		t.Fatalf("InUse after releases = %d, want 0", r.InUse())
+	}
+}
+
+func TestRegistryDoubleReleasePanics(t *testing.T) {
+	r := NewRegistry(2)
+	id := r.MustAcquire()
+	r.Release(id)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	r.Release(id)
+}
+
+func TestRegistryOutOfRangeReleasePanics(t *testing.T) {
+	r := NewRegistry(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range release did not panic")
+		}
+	}()
+	r.Release(99)
+}
+
+func TestRegistryZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRegistry(0) did not panic")
+		}
+	}()
+	NewRegistry(0)
+}
+
+func TestRegistryConcurrentAcquire(t *testing.T) {
+	const n = 32
+	r := NewRegistry(n)
+	var wg sync.WaitGroup
+	ids := make([]ThreadID, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			ids[slot] = r.MustAcquire()
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[ThreadID]bool, n)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d handed out concurrently", id)
+		}
+		seen[id] = true
+	}
+}

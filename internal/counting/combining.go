@@ -1,0 +1,198 @@
+package counting
+
+import (
+	"fmt"
+	"sync"
+
+	"amp/internal/core"
+)
+
+// cStatus is a combining-tree node's phase (Fig. 12.4).
+type cStatus int
+
+const (
+	cIdle cStatus = iota
+	cFirst
+	cSecond
+	cResult
+	cRoot
+)
+
+// combiningNode is one node of the combining tree. The book synchronizes
+// each node with a Java monitor; mu+cond is the direct Go equivalent.
+type combiningNode struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	locked bool
+	status cStatus
+
+	firstValue  int64
+	secondValue int64
+	result      int64
+	parent      *combiningNode
+}
+
+func newCombiningNode(parent *combiningNode) *combiningNode {
+	n := &combiningNode{parent: parent}
+	if parent == nil {
+		n.status = cRoot
+	}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// precombine reports whether the caller should continue to the parent: it
+// is the first to arrive (FIRST) — or stop here: a first thread already
+// passed (it becomes that thread's passive SECOND partner), or this is the
+// root.
+func (n *combiningNode) precombine() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.locked {
+		n.cond.Wait()
+	}
+	switch n.status {
+	case cIdle:
+		n.status = cFirst
+		return true
+	case cFirst:
+		n.locked = true
+		n.status = cSecond
+		return false
+	case cRoot:
+		return false
+	default:
+		panic(fmt.Sprintf("counting: unexpected combining state %d in precombine", n.status))
+	}
+}
+
+// combine folds the caller's accumulated value with any second value parked
+// at this node.
+func (n *combiningNode) combine(combined int64) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.locked {
+		n.cond.Wait()
+	}
+	n.locked = true
+	n.firstValue = combined
+	switch n.status {
+	case cFirst:
+		return n.firstValue
+	case cSecond:
+		return n.firstValue + n.secondValue
+	default:
+		panic(fmt.Sprintf("counting: unexpected combining state %d in combine", n.status))
+	}
+}
+
+// op applies the combined increment at the stop node: at the root it
+// performs the actual addition; at a SECOND node it deposits the value for
+// the active partner and waits for the result.
+func (n *combiningNode) op(combined int64) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch n.status {
+	case cRoot:
+		prior := n.result
+		n.result += combined
+		return prior
+	case cSecond:
+		n.secondValue = combined
+		n.locked = false
+		n.cond.Broadcast() // release the active partner in combine()
+		for n.status != cResult {
+			n.cond.Wait()
+		}
+		n.locked = false
+		n.cond.Broadcast()
+		n.status = cIdle
+		return n.result
+	default:
+		panic(fmt.Sprintf("counting: unexpected combining state %d in op", n.status))
+	}
+}
+
+// distribute propagates the prior value back down the caller's path.
+func (n *combiningNode) distribute(prior int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch n.status {
+	case cFirst:
+		// No second thread showed up: just reset.
+		n.status = cIdle
+		n.locked = false
+	case cSecond:
+		// Hand the passive partner its result.
+		n.result = prior + n.firstValue
+		n.status = cResult
+	default:
+		panic(fmt.Sprintf("counting: unexpected combining state %d in distribute", n.status))
+	}
+	n.cond.Broadcast()
+}
+
+// CombiningTree is the software combining tree (Fig. 12.3): threads climb
+// from per-pair leaves toward the root, and when two concurrent increments
+// meet at a node, one thread carries both upward while the other waits for
+// its ticket to come back down.
+type CombiningTree struct {
+	leaf  []*combiningNode
+	width int
+}
+
+var _ Counter = (*CombiningTree)(nil)
+
+// NewCombiningTree returns a tree serving `width` threads (width ≥ 2;
+// threads t and t+1 share leaf t/2).
+func NewCombiningTree(width int) *CombiningTree {
+	if width < 2 {
+		panic(fmt.Sprintf("counting: combining tree width must be >= 2, got %d", width))
+	}
+	nodes := make([]*combiningNode, width-1)
+	nodes[0] = newCombiningNode(nil)
+	for i := 1; i < len(nodes); i++ {
+		nodes[i] = newCombiningNode(nodes[(i-1)/2])
+	}
+	leaves := make([]*combiningNode, (width+1)/2)
+	for i := range leaves {
+		leaves[i] = nodes[len(nodes)-i-1]
+	}
+	return &CombiningTree{leaf: leaves, width: width}
+}
+
+// GetAndIncrement climbs the tree in four phases: precombine (reserve the
+// path), combine (fold values upward), op (apply at the stop node), and
+// distribute (carry priors back down).
+func (t *CombiningTree) GetAndIncrement(me core.ThreadID) int64 {
+	myLeaf := t.leaf[int(me)/2]
+
+	// Phase 1: precombine up to the first node we do not own.
+	node := myLeaf
+	for node.precombine() {
+		node = node.parent
+	}
+	stop := node
+
+	// Phase 2: combine values along the owned path.
+	var path []*combiningNode
+	node = myLeaf
+	combined := int64(1)
+	for node != stop {
+		combined = node.combine(combined)
+		path = append(path, node)
+		node = node.parent
+	}
+
+	// Phase 3: apply the combined increment at the stop node.
+	prior := stop.op(combined)
+
+	// Phase 4: distribute priors back down the path.
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i].distribute(prior)
+	}
+	return prior
+}
+
+// Capacity reports the thread bound.
+func (t *CombiningTree) Capacity() int { return t.width }

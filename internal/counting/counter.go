@@ -1,0 +1,74 @@
+// Package counting implements the Chapter 12 shared-counting structures:
+// the software combining tree (Fig. 12.3–12.8), balancers and the bitonic
+// and periodic counting networks (Fig. 12.11–12.17), plus the
+// single-location baselines they are measured against.
+//
+// All counters produce unique, gap-free tickets; they differ in how they
+// spread memory traffic. The combining tree merges concurrent increments on
+// the way to the root; counting networks route tokens through a mesh of
+// two-input balancers so that no single location is hit by every thread.
+package counting
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"amp/internal/core"
+)
+
+// Counter hands out unique consecutive tickets starting at 0. The thread ID
+// matters only to the combining tree (which assigns threads to leaves);
+// other implementations ignore it.
+type Counter interface {
+	// GetAndIncrement returns the ticket and advances the counter.
+	GetAndIncrement(me core.ThreadID) int64
+	// Capacity reports how many distinct thread IDs are supported.
+	Capacity() int
+}
+
+const unbounded = 1 << 30
+
+// CASCounter is the single fetch-and-add cell every thread hammers — the
+// baseline whose hot spot Chapter 12 sets out to remove.
+type CASCounter struct {
+	v atomic.Int64
+}
+
+var _ Counter = (*CASCounter)(nil)
+
+// GetAndIncrement returns the next ticket.
+func (c *CASCounter) GetAndIncrement(core.ThreadID) int64 {
+	return c.v.Add(1) - 1
+}
+
+// Capacity reports that any number of threads may use the counter.
+func (c *CASCounter) Capacity() int { return unbounded }
+
+// LockCounter guards a plain integer with a mutex; the pessimistic
+// baseline.
+type LockCounter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+var _ Counter = (*LockCounter)(nil)
+
+// GetAndIncrement returns the next ticket.
+func (c *LockCounter) GetAndIncrement(core.ThreadID) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.v
+	c.v++
+	return v
+}
+
+// Capacity reports that any number of threads may use the counter.
+func (c *LockCounter) Capacity() int { return unbounded }
+
+// checkPow2 validates counting-network widths.
+func checkPow2(width int) {
+	if width < 2 || width&(width-1) != 0 {
+		panic(fmt.Sprintf("counting: width must be a power of two >= 2, got %d", width))
+	}
+}

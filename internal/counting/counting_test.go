@@ -1,0 +1,319 @@
+package counting
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"amp/internal/core"
+)
+
+func counters(width int) map[string]Counter {
+	return map[string]Counter{
+		"cas":       &CASCounter{},
+		"lock":      &LockCounter{},
+		"combining": NewCombiningTree(width),
+		"bitonic":   NewNetworkCounter(NewBitonic(8)),
+		"periodic":  NewNetworkCounter(NewPeriodic(8)),
+	}
+}
+
+func TestSequentialTickets(t *testing.T) {
+	for name, c := range counters(4) {
+		t.Run(name, func(t *testing.T) {
+			for want := int64(0); want < 50; want++ {
+				if got := c.GetAndIncrement(0); got != want {
+					t.Fatalf("ticket %d: got %d", want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentTicketsUniqueAndGapFree: n threads × m increments must
+// dispense exactly the tickets 0..n*m-1.
+func TestConcurrentTicketsUniqueAndGapFree(t *testing.T) {
+	const (
+		threads = 8
+		perT    = 200
+	)
+	for name, c := range counters(threads) {
+		t.Run(name, func(t *testing.T) {
+			results := make([][]int64, threads)
+			var wg sync.WaitGroup
+			for th := 0; th < threads; th++ {
+				wg.Add(1)
+				go func(me core.ThreadID) {
+					defer wg.Done()
+					out := make([]int64, perT)
+					for i := range out {
+						out[i] = c.GetAndIncrement(me)
+					}
+					results[me] = out
+				}(core.ThreadID(th))
+			}
+			wg.Wait()
+			var all []int64
+			for _, r := range results {
+				all = append(all, r...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			for i, v := range all {
+				if v != int64(i) {
+					t.Fatalf("ticket stream has gap or duplicate at %d: got %d", i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestPerThreadTicketsIncrease: each thread's own ticket sequence must be
+// strictly increasing (program order within a thread).
+func TestPerThreadTicketsIncrease(t *testing.T) {
+	const threads = 4
+	for name, c := range counters(threads) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for th := 0; th < threads; th++ {
+				wg.Add(1)
+				go func(me core.ThreadID) {
+					defer wg.Done()
+					last := int64(-1)
+					for i := 0; i < 200; i++ {
+						v := c.GetAndIncrement(me)
+						if v <= last {
+							t.Errorf("thread %d: ticket %d after %d", me, v, last)
+							return
+						}
+						last = v
+					}
+				}(core.ThreadID(th))
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestBalancerAlternates(t *testing.T) {
+	var b Balancer
+	for i := 0; i < 10; i++ {
+		if got := b.Traverse(); got != i%2 {
+			t.Fatalf("token %d exited on wire %d, want %d", i, got, i%2)
+		}
+	}
+}
+
+// TestNetworkSequentialCounting: tokens traversing one at a time must exit
+// on wires 0,1,2,…,w-1,0,1,… — the defining property of a counting network
+// in a quiescent execution.
+func TestNetworkSequentialCounting(t *testing.T) {
+	for _, width := range []int{2, 4, 8, 16} {
+		nets := map[string]Network{
+			"bitonic":  NewBitonic(width),
+			"periodic": NewPeriodic(width),
+		}
+		for name, net := range nets {
+			t.Run(name, func(t *testing.T) {
+				for i := 0; i < 6*width; i++ {
+					input := i % width
+					want := i % width
+					if got := net.Traverse(input); got != want {
+						t.Fatalf("width %d: token %d exited wire %d, want %d", width, i, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestNetworkStepProperty: after a concurrent burst completes, per-wire
+// token counts must satisfy the step property:
+// count[i] ∈ {⌈n/w⌉, ⌊n/w⌋} and non-increasing in i.
+func TestNetworkStepProperty(t *testing.T) {
+	const (
+		threads = 6
+		perT    = 300
+	)
+	for _, mk := range []struct {
+		name string
+		net  Network
+	}{
+		{"bitonic", NewBitonic(8)},
+		{"periodic", NewPeriodic(8)},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			width := mk.net.Width()
+			counts := make([]int64, width)
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for th := 0; th < threads; th++ {
+				wg.Add(1)
+				go func(in int) {
+					defer wg.Done()
+					local := make([]int64, width)
+					for i := 0; i < perT; i++ {
+						local[mk.net.Traverse((in+i)%width)]++
+					}
+					mu.Lock()
+					for i, v := range local {
+						counts[i] += v
+					}
+					mu.Unlock()
+				}(th % width)
+			}
+			wg.Wait()
+			total := int64(threads * perT)
+			base := total / int64(width)
+			rem := total % int64(width)
+			for i, got := range counts {
+				want := base
+				if int64(i) < rem {
+					want = base + 1
+				}
+				if got != want {
+					t.Fatalf("wire %d carried %d tokens, want %d (counts %v)", i, got, want, counts)
+				}
+			}
+		})
+	}
+}
+
+func TestCombiningTreeWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCombiningTree(1) did not panic")
+		}
+	}()
+	NewCombiningTree(1)
+}
+
+func TestNetworkWidthPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBitonic(3) },
+		func() { NewBitonic(0) },
+		func() { NewPeriodic(6) },
+		func() { NewMerger(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad width did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCombiningTreeOddWidth(t *testing.T) {
+	// Odd widths must work: thread pairs share leaves, the last leaf may be
+	// a singleton.
+	c := NewCombiningTree(3)
+	var wg sync.WaitGroup
+	seen := make([]int64, 3*100)
+	for th := 0; th < 3; th++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				seen[c.GetAndIncrement(me)]++
+			}
+		}(core.ThreadID(th))
+	}
+	wg.Wait()
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("ticket %d dispensed %d times", v, n)
+		}
+	}
+}
+
+func TestDiffractingTreeSequentialCounting(t *testing.T) {
+	// Lone tokens always time out of the prism and use the toggles, so the
+	// sequential behavior is a plain counting tree: 0,1,2,...,w-1,0,1,...
+	for _, width := range []int{2, 4, 8} {
+		tree := NewDiffractingTree(width)
+		for i := 0; i < 3*width; i++ {
+			if got, want := tree.Traverse(0), i%width; got != want {
+				t.Fatalf("width %d: token %d exited wire %d, want %d", width, i, got, want)
+			}
+		}
+	}
+}
+
+func TestDiffractingTreeStepProperty(t *testing.T) {
+	const (
+		threads = 6
+		perT    = 200
+	)
+	tree := NewDiffractingTree(4)
+	width := tree.Width()
+	counts := make([]int64, width)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, width)
+			for i := 0; i < perT; i++ {
+				local[tree.Traverse(0)]++
+			}
+			mu.Lock()
+			for i, v := range local {
+				counts[i] += v
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	total := int64(threads * perT)
+	base := total / int64(width)
+	rem := total % int64(width)
+	for i, got := range counts {
+		want := base
+		if int64(i) < rem {
+			want = base + 1
+		}
+		if got != want {
+			t.Fatalf("wire %d carried %d tokens, want %d (counts %v)", i, got, want, counts)
+		}
+	}
+}
+
+func TestDiffractingTreeAsCounter(t *testing.T) {
+	c := NewNetworkCounter(NewDiffractingTree(4))
+	seen := make(map[int64]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				v := c.GetAndIncrement(me)
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("ticket %d dispensed twice", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}(core.ThreadID(th))
+	}
+	wg.Wait()
+	for v := int64(0); v < 4*150; v++ {
+		if !seen[v] {
+			t.Fatalf("ticket %d never dispensed", v)
+		}
+	}
+}
+
+func TestDiffractingBalancerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero prism width did not panic")
+		}
+	}()
+	NewDiffractingBalancer(0)
+}

@@ -1,0 +1,120 @@
+package counting
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"amp/internal/stack"
+)
+
+// Diffracting trees (§12.6): a balancer's toggle bit is a hot spot, so a
+// *prism* is placed in front of it — an array of exchangers where two
+// concurrent tokens can pair off and "diffract" to complementary outputs
+// without touching the toggle at all. Only lonely tokens fall through to
+// the toggle.
+
+// prism pairs concurrent tokens. Each visitor offers a unique token id;
+// if two meet, the comparison of ids sends them to complementary wires.
+type prism struct {
+	exchangers []*stack.Exchanger[uint64]
+	patience   time.Duration
+	tokens     atomic.Uint64
+	slot       atomic.Uint64 // cheap slot rotation instead of per-call RNG
+}
+
+// prismPatience is how long a token waits for a partner; on a
+// scheduler-backed testbed a few microseconds suffices to pair bursts
+// without stalling lone tokens.
+const prismPatience = 5 * time.Microsecond
+
+func newPrism(capacity int) *prism {
+	p := &prism{
+		exchangers: make([]*stack.Exchanger[uint64], capacity),
+		patience:   prismPatience,
+	}
+	for i := range p.exchangers {
+		p.exchangers[i] = stack.NewExchanger[uint64]()
+	}
+	return p
+}
+
+// visit tries to pair with another token, reporting (wire, true) when the
+// diffraction happened and false when the token must use the toggle.
+func (p *prism) visit() (int, bool) {
+	me := p.tokens.Add(1)
+	slot := int(p.slot.Add(1)) % len(p.exchangers)
+	other, err := p.exchangers[slot].Exchange(&me, p.patience)
+	if err != nil || other == nil {
+		return 0, false
+	}
+	if me < *other {
+		return 0, true
+	}
+	return 1, true
+}
+
+// DiffractingBalancer is a balancer with a prism in front of its toggle
+// (Fig. 12.18).
+type DiffractingBalancer struct {
+	prism  *prism
+	toggle Balancer
+}
+
+// NewDiffractingBalancer returns a balancer whose prism has the given
+// width.
+func NewDiffractingBalancer(prismWidth int) *DiffractingBalancer {
+	if prismWidth <= 0 {
+		panic(fmt.Sprintf("counting: prism width must be positive, got %d", prismWidth))
+	}
+	return &DiffractingBalancer{prism: newPrism(prismWidth)}
+}
+
+// Traverse routes one token: diffract if a partner shows up, toggle
+// otherwise.
+func (b *DiffractingBalancer) Traverse() int {
+	if wire, ok := b.prism.visit(); ok {
+		return wire
+	}
+	return b.toggle.Traverse()
+}
+
+// DiffractingTree is the counting tree of Fig. 12.19: a diffracting
+// balancer at every node; tokens enter at the root and leave on one of
+// width output wires satisfying the step property.
+type DiffractingTree struct {
+	width int
+	root  *DiffractingBalancer
+	child [2]*DiffractingTree
+}
+
+var _ Network = (*DiffractingTree)(nil)
+
+// NewDiffractingTree returns a tree with the given power-of-two width.
+// Prisms shrink with depth (half the subtree width, minimum 1), as in the
+// book.
+func NewDiffractingTree(width int) *DiffractingTree {
+	checkPow2(width)
+	t := &DiffractingTree{
+		width: width,
+		root:  NewDiffractingBalancer(max(1, width/2)),
+	}
+	if width > 2 {
+		t.child[0] = NewDiffractingTree(width / 2)
+		t.child[1] = NewDiffractingTree(width / 2)
+	}
+	return t
+}
+
+// Traverse routes one token from the root; the input wire is ignored
+// (trees have a single entry), keeping the Network interface.
+func (t *DiffractingTree) Traverse(int) int {
+	half := t.root.Traverse()
+	if t.width == 2 {
+		return half
+	}
+	return 2*t.child[half].Traverse(0) + half
+}
+
+// Width reports the number of output wires.
+func (t *DiffractingTree) Width() int { return t.width }

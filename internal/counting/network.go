@@ -1,0 +1,238 @@
+package counting
+
+import (
+	"sync/atomic"
+
+	"amp/internal/core"
+)
+
+// Balancer is a two-wire toggle (Fig. 12.11): tokens alternate between
+// output 0 and output 1, so the outputs satisfy the step property.
+type Balancer struct {
+	toggle atomic.Bool // false: next token exits on wire 0
+}
+
+// Traverse routes one token, returning its output wire (0 or 1).
+func (b *Balancer) Traverse() int {
+	for {
+		old := b.toggle.Load()
+		if b.toggle.CompareAndSwap(old, !old) {
+			if old {
+				return 1
+			}
+			return 0
+		}
+	}
+}
+
+// Network is a balancing network: a token enters on a wire and exits on a
+// wire; counting networks guarantee the step property on outputs.
+type Network interface {
+	// Traverse routes one token from the given input wire to its output.
+	Traverse(input int) int
+	// Width reports the number of wires.
+	Width() int
+}
+
+// Merger merges two width/2 sequences with the step property into one
+// (Fig. 12.12): even-indexed tokens of the top half meet odd-indexed tokens
+// of the bottom half in a final layer of balancers.
+type Merger struct {
+	width int
+	half  [2]*Merger
+	layer []*Balancer
+}
+
+// NewMerger returns a merger of the given power-of-two width.
+func NewMerger(width int) *Merger {
+	checkPow2(width)
+	m := &Merger{width: width, layer: make([]*Balancer, width/2)}
+	for i := range m.layer {
+		m.layer[i] = &Balancer{}
+	}
+	if width > 2 {
+		m.half[0] = NewMerger(width / 2)
+		m.half[1] = NewMerger(width / 2)
+	}
+	return m
+}
+
+// Traverse routes one token through the merger.
+func (m *Merger) Traverse(input int) int {
+	if m.width == 2 {
+		return m.layer[0].Traverse()
+	}
+	var output int
+	if input < m.width/2 {
+		output = m.half[input%2].Traverse(input / 2)
+	} else {
+		output = m.half[1-(input%2)].Traverse(input / 2)
+	}
+	return 2*output + m.layer[output].Traverse()
+}
+
+// Width reports the wire count.
+func (m *Merger) Width() int { return m.width }
+
+// Bitonic is the bitonic counting network (Fig. 12.14): two half-width
+// bitonic networks feeding a merger; depth O(log² w).
+type Bitonic struct {
+	width  int
+	half   [2]*Bitonic
+	merger *Merger
+}
+
+var _ Network = (*Bitonic)(nil)
+
+// NewBitonic returns a bitonic network of the given power-of-two width.
+func NewBitonic(width int) *Bitonic {
+	checkPow2(width)
+	b := &Bitonic{width: width, merger: NewMerger(width)}
+	if width > 2 {
+		b.half[0] = NewBitonic(width / 2)
+		b.half[1] = NewBitonic(width / 2)
+	}
+	return b
+}
+
+// Traverse routes one token through the network.
+func (b *Bitonic) Traverse(input int) int {
+	if b.width == 2 {
+		return b.merger.Traverse(input)
+	}
+	subnet := input / (b.width / 2)
+	output := b.half[subnet].Traverse(input % (b.width / 2))
+	return b.merger.Traverse(subnet*(b.width/2) + output)
+}
+
+// Width reports the wire count.
+func (b *Bitonic) Width() int { return b.width }
+
+// periodicLayer is one column of the block network (Fig. 12.16): wire i is
+// balanced against wire width-i-1.
+type periodicLayer struct {
+	width int
+	layer []*Balancer
+}
+
+func newPeriodicLayer(width int) *periodicLayer {
+	l := &periodicLayer{width: width, layer: make([]*Balancer, width)}
+	for i := 0; i < width/2; i++ {
+		b := &Balancer{}
+		l.layer[i] = b
+		l.layer[width-i-1] = b
+	}
+	return l
+}
+
+func (l *periodicLayer) traverse(input int) int {
+	toggle := l.layer[input].Traverse()
+	var lo, hi int
+	if input < l.width/2 {
+		lo, hi = input, l.width-input-1
+	} else {
+		lo, hi = l.width-input-1, input
+	}
+	if toggle == 0 {
+		return lo
+	}
+	return hi
+}
+
+// block is the recursive block of the periodic network.
+type block struct {
+	width        int
+	north, south *block
+	layer        *periodicLayer
+}
+
+func newBlock(width int) *block {
+	b := &block{width: width, layer: newPeriodicLayer(width)}
+	if width > 2 {
+		b.north = newBlock(width / 2)
+		b.south = newBlock(width / 2)
+	}
+	return b
+}
+
+func (b *block) traverse(input int) int {
+	wire := b.layer.traverse(input)
+	if b.width == 2 {
+		return wire
+	}
+	if wire < b.width/2 {
+		return b.north.traverse(wire)
+	}
+	return b.width/2 + b.south.traverse(wire-b.width/2)
+}
+
+// Periodic is the periodic counting network (Fig. 12.17): log w identical
+// blocks in sequence.
+type Periodic struct {
+	width  int
+	blocks []*block
+}
+
+var _ Network = (*Periodic)(nil)
+
+// NewPeriodic returns a periodic network of the given power-of-two width.
+func NewPeriodic(width int) *Periodic {
+	checkPow2(width)
+	logW := 0
+	for 1<<logW < width {
+		logW++
+	}
+	p := &Periodic{width: width, blocks: make([]*block, logW)}
+	for i := range p.blocks {
+		p.blocks[i] = newBlock(width)
+	}
+	return p
+}
+
+// Traverse routes one token through every block in turn.
+func (p *Periodic) Traverse(input int) int {
+	wire := input
+	for _, b := range p.blocks {
+		wire = b.traverse(wire)
+	}
+	return wire
+}
+
+// Width reports the wire count.
+func (p *Periodic) Width() int { return p.width }
+
+// NetworkCounter turns a counting network into a Counter (§12.3): output
+// wire i carries a local counter dispensing i, i+w, i+2w, …; the step
+// property makes the union of those streams gap-free.
+type NetworkCounter struct {
+	net   Network
+	cells []paddedCounter
+	enter atomic.Int64 // distributes threads over input wires
+}
+
+type paddedCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+var _ Counter = (*NetworkCounter)(nil)
+
+// NewNetworkCounter wraps a counting network as a ticket dispenser.
+func NewNetworkCounter(net Network) *NetworkCounter {
+	c := &NetworkCounter{net: net, cells: make([]paddedCounter, net.Width())}
+	for i := range c.cells {
+		c.cells[i].v.Store(int64(i))
+	}
+	return c
+}
+
+// GetAndIncrement sends a token through the network and takes a ticket
+// from the output wire's local counter.
+func (c *NetworkCounter) GetAndIncrement(core.ThreadID) int64 {
+	input := int(c.enter.Add(1)-1) % c.net.Width()
+	output := c.net.Traverse(input)
+	return c.cells[output].v.Add(int64(c.net.Width())) - int64(c.net.Width())
+}
+
+// Capacity reports that any number of threads may use the counter.
+func (c *NetworkCounter) Capacity() int { return unbounded }

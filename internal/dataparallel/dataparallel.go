@@ -1,0 +1,178 @@
+// Package dataparallel implements the data-parallel patterns of the book's
+// second edition (MapReduce-style bulk operations and parallel prefix),
+// scheduled on the Chapter 16 work-distribution executors: Map, Reduce,
+// Scan, and a small MapReduce.
+//
+// All operations split their input recursively down to a grain size and
+// run the grains as fork/join tasks, so an irregular machine load is
+// rebalanced by the executor (stealing or sharing) underneath.
+package dataparallel
+
+import (
+	"sync"
+
+	"amp/internal/steal"
+)
+
+// Grain is the sequential chunk size: ranges at or below it run inline.
+const Grain = 1024
+
+// Map applies f to every element concurrently, preserving order.
+func Map[T, R any](ex steal.Executor, in []T, f func(T) R) []R {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]R, len(in))
+	var chunk func(lo, hi int) steal.Task
+	chunk = func(lo, hi int) steal.Task {
+		return func(s steal.Spawner) {
+			for hi-lo > Grain {
+				mid := lo + (hi-lo)/2
+				s.Spawn(chunk(mid, hi))
+				hi = mid
+			}
+			for i := lo; i < hi; i++ {
+				out[i] = f(in[i])
+			}
+		}
+	}
+	ex.Run(chunk(0, len(in)))
+	return out
+}
+
+// Reduce folds the input with an associative operation op and its identity
+// element id. op must be associative; it need not be commutative — partial
+// results are combined in index order.
+func Reduce[T any](ex steal.Executor, in []T, id T, op func(a, b T) T) T {
+	if len(in) == 0 {
+		return id
+	}
+	partials, spans := chunkPartials(ex, in, id, op)
+	acc := id
+	for i := range spans {
+		acc = op(acc, partials[i])
+	}
+	return acc
+}
+
+// chunkPartials reduces fixed chunks of the input in parallel, returning
+// per-chunk partial results and chunk boundaries.
+func chunkPartials[T any](ex steal.Executor, in []T, id T, op func(a, b T) T) ([]T, [][2]int) {
+	var spans [][2]int
+	for lo := 0; lo < len(in); lo += Grain {
+		hi := min(lo+Grain, len(in))
+		spans = append(spans, [2]int{lo, hi})
+	}
+	partials := make([]T, len(spans))
+	root := func(s steal.Spawner) {
+		for i := range spans {
+			i := i
+			s.Spawn(func(steal.Spawner) {
+				acc := id
+				for j := spans[i][0]; j < spans[i][1]; j++ {
+					acc = op(acc, in[j])
+				}
+				partials[i] = acc
+			})
+		}
+	}
+	ex.Run(root)
+	return partials, spans
+}
+
+// Scan computes the inclusive prefix of op over the input: out[i] =
+// in[0] op in[1] op … op in[i]. The classic two-pass parallel prefix:
+// chunk partials, a sequential scan over the (few) partials, then a
+// parallel pass applying chunk offsets.
+func Scan[T any](ex steal.Executor, in []T, id T, op func(a, b T) T) []T {
+	if len(in) == 0 {
+		return nil
+	}
+	partials, spans := chunkPartials(ex, in, id, op)
+	// Exclusive prefix over chunk partials (cheap: len/Grain entries).
+	offsets := make([]T, len(spans))
+	acc := id
+	for i := range spans {
+		offsets[i] = acc
+		acc = op(acc, partials[i])
+	}
+	out := make([]T, len(in))
+	root := func(s steal.Spawner) {
+		for i := range spans {
+			i := i
+			s.Spawn(func(steal.Spawner) {
+				acc := offsets[i]
+				for j := spans[i][0]; j < spans[i][1]; j++ {
+					acc = op(acc, in[j])
+					out[j] = acc
+				}
+			})
+		}
+	}
+	ex.Run(root)
+	return out
+}
+
+// MapReduce runs the two-phase bulk pattern: mapf emits (key, value) pairs
+// for each input element; all values for a key are folded with reducef.
+// Map tasks run in parallel with chunk-local accumulation; the per-key
+// reductions run in parallel over the key space.
+func MapReduce[T any, K comparable, V any](
+	ex steal.Executor,
+	in []T,
+	mapf func(item T, emit func(K, V)),
+	reducef func(key K, values []V) V,
+) map[K]V {
+	if len(in) == 0 {
+		return map[K]V{}
+	}
+	var spans [][2]int
+	for lo := 0; lo < len(in); lo += Grain {
+		spans = append(spans, [2]int{lo, min(lo+Grain, len(in))})
+	}
+	locals := make([]map[K][]V, len(spans))
+	mapPhase := func(s steal.Spawner) {
+		for i := range spans {
+			i := i
+			s.Spawn(func(steal.Spawner) {
+				local := make(map[K][]V)
+				emit := func(k K, v V) { local[k] = append(local[k], v) }
+				for j := spans[i][0]; j < spans[i][1]; j++ {
+					mapf(in[j], emit)
+				}
+				locals[i] = local
+			})
+		}
+	}
+	ex.Run(mapPhase)
+
+	// Shuffle: merge chunk-local maps (single-threaded; the data volume
+	// here is keys, not items).
+	merged := make(map[K][]V)
+	for _, local := range locals {
+		for k, vs := range local {
+			merged[k] = append(merged[k], vs...)
+		}
+	}
+
+	// Reduce phase: one task per key, over the executor.
+	keys := make([]K, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	var mu sync.Mutex
+	result := make(map[K]V, len(keys))
+	reducePhase := func(s steal.Spawner) {
+		for _, k := range keys {
+			k := k
+			s.Spawn(func(steal.Spawner) {
+				v := reducef(k, merged[k])
+				mu.Lock()
+				result[k] = v
+				mu.Unlock()
+			})
+		}
+	}
+	ex.Run(reducePhase)
+	return result
+}

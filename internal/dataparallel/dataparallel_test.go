@@ -1,0 +1,221 @@
+package dataparallel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"amp/internal/steal"
+)
+
+func executors() map[string]steal.Executor {
+	return map[string]steal.Executor{
+		"stealing": steal.NewStealingExecutor(4),
+		"sharing":  steal.NewSharingExecutor(4),
+		"single":   steal.NewSingleQueueExecutor(2),
+	}
+}
+
+func ints(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(1000)
+	}
+	return out
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	in := ints(5000, 1)
+	f := func(x int) int { return x*x + 1 }
+	for name, ex := range executors() {
+		t.Run(name, func(t *testing.T) {
+			got := Map(ex, in, f)
+			if len(got) != len(in) {
+				t.Fatalf("len = %d, want %d", len(got), len(in))
+			}
+			for i, x := range in {
+				if got[i] != f(x) {
+					t.Fatalf("out[%d] = %d, want %d", i, got[i], f(x))
+				}
+			}
+		})
+	}
+}
+
+func TestMapEmptyAndTiny(t *testing.T) {
+	ex := steal.NewStealingExecutor(2)
+	if got := Map(ex, nil, func(x int) int { return x }); got != nil {
+		t.Fatalf("Map(nil) = %v, want nil", got)
+	}
+	got := Map(ex, []int{7}, func(x int) int { return x * 2 })
+	if len(got) != 1 || got[0] != 14 {
+		t.Fatalf("Map single = %v", got)
+	}
+}
+
+func TestReduceMatchesSequential(t *testing.T) {
+	in := ints(7000, 2)
+	want := 0
+	for _, x := range in {
+		want += x
+	}
+	for name, ex := range executors() {
+		t.Run(name, func(t *testing.T) {
+			if got := Reduce(ex, in, 0, func(a, b int) int { return a + b }); got != want {
+				t.Fatalf("Reduce = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestReduceNonCommutative(t *testing.T) {
+	// String concatenation is associative but not commutative; order must
+	// be preserved.
+	words := []string{"the", "art", "of", "multiprocessor", "programming"}
+	var in []string
+	for i := 0; i < 800; i++ {
+		in = append(in, words[i%len(words)])
+	}
+	want := strings.Join(in, "")
+	ex := steal.NewStealingExecutor(4)
+	got := Reduce(ex, in, "", func(a, b string) string { return a + b })
+	if got != want {
+		t.Fatalf("Reduce reordered a non-commutative fold")
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	ex := steal.NewStealingExecutor(2)
+	if got := Reduce(ex, nil, 42, func(a, b int) int { return a + b }); got != 42 {
+		t.Fatalf("Reduce(empty) = %d, want identity 42", got)
+	}
+}
+
+func TestScanMatchesSequential(t *testing.T) {
+	in := ints(6000, 3)
+	want := make([]int, len(in))
+	acc := 0
+	for i, x := range in {
+		acc += x
+		want[i] = acc
+	}
+	for name, ex := range executors() {
+		t.Run(name, func(t *testing.T) {
+			got := Scan(ex, in, 0, func(a, b int) int { return a + b })
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Scan[%d] = %d, want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestScanMax(t *testing.T) {
+	in := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	want := []int{3, 3, 4, 4, 5, 9, 9, 9}
+	ex := steal.NewStealingExecutor(2)
+	got := Scan(ex, in, -1<<62, func(a, b int) int { return max(a, b) })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickScanEqualsSequential(t *testing.T) {
+	ex := steal.NewStealingExecutor(3)
+	f := func(in []int16) bool {
+		xs := make([]int, len(in))
+		for i, v := range in {
+			xs[i] = int(v)
+		}
+		got := Scan(ex, xs, 0, func(a, b int) int { return a + b })
+		acc := 0
+		for i, x := range xs {
+			acc += x
+			if got[i] != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReduceWordCount(t *testing.T) {
+	docs := []string{
+		"the art of multiprocessor programming",
+		"the art of war",
+		"programming the multiprocessor",
+	}
+	want := map[string]int{
+		"the": 3, "art": 2, "of": 2, "multiprocessor": 2,
+		"programming": 2, "war": 1,
+	}
+	for name, ex := range executors() {
+		t.Run(name, func(t *testing.T) {
+			got := MapReduce(ex, docs,
+				func(doc string, emit func(string, int)) {
+					for _, w := range strings.Fields(doc) {
+						emit(w, 1)
+					}
+				},
+				func(_ string, counts []int) int {
+					total := 0
+					for _, c := range counts {
+						total += c
+					}
+					return total
+				},
+			)
+			if len(got) != len(want) {
+				t.Fatalf("got %d keys, want %d: %v", len(got), len(want), got)
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("count[%q] = %d, want %d", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestMapReduceLargeInput(t *testing.T) {
+	// Histogram 50k ints mod 17 and compare against a sequential count.
+	in := ints(50_000, 9)
+	want := make(map[int]int)
+	for _, x := range in {
+		want[x%17]++
+	}
+	ex := steal.NewStealingExecutor(4)
+	got := MapReduce(ex, in,
+		func(x int, emit func(int, int)) { emit(x%17, 1) },
+		func(_ int, vs []int) int {
+			total := 0
+			for _, v := range vs {
+				total += v
+			}
+			return total
+		},
+	)
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("bucket %d = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	ex := steal.NewStealingExecutor(2)
+	got := MapReduce(ex, nil,
+		func(int, func(string, int)) {},
+		func(string, []int) int { return 0 })
+	if len(got) != 0 {
+		t.Fatalf("MapReduce(empty) = %v", got)
+	}
+}

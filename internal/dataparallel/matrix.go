@@ -1,0 +1,156 @@
+package dataparallel
+
+import (
+	"fmt"
+
+	"amp/internal/steal"
+)
+
+// Matrix fork/join, the running example of Chapter 16 (Figs. 16.2–16.4):
+// work is split recursively into quadrants and scheduled as executor
+// tasks. The book joins subtasks with Futures; here each task owns a
+// disjoint quadrant of the *output*, so the executor's quiescence is the
+// only join needed.
+
+// Matrix is a dense square matrix of float64 with power-of-two dimension.
+type Matrix struct {
+	n    int
+	row  int // offset of this view into the backing matrix
+	col  int
+	dim  int // view dimension
+	data []float64
+}
+
+// NewMatrix returns a zero matrix of power-of-two dimension n.
+func NewMatrix(n int) *Matrix {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("dataparallel: matrix dimension must be a power of two, got %d", n))
+	}
+	return &Matrix{n: n, dim: n, data: make([]float64, n*n)}
+}
+
+// At returns the element at (i, j) of this view.
+func (m *Matrix) At(i, j int) float64 {
+	return m.data[(m.row+i)*m.n+(m.col+j)]
+}
+
+// Set assigns the element at (i, j) of this view.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.data[(m.row+i)*m.n+(m.col+j)] = v
+}
+
+// Dim reports the view's dimension.
+func (m *Matrix) Dim() int { return m.dim }
+
+// split returns the four quadrant views (Fig. 16.3's Matrix.split).
+func (m *Matrix) split() [2][2]*Matrix {
+	half := m.dim / 2
+	var q [2][2]*Matrix
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			q[i][j] = &Matrix{
+				n: m.n, dim: half,
+				row: m.row + i*half, col: m.col + j*half,
+				data: m.data,
+			}
+		}
+	}
+	return q
+}
+
+// matrixGrain is the tile dimension at or below which work runs serially.
+const matrixGrain = 32
+
+// AddMatrix computes c = a + b in parallel on the executor. The three
+// matrices must share dimensions; c may alias a or b.
+func AddMatrix(ex steal.Executor, c, a, b *Matrix) {
+	checkDims(c, a, b)
+	var addTask func(c, a, b *Matrix) steal.Task
+	addTask = func(c, a, b *Matrix) steal.Task {
+		return func(s steal.Spawner) {
+			if c.dim <= matrixGrain {
+				for i := 0; i < c.dim; i++ {
+					for j := 0; j < c.dim; j++ {
+						c.Set(i, j, a.At(i, j)+b.At(i, j))
+					}
+				}
+				return
+			}
+			cq, aq, bq := c.split(), a.split(), b.split()
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					s.Spawn(addTask(cq[i][j], aq[i][j], bq[i][j]))
+				}
+			}
+		}
+	}
+	ex.Run(addTask(c, a, b))
+}
+
+// mmPair is one term of a quadrant's product sum: the views multiply as
+// pair.a × pair.b.
+type mmPair struct {
+	a, b *Matrix
+}
+
+// MulMatrix computes c = a × b in parallel: the output is split into
+// quadrant tasks recursively. Each level rewrites a quadrant's value as a
+// sum of half-size products (c[i][j] = Σ a[i][k]×b[k][j]), so a task
+// carries its output view plus the product terms to accumulate; leaves
+// evaluate their terms serially. Outputs are disjoint, so the executor's
+// quiescence is the only join. c must not alias a or b.
+func MulMatrix(ex steal.Executor, c, a, b *Matrix) {
+	checkDims(c, a, b)
+	if sameBacking(c, a) || sameBacking(c, b) {
+		panic("dataparallel: multiply destination must not alias an input")
+	}
+	var mulTask func(c *Matrix, terms []mmPair) steal.Task
+	mulTask = func(c *Matrix, terms []mmPair) steal.Task {
+		return func(s steal.Spawner) {
+			if c.dim <= matrixGrain {
+				n := c.dim
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						sum := 0.0
+						for _, t := range terms {
+							for k := 0; k < n; k++ {
+								sum += t.a.At(i, k) * t.b.At(k, j)
+							}
+						}
+						c.Set(i, j, sum)
+					}
+				}
+				return
+			}
+			cq := c.split()
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					sub := make([]mmPair, 0, 2*len(terms))
+					for _, t := range terms {
+						aq, bq := t.a.split(), t.b.split()
+						sub = append(sub,
+							mmPair{a: aq[i][0], b: bq[0][j]},
+							mmPair{a: aq[i][1], b: bq[1][j]},
+						)
+					}
+					s.Spawn(mulTask(cq[i][j], sub))
+				}
+			}
+		}
+	}
+	ex.Run(mulTask(c, []mmPair{{a: a, b: b}}))
+}
+
+// sameBacking reports whether two matrices share a backing array.
+func sameBacking(a, b *Matrix) bool {
+	return len(a.data) > 0 && len(b.data) > 0 && &a.data[0] == &b.data[0]
+}
+
+func checkDims(ms ...*Matrix) {
+	d := ms[0].dim
+	for _, m := range ms {
+		if m.dim != d {
+			panic("dataparallel: dimension mismatch")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package dataparallel
+
+import (
+	"math/rand"
+	"testing"
+
+	"amp/internal/steal"
+)
+
+func randomMatrix(n int, seed int64) *Matrix {
+	m := NewMatrix(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, float64(rng.Intn(10)))
+		}
+	}
+	return m
+}
+
+// serialMulRef is the reference O(n³) multiply.
+func serialMulRef(a, b *Matrix) *Matrix {
+	n := a.Dim()
+	c := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, sum)
+		}
+	}
+	return c
+}
+
+func matricesEqual(t *testing.T, got, want *Matrix) {
+	t.Helper()
+	n := got.Dim()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(4)
+	if m.Dim() != 4 {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+	m.Set(2, 3, 7)
+	if m.At(2, 3) != 7 {
+		t.Fatalf("At = %v", m.At(2, 3))
+	}
+	q := m.split()
+	if q[1][1].At(0, 1) != 7 {
+		t.Fatalf("quadrant view broken: %v", q[1][1].At(0, 1))
+	}
+	q[0][0].Set(0, 0, 5)
+	if m.At(0, 0) != 5 {
+		t.Fatal("quadrant write not visible in parent")
+	}
+}
+
+func TestAddMatrix(t *testing.T) {
+	for _, n := range []int{4, 64, 128} {
+		a := randomMatrix(n, 1)
+		b := randomMatrix(n, 2)
+		c := NewMatrix(n)
+		ex := steal.NewStealingExecutor(4)
+		AddMatrix(ex, c, a, b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if c.At(i, j) != a.At(i, j)+b.At(i, j) {
+					t.Fatalf("n=%d: (%d,%d) = %v", n, i, j, c.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestAddMatrixAliasing(t *testing.T) {
+	// c may alias a: in-place accumulate.
+	a := randomMatrix(64, 3)
+	b := randomMatrix(64, 4)
+	want := NewMatrix(64)
+	ex := steal.NewStealingExecutor(2)
+	AddMatrix(ex, want, a, b)
+	AddMatrix(ex, a, a, b)
+	matricesEqual(t, a, want)
+}
+
+func TestMulMatrixMatchesSerial(t *testing.T) {
+	for _, n := range []int{2, 8, 32, 64, 128} {
+		a := randomMatrix(n, int64(n))
+		b := randomMatrix(n, int64(n)+1)
+		want := serialMulRef(a, b)
+		for name, ex := range executors() {
+			c := NewMatrix(n)
+			MulMatrix(ex, c, a, b)
+			t.Run(name, func(t *testing.T) { matricesEqual(t, c, want) })
+		}
+	}
+}
+
+func TestMulMatrixIdentity(t *testing.T) {
+	n := 64
+	a := randomMatrix(n, 8)
+	id := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, 1)
+	}
+	c := NewMatrix(n)
+	ex := steal.NewStealingExecutor(4)
+	MulMatrix(ex, c, a, id)
+	matricesEqual(t, c, a)
+}
+
+func TestMulMatrixAliasPanics(t *testing.T) {
+	a := NewMatrix(4)
+	b := NewMatrix(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliased multiply did not panic")
+		}
+	}()
+	ex := steal.NewStealingExecutor(1)
+	MulMatrix(ex, a, a, b)
+}
+
+func TestMatrixConstructorPanics(t *testing.T) {
+	for _, n := range []int{0, 3, -4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMatrix(%d) did not panic", n)
+				}
+			}()
+			NewMatrix(n)
+		}()
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	ex := steal.NewStealingExecutor(1)
+	AddMatrix(ex, NewMatrix(4), NewMatrix(8), NewMatrix(8))
+}

@@ -1,0 +1,374 @@
+package hashset
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cuckoo hashing (§13.4): two tables, two hash functions; an item lives in
+// exactly one of its two nests, and inserting into a full nest kicks the
+// resident to its other nest, possibly cascading.
+
+// Second, independent hash for the cuckoo variants.
+const fib64b = 0xC2B2AE3D27D4EB4F
+
+func cuckooHash(i int, x int) uint64 {
+	if i == 0 {
+		return hash64(x)
+	}
+	return (uint64(x) * fib64b) >> 16
+}
+
+// CuckooHashSet is the sequential cuckoo hash set (Fig. 13.19): one item
+// per slot, relocation chains bounded by a limit that triggers resize.
+type CuckooHashSet struct {
+	mu       sync.Mutex
+	table    [2][]slot
+	capacity int
+	size     int
+}
+
+type slot struct {
+	used bool
+	item int
+}
+
+var _ Set = (*CuckooHashSet)(nil)
+
+// cuckooLimit bounds a relocation chain before giving up and resizing.
+const cuckooLimit = 32
+
+// NewCuckooHashSet returns an empty set with the given power-of-two
+// capacity per table.
+func NewCuckooHashSet(capacity int) *CuckooHashSet {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("hashset: cuckoo capacity must be a power of two >= 2, got %d", capacity))
+	}
+	s := &CuckooHashSet{capacity: capacity}
+	s.table[0] = make([]slot, capacity)
+	s.table[1] = make([]slot, capacity)
+	return s
+}
+
+func (s *CuckooHashSet) slotIndex(i, x int) int {
+	return int(cuckooHash(i, x) & uint64(s.capacity-1))
+}
+
+// Contains reports membership of x: at most two probes.
+func (s *CuckooHashSet) Contains(x int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.containsLocked(x)
+}
+
+func (s *CuckooHashSet) containsLocked(x int) bool {
+	for i := 0; i < 2; i++ {
+		if sl := s.table[i][s.slotIndex(i, x)]; sl.used && sl.item == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts x, reporting whether it was absent.
+func (s *CuckooHashSet) Add(x int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.containsLocked(x) {
+		return false
+	}
+	s.addLocked(x)
+	s.size++
+	return true
+}
+
+func (s *CuckooHashSet) addLocked(x int) {
+	for {
+		item := x
+		for round := 0; round < cuckooLimit; round++ {
+			i := round % 2
+			idx := s.slotIndex(i, item)
+			if !s.table[i][idx].used {
+				s.table[i][idx] = slot{used: true, item: item}
+				return
+			}
+			// Kick the resident out and place ours.
+			item, s.table[i][idx].item = s.table[i][idx].item, item
+		}
+		s.growLocked()
+		// retry with the displaced item
+		x = item
+	}
+}
+
+// growLocked doubles both tables and rehashes.
+func (s *CuckooHashSet) growLocked() {
+	old := s.table
+	s.capacity *= 2
+	s.table[0] = make([]slot, s.capacity)
+	s.table[1] = make([]slot, s.capacity)
+	for i := 0; i < 2; i++ {
+		for _, sl := range old[i] {
+			if sl.used {
+				s.addLocked(sl.item)
+			}
+		}
+	}
+}
+
+// Remove deletes x, reporting whether it was present.
+func (s *CuckooHashSet) Remove(x int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < 2; i++ {
+		idx := s.slotIndex(i, x)
+		if sl := s.table[i][idx]; sl.used && sl.item == x {
+			s.table[i][idx] = slot{}
+			s.size--
+			return true
+		}
+	}
+	return false
+}
+
+// StripedCuckooHashSet is the phased concurrent cuckoo set
+// (Fig. 13.21–13.27): each slot holds a small *probe set* instead of one
+// item, additions beyond a threshold trigger a relocation phase, and a
+// fixed stripe of lock pairs guards the two tables.
+type StripedCuckooHashSet struct {
+	locks    [2][]sync.Mutex // fixed stripes, one array per table
+	mu       sync.Mutex      // serializes resizes
+	capacity int
+	table    [2][][]int // probe sets
+}
+
+var _ Set = (*StripedCuckooHashSet)(nil)
+
+// Probe-set tuning from the book.
+const (
+	probeSize      = 4 // slots per probe set
+	probeThreshold = 2 // preferred fill before spilling
+	relocateLimit  = 512
+)
+
+// NewStripedCuckooHashSet returns an empty set; the stripe count is fixed
+// at the initial capacity.
+func NewStripedCuckooHashSet(capacity int) *StripedCuckooHashSet {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("hashset: cuckoo capacity must be a power of two >= 2, got %d", capacity))
+	}
+	s := &StripedCuckooHashSet{capacity: capacity}
+	for i := 0; i < 2; i++ {
+		s.locks[i] = make([]sync.Mutex, capacity)
+		s.table[i] = make([][]int, capacity)
+	}
+	return s
+}
+
+func (s *StripedCuckooHashSet) stripe(i, x int) *sync.Mutex {
+	return &s.locks[i][cuckooHash(i, x)&uint64(len(s.locks[i])-1)]
+}
+
+// acquire locks x's two stripes in table order (deadlock-free).
+func (s *StripedCuckooHashSet) acquire(x int) {
+	s.stripe(0, x).Lock()
+	s.stripe(1, x).Lock()
+}
+
+func (s *StripedCuckooHashSet) release(x int) {
+	s.stripe(0, x).Unlock()
+	s.stripe(1, x).Unlock()
+}
+
+func (s *StripedCuckooHashSet) slotIndex(i, x int) int {
+	return int(cuckooHash(i, x) & uint64(s.capacity-1))
+}
+
+func indexOf(set []int, x int) int {
+	for i, v := range set {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports membership of x.
+func (s *StripedCuckooHashSet) Contains(x int) bool {
+	s.acquire(x)
+	defer s.release(x)
+	return indexOf(s.table[0][s.slotIndex(0, x)], x) >= 0 ||
+		indexOf(s.table[1][s.slotIndex(1, x)], x) >= 0
+}
+
+// Remove deletes x, reporting whether it was present.
+func (s *StripedCuckooHashSet) Remove(x int) bool {
+	s.acquire(x)
+	defer s.release(x)
+	for i := 0; i < 2; i++ {
+		idx := s.slotIndex(i, x)
+		if j := indexOf(s.table[i][idx], x); j >= 0 {
+			set := s.table[i][idx]
+			s.table[i][idx] = append(set[:j], set[j+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts x, reporting whether it was absent. Following Fig. 13.23, an
+// addition that overflows the preferred threshold still lands in a probe
+// set, then a relocation phase rebalances; if relocation fails, resize.
+func (s *StripedCuckooHashSet) Add(x int) bool {
+	s.acquire(x)
+	i0, i1 := s.slotIndex(0, x), s.slotIndex(1, x)
+	set0, set1 := s.table[0][i0], s.table[1][i1]
+	if indexOf(set0, x) >= 0 || indexOf(set1, x) >= 0 {
+		s.release(x)
+		return false
+	}
+	mustRelocate, relTable, relIndex := false, 0, 0
+	mustResize := false
+	switch {
+	case len(set0) < probeThreshold:
+		s.table[0][i0] = append(set0, x)
+	case len(set1) < probeThreshold:
+		s.table[1][i1] = append(set1, x)
+	case len(set0) < probeSize:
+		s.table[0][i0] = append(set0, x)
+		mustRelocate, relTable, relIndex = true, 0, i0
+	case len(set1) < probeSize:
+		s.table[1][i1] = append(set1, x)
+		mustRelocate, relTable, relIndex = true, 1, i1
+	default:
+		mustResize = true
+	}
+	s.release(x)
+	if mustResize {
+		s.resize()
+		return s.Add(x)
+	}
+	if mustRelocate && !s.relocate(relTable, relIndex) {
+		s.resize()
+	}
+	return true
+}
+
+// stripeForSlot returns the stripe covering slot hi of table i. Stripe
+// count divides every table capacity, so slot index mod stripe count is the
+// covering stripe.
+func (s *StripedCuckooHashSet) stripeForSlot(i, hi int) *sync.Mutex {
+	return &s.locks[i][hi&(len(s.locks[i])-1)]
+}
+
+// peekVictim reads the oldest item of slot (i, hi) under its stripe.
+func (s *StripedCuckooHashSet) peekVictim(i, hi int) (int, bool) {
+	l := s.stripeForSlot(i, hi)
+	l.Lock()
+	defer l.Unlock()
+	set := s.table[i][hi]
+	if len(set) == 0 {
+		return 0, false
+	}
+	return set[0], true
+}
+
+// relocate drains an over-threshold probe set by moving its oldest item to
+// the item's other nest (Fig. 13.27). It reports false when it gives up.
+func (s *StripedCuckooHashSet) relocate(i, hi int) bool {
+	j := 1 - i
+	for round := 0; round < relocateLimit; round++ {
+		y, ok := s.peekVictim(i, hi)
+		if !ok {
+			return true // set drained by someone else
+		}
+		s.acquire(y)
+		if hi != s.slotIndex(i, y) {
+			// The table was resized between peek and acquire: the slot we
+			// were draining no longer exists in this geometry.
+			s.release(y)
+			return true
+		}
+		hj := s.slotIndex(j, y)
+		iSet := s.table[i][hi]
+		jSet := s.table[j][hj]
+		yi := indexOf(iSet, y)
+		switch {
+		case yi >= 0 && len(jSet) < probeThreshold:
+			s.table[i][hi] = append(iSet[:yi], iSet[yi+1:]...)
+			s.table[j][hj] = append(jSet, y)
+			done := len(s.table[i][hi]) <= probeThreshold
+			s.release(y)
+			if done {
+				return true
+			}
+		case yi >= 0 && len(jSet) < probeSize:
+			s.table[i][hi] = append(iSet[:yi], iSet[yi+1:]...)
+			s.table[j][hj] = append(jSet, y)
+			// The other nest is itself over threshold now: chase it.
+			s.release(y)
+			i, j = j, i
+			hi = hj
+		case yi >= 0:
+			s.release(y)
+			return false // both nests saturated: resize
+		default:
+			// y moved under us; if our set is now within threshold, done.
+			done := len(iSet) <= probeThreshold
+			s.release(y)
+			if done {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// resize doubles both tables under the global resize lock, then re-adds
+// every item with all stripes held.
+func (s *StripedCuckooHashSet) resize() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.locks[0] {
+		s.locks[0][i].Lock()
+	}
+	for i := range s.locks[1] {
+		s.locks[1][i].Lock()
+	}
+	defer func() {
+		for i := range s.locks[0] {
+			s.locks[0][i].Unlock()
+		}
+		for i := range s.locks[1] {
+			s.locks[1][i].Unlock()
+		}
+	}()
+
+	var items []int
+	for i := 0; i < 2; i++ {
+		for _, set := range s.table[i] {
+			items = append(items, set...)
+		}
+	}
+	s.capacity *= 2
+	for i := 0; i < 2; i++ {
+		s.table[i] = make([][]int, s.capacity)
+	}
+	// Sequential re-insertion: all stripes are held, so the plain path is
+	// safe; spills beyond probeSize cascade via direct relocation.
+	for _, x := range items {
+		s.addAllLocked(x)
+	}
+}
+
+// addAllLocked inserts during resize, when every stripe is held: place x
+// in the emptier of its two nests. Probe sets are unbounded slices, so a
+// nest past its preferred size just invites a later relocation.
+func (s *StripedCuckooHashSet) addAllLocked(x int) {
+	i0, i1 := s.slotIndex(0, x), s.slotIndex(1, x)
+	if len(s.table[0][i0]) <= len(s.table[1][i1]) {
+		s.table[0][i0] = append(s.table[0][i0], x)
+	} else {
+		s.table[1][i1] = append(s.table[1][i1], x)
+	}
+}

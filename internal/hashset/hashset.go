@@ -1,0 +1,38 @@
+// Package hashset implements the Chapter 13 closed-address and open-address
+// concurrent hash sets:
+//
+//   - CoarseHashSet: one lock over a bucket table (Fig. 13.2)
+//   - StripedHashSet: a fixed stripe of locks (Fig. 13.6)
+//   - RefinableHashSet: lock stripes that grow with the table (Fig. 13.10)
+//   - LockFreeHashSet: split-ordered recursive hashing (Fig. 13.15–13.18)
+//   - CuckooHashSet / StripedCuckooHashSet: sequential and phased
+//     concurrent cuckoo hashing (Fig. 13.19–13.27)
+//
+// All sets implement the same Set interface as package list (membership of
+// int keys). Hashing uses a Fibonacci multiplicative hash: cheap, and
+// bijective on 64-bit ints, which gives well-spread buckets without a
+// quality test suite of its own.
+package hashset
+
+import "amp/internal/list"
+
+// Set is the concurrent integer-set abstraction (same shape as list.Set).
+type Set = list.Set
+
+// fib64 is the golden-ratio multiplier; multiplication by an odd constant
+// is a bijection on uint64.
+const fib64 = 0x9E3779B97F4A7C15
+
+// hash64 spreads an int key over uint64, then discards the weakly mixed
+// low bits so that masking with a power of two uses well-mixed bits.
+func hash64(x int) uint64 {
+	return (uint64(x) * fib64) >> 16
+}
+
+// hashIndex maps a key into [0, n) for a power-of-two n by masking. Because
+// it masks the *same* bits for every power of two, a stripe array of size
+// L ≤ n always covers whole buckets: equal bucket index implies equal
+// stripe index — the invariant striped locking depends on.
+func hashIndex(x int, n int) int {
+	return int(hash64(x) & uint64(n-1))
+}

@@ -1,0 +1,353 @@
+package hashset
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"amp/internal/core"
+)
+
+func implementations() map[string]func() Set {
+	return map[string]func() Set{
+		"coarse":        func() Set { return NewCoarseHashSet(2) },
+		"striped":       func() Set { return NewStripedHashSet(4) },
+		"refinable":     func() Set { return NewRefinableHashSet(4) },
+		"lockfree":      func() Set { return NewLockFreeHashSet() },
+		"cuckoo":        func() Set { return NewCuckooHashSet(2) },
+		"stripedcuckoo": func() Set { return NewStripedCuckooHashSet(4) },
+		"refinecuckoo":  func() Set { return NewRefinableCuckooHashSet(4) },
+	}
+}
+
+func TestSequentialBasics(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if s.Contains(5) {
+				t.Fatal("empty set contains 5")
+			}
+			if !s.Add(5) || s.Add(5) {
+				t.Fatal("Add semantics broken")
+			}
+			if !s.Contains(5) {
+				t.Fatal("Contains(5) = false after Add")
+			}
+			if !s.Remove(5) || s.Remove(5) {
+				t.Fatal("Remove semantics broken")
+			}
+			if s.Contains(5) {
+				t.Fatal("Contains(5) = true after Remove")
+			}
+		})
+	}
+}
+
+// TestManyKeysForcesResize loads enough keys to trigger several resizes.
+func TestManyKeysForcesResize(t *testing.T) {
+	const n = 3000
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			for k := 0; k < n; k++ {
+				if !s.Add(k * 31) {
+					t.Fatalf("Add(%d) = false", k*31)
+				}
+			}
+			for k := 0; k < n; k++ {
+				if !s.Contains(k * 31) {
+					t.Fatalf("Contains(%d) = false after load", k*31)
+				}
+			}
+			if s.Contains(7) {
+				t.Fatal("phantom key present")
+			}
+			for k := 0; k < n; k += 2 {
+				if !s.Remove(k * 31) {
+					t.Fatalf("Remove(%d) = false", k*31)
+				}
+			}
+			for k := 0; k < n; k++ {
+				want := k%2 == 1
+				if got := s.Contains(k * 31); got != want {
+					t.Fatalf("Contains(%d) = %v, want %v", k*31, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestDifferentialAgainstMap(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			ref := make(map[int]bool)
+			rng := rand.New(rand.NewSource(13))
+			for i := 0; i < 6000; i++ {
+				k := rng.Intn(200)
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := s.Add(k), !ref[k]; got != want {
+						t.Fatalf("op %d: Add(%d) = %v, want %v", i, k, got, want)
+					}
+					ref[k] = true
+				case 1:
+					if got, want := s.Remove(k), ref[k]; got != want {
+						t.Fatalf("op %d: Remove(%d) = %v, want %v", i, k, got, want)
+					}
+					delete(ref, k)
+				default:
+					if got := s.Contains(k); got != ref[k] {
+						t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, ref[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentSetSemantics(t *testing.T) {
+	const (
+		workers = 6
+		iters   = 600
+		keys    = 64
+	)
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			var adds, removes [keys]atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						k := rng.Intn(keys)
+						switch rng.Intn(3) {
+						case 0:
+							if s.Add(k) {
+								adds[k].Add(1)
+							}
+						case 1:
+							if s.Remove(k) {
+								removes[k].Add(1)
+							}
+						default:
+							s.Contains(k)
+						}
+					}
+				}(int64(w + 41))
+			}
+			wg.Wait()
+			for k := 0; k < keys; k++ {
+				diff := adds[k].Load() - removes[k].Load()
+				if diff != 0 && diff != 1 {
+					t.Fatalf("key %d: %d adds vs %d removes", k, adds[k].Load(), removes[k].Load())
+				}
+				if got, want := s.Contains(k), diff == 1; got != want {
+					t.Fatalf("key %d: Contains = %v, want %v", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentGrowth drives enough concurrent insertions to force
+// resizing while other threads read.
+func TestConcurrentGrowth(t *testing.T) {
+	const (
+		workers = 4
+		perW    = 1500
+	)
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(base int) {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						k := base + i
+						if !s.Add(k) {
+							t.Errorf("Add(%d) = false for fresh key", k)
+							return
+						}
+						if !s.Contains(k) {
+							t.Errorf("Contains(%d) = false right after Add", k)
+							return
+						}
+					}
+				}(w * 1_000_000)
+			}
+			wg.Wait()
+			for w := 0; w < workers; w++ {
+				for i := 0; i < perW; i++ {
+					if !s.Contains(w*1_000_000 + i) {
+						t.Fatalf("key %d lost during growth", w*1_000_000+i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLinearizable(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			rec := core.NewRecorder()
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func(me core.ThreadID) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(me) + 61))
+					for i := 0; i < 6; i++ {
+						k := rng.Intn(3)
+						switch rng.Intn(3) {
+						case 0:
+							p := rec.Call(me, "add", k)
+							p.Done(s.Add(k))
+						case 1:
+							p := rec.Call(me, "remove", k)
+							p.Done(s.Remove(k))
+						default:
+							p := rec.Call(me, "contains", k)
+							p.Done(s.Contains(k))
+						}
+					}
+				}(core.ThreadID(w))
+			}
+			wg.Wait()
+			res := core.Check(core.SetModel(), rec.History())
+			if res.Exhausted {
+				t.Skip("checker budget exhausted")
+			}
+			if !res.Linearizable {
+				t.Fatalf("%s produced a non-linearizable history:\n%v", name, rec.History())
+			}
+		})
+	}
+}
+
+func TestLockFreeBucketCountGrows(t *testing.T) {
+	s := NewLockFreeHashSet()
+	before := s.Buckets()
+	for k := 0; k < 500; k++ {
+		s.Add(k)
+	}
+	if after := s.Buckets(); after <= before {
+		t.Fatalf("bucket count did not grow: %d -> %d", before, after)
+	}
+	if got := s.Size(); got != 500 {
+		t.Fatalf("Size = %d, want 500", got)
+	}
+}
+
+func TestSplitOrderKeys(t *testing.T) {
+	// Ordinary keys are odd; sentinel keys are even.
+	for _, x := range []int{0, 1, 7, -5, 123456789} {
+		if ordinaryKey(x)&1 != 1 {
+			t.Fatalf("ordinaryKey(%d) is even", x)
+		}
+	}
+	for _, b := range []uint64{0, 1, 2, 3, 512, 1 << 19} {
+		if sentinelKey(b)&1 != 0 {
+			t.Fatalf("sentinelKey(%d) is odd", b)
+		}
+	}
+	// A bucket's sentinel key is the smallest split-order key among keys of
+	// items hashing to that bucket (with the current mask).
+	if parentBucket(0b1101) != 0b0101 {
+		t.Fatalf("parentBucket(13) = %d, want 5", parentBucket(0b1101))
+	}
+	if parentBucket(1) != 0 {
+		t.Fatalf("parentBucket(1) = %d, want 0", parentBucket(1))
+	}
+}
+
+func TestSplitOrderSentinelBounds(t *testing.T) {
+	// The defining property of split ordering: an item's bucket sentinel is
+	// the *largest* sentinel (at the current size) that precedes the item's
+	// key, so a bucket's items form a contiguous run after its sentinel.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		x := rng.Int()
+		size := uint64(1) << (1 + rng.Intn(8))
+		b := hash64(x) & (size - 1)
+		key := ordinaryKey(x)
+		if sentinelKey(b) >= key {
+			t.Fatalf("sentinel %d >= key of item %d (bucket %d, size %d)",
+				sentinelKey(b), x, b, size)
+		}
+		best := uint64(0)
+		bestBucket := uint64(0)
+		for c := uint64(0); c < size; c++ {
+			if sk := sentinelKey(c); sk < key && sk >= best {
+				best = sk
+				bestBucket = c
+			}
+		}
+		if bestBucket != b {
+			t.Fatalf("item %d (key %x) belongs to bucket %d but nearest sentinel is bucket %d (size %d)",
+				x, key, b, bestBucket, size)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCoarseHashSet(3) },
+		func() { NewStripedHashSet(0) },
+		func() { NewCuckooHashSet(5) },
+		func() { NewStripedCuckooHashSet(1) },
+		func() { NewRefinableCuckooHashSet(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad capacity did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickSetEquivalence(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint16) bool {
+				s := mk()
+				ref := make(map[int]bool)
+				for _, code := range ops {
+					k := int(code % 32)
+					switch (code / 32) % 3 {
+					case 0:
+						if s.Add(k) != !ref[k] {
+							return false
+						}
+						ref[k] = true
+					case 1:
+						if s.Remove(k) != ref[k] {
+							return false
+						}
+						delete(ref, k)
+					default:
+						if s.Contains(k) != ref[k] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+package hashset
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RefinableCuckooHashSet (Fig. 13.24–13.26) is the phased cuckoo set whose
+// lock arrays grow with the tables, using the same announce-and-quiesce
+// resize protocol as RefinableHashSet: a resizer sets the resizing flag,
+// drains the current stripes, then installs doubled tables *and* doubled
+// lock arrays, so stripe granularity keeps pace with capacity.
+type RefinableCuckooHashSet struct {
+	resizing atomic.Bool
+	locks    atomic.Pointer[cuckooLockPair]
+	mu       sync.Mutex // serializes resizes
+	capacity int        // guarded by holding any stripe (readers) / all stripes (resizer)
+	table    [2][][]int
+}
+
+type cuckooLockPair struct {
+	locks [2][]sync.Mutex
+}
+
+var _ Set = (*RefinableCuckooHashSet)(nil)
+
+// NewRefinableCuckooHashSet returns an empty set with the given
+// power-of-two capacity per table.
+func NewRefinableCuckooHashSet(capacity int) *RefinableCuckooHashSet {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("hashset: cuckoo capacity must be a power of two >= 2, got %d", capacity))
+	}
+	s := &RefinableCuckooHashSet{capacity: capacity}
+	pair := &cuckooLockPair{}
+	for i := 0; i < 2; i++ {
+		pair.locks[i] = make([]sync.Mutex, capacity)
+		s.table[i] = make([][]int, capacity)
+	}
+	s.locks.Store(pair)
+	return s
+}
+
+// acquire locks x's stripes in both tables against the current lock
+// arrays, retrying when a resize intervenes.
+func (s *RefinableCuckooHashSet) acquire(x int) *cuckooLockPair {
+	for {
+		for s.resizing.Load() {
+			runtime.Gosched()
+		}
+		pair := s.locks.Load()
+		l0 := &pair.locks[0][cuckooHash(0, x)&uint64(len(pair.locks[0])-1)]
+		l1 := &pair.locks[1][cuckooHash(1, x)&uint64(len(pair.locks[1])-1)]
+		l0.Lock()
+		l1.Lock()
+		if !s.resizing.Load() && s.locks.Load() == pair {
+			return pair
+		}
+		l0.Unlock()
+		l1.Unlock()
+	}
+}
+
+func (s *RefinableCuckooHashSet) release(pair *cuckooLockPair, x int) {
+	pair.locks[0][cuckooHash(0, x)&uint64(len(pair.locks[0])-1)].Unlock()
+	pair.locks[1][cuckooHash(1, x)&uint64(len(pair.locks[1])-1)].Unlock()
+}
+
+func (s *RefinableCuckooHashSet) slotIndex(i, x int) int {
+	return int(cuckooHash(i, x) & uint64(s.capacity-1))
+}
+
+// Contains reports membership of x.
+func (s *RefinableCuckooHashSet) Contains(x int) bool {
+	pair := s.acquire(x)
+	defer s.release(pair, x)
+	return indexOf(s.table[0][s.slotIndex(0, x)], x) >= 0 ||
+		indexOf(s.table[1][s.slotIndex(1, x)], x) >= 0
+}
+
+// Remove deletes x, reporting whether it was present.
+func (s *RefinableCuckooHashSet) Remove(x int) bool {
+	pair := s.acquire(x)
+	defer s.release(pair, x)
+	for i := 0; i < 2; i++ {
+		idx := s.slotIndex(i, x)
+		if j := indexOf(s.table[i][idx], x); j >= 0 {
+			set := s.table[i][idx]
+			s.table[i][idx] = append(set[:j], set[j+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts x, reporting whether it was absent; over-threshold probe
+// sets trigger relocation, saturation triggers resize.
+func (s *RefinableCuckooHashSet) Add(x int) bool {
+	pair := s.acquire(x)
+	i0, i1 := s.slotIndex(0, x), s.slotIndex(1, x)
+	set0, set1 := s.table[0][i0], s.table[1][i1]
+	if indexOf(set0, x) >= 0 || indexOf(set1, x) >= 0 {
+		s.release(pair, x)
+		return false
+	}
+	mustRelocate, relTable, relIndex := false, 0, 0
+	mustResize := false
+	switch {
+	case len(set0) < probeThreshold:
+		s.table[0][i0] = append(set0, x)
+	case len(set1) < probeThreshold:
+		s.table[1][i1] = append(set1, x)
+	case len(set0) < probeSize:
+		s.table[0][i0] = append(set0, x)
+		mustRelocate, relTable, relIndex = true, 0, i0
+	case len(set1) < probeSize:
+		s.table[1][i1] = append(set1, x)
+		mustRelocate, relTable, relIndex = true, 1, i1
+	default:
+		mustResize = true
+	}
+	s.release(pair, x)
+	if mustResize {
+		s.resize()
+		return s.Add(x)
+	}
+	if mustRelocate && !s.relocate(relTable, relIndex) {
+		s.resize()
+	}
+	return true
+}
+
+// peekVictim reads the oldest item of slot (i, hi) under its stripe.
+func (s *RefinableCuckooHashSet) peekVictim(i, hi int) (int, bool) {
+	for {
+		for s.resizing.Load() {
+			runtime.Gosched()
+		}
+		pair := s.locks.Load()
+		l := &pair.locks[i][hi&(len(pair.locks[i])-1)]
+		l.Lock()
+		if s.resizing.Load() || s.locks.Load() != pair {
+			l.Unlock()
+			continue
+		}
+		set := s.table[i][hi]
+		var victim int
+		ok := len(set) > 0
+		if ok {
+			victim = set[0]
+		}
+		l.Unlock()
+		return victim, ok
+	}
+}
+
+// relocate drains an over-threshold probe set, as in the striped variant.
+func (s *RefinableCuckooHashSet) relocate(i, hi int) bool {
+	j := 1 - i
+	for round := 0; round < relocateLimit; round++ {
+		y, ok := s.peekVictim(i, hi)
+		if !ok {
+			return true
+		}
+		pair := s.acquire(y)
+		if hi != s.slotIndex(i, y) {
+			s.release(pair, y)
+			return true // resized between peek and acquire
+		}
+		hj := s.slotIndex(j, y)
+		iSet := s.table[i][hi]
+		jSet := s.table[j][hj]
+		yi := indexOf(iSet, y)
+		switch {
+		case yi >= 0 && len(jSet) < probeThreshold:
+			s.table[i][hi] = append(iSet[:yi], iSet[yi+1:]...)
+			s.table[j][hj] = append(jSet, y)
+			done := len(s.table[i][hi]) <= probeThreshold
+			s.release(pair, y)
+			if done {
+				return true
+			}
+		case yi >= 0 && len(jSet) < probeSize:
+			s.table[i][hi] = append(iSet[:yi], iSet[yi+1:]...)
+			s.table[j][hj] = append(jSet, y)
+			s.release(pair, y)
+			i, j = j, i
+			hi = hj
+		case yi >= 0:
+			s.release(pair, y)
+			return false
+		default:
+			done := len(iSet) <= probeThreshold
+			s.release(pair, y)
+			if done {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// resize announces itself, quiesces every stripe, then installs doubled
+// tables and doubled lock arrays (the refinement step).
+func (s *RefinableCuckooHashSet) resize() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.resizing.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.resizing.Store(false)
+
+	old := s.locks.Load()
+	for i := 0; i < 2; i++ {
+		for k := range old.locks[i] {
+			old.locks[i][k].Lock()
+		}
+	}
+	defer func() {
+		for i := 0; i < 2; i++ {
+			for k := range old.locks[i] {
+				old.locks[i][k].Unlock()
+			}
+		}
+	}()
+
+	var items []int
+	for i := 0; i < 2; i++ {
+		for _, set := range s.table[i] {
+			items = append(items, set...)
+		}
+	}
+	s.capacity *= 2
+	fresh := &cuckooLockPair{}
+	for i := 0; i < 2; i++ {
+		s.table[i] = make([][]int, s.capacity)
+		fresh.locks[i] = make([]sync.Mutex, s.capacity)
+	}
+	for _, x := range items {
+		i0, i1 := s.slotIndex(0, x), s.slotIndex(1, x)
+		if len(s.table[0][i0]) <= len(s.table[1][i1]) {
+			s.table[0][i0] = append(s.table[0][i0], x)
+		} else {
+			s.table[1][i1] = append(s.table[1][i1], x)
+		}
+	}
+	s.locks.Store(fresh)
+}

@@ -1,0 +1,71 @@
+package list
+
+import "sync"
+
+// coarseNode is a plain sorted-list node; all access is under the set lock.
+type coarseNode struct {
+	key  int
+	next *coarseNode
+}
+
+// CoarseList guards a sorted singly linked list with one mutex (Fig. 9.4).
+// Simple and correct; every operation serializes, so it is the baseline
+// that every other implementation in this package is measured against.
+type CoarseList struct {
+	mu   sync.Mutex
+	head *coarseNode
+}
+
+var _ Set = (*CoarseList)(nil)
+
+// NewCoarseList returns an empty set.
+func NewCoarseList() *CoarseList {
+	tail := &coarseNode{key: KeyMax}
+	return &CoarseList{head: &coarseNode{key: KeyMin, next: tail}}
+}
+
+// locate returns the first node pair (pred, curr) with curr.key >= x.
+func (l *CoarseList) locate(x int) (pred, curr *coarseNode) {
+	pred = l.head
+	curr = pred.next
+	for curr.key < x {
+		pred = curr
+		curr = curr.next
+	}
+	return pred, curr
+}
+
+// Add inserts x, reporting whether it was absent.
+func (l *CoarseList) Add(x int) bool {
+	checkKey(x)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pred, curr := l.locate(x)
+	if curr.key == x {
+		return false
+	}
+	pred.next = &coarseNode{key: x, next: curr}
+	return true
+}
+
+// Remove deletes x, reporting whether it was present.
+func (l *CoarseList) Remove(x int) bool {
+	checkKey(x)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pred, curr := l.locate(x)
+	if curr.key != x {
+		return false
+	}
+	pred.next = curr.next
+	return true
+}
+
+// Contains reports membership of x.
+func (l *CoarseList) Contains(x int) bool {
+	checkKey(x)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, curr := l.locate(x)
+	return curr.key == x
+}

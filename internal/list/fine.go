@@ -1,0 +1,78 @@
+package list
+
+import "sync"
+
+// fineNode carries its own lock; next is only read or written while the
+// node is locked, so it needs no atomics.
+type fineNode struct {
+	mu   sync.Mutex
+	key  int
+	next *fineNode
+}
+
+// FineList locks hand-over-hand (Fig. 9.6): traversal holds at most two
+// node locks at a time, acquiring the next before releasing the earlier.
+// Disjoint operations on distant keys proceed in parallel, but every
+// operation still walks — and locks — the whole prefix.
+type FineList struct {
+	head *fineNode
+}
+
+var _ Set = (*FineList)(nil)
+
+// NewFineList returns an empty set.
+func NewFineList() *FineList {
+	tail := &fineNode{key: KeyMax}
+	return &FineList{head: &fineNode{key: KeyMin, next: tail}}
+}
+
+// locate returns (pred, curr) with curr.key >= x, holding both locks. The
+// caller must unlock both.
+func (l *FineList) locate(x int) (pred, curr *fineNode) {
+	pred = l.head
+	pred.mu.Lock()
+	curr = pred.next
+	curr.mu.Lock()
+	for curr.key < x {
+		pred.mu.Unlock()
+		pred = curr
+		curr = curr.next
+		curr.mu.Lock()
+	}
+	return pred, curr
+}
+
+// Add inserts x, reporting whether it was absent.
+func (l *FineList) Add(x int) bool {
+	checkKey(x)
+	pred, curr := l.locate(x)
+	defer pred.mu.Unlock()
+	defer curr.mu.Unlock()
+	if curr.key == x {
+		return false
+	}
+	pred.next = &fineNode{key: x, next: curr}
+	return true
+}
+
+// Remove deletes x, reporting whether it was present.
+func (l *FineList) Remove(x int) bool {
+	checkKey(x)
+	pred, curr := l.locate(x)
+	defer pred.mu.Unlock()
+	defer curr.mu.Unlock()
+	if curr.key != x {
+		return false
+	}
+	pred.next = curr.next
+	return true
+}
+
+// Contains reports membership of x.
+func (l *FineList) Contains(x int) bool {
+	checkKey(x)
+	pred, curr := l.locate(x)
+	defer pred.mu.Unlock()
+	defer curr.mu.Unlock()
+	return curr.key == x
+}

@@ -1,0 +1,103 @@
+package list
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// lazyNode adds a logical-deletion mark to the optimistic node.
+type lazyNode struct {
+	mu     sync.Mutex
+	key    int
+	marked atomic.Bool
+	next   atomic.Pointer[lazyNode]
+}
+
+// LazyList (Fig. 9.16) splits removal into a logical step (set the mark)
+// and a physical step (unlink). Validation no longer re-traverses: it just
+// checks that neither window node is marked and that they are still
+// adjacent. Contains is wait-free — a single unsynchronized traversal.
+type LazyList struct {
+	head *lazyNode
+}
+
+var _ Set = (*LazyList)(nil)
+
+// NewLazyList returns an empty set.
+func NewLazyList() *LazyList {
+	tail := &lazyNode{key: KeyMax}
+	head := &lazyNode{key: KeyMin}
+	head.next.Store(tail)
+	return &LazyList{head: head}
+}
+
+func (l *LazyList) search(x int) (pred, curr *lazyNode) {
+	pred = l.head
+	curr = pred.next.Load()
+	for curr.key < x {
+		pred = curr
+		curr = curr.next.Load()
+	}
+	return pred, curr
+}
+
+// validate checks the locked window is still intact: neither node marked,
+// and pred still points at curr.
+func validateLazy(pred, curr *lazyNode) bool {
+	return !pred.marked.Load() && !curr.marked.Load() && pred.next.Load() == curr
+}
+
+// Add inserts x, reporting whether it was absent.
+func (l *LazyList) Add(x int) bool {
+	checkKey(x)
+	for {
+		pred, curr := l.search(x)
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if validateLazy(pred, curr) {
+			defer pred.mu.Unlock()
+			defer curr.mu.Unlock()
+			if curr.key == x {
+				return false
+			}
+			node := &lazyNode{key: x}
+			node.next.Store(curr)
+			pred.next.Store(node)
+			return true
+		}
+		pred.mu.Unlock()
+		curr.mu.Unlock()
+	}
+}
+
+// Remove deletes x: mark first (the linearization point), then unlink.
+func (l *LazyList) Remove(x int) bool {
+	checkKey(x)
+	for {
+		pred, curr := l.search(x)
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if validateLazy(pred, curr) {
+			defer pred.mu.Unlock()
+			defer curr.mu.Unlock()
+			if curr.key != x {
+				return false
+			}
+			curr.marked.Store(true)           // logical removal
+			pred.next.Store(curr.next.Load()) // physical removal
+			return true
+		}
+		pred.mu.Unlock()
+		curr.mu.Unlock()
+	}
+}
+
+// Contains is wait-free: one traversal, no locks, no retries (Fig. 9.17).
+func (l *LazyList) Contains(x int) bool {
+	checkKey(x)
+	curr := l.head
+	for curr.key < x {
+		curr = curr.next.Load()
+	}
+	return curr.key == x && !curr.marked.Load()
+}

@@ -1,0 +1,41 @@
+// Package list implements the Chapter 9 list-based concurrent sets, the
+// book's running example of progressively finer synchronization:
+//
+//   - CoarseList: one lock around a sorted linked list (Fig. 9.4)
+//   - FineList: hand-over-hand (chained) locking (Fig. 9.6)
+//   - OptimisticList: lock-free search, lock-and-validate update (Fig. 9.11)
+//   - LazyList: logical deletion marks, wait-free Contains (Fig. 9.16)
+//   - LockFreeList: the Harris–Michael nonblocking list (Fig. 9.24)
+//
+// All sets store int keys strictly between KeyMin and KeyMax, which serve
+// as the −∞/+∞ sentinel keys of the book's head and tail nodes. The book's
+// AtomicMarkableReference is rendered as an immutable (successor, marked)
+// pair behind an atomic.Pointer: replacing the pair is exactly the book's
+// compareAndSet on (reference, mark).
+package list
+
+import (
+	"fmt"
+	"math"
+)
+
+// Set is the concurrent integer-set abstraction shared by Chapters 9, 13
+// and 14. Add and Remove report whether they changed the set.
+type Set interface {
+	Add(x int) bool
+	Remove(x int) bool
+	Contains(x int) bool
+}
+
+// Key bounds: usable keys lie strictly inside (KeyMin, KeyMax); the bounds
+// themselves are the sentinel keys.
+const (
+	KeyMin = math.MinInt64
+	KeyMax = math.MaxInt64
+)
+
+func checkKey(x int) {
+	if x == KeyMin || x == KeyMax {
+		panic(fmt.Sprintf("list: key %d collides with a sentinel; keys must lie strictly inside (KeyMin, KeyMax)", x))
+	}
+}

@@ -1,0 +1,297 @@
+package list
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"amp/internal/core"
+)
+
+// implementations returns a fresh instance of every set in this package.
+func implementations() map[string]func() Set {
+	return map[string]func() Set{
+		"coarse":     func() Set { return NewCoarseList() },
+		"fine":       func() Set { return NewFineList() },
+		"optimistic": func() Set { return NewOptimisticList() },
+		"lazy":       func() Set { return NewLazyList() },
+		"lockfree":   func() Set { return NewLockFreeList() },
+	}
+}
+
+func TestSequentialBasics(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if s.Contains(5) {
+				t.Fatal("empty set contains 5")
+			}
+			if !s.Add(5) {
+				t.Fatal("first Add(5) = false")
+			}
+			if s.Add(5) {
+				t.Fatal("second Add(5) = true")
+			}
+			if !s.Contains(5) {
+				t.Fatal("Contains(5) after Add = false")
+			}
+			if !s.Remove(5) {
+				t.Fatal("Remove(5) = false")
+			}
+			if s.Remove(5) {
+				t.Fatal("second Remove(5) = true")
+			}
+			if s.Contains(5) {
+				t.Fatal("Contains(5) after Remove = true")
+			}
+		})
+	}
+}
+
+func TestSequentialOrderedInsertions(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			keys := []int{5, 1, 9, -3, 7, 0, 1 << 40, -(1 << 40)}
+			for _, k := range keys {
+				if !s.Add(k) {
+					t.Fatalf("Add(%d) = false", k)
+				}
+			}
+			for _, k := range keys {
+				if !s.Contains(k) {
+					t.Fatalf("Contains(%d) = false", k)
+				}
+			}
+			if s.Contains(2) {
+				t.Fatal("Contains(2) = true for absent key")
+			}
+		})
+	}
+}
+
+// TestDifferentialAgainstMap replays a pseudo-random op sequence on each
+// implementation and a reference map, comparing every result.
+func TestDifferentialAgainstMap(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			ref := make(map[int]bool)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 4000; i++ {
+				k := rng.Intn(64)
+				switch rng.Intn(3) {
+				case 0:
+					want := !ref[k]
+					if got := s.Add(k); got != want {
+						t.Fatalf("op %d: Add(%d) = %v, want %v", i, k, got, want)
+					}
+					ref[k] = true
+				case 1:
+					want := ref[k]
+					if got := s.Remove(k); got != want {
+						t.Fatalf("op %d: Remove(%d) = %v, want %v", i, k, got, want)
+					}
+					delete(ref, k)
+				default:
+					if got := s.Contains(k); got != ref[k] {
+						t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, ref[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentSetSemantics hammers each set from several goroutines and
+// then checks the accounting invariant: for every key,
+// successful adds − successful removes ∈ {0, 1} and equals final membership.
+func TestConcurrentSetSemantics(t *testing.T) {
+	const (
+		workers = 6
+		iters   = 800
+		keys    = 32
+	)
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			var adds, removes [keys]atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						k := rng.Intn(keys)
+						switch rng.Intn(3) {
+						case 0:
+							if s.Add(k) {
+								adds[k].Add(1)
+							}
+						case 1:
+							if s.Remove(k) {
+								removes[k].Add(1)
+							}
+						default:
+							s.Contains(k)
+						}
+					}
+				}(int64(w + 1))
+			}
+			wg.Wait()
+			for k := 0; k < keys; k++ {
+				diff := adds[k].Load() - removes[k].Load()
+				if diff != 0 && diff != 1 {
+					t.Fatalf("key %d: %d successful adds, %d successful removes",
+						k, adds[k].Load(), removes[k].Load())
+				}
+				if got, want := s.Contains(k), diff == 1; got != want {
+					t.Fatalf("key %d: Contains = %v, want %v", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLinearizable records a small concurrent history against each set and
+// feeds it to the Chapter 3 checker.
+func TestLinearizable(t *testing.T) {
+	const workers = 3
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			rec := core.NewRecorder()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(me core.ThreadID) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(me) + 100))
+					for i := 0; i < 6; i++ {
+						k := rng.Intn(3)
+						switch rng.Intn(3) {
+						case 0:
+							p := rec.Call(me, "add", k)
+							p.Done(s.Add(k))
+						case 1:
+							p := rec.Call(me, "remove", k)
+							p.Done(s.Remove(k))
+						default:
+							p := rec.Call(me, "contains", k)
+							p.Done(s.Contains(k))
+						}
+					}
+				}(core.ThreadID(w))
+			}
+			wg.Wait()
+			res := core.Check(core.SetModel(), rec.History())
+			if res.Exhausted {
+				t.Skip("checker budget exhausted")
+			}
+			if !res.Linearizable {
+				t.Fatalf("%s produced a non-linearizable history:\n%v", name, rec.History())
+			}
+		})
+	}
+}
+
+// TestLazyContainsLockFreedom: Contains must complete even while an updater
+// holds node locks (wait-freedom of the lazy Contains).
+func TestLazyContainsDuringLockedWindow(t *testing.T) {
+	l := NewLazyList()
+	l.Add(1)
+	l.Add(3)
+	// Manually lock the window around key 2 as an updater would.
+	pred, curr := l.search(2)
+	pred.mu.Lock()
+	curr.mu.Lock()
+	done := make(chan bool, 1)
+	go func() { done <- l.Contains(1) }()
+	if !<-done {
+		t.Fatal("Contains(1) = false")
+	}
+	pred.mu.Unlock()
+	curr.mu.Unlock()
+}
+
+// TestLockFreeTraversalSnipsMarkedNodes: a marked-but-not-unlinked node
+// must be invisible and get physically removed by the next find.
+func TestLockFreeTraversalSnipsMarkedNodes(t *testing.T) {
+	l := NewLockFreeList()
+	l.Add(1)
+	l.Add(2)
+	l.Add(3)
+	// Mark node 2 by hand (logical deletion without physical unlink).
+	_, curr := l.find(2)
+	if curr.key != 2 {
+		t.Fatalf("find(2) landed on %d", curr.key)
+	}
+	succ := curr.next.Load()
+	if !curr.next.CompareAndSwap(succ, &lfRef{node: succ.node, marked: true}) {
+		t.Fatal("mark CAS failed in quiescent state")
+	}
+	if l.Contains(2) {
+		t.Fatal("marked node still visible to Contains")
+	}
+	// find(3) must traverse past 2 and snip it.
+	pred, curr := l.find(3)
+	if curr.key != 3 {
+		t.Fatalf("find(3) landed on %d", curr.key)
+	}
+	if pred.key != 1 {
+		t.Fatalf("marked node not snipped: pred of 3 is %d, want 1", pred.key)
+	}
+}
+
+func TestSentinelKeyPanics(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer func() {
+				if recover() == nil {
+					t.Fatal("sentinel key did not panic")
+				}
+			}()
+			s.Add(KeyMax)
+		})
+	}
+}
+
+// TestQuickSetEquivalence: property test — every implementation agrees with
+// the reference map on arbitrary op strings.
+func TestQuickSetEquivalence(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint16) bool {
+				s := mk()
+				ref := make(map[int]bool)
+				for _, code := range ops {
+					k := int(code % 16)
+					switch (code / 16) % 3 {
+					case 0:
+						if s.Add(k) != !ref[k] {
+							return false
+						}
+						ref[k] = true
+					case 1:
+						if s.Remove(k) != ref[k] {
+							return false
+						}
+						delete(ref, k)
+					default:
+						if s.Contains(k) != ref[k] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package list
+
+import "sync/atomic"
+
+// lfRef is an immutable (successor, marked) pair — the Go rendering of the
+// book's AtomicMarkableReference. A node's next field holds a pointer to
+// one of these; changing successor or mark means CASing in a fresh pair, so
+// a single CAS atomically validates and updates both, exactly as the book
+// requires (§9.8).
+type lfRef struct {
+	node   *lfNode
+	marked bool
+}
+
+type lfNode struct {
+	key  int
+	next atomic.Pointer[lfRef]
+}
+
+func newLFNode(key int, succ *lfNode) *lfNode {
+	n := &lfNode{key: key}
+	n.next.Store(&lfRef{node: succ})
+	return n
+}
+
+// LockFreeList is the Harris–Michael nonblocking list (Fig. 9.24): Remove
+// marks the victim's next pointer, and every traversal (via find) physically
+// snips out marked nodes it passes. Add and Remove are lock-free; Contains
+// is wait-free. The Go GC provides the safe memory reclamation the book
+// gets from the JVM, which also rules out ABA on the CASes.
+type LockFreeList struct {
+	head *lfNode
+}
+
+var _ Set = (*LockFreeList)(nil)
+
+// NewLockFreeList returns an empty set.
+func NewLockFreeList() *LockFreeList {
+	tail := newLFNode(KeyMax, nil)
+	return &LockFreeList{head: newLFNode(KeyMin, tail)}
+}
+
+// find returns a window (pred, curr) with curr.key >= x and no marked nodes
+// between pred and curr, snipping out any marked nodes encountered.
+func (l *LockFreeList) find(x int) (pred, curr *lfNode) {
+retry:
+	for {
+		pred = l.head
+		curr = pred.next.Load().node
+		for {
+			succRef := curr.next.Load()
+			for succRef.marked {
+				// curr is logically deleted; try to unlink it.
+				expected := pred.next.Load()
+				if expected.node != curr || expected.marked {
+					continue retry
+				}
+				if !pred.next.CompareAndSwap(expected, &lfRef{node: succRef.node}) {
+					continue retry
+				}
+				curr = succRef.node
+				succRef = curr.next.Load()
+			}
+			if curr.key >= x {
+				return pred, curr
+			}
+			pred = curr
+			curr = succRef.node
+		}
+	}
+}
+
+// Add inserts x, reporting whether it was absent.
+func (l *LockFreeList) Add(x int) bool {
+	checkKey(x)
+	for {
+		pred, curr := l.find(x)
+		if curr.key == x {
+			return false
+		}
+		node := newLFNode(x, curr)
+		expected := pred.next.Load()
+		if expected.node != curr || expected.marked {
+			continue
+		}
+		if pred.next.CompareAndSwap(expected, &lfRef{node: node}) {
+			return true
+		}
+	}
+}
+
+// Remove deletes x. The successful mark CAS is the linearization point;
+// unlinking is a best-effort courtesy (find will finish the job otherwise).
+func (l *LockFreeList) Remove(x int) bool {
+	checkKey(x)
+	for {
+		pred, curr := l.find(x)
+		if curr.key != x {
+			return false
+		}
+		succRef := curr.next.Load()
+		if succRef.marked {
+			continue // someone else is removing it; re-find
+		}
+		if !curr.next.CompareAndSwap(succRef, &lfRef{node: succRef.node, marked: true}) {
+			continue
+		}
+		if expected := pred.next.Load(); expected.node == curr && !expected.marked {
+			pred.next.CompareAndSwap(expected, &lfRef{node: succRef.node})
+		}
+		return true
+	}
+}
+
+// Contains is wait-free: traverse once, report (found ∧ unmarked).
+func (l *LockFreeList) Contains(x int) bool {
+	checkKey(x)
+	curr := l.head
+	for curr.key < x {
+		curr = curr.next.Load().node
+	}
+	return curr.key == x && !curr.next.Load().marked
+}

@@ -1,0 +1,121 @@
+package list
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// optNode's next pointer is atomic because unlocked traversals read it
+// while locked updaters write it.
+type optNode struct {
+	mu   sync.Mutex
+	key  int
+	next atomic.Pointer[optNode]
+}
+
+// OptimisticList searches without locks, then locks the (pred, curr) window
+// and validates that pred is still reachable and still points to curr
+// (Fig. 9.11). Validation re-traverses from the head, which is cheaper than
+// locking the whole prefix because it does not force other threads to wait.
+// Nodes removed from the list are never recycled while referenced — the Go
+// GC plays the role the book assigns to Java's collector.
+type OptimisticList struct {
+	head *optNode
+}
+
+var _ Set = (*OptimisticList)(nil)
+
+// NewOptimisticList returns an empty set.
+func NewOptimisticList() *OptimisticList {
+	tail := &optNode{key: KeyMax}
+	head := &optNode{key: KeyMin}
+	head.next.Store(tail)
+	return &OptimisticList{head: head}
+}
+
+// search returns (pred, curr) with curr.key >= x, without locking.
+func (l *OptimisticList) search(x int) (pred, curr *optNode) {
+	pred = l.head
+	curr = pred.next.Load()
+	for curr.key < x {
+		pred = curr
+		curr = curr.next.Load()
+	}
+	return pred, curr
+}
+
+// validate re-traverses from the head and confirms pred is reachable and
+// still precedes curr. Both nodes must be locked by the caller.
+func (l *OptimisticList) validate(pred, curr *optNode) bool {
+	node := l.head
+	for node.key <= pred.key {
+		if node == pred {
+			return pred.next.Load() == curr
+		}
+		node = node.next.Load()
+	}
+	return false
+}
+
+// Add inserts x, reporting whether it was absent.
+func (l *OptimisticList) Add(x int) bool {
+	checkKey(x)
+	for {
+		pred, curr := l.search(x)
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if l.validate(pred, curr) {
+			defer pred.mu.Unlock()
+			defer curr.mu.Unlock()
+			if curr.key == x {
+				return false
+			}
+			node := &optNode{key: x}
+			node.next.Store(curr)
+			pred.next.Store(node)
+			return true
+		}
+		pred.mu.Unlock()
+		curr.mu.Unlock()
+	}
+}
+
+// Remove deletes x, reporting whether it was present.
+func (l *OptimisticList) Remove(x int) bool {
+	checkKey(x)
+	for {
+		pred, curr := l.search(x)
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if l.validate(pred, curr) {
+			defer pred.mu.Unlock()
+			defer curr.mu.Unlock()
+			if curr.key != x {
+				return false
+			}
+			pred.next.Store(curr.next.Load())
+			return true
+		}
+		pred.mu.Unlock()
+		curr.mu.Unlock()
+	}
+}
+
+// Contains reports membership of x. Like the book's version it locks the
+// window to rule out acting on an unlinked node.
+func (l *OptimisticList) Contains(x int) bool {
+	checkKey(x)
+	for {
+		pred, curr := l.search(x)
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if l.validate(pred, curr) {
+			found := curr.key == x
+			pred.mu.Unlock()
+			curr.mu.Unlock()
+			return found
+		}
+		pred.mu.Unlock()
+		curr.mu.Unlock()
+	}
+}

@@ -1,0 +1,83 @@
+package list
+
+import (
+	"testing"
+)
+
+// White-box tests for the Harris–Michael list: a remover that stalls after
+// the logical mark must not block anyone; any traversal finishes its job.
+
+// markOnly performs the logical half of a Remove and "stalls" before the
+// physical unlink.
+func markOnly(t *testing.T, l *LockFreeList, key int) {
+	t.Helper()
+	_, curr := l.find(key)
+	if curr.key != key {
+		t.Fatalf("key %d not present for markOnly", key)
+	}
+	succ := curr.next.Load()
+	if succ.marked {
+		t.Fatalf("key %d already marked", key)
+	}
+	if !curr.next.CompareAndSwap(succ, &lfRef{node: succ.node, marked: true}) {
+		t.Fatalf("mark CAS failed in quiescent state")
+	}
+}
+
+func TestStalledRemoverDoesNotBlockAdd(t *testing.T) {
+	l := NewLockFreeList()
+	for _, k := range []int{10, 20, 30} {
+		l.Add(k)
+	}
+	markOnly(t, l, 20)
+	// Adding a key that lands right at the marked node's window must snip
+	// it and succeed.
+	if !l.Add(15) {
+		t.Fatal("Add(15) failed near a marked node")
+	}
+	if !l.Add(25) {
+		t.Fatal("Add(25) failed where the marked node used to be")
+	}
+	if l.Contains(20) {
+		t.Fatal("marked key still visible")
+	}
+	for _, k := range []int{10, 15, 25, 30} {
+		if !l.Contains(k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+func TestStalledRemoverDoesNotBlockRemove(t *testing.T) {
+	l := NewLockFreeList()
+	for _, k := range []int{1, 2, 3} {
+		l.Add(k)
+	}
+	markOnly(t, l, 2)
+	if !l.Remove(3) {
+		t.Fatal("Remove(3) failed past a marked node")
+	}
+	if l.Remove(2) {
+		t.Fatal("Remove(2) returned true for an already-marked key")
+	}
+	if !l.Contains(1) || l.Contains(2) || l.Contains(3) {
+		t.Fatal("final membership wrong")
+	}
+}
+
+func TestRemoveOfMarkedKeyReturnsFalse(t *testing.T) {
+	// The logical mark is the linearization point: once marked, the key is
+	// gone, and a second remover must lose.
+	l := NewLockFreeList()
+	l.Add(5)
+	markOnly(t, l, 5)
+	if l.Remove(5) {
+		t.Fatal("second Remove(5) won after the mark")
+	}
+	if !l.Add(5) {
+		t.Fatal("re-Add(5) failed after marked removal")
+	}
+	if !l.Contains(5) {
+		t.Fatal("re-added key missing")
+	}
+}

@@ -1,0 +1,306 @@
+// Package mutex implements the Chapter 2 classical mutual-exclusion
+// algorithms: the two-thread LockOne, LockTwo and Peterson locks, and the
+// n-thread Filter, Bakery and Peterson-tournament-tree locks.
+//
+// The book writes these with plain reads and writes of "multi-reader
+// multi-writer registers" and assumes sequential consistency. Go's memory
+// model makes no such promise for plain accesses, so every shared field
+// here is a sync/atomic value — the Go rendering of the book's registers
+// (the book's own appendix makes the same point about real hardware and
+// volatile). All locks in this package are starvation-free or deadlock-free
+// exactly as proved in the chapter.
+package mutex
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"amp/internal/core"
+)
+
+// Lock is a mutual-exclusion lock whose operations identify the calling
+// thread, mirroring the book's use of ThreadID.get(). IDs must be dense in
+// [0, capacity) and at most one goroutine may use a given ID at a time.
+type Lock interface {
+	Lock(me core.ThreadID)
+	Unlock(me core.ThreadID)
+	// Capacity reports the number of distinct thread IDs supported.
+	Capacity() int
+}
+
+// LockOne is the first two-thread attempt (Fig. 2.4): each thread raises a
+// flag and waits for the other's to drop. It satisfies mutual exclusion but
+// deadlocks when the lock attempts interleave, which TestLockOneDeadlocks
+// demonstrates — it is included for completeness, as in the book.
+type LockOne struct {
+	flag [2]atomic.Bool
+}
+
+var _ Lock = (*LockOne)(nil)
+
+// Lock acquires the lock for thread me (0 or 1). May deadlock under
+// concurrent acquisition; see the type comment.
+func (l *LockOne) Lock(me core.ThreadID) {
+	other := 1 - me
+	l.flag[me].Store(true)
+	for l.flag[other].Load() {
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock.
+func (l *LockOne) Unlock(me core.ThreadID) {
+	l.flag[me].Store(false)
+}
+
+// Capacity reports 2.
+func (l *LockOne) Capacity() int { return 2 }
+
+// TryLock attempts the LockOne protocol but gives up after spins failed
+// polls, returning false. This makes the deadlock demonstrable in tests
+// without hanging them.
+func (l *LockOne) TryLock(me core.ThreadID, spins int) bool {
+	other := 1 - me
+	l.flag[me].Store(true)
+	for i := 0; i < spins; i++ {
+		if !l.flag[other].Load() {
+			return true
+		}
+		runtime.Gosched()
+	}
+	l.flag[me].Store(false)
+	return false
+}
+
+// LockTwo is the second two-thread attempt (Fig. 2.5): pure deference via a
+// victim field. It excludes, but deadlocks when one thread runs alone —
+// the complementary failure to LockOne.
+type LockTwo struct {
+	victim atomic.Int32
+}
+
+var _ Lock = (*LockTwo)(nil)
+
+// Lock acquires for thread me (0 or 1). Blocks forever if the other thread
+// never calls Lock; see the type comment.
+func (l *LockTwo) Lock(me core.ThreadID) {
+	l.victim.Store(int32(me))
+	for l.victim.Load() == int32(me) {
+		runtime.Gosched()
+	}
+}
+
+// Unlock is a no-op: LockTwo releases by the next Lock call.
+func (l *LockTwo) Unlock(core.ThreadID) {}
+
+// Capacity reports 2.
+func (l *LockTwo) Capacity() int { return 2 }
+
+// TryLock attempts the LockTwo protocol with a bounded number of polls.
+func (l *LockTwo) TryLock(me core.ThreadID, spins int) bool {
+	l.victim.Store(int32(me))
+	for i := 0; i < spins; i++ {
+		if l.victim.Load() != int32(me) {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// Peterson combines LockOne and LockTwo into the classic starvation-free
+// two-thread lock (Fig. 2.6): raise your flag, defer as victim, wait while
+// the other is interested and you are the victim.
+type Peterson struct {
+	flag   [2]atomic.Bool
+	victim atomic.Int32
+}
+
+var _ Lock = (*Peterson)(nil)
+
+// Lock acquires the lock for thread me (0 or 1).
+func (l *Peterson) Lock(me core.ThreadID) {
+	other := 1 - me
+	l.flag[me].Store(true)
+	l.victim.Store(int32(me))
+	for l.flag[other].Load() && l.victim.Load() == int32(me) {
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock.
+func (l *Peterson) Unlock(me core.ThreadID) {
+	l.flag[me].Store(false)
+}
+
+// Capacity reports 2.
+func (l *Peterson) Capacity() int { return 2 }
+
+// Filter generalizes Peterson to n threads (Fig. 2.7): n-1 waiting levels,
+// each of which filters out one thread. level[t] is the level thread t is
+// trying to enter; victim[L] is the last thread to enter level L.
+type Filter struct {
+	n      int
+	level  []atomic.Int32
+	victim []atomic.Int32
+}
+
+var _ Lock = (*Filter)(nil)
+
+// NewFilter returns a Filter lock for n threads.
+func NewFilter(n int) *Filter {
+	if n < 2 {
+		panic(fmt.Sprintf("mutex: filter lock needs at least 2 threads, got %d", n))
+	}
+	return &Filter{
+		n:      n,
+		level:  make([]atomic.Int32, n),
+		victim: make([]atomic.Int32, n),
+	}
+}
+
+// Lock acquires the lock for thread me.
+func (l *Filter) Lock(me core.ThreadID) {
+	for lvl := 1; lvl < l.n; lvl++ {
+		l.level[me].Store(int32(lvl))
+		l.victim[lvl].Store(int32(me))
+		// Spin while some other thread is at my level or higher and I am
+		// this level's victim.
+		for l.victim[lvl].Load() == int32(me) && l.someoneAtOrAbove(lvl, me) {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (l *Filter) someoneAtOrAbove(lvl int, me core.ThreadID) bool {
+	for t := 0; t < l.n; t++ {
+		if t != int(me) && l.level[t].Load() >= int32(lvl) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unlock releases the lock.
+func (l *Filter) Unlock(me core.ThreadID) {
+	l.level[me].Store(0)
+}
+
+// Capacity reports the thread bound n.
+func (l *Filter) Capacity() int { return l.n }
+
+// Bakery is Lamport's bakery lock (Fig. 2.9): first-come-first-served by
+// (label, id) lexicographic order. Labels grow without bound; int64 labels
+// make overflow a non-issue in practice.
+type Bakery struct {
+	n     int
+	flag  []atomic.Bool
+	label []atomic.Int64
+}
+
+var _ Lock = (*Bakery)(nil)
+
+// NewBakery returns a Bakery lock for n threads.
+func NewBakery(n int) *Bakery {
+	if n < 1 {
+		panic(fmt.Sprintf("mutex: bakery lock needs at least 1 thread, got %d", n))
+	}
+	return &Bakery{
+		n:     n,
+		flag:  make([]atomic.Bool, n),
+		label: make([]atomic.Int64, n),
+	}
+}
+
+// Lock takes a ticket one larger than any visible label, then waits for
+// every thread with a lexicographically smaller (label, id).
+func (l *Bakery) Lock(me core.ThreadID) {
+	l.flag[me].Store(true)
+	max := int64(0)
+	for t := 0; t < l.n; t++ {
+		if lab := l.label[t].Load(); lab > max {
+			max = lab
+		}
+	}
+	myLabel := max + 1
+	l.label[me].Store(myLabel)
+	for t := 0; t < l.n; t++ {
+		if t == int(me) {
+			continue
+		}
+		for l.flag[t].Load() && lexLess(l.label[t].Load(), int64(t), myLabel, int64(me)) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// lexLess reports (la, ta) < (lb, tb) lexicographically, ignoring la == 0
+// handled by the flag check in Lock. A label of 0 means "never interested",
+// but such threads also have flag false, so the caller never waits on them.
+func lexLess(la, ta, lb, tb int64) bool {
+	if la != lb {
+		return la < lb
+	}
+	return ta < tb
+}
+
+// Unlock releases the lock.
+func (l *Bakery) Unlock(me core.ThreadID) {
+	l.flag[me].Store(false)
+}
+
+// Capacity reports the thread bound n.
+func (l *Bakery) Capacity() int { return l.n }
+
+// Tournament is the Peterson tournament tree sketched in the Chapter 2
+// exercises: n threads (n a power of two) compete pairwise up a binary tree
+// of Peterson locks; the root winner holds the global lock. Unlock releases
+// the path from the root back down to the leaf.
+type Tournament struct {
+	n     int
+	depth int
+	nodes []Peterson // heap layout: node 1 is the root
+}
+
+var _ Lock = (*Tournament)(nil)
+
+// NewTournament returns a tournament lock for n threads; n must be a power
+// of two and at least 2.
+func NewTournament(n int) *Tournament {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("mutex: tournament lock needs a power-of-two thread count >= 2, got %d", n))
+	}
+	depth := 0
+	for 1<<depth < n {
+		depth++
+	}
+	return &Tournament{n: n, depth: depth, nodes: make([]Peterson, n)}
+}
+
+// Lock climbs from the thread's leaf to the root, winning a Peterson lock
+// at each internal node.
+func (l *Tournament) Lock(me core.ThreadID) {
+	node := l.n + int(me) // virtual leaf index
+	for node > 1 {
+		role := core.ThreadID(node & 1) // left child plays 0, right plays 1
+		node /= 2
+		l.nodes[node].Lock(role)
+	}
+}
+
+// Unlock walks from the root back to the leaf, releasing each node with the
+// role the thread played there.
+func (l *Tournament) Unlock(me core.ThreadID) {
+	// Recompute the path root→leaf: the node at height h on the path is
+	// (n + me) >> h, and the role played there is bit h-1 of (n + me).
+	leaf := l.n + int(me)
+	for h := l.depth; h >= 1; h-- {
+		node := leaf >> h
+		role := core.ThreadID((leaf >> (h - 1)) & 1)
+		l.nodes[node].Unlock(role)
+	}
+}
+
+// Capacity reports the thread bound n.
+func (l *Tournament) Capacity() int { return l.n }

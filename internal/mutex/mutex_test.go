@@ -1,0 +1,230 @@
+package mutex
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"amp/internal/core"
+)
+
+// exercise runs `threads` goroutines, each performing `iters` critical
+// sections guarded by l, and fails the test on any mutual-exclusion
+// violation. It returns the total number of completed critical sections.
+func exercise(t *testing.T, l Lock, threads, iters int) int64 {
+	t.Helper()
+	if threads > l.Capacity() {
+		t.Fatalf("test bug: %d threads exceeds lock capacity %d", threads, l.Capacity())
+	}
+	var (
+		inCS    atomic.Int32
+		total   atomic.Int64
+		counter int64 // plain variable: the race detector cross-checks exclusion
+		wg      sync.WaitGroup
+	)
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock(me)
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("mutual exclusion violated: %d threads in CS", got)
+				}
+				counter++
+				inCS.Add(-1)
+				l.Unlock(me)
+				total.Add(1)
+			}
+		}(core.ThreadID(th))
+	}
+	wg.Wait()
+	if counter != int64(threads*iters) {
+		t.Fatalf("lost updates: counter = %d, want %d", counter, threads*iters)
+	}
+	return total.Load()
+}
+
+func TestPetersonMutualExclusion(t *testing.T) {
+	exercise(t, &Peterson{}, 2, 2000)
+}
+
+func TestFilterMutualExclusion(t *testing.T) {
+	exercise(t, NewFilter(4), 4, 500)
+}
+
+func TestBakeryMutualExclusion(t *testing.T) {
+	exercise(t, NewBakery(4), 4, 500)
+}
+
+func TestTournamentMutualExclusion(t *testing.T) {
+	exercise(t, NewTournament(4), 4, 500)
+}
+
+func TestTournamentEightThreads(t *testing.T) {
+	exercise(t, NewTournament(8), 8, 200)
+}
+
+func TestLockOneSolo(t *testing.T) {
+	var l LockOne
+	// A single thread can always get through LockOne.
+	for i := 0; i < 10; i++ {
+		l.Lock(0)
+		l.Unlock(0)
+	}
+}
+
+func TestLockOneDeadlockScenario(t *testing.T) {
+	// The book's deadlock: both threads set their flags before either
+	// checks the other's. Simulate thread 1 having just set its flag;
+	// thread 0 then cannot acquire.
+	var l LockOne
+	l.flag[1].Store(true)
+	if l.TryLock(0, 100) {
+		t.Fatal("LockOne acquired while the other thread's flag was up")
+	}
+	// Once thread 1 clears its flag, thread 0 proceeds.
+	l.flag[1].Store(false)
+	if !l.TryLock(0, 100) {
+		t.Fatal("LockOne failed to acquire with the other flag down")
+	}
+}
+
+func TestLockOneMutualExclusionUnderAlternation(t *testing.T) {
+	// LockOne does exclude; it only lacks deadlock-freedom. With TryLock
+	// retries standing in for a fair scheduler, exclusion must still hold.
+	var (
+		l    LockOne
+		inCS atomic.Int32
+		wg   sync.WaitGroup
+	)
+	for th := 0; th < 2; th++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for done := 0; done < 300; {
+				if !l.TryLock(me, 50) {
+					continue
+				}
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("LockOne exclusion violated: %d in CS", got)
+				}
+				inCS.Add(-1)
+				l.Unlock(me)
+				done++
+			}
+		}(core.ThreadID(th))
+	}
+	wg.Wait()
+}
+
+func TestLockTwoSoloDeadlocks(t *testing.T) {
+	// The book's complementary failure: running alone, LockTwo waits
+	// forever because no one else overwrites victim.
+	var l LockTwo
+	if l.TryLock(0, 100) {
+		t.Fatal("LockTwo acquired running solo; it must deadlock")
+	}
+}
+
+func TestLockTwoAlternation(t *testing.T) {
+	// With both threads active, each Lock call releases the other. LockTwo
+	// makes progress only while its partner keeps arriving, so the threads
+	// share a *combined* quota: when it is reached, both stop, and neither
+	// is left waiting on a partner that already exited.
+	var (
+		l     LockTwo
+		inCS  atomic.Int32
+		total atomic.Int32
+		wg    sync.WaitGroup
+	)
+	const quota = 200
+	for th := 0; th < 2; th++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for total.Load() < quota {
+				if !l.TryLock(me, 200) {
+					continue
+				}
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("LockTwo exclusion violated: %d in CS", got)
+				}
+				inCS.Add(-1)
+				total.Add(1)
+			}
+		}(core.ThreadID(th))
+	}
+	wg.Wait()
+	if total.Load() < quota {
+		t.Fatalf("completed %d critical sections, want at least %d", total.Load(), quota)
+	}
+}
+
+func TestFilterFewerThreadsThanCapacity(t *testing.T) {
+	// A Filter lock sized for 8 must work when only 3 threads show up.
+	exercise(t, NewFilter(8), 3, 300)
+}
+
+func TestBakerySingleThread(t *testing.T) {
+	l := NewBakery(1)
+	for i := 0; i < 100; i++ {
+		l.Lock(0)
+		l.Unlock(0)
+	}
+}
+
+func TestBakeryLabelsIncrease(t *testing.T) {
+	l := NewBakery(2)
+	l.Lock(0)
+	first := l.label[0].Load()
+	l.Unlock(0)
+	l.Lock(0)
+	second := l.label[0].Load()
+	l.Unlock(0)
+	if second <= first {
+		t.Fatalf("bakery labels not increasing: %d then %d", first, second)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func()
+	}{
+		{"filter n=1", func() { NewFilter(1) }},
+		{"bakery n=0", func() { NewBakery(0) }},
+		{"tournament n=3", func() { NewTournament(3) }},
+		{"tournament n=1", func() { NewTournament(1) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("constructor did not panic")
+				}
+			}()
+			tt.f()
+		})
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	tests := []struct {
+		name string
+		l    Lock
+		want int
+	}{
+		{"lockone", &LockOne{}, 2},
+		{"locktwo", &LockTwo{}, 2},
+		{"peterson", &Peterson{}, 2},
+		{"filter", NewFilter(6), 6},
+		{"bakery", NewBakery(5), 5},
+		{"tournament", NewTournament(8), 8},
+	}
+	for _, tt := range tests {
+		if got := tt.l.Capacity(); got != tt.want {
+			t.Errorf("%s: Capacity() = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}

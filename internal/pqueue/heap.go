@@ -1,0 +1,199 @@
+package pqueue
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// heapStatus tags a FineGrainedHeap node (Fig. 15.3).
+type heapStatus int
+
+const (
+	statusEmpty heapStatus = iota
+	statusAvailable
+	statusBusy // owned by an add() still bubbling it up
+)
+
+// heapNode is one slot of the array heap, with its own lock.
+type heapNode struct {
+	mu       sync.Mutex
+	tag      heapStatus
+	owner    int64 // op identity when BUSY
+	priority int
+}
+
+func (n *heapNode) init(priority int, owner int64) {
+	n.priority = priority
+	n.tag = statusBusy
+	n.owner = owner
+}
+
+func (n *heapNode) amOwner(owner int64) bool {
+	return n.tag == statusBusy && n.owner == owner
+}
+
+// FineGrainedHeap is the lock-per-node binary heap of Fig. 15.3–15.4: a
+// short critical section on a global lock reserves the slot, then add()
+// bubbles its BUSY node up with hand-over-hand locking while removeMin()
+// percolates the root replacement down. The owner field (the book uses the
+// thread ID; we use a per-operation ticket) lets an add detect that a
+// concurrent swap moved its node.
+type FineGrainedHeap struct {
+	heapLock sync.Mutex
+	next     int // index of the next free slot; ROOT is 1
+	heap     []heapNode
+	opID     atomic.Int64
+}
+
+var _ PQueue = (*FineGrainedHeap)(nil)
+
+const heapRoot = 1
+
+// NewFineGrainedHeap returns an empty heap holding at most capacity items.
+func NewFineGrainedHeap(capacity int) *FineGrainedHeap {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("pqueue: heap capacity must be positive, got %d", capacity))
+	}
+	return &FineGrainedHeap{
+		next: heapRoot,
+		heap: make([]heapNode, capacity+heapRoot),
+	}
+}
+
+func (q *FineGrainedHeap) swap(a, b int) {
+	na, nb := &q.heap[a], &q.heap[b]
+	na.tag, nb.tag = nb.tag, na.tag
+	na.owner, nb.owner = nb.owner, na.owner
+	na.priority, nb.priority = nb.priority, na.priority
+}
+
+// Add inserts a priority, bubbling it toward the root.
+func (q *FineGrainedHeap) Add(priority int) {
+	me := q.opID.Add(1)
+
+	q.heapLock.Lock()
+	if q.next >= len(q.heap) {
+		q.heapLock.Unlock()
+		panic(fmt.Sprintf("pqueue: heap capacity %d exceeded", len(q.heap)-heapRoot))
+	}
+	child := q.next
+	q.next++
+	q.heap[child].mu.Lock()
+	q.heap[child].init(priority, me)
+	q.heapLock.Unlock()
+	q.heap[child].mu.Unlock()
+
+	for child > heapRoot {
+		parent := child / 2
+		q.heap[parent].mu.Lock()
+		q.heap[child].mu.Lock()
+		oldChild := child
+		switch {
+		case q.heap[parent].tag == statusAvailable && q.heap[child].amOwner(me):
+			if q.heap[child].priority < q.heap[parent].priority {
+				q.swap(child, parent)
+				child = parent
+			} else {
+				// Settled: hand the node over.
+				q.heap[child].tag = statusAvailable
+				q.heap[child].owner = 0
+				q.heap[oldChild].mu.Unlock()
+				q.heap[parent].mu.Unlock()
+				return
+			}
+		case !q.heap[child].amOwner(me):
+			// A removeMin swapped our node away; chase it upward.
+			child = parent
+		default:
+			// Parent is BUSY or EMPTY (being reorganized): release and retry.
+		}
+		q.heap[oldChild].mu.Unlock()
+		q.heap[parent].mu.Unlock()
+	}
+	if child == heapRoot {
+		q.heap[heapRoot].mu.Lock()
+		if q.heap[heapRoot].amOwner(me) {
+			q.heap[heapRoot].tag = statusAvailable
+			q.heap[heapRoot].owner = 0
+		}
+		q.heap[heapRoot].mu.Unlock()
+	}
+}
+
+// RemoveMin removes and returns the smallest priority, percolating the
+// last slot's item down from the root.
+func (q *FineGrainedHeap) RemoveMin() (int, bool) {
+	q.heapLock.Lock()
+	if q.next == heapRoot {
+		q.heapLock.Unlock()
+		return 0, false
+	}
+	q.next--
+	bottom := q.next
+	if bottom == heapRoot {
+		// Single element: take the root directly.
+		q.heap[heapRoot].mu.Lock()
+		q.heapLock.Unlock()
+		priority := q.heap[heapRoot].priority
+		q.heap[heapRoot].tag = statusEmpty
+		q.heap[heapRoot].owner = 0
+		q.heap[heapRoot].mu.Unlock()
+		return priority, true
+	}
+	q.heap[heapRoot].mu.Lock()
+	q.heap[bottom].mu.Lock()
+	q.heapLock.Unlock()
+
+	priority := q.heap[heapRoot].priority
+	q.heap[heapRoot].tag = statusEmpty
+	q.heap[heapRoot].owner = 0
+	q.swap(bottom, heapRoot)
+	q.heap[bottom].mu.Unlock()
+
+	if q.heap[heapRoot].tag == statusEmpty {
+		// The bottom slot was itself empty-tagged (racing adds); nothing to
+		// percolate.
+		q.heap[heapRoot].mu.Unlock()
+		return priority, true
+	}
+
+	// Percolate the (AVAILABLE or BUSY) root replacement down.
+	parent := heapRoot
+	for 2*parent+1 < len(q.heap) {
+		left, right := 2*parent, 2*parent+1
+		q.heap[left].mu.Lock()
+		q.heap[right].mu.Lock()
+		var child int
+		switch {
+		case q.heap[left].tag == statusEmpty:
+			q.heap[right].mu.Unlock()
+			q.heap[left].mu.Unlock()
+			goto done
+		case q.heap[right].tag == statusEmpty || q.heap[left].priority < q.heap[right].priority:
+			q.heap[right].mu.Unlock()
+			child = left
+		default:
+			q.heap[left].mu.Unlock()
+			child = right
+		}
+		if q.heap[child].priority < q.heap[parent].priority {
+			q.swap(parent, child)
+			q.heap[parent].mu.Unlock()
+			parent = child
+		} else {
+			q.heap[child].mu.Unlock()
+			goto done
+		}
+	}
+done:
+	q.heap[parent].mu.Unlock()
+	return priority, true
+}
+
+// Size reports the current number of items (racy outside quiescence).
+func (q *FineGrainedHeap) Size() int {
+	q.heapLock.Lock()
+	defer q.heapLock.Unlock()
+	return q.next - heapRoot
+}

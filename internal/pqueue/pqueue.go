@@ -1,0 +1,198 @@
+// Package pqueue implements the Chapter 15 concurrent priority queues:
+//
+//   - SimpleLinear: an array of bins scanned in priority order (Fig. 15.1)
+//   - SimpleTree: a counter tree over the bins (Fig. 15.2)
+//   - FineGrainedHeap: a lock-per-node array heap (Fig. 15.3–15.4)
+//   - SkipQueue: a lock-free skiplist-based unbounded queue (Fig. 15.5)
+//   - LockedHeap: a coarse binary heap, the baseline for experiment E9
+//
+// As in the book, the bounded structures (SimpleLinear, SimpleTree) are
+// pools with a fixed priority range and are quiescently consistent rather
+// than linearizable; SkipQueue is quiescently consistent; FineGrainedHeap
+// and LockedHeap are linearizable.
+package pqueue
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PQueue is a multiset of integer priorities. RemoveMin reports false when
+// the queue is observed empty.
+type PQueue interface {
+	Add(priority int)
+	RemoveMin() (int, bool)
+}
+
+// intHeap adapts a slice to container/heap.
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// LockedHeap is a mutex around a sequential binary heap.
+type LockedHeap struct {
+	mu sync.Mutex
+	h  intHeap
+}
+
+var _ PQueue = (*LockedHeap)(nil)
+
+// NewLockedHeap returns an empty queue.
+func NewLockedHeap() *LockedHeap { return &LockedHeap{} }
+
+// Add inserts a priority.
+func (q *LockedHeap) Add(priority int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	heap.Push(&q.h, priority)
+}
+
+// RemoveMin removes and returns the smallest priority.
+func (q *LockedHeap) RemoveMin() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return heap.Pop(&q.h).(int), true
+}
+
+// bin is a counter-based bag of identical priorities with a bounded
+// decrement that never goes below zero (the book's boundedGetAndDecrement).
+type bin struct {
+	count atomic.Int64
+}
+
+func (b *bin) put() { b.count.Add(1) }
+
+func (b *bin) tryGet() bool {
+	for {
+		v := b.count.Load()
+		if v == 0 {
+			return false
+		}
+		if b.count.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// SimpleLinear (Fig. 15.1) keeps one bin per priority and scans upward on
+// RemoveMin. Quiescently consistent: a RemoveMin overlapping an Add of a
+// smaller priority may return the larger one.
+type SimpleLinear struct {
+	bins []bin
+}
+
+var _ PQueue = (*SimpleLinear)(nil)
+
+// NewSimpleLinear returns a queue over priorities [0, rng).
+func NewSimpleLinear(rng int) *SimpleLinear {
+	if rng <= 0 {
+		panic(fmt.Sprintf("pqueue: priority range must be positive, got %d", rng))
+	}
+	return &SimpleLinear{bins: make([]bin, rng)}
+}
+
+// Add inserts a priority in [0, range).
+func (q *SimpleLinear) Add(priority int) {
+	q.bins[q.check(priority)].put()
+}
+
+// RemoveMin scans bins from 0 upward.
+func (q *SimpleLinear) RemoveMin() (int, bool) {
+	for i := range q.bins {
+		if q.bins[i].tryGet() {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (q *SimpleLinear) check(priority int) int {
+	if priority < 0 || priority >= len(q.bins) {
+		panic(fmt.Sprintf("pqueue: priority %d outside [0,%d)", priority, len(q.bins)))
+	}
+	return priority
+}
+
+// SimpleTree (Fig. 15.2) overlays a binary tree of counters on the bins:
+// each inner node counts the items in its left subtree, so RemoveMin
+// descends in O(log range) instead of scanning. Quiescently consistent.
+type SimpleTree struct {
+	rng      int
+	counters []atomic.Int64 // heap-indexed inner nodes, 1-based; node i's left child is 2i
+	bins     []bin
+}
+
+var _ PQueue = (*SimpleTree)(nil)
+
+// NewSimpleTree returns a queue over priorities [0, rng); rng must be a
+// power of two.
+func NewSimpleTree(rng int) *SimpleTree {
+	if rng < 2 || rng&(rng-1) != 0 {
+		panic(fmt.Sprintf("pqueue: tree range must be a power of two >= 2, got %d", rng))
+	}
+	return &SimpleTree{
+		rng:      rng,
+		counters: make([]atomic.Int64, rng), // nodes 1..rng-1 used
+		bins:     make([]bin, rng),
+	}
+}
+
+// Add deposits the item in its bin, then increments the "left subtree"
+// counters on the path to the root, bottom-up.
+func (q *SimpleTree) Add(priority int) {
+	if priority < 0 || priority >= q.rng {
+		panic(fmt.Sprintf("pqueue: priority %d outside [0,%d)", priority, q.rng))
+	}
+	q.bins[priority].put()
+	node := q.rng + priority // virtual leaf index
+	for node > 1 {
+		parent := node / 2
+		if node == 2*parent { // we are the left child
+			q.counters[parent].Add(1)
+		}
+		node = parent
+	}
+}
+
+// boundedDec decrements the counter unless it is zero, returning the prior
+// value.
+func boundedDec(c *atomic.Int64) int64 {
+	for {
+		v := c.Load()
+		if v == 0 {
+			return 0
+		}
+		if c.CompareAndSwap(v, v-1) {
+			return v
+		}
+	}
+}
+
+// RemoveMin descends from the root: positive left-count means the minimum
+// is on the left.
+func (q *SimpleTree) RemoveMin() (int, bool) {
+	node := 1
+	for node < q.rng { // while inner
+		if boundedDec(&q.counters[node]) > 0 {
+			node = 2 * node
+		} else {
+			node = 2*node + 1
+		}
+	}
+	priority := node - q.rng
+	if q.bins[priority].tryGet() {
+		return priority, true
+	}
+	// Lost a race with a concurrent remover or an in-flight add; report
+	// empty, as the book's pool get() would return null.
+	return 0, false
+}

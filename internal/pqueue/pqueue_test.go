@@ -1,0 +1,292 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// implementations returns fresh queues. Bounded ones cover priorities
+// [0, 64); tests stay inside that range.
+func implementations() map[string]func() PQueue {
+	return map[string]func() PQueue{
+		"locked":    func() PQueue { return NewLockedHeap() },
+		"linear":    func() PQueue { return NewSimpleLinear(64) },
+		"tree":      func() PQueue { return NewSimpleTree(64) },
+		"finegrain": func() PQueue { return NewFineGrainedHeap(1 << 14) },
+		"skip":      func() PQueue { return NewSkipQueue() },
+	}
+}
+
+func TestSequentialOrdering(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			if _, ok := q.RemoveMin(); ok {
+				t.Fatal("RemoveMin on empty queue reported ok")
+			}
+			in := []int{5, 1, 9, 3, 3, 7, 0, 63, 2}
+			for _, p := range in {
+				q.Add(p)
+			}
+			want := append([]int(nil), in...)
+			sort.Ints(want)
+			for i, w := range want {
+				got, ok := q.RemoveMin()
+				if !ok || got != w {
+					t.Fatalf("RemoveMin #%d = (%d,%v), want (%d,true)", i, got, ok, w)
+				}
+			}
+			if _, ok := q.RemoveMin(); ok {
+				t.Fatal("RemoveMin on drained queue reported ok")
+			}
+		})
+	}
+}
+
+func TestDifferentialSequential(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			var ref []int
+			rng := rand.New(rand.NewSource(23))
+			for i := 0; i < 4000; i++ {
+				if rng.Intn(2) == 0 {
+					p := rng.Intn(64)
+					q.Add(p)
+					ref = append(ref, p)
+					sort.Ints(ref)
+				} else {
+					got, ok := q.RemoveMin()
+					if len(ref) == 0 {
+						if ok {
+							t.Fatalf("op %d: RemoveMin ok on empty queue", i)
+						}
+						continue
+					}
+					if !ok || got != ref[0] {
+						t.Fatalf("op %d: RemoveMin = (%d,%v), want (%d,true)", i, got, ok, ref[0])
+					}
+					ref = ref[1:]
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentConservation: every added priority is eventually removed
+// exactly once; the final sequential drain must retrieve whatever the
+// concurrent phase left behind (quiescent consistency).
+func TestConcurrentConservation(t *testing.T) {
+	const (
+		workers = 4
+		perW    = 400
+	)
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			var (
+				mu      sync.Mutex
+				added   = make(map[int]int)
+				removed = make(map[int]int)
+			)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < perW; i++ {
+						p := rng.Intn(64)
+						q.Add(p)
+						mu.Lock()
+						added[p]++
+						mu.Unlock()
+						if i%2 == 1 {
+							if v, ok := q.RemoveMin(); ok {
+								mu.Lock()
+								removed[v]++
+								mu.Unlock()
+							}
+						}
+					}
+				}(int64(w + 3))
+			}
+			wg.Wait()
+			for {
+				v, ok := q.RemoveMin()
+				if !ok {
+					break
+				}
+				removed[v]++
+			}
+			for p, n := range added {
+				if removed[p] != n {
+					t.Fatalf("priority %d: added %d, removed %d", p, n, removed[p])
+				}
+			}
+			for p, n := range removed {
+				if added[p] != n {
+					t.Fatalf("priority %d: removed %d but added %d", p, n, added[p])
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentMinQuality: once the queue is quiescent and nonempty,
+// RemoveMin must return the true minimum.
+func TestQuiescentMinExact(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 300; i++ {
+						q.Add(rng.Intn(60) + 2)
+					}
+				}(int64(w + 31))
+			}
+			wg.Wait()
+			q.Add(1) // now the unique minimum
+			got, ok := q.RemoveMin()
+			if !ok || got != 1 {
+				t.Fatalf("quiescent RemoveMin = (%d,%v), want (1,true)", got, ok)
+			}
+		})
+	}
+}
+
+func TestSkipQueueFIFOWithinPriority(t *testing.T) {
+	// Not part of the book's contract, but our unique-key construction
+	// gives FIFO among equal priorities; pin it down.
+	q := NewSkipQueue()
+	for i := 0; i < 10; i++ {
+		q.Add(5)
+	}
+	for i := 0; i < 10; i++ {
+		if v, ok := q.RemoveMin(); !ok || v != 5 {
+			t.Fatalf("RemoveMin = (%d,%v)", v, ok)
+		}
+	}
+}
+
+func TestSkipQueueNegativePriorities(t *testing.T) {
+	q := NewSkipQueue()
+	for _, p := range []int{3, -7, 0, -1, 12} {
+		q.Add(p)
+	}
+	want := []int{-7, -1, 0, 3, 12}
+	for _, w := range want {
+		if got, ok := q.RemoveMin(); !ok || got != w {
+			t.Fatalf("RemoveMin = (%d,%v), want (%d,true)", got, ok, w)
+		}
+	}
+}
+
+func TestFineGrainedHeapCapacityPanics(t *testing.T) {
+	q := NewFineGrainedHeap(2)
+	q.Add(1)
+	q.Add(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overfull heap did not panic")
+		}
+	}()
+	q.Add(3)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSimpleLinear(0) },
+		func() { NewSimpleTree(3) },
+		func() { NewSimpleTree(0) },
+		func() { NewFineGrainedHeap(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBoundedRangePanics(t *testing.T) {
+	for name, q := range map[string]PQueue{
+		"linear": NewSimpleLinear(8),
+		"tree":   NewSimpleTree(8),
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range priority did not panic")
+				}
+			}()
+			q.Add(8)
+		})
+	}
+}
+
+func TestFineGrainedHeapSize(t *testing.T) {
+	q := NewFineGrainedHeap(16)
+	if q.Size() != 0 {
+		t.Fatalf("fresh Size = %d", q.Size())
+	}
+	q.Add(4)
+	q.Add(2)
+	if q.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", q.Size())
+	}
+	q.RemoveMin()
+	if q.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", q.Size())
+	}
+}
+
+func TestQuickHeapEquivalence(t *testing.T) {
+	for name, mk := range map[string]func() PQueue{
+		"locked":    func() PQueue { return NewLockedHeap() },
+		"finegrain": func() PQueue { return NewFineGrainedHeap(4096) },
+		"skip":      func() PQueue { return NewSkipQueue() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []int16) bool {
+				q := mk()
+				var ref []int
+				for _, code := range ops {
+					if code >= 0 {
+						p := int(code % 512)
+						q.Add(p)
+						ref = append(ref, p)
+						sort.Ints(ref)
+					} else {
+						got, ok := q.RemoveMin()
+						if len(ref) == 0 {
+							if ok {
+								return false
+							}
+							continue
+						}
+						if !ok || got != ref[0] {
+							return false
+						}
+						ref = ref[1:]
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package pqueue
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"amp/internal/skiplist"
+)
+
+// SkipQueue is the unbounded lock-free priority queue of Fig. 15.5: a
+// lock-free skiplist ordered by priority, where RemoveMin marks the first
+// undeleted bottom-level node as its linearization-ish point and then
+// physically removes it. As the book notes, the queue is quiescently
+// consistent: a RemoveMin racing with an Add of a smaller priority may
+// return the larger one.
+//
+// The skiplist needs distinct keys, so each insertion gets a unique
+// sequence number packed into the low bits: equal priorities dequeue in
+// roughly FIFO order as a bonus.
+type SkipQueue struct {
+	list *skiplist.LockFreeSkipList
+	seq  atomic.Uint64
+}
+
+var _ PQueue = (*SkipQueue)(nil)
+
+// seqBits is the number of low bits holding the uniquifier; priorities must
+// fit in the remaining bits.
+const seqBits = 22
+
+// MaxPriority is the largest usable priority magnitude for SkipQueue.
+const MaxPriority = 1 << (62 - seqBits)
+
+// NewSkipQueue returns an empty queue.
+func NewSkipQueue() *SkipQueue {
+	return &SkipQueue{list: skiplist.NewLockFreeSkipList()}
+}
+
+// Add inserts a priority; |priority| must be below MaxPriority.
+func (q *SkipQueue) Add(priority int) {
+	if priority <= -MaxPriority || priority >= MaxPriority {
+		panic(fmt.Sprintf("pqueue: priority %d out of range (±%d)", priority, MaxPriority))
+	}
+	key := (priority << seqBits) | int(q.seq.Add(1)&(1<<seqBits-1))
+	for !q.list.Add(key) {
+		// Sequence collision after 2^22 wraps — retake a uniquifier.
+		key = (priority << seqBits) | int(q.seq.Add(1)&(1<<seqBits-1))
+	}
+}
+
+// RemoveMin marks and removes the first node of the bottom-level list.
+func (q *SkipQueue) RemoveMin() (int, bool) {
+	for {
+		key, ok := q.list.Min()
+		if !ok {
+			return 0, false
+		}
+		if q.list.Remove(key) {
+			return key >> seqBits, true
+		}
+		// Another remover claimed it; try the next minimum.
+	}
+}

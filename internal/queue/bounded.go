@@ -1,0 +1,123 @@
+package queue
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// boundedNode is a singly linked node; next is written by enqueuers (under
+// enqLock) and read by dequeuers after an atomic size edge.
+type boundedNode[T any] struct {
+	value T
+	next  *boundedNode[T]
+}
+
+// BoundedQueue is the blocking bounded queue of Fig. 10.3–10.5: one lock
+// for each end so an enqueuer and a dequeuer never contend, an atomic size
+// shared between them, and a condition per lock for full/empty waits.
+type BoundedQueue[T any] struct {
+	capacity int
+	size     atomic.Int64
+
+	enqLock sync.Mutex
+	notFull *sync.Cond
+	tail    *boundedNode[T]
+
+	deqLock  sync.Mutex
+	notEmpty *sync.Cond
+	head     *boundedNode[T]
+}
+
+var _ Queue[int] = (*BoundedQueue[int])(nil)
+
+// NewBoundedQueue returns an empty queue holding at most capacity items.
+func NewBoundedQueue[T any](capacity int) *BoundedQueue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: bounded capacity must be positive, got %d", capacity))
+	}
+	q := &BoundedQueue[T]{capacity: capacity}
+	sentinel := &boundedNode[T]{}
+	q.head = sentinel
+	q.tail = sentinel
+	q.notFull = sync.NewCond(&q.enqLock)
+	q.notEmpty = sync.NewCond(&q.deqLock)
+	return q
+}
+
+// Enq appends x, blocking while the queue is full. If the queue was empty,
+// it wakes sleeping dequeuers after releasing the enqueue lock.
+func (q *BoundedQueue[T]) Enq(x T) {
+	mustWakeDequeuers := false
+	q.enqLock.Lock()
+	for q.size.Load() == int64(q.capacity) {
+		q.notFull.Wait()
+	}
+	e := &boundedNode[T]{value: x}
+	q.tail.next = e
+	q.tail = e
+	if q.size.Add(1) == 1 {
+		mustWakeDequeuers = true
+	}
+	q.enqLock.Unlock()
+
+	if mustWakeDequeuers {
+		q.deqLock.Lock()
+		q.notEmpty.Broadcast()
+		q.deqLock.Unlock()
+	}
+}
+
+// Deq removes and returns the head, blocking while the queue is empty. The
+// boolean is always true; it exists to satisfy the Queue interface.
+func (q *BoundedQueue[T]) Deq() (T, bool) {
+	var result T
+	mustWakeEnqueuers := false
+	q.deqLock.Lock()
+	for q.size.Load() == 0 {
+		q.notEmpty.Wait()
+	}
+	result = q.head.next.value
+	q.head = q.head.next
+	if q.size.Add(-1) == int64(q.capacity)-1 {
+		mustWakeEnqueuers = true
+	}
+	q.deqLock.Unlock()
+
+	if mustWakeEnqueuers {
+		q.enqLock.Lock()
+		q.notFull.Broadcast()
+		q.enqLock.Unlock()
+	}
+	return result, true
+}
+
+// TryDeq removes the head only if the queue is nonempty, without blocking.
+func (q *BoundedQueue[T]) TryDeq() (T, bool) {
+	var zero T
+	mustWakeEnqueuers := false
+	q.deqLock.Lock()
+	if q.size.Load() == 0 {
+		q.deqLock.Unlock()
+		return zero, false
+	}
+	result := q.head.next.value
+	q.head = q.head.next
+	if q.size.Add(-1) == int64(q.capacity)-1 {
+		mustWakeEnqueuers = true
+	}
+	q.deqLock.Unlock()
+
+	if mustWakeEnqueuers {
+		q.enqLock.Lock()
+		q.notFull.Broadcast()
+		q.enqLock.Unlock()
+	}
+	return result, true
+}
+
+// Size reports the current number of queued items.
+func (q *BoundedQueue[T]) Size() int { return int(q.size.Load()) }
+
+// Capacity reports the maximum number of queued items.
+func (q *BoundedQueue[T]) Capacity() int { return q.capacity }

@@ -1,0 +1,71 @@
+package queue
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// HWQueue is the Herlihy–Wing queue used in Chapter 3 to show that a
+// linearization point need not be a fixed line of code: enq takes a ticket
+// with getAndIncrement and stores into its slot; deq sweeps the slots,
+// swapping each with nil until it captures an item. The queue is
+// linearizable, but where an enq "takes effect" depends on the dequeuers
+// racing with it — the checker in internal/core, not a code comment,
+// certifies it.
+//
+// Enq is wait-free (one ticket, one store). The book's deq retries
+// forever on empty; Deq here makes one full sweep and reports false, which
+// keeps the Queue interface's total semantics (a failed sweep linearizes
+// at its start, when every completed enqueue's slot had been emptied by
+// competing dequeuers).
+type HWQueue[T any] struct {
+	items []atomic.Pointer[T]
+	tail  atomic.Int64
+}
+
+var _ Queue[int] = (*HWQueue[int])(nil)
+
+// NewHWQueue returns an empty queue with capacity slots. The slot array is
+// consumed monotonically: capacity bounds the *total* number of enqueues
+// over the queue's lifetime, as in the book's array-based presentation.
+func NewHWQueue[T any](capacity int) *HWQueue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: HW queue capacity must be positive, got %d", capacity))
+	}
+	return &HWQueue[T]{items: make([]atomic.Pointer[T], capacity)}
+}
+
+// Enq appends x: take a slot ticket, store the item. Panics when the slot
+// array is exhausted.
+func (q *HWQueue[T]) Enq(x T) {
+	i := q.tail.Add(1) - 1
+	if int(i) >= len(q.items) {
+		panic("queue: HW queue slot array exhausted")
+	}
+	q.items[i].Store(&x)
+}
+
+// Deq sweeps the slots oldest-first, swapping each with nil; the first
+// captured item is the result. One empty sweep reports false.
+func (q *HWQueue[T]) Deq() (T, bool) {
+	var zero T
+	rng := q.tail.Load()
+	for i := int64(0); i < rng; i++ {
+		if p := q.items[i].Swap(nil); p != nil {
+			return *p, true
+		}
+	}
+	return zero, false
+}
+
+// Size reports a snapshot count of occupied slots (approximate under
+// concurrency).
+func (q *HWQueue[T]) Size() int {
+	n := 0
+	for i := int64(0); i < q.tail.Load(); i++ {
+		if q.items[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}

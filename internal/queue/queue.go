@@ -1,0 +1,49 @@
+// Package queue implements the Chapter 10 concurrent queues:
+//
+//   - BoundedQueue: the two-lock blocking bounded queue (Fig. 10.3–10.5)
+//   - UnboundedQueue: the two-lock unbounded "total" queue (Fig. 10.8)
+//   - LockFreeQueue: the Michael & Scott nonblocking queue (Fig. 10.9–10.11)
+//   - SynchronousQueue: monitor-based rendezvous (Fig. 10.15)
+//   - SynchronousDualQueue: the lock-free dual queue (Fig. 10.16–10.17)
+//   - ChanQueue: a Go-channel baseline for the benchmarks
+//
+// Deq is "total" everywhere the book's deq throws EmptyException: it
+// returns ok=false instead. The blocking queues block, as in the book.
+package queue
+
+// Queue is a FIFO pool. Deq reports ok=false when the queue is observed
+// empty (total semantics); blocking implementations never return false.
+type Queue[T any] interface {
+	Enq(x T)
+	Deq() (T, bool)
+}
+
+// ChanQueue adapts a buffered Go channel to the Queue interface; it is the
+// "what the runtime gives you" baseline in experiment E4.
+type ChanQueue[T any] struct {
+	ch chan T
+}
+
+var _ Queue[int] = (*ChanQueue[int])(nil)
+
+// NewChanQueue returns a channel-backed queue with the given buffer.
+func NewChanQueue[T any](capacity int) *ChanQueue[T] {
+	if capacity <= 0 {
+		panic("queue: ChanQueue capacity must be positive")
+	}
+	return &ChanQueue[T]{ch: make(chan T, capacity)}
+}
+
+// Enq blocks while the buffer is full.
+func (q *ChanQueue[T]) Enq(x T) { q.ch <- x }
+
+// Deq returns the head, or ok=false when the buffer is empty.
+func (q *ChanQueue[T]) Deq() (T, bool) {
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		var zero T
+		return zero, false
+	}
+}

@@ -1,0 +1,423 @@
+package queue
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"amp/internal/core"
+)
+
+// totalQueues returns the implementations with non-blocking (total) Deq.
+func totalQueues() map[string]func() Queue[int] {
+	return map[string]func() Queue[int]{
+		"unbounded": func() Queue[int] { return NewUnboundedQueue[int]() },
+		"lockfree":  func() Queue[int] { return NewLockFreeQueue[int]() },
+		"chan":      func() Queue[int] { return NewChanQueue[int](1 << 16) },
+		"hw":        func() Queue[int] { return NewHWQueue[int](1 << 16) },
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	for name, mk := range totalQueues() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			if _, ok := q.Deq(); ok {
+				t.Fatal("Deq on empty queue reported ok")
+			}
+			for i := 0; i < 100; i++ {
+				q.Enq(i)
+			}
+			for i := 0; i < 100; i++ {
+				v, ok := q.Deq()
+				if !ok || v != i {
+					t.Fatalf("Deq = (%d, %v), want (%d, true)", v, ok, i)
+				}
+			}
+			if _, ok := q.Deq(); ok {
+				t.Fatal("Deq on drained queue reported ok")
+			}
+		})
+	}
+}
+
+func TestDifferentialAgainstSlice(t *testing.T) {
+	for name, mk := range totalQueues() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			var ref []int
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 3000; i++ {
+				if rng.Intn(2) == 0 {
+					v := rng.Intn(1000)
+					q.Enq(v)
+					ref = append(ref, v)
+				} else {
+					v, ok := q.Deq()
+					if len(ref) == 0 {
+						if ok {
+							t.Fatalf("op %d: Deq ok on empty queue", i)
+						}
+						continue
+					}
+					if !ok || v != ref[0] {
+						t.Fatalf("op %d: Deq = (%d,%v), want (%d,true)", i, v, ok, ref[0])
+					}
+					ref = ref[1:]
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentProducersConsumers checks exactly-once delivery and
+// per-producer FIFO order under concurrency.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const (
+		producers = 3
+		consumers = 3
+		perProd   = 500
+	)
+	for name, mk := range totalQueues() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perProd; i++ {
+						q.Enq(p*1_000_000 + i)
+					}
+				}(p)
+			}
+			var (
+				mu       sync.Mutex
+				received = make(map[int]int)
+				lastSeen [consumers][producers]int
+			)
+			for slot := range lastSeen {
+				for p := range lastSeen[slot] {
+					lastSeen[slot][p] = -1
+				}
+			}
+			var got atomic.Int64
+			for c := 0; c < consumers; c++ {
+				wg.Add(1)
+				go func(slot int) {
+					defer wg.Done()
+					for got.Load() < producers*perProd {
+						v, ok := q.Deq()
+						if !ok {
+							continue
+						}
+						got.Add(1)
+						p, i := v/1_000_000, v%1_000_000
+						if prev := lastSeen[slot][p]; i < prev {
+							t.Errorf("consumer %d saw producer %d's item %d after %d", slot, p, i, prev)
+						}
+						lastSeen[slot][p] = i
+						mu.Lock()
+						received[v]++
+						mu.Unlock()
+					}
+				}(c)
+			}
+			wg.Wait()
+			if len(received) != producers*perProd {
+				t.Fatalf("received %d distinct values, want %d", len(received), producers*perProd)
+			}
+			for v, n := range received {
+				if n != 1 {
+					t.Fatalf("value %d received %d times", v, n)
+				}
+			}
+		})
+	}
+}
+
+func TestLinearizableQueues(t *testing.T) {
+	for name, mk := range totalQueues() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			rec := core.NewRecorder()
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func(me core.ThreadID) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(me) + 9))
+					for i := 0; i < 6; i++ {
+						if rng.Intn(2) == 0 {
+							v := int(me)*100 + i
+							p := rec.Call(me, "enq", v)
+							q.Enq(v)
+							p.Done(nil)
+						} else {
+							p := rec.Call(me, "deq", nil)
+							v, ok := q.Deq()
+							if ok {
+								p.Done(v)
+							} else {
+								p.Done(core.Empty)
+							}
+						}
+					}
+				}(core.ThreadID(w))
+			}
+			wg.Wait()
+			res := core.Check(core.QueueModel(), rec.History())
+			if res.Exhausted {
+				t.Skip("checker budget exhausted")
+			}
+			if !res.Linearizable {
+				t.Fatalf("%s produced a non-linearizable history:\n%v", name, rec.History())
+			}
+		})
+	}
+}
+
+func TestBoundedQueueBasics(t *testing.T) {
+	q := NewBoundedQueue[int](4)
+	if got := q.Capacity(); got != 4 {
+		t.Fatalf("Capacity = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		q.Enq(i)
+	}
+	if got := q.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		v, _ := q.Deq()
+		if v != i {
+			t.Fatalf("Deq = %d, want %d", v, i)
+		}
+	}
+	if _, ok := q.TryDeq(); ok {
+		t.Fatal("TryDeq ok on empty queue")
+	}
+}
+
+func TestBoundedQueueBlocksWhenFull(t *testing.T) {
+	q := NewBoundedQueue[int](2)
+	q.Enq(1)
+	q.Enq(2)
+	enqDone := make(chan struct{})
+	go func() {
+		q.Enq(3) // must block until a Deq frees a slot
+		close(enqDone)
+	}()
+	select {
+	case <-enqDone:
+		t.Fatal("Enq did not block on a full queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if v, _ := q.Deq(); v != 1 {
+		t.Fatalf("Deq = %d, want 1", v)
+	}
+	select {
+	case <-enqDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Enq never resumed")
+	}
+}
+
+func TestBoundedQueueBlocksWhenEmpty(t *testing.T) {
+	q := NewBoundedQueue[int](2)
+	deqDone := make(chan int, 1)
+	go func() {
+		v, _ := q.Deq()
+		deqDone <- v
+	}()
+	select {
+	case <-deqDone:
+		t.Fatal("Deq did not block on an empty queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	q.Enq(42)
+	select {
+	case v := <-deqDone:
+		if v != 42 {
+			t.Fatalf("Deq = %d, want 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Deq never resumed")
+	}
+}
+
+func TestBoundedQueueNeverExceedsCapacity(t *testing.T) {
+	const capacity = 3
+	q := NewBoundedQueue[int](capacity)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var maxSize atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if s := int64(q.Size()); s > maxSize.Load() {
+					maxSize.Store(s)
+				}
+			}
+		}
+	}()
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q.Enq(base + i)
+			}
+		}(p * 1000)
+	}
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q.Deq()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if m := maxSize.Load(); m > capacity {
+		t.Fatalf("observed size %d above capacity %d", m, capacity)
+	}
+}
+
+func TestSynchronousHandoff(t *testing.T) {
+	for name, mk := range map[string]func() Queue[int]{
+		"monitor": func() Queue[int] { return NewSynchronousQueue[int]() },
+		"dual":    func() Queue[int] { return NewSynchronousDualQueue[int]() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			done := make(chan struct{})
+			go func() {
+				q.Enq(7)
+				close(done)
+			}()
+			select {
+			case <-done:
+				t.Fatal("Enq returned before any dequeuer arrived")
+			case <-time.After(50 * time.Millisecond):
+			}
+			v, ok := q.Deq()
+			if !ok || v != 7 {
+				t.Fatalf("Deq = (%d,%v), want (7,true)", v, ok)
+			}
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("Enq never returned after handoff")
+			}
+		})
+	}
+}
+
+func TestSynchronousStress(t *testing.T) {
+	for name, mk := range map[string]func() Queue[int]{
+		"monitor": func() Queue[int] { return NewSynchronousQueue[int]() },
+		"dual":    func() Queue[int] { return NewSynchronousDualQueue[int]() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			const (
+				pairs   = 4
+				perPair = 200
+			)
+			q := mk()
+			var wg sync.WaitGroup
+			var sumIn, sumOut atomic.Int64
+			for p := 0; p < pairs; p++ {
+				wg.Add(2)
+				go func(base int) {
+					defer wg.Done()
+					for i := 0; i < perPair; i++ {
+						v := base + i
+						sumIn.Add(int64(v))
+						q.Enq(v)
+					}
+				}(p * 10_000)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perPair; i++ {
+						v, ok := q.Deq()
+						if !ok {
+							t.Error("synchronous Deq returned !ok")
+							return
+						}
+						sumOut.Add(int64(v))
+					}
+				}()
+			}
+			wg.Wait()
+			if sumIn.Load() != sumOut.Load() {
+				t.Fatalf("values not conserved: in %d, out %d", sumIn.Load(), sumOut.Load())
+			}
+		})
+	}
+}
+
+func TestChanQueueCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChanQueue(0) did not panic")
+		}
+	}()
+	NewChanQueue[int](0)
+}
+
+func TestHWQueueExhaustionPanics(t *testing.T) {
+	q := NewHWQueue[int](2)
+	q.Enq(1)
+	q.Enq(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted HW queue did not panic")
+		}
+	}()
+	q.Enq(3)
+}
+
+func TestHWQueueSize(t *testing.T) {
+	q := NewHWQueue[int](8)
+	if q.Size() != 0 {
+		t.Fatalf("fresh Size = %d", q.Size())
+	}
+	q.Enq(1)
+	q.Enq(2)
+	if q.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", q.Size())
+	}
+	q.Deq()
+	if q.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", q.Size())
+	}
+}
+
+func TestHWQueueCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHWQueue(0) did not panic")
+		}
+	}()
+	NewHWQueue[int](0)
+}
+
+func TestBoundedQueueCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBoundedQueue(0) did not panic")
+		}
+	}()
+	NewBoundedQueue[int](0)
+}

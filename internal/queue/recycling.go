@@ -1,0 +1,155 @@
+package queue
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RecyclingQueue is the Michael–Scott queue with an explicit node pool and
+// stamped references (§10.6): instead of letting the garbage collector
+// prevent the ABA problem, every node reference is a (index, stamp) pair
+// packed in one word, and dequeued sentinels go back on a Treiber-style
+// free list. This is how the algorithm survives in environments without
+// GC — and it demonstrates the ABA hazard the rest of this package gets to
+// ignore. Values are int64 (and read/written atomically, because a node
+// being recycled can legitimately be observed by a stale reader).
+//
+// The queue holds at most capacity items; Enq reports false when the node
+// pool is exhausted.
+type RecyclingQueue struct {
+	nodes []recycledNode
+	head  atomic.Uint64 // stamped reference: stamp<<32 | index+1
+	tail  atomic.Uint64
+	free  atomic.Uint64 // stamped top of the free list
+}
+
+type recycledNode struct {
+	value atomic.Int64
+	next  atomic.Uint64 // stamped reference; index -1 means nil
+}
+
+// Stamped-reference packing: the low 32 bits hold index+1 (0 = nil), the
+// high 32 a version stamp incremented on every CAS, so a recycled node
+// never compares equal to its previous life.
+func packRef(index int, stamp uint32) uint64 {
+	return uint64(stamp)<<32 | uint64(uint32(index+1))
+}
+
+func unpackRef(ref uint64) (index int, stamp uint32) {
+	return int(uint32(ref)) - 1, uint32(ref >> 32)
+}
+
+// NewRecyclingQueue returns an empty queue backed by a pool of capacity+1
+// nodes (one is the sentinel).
+func NewRecyclingQueue(capacity int) *RecyclingQueue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: recycling capacity must be positive, got %d", capacity))
+	}
+	q := &RecyclingQueue{nodes: make([]recycledNode, capacity+1)}
+	// Node 0 is the initial sentinel; 1..capacity go on the free list.
+	q.head.Store(packRef(0, 0))
+	q.tail.Store(packRef(0, 0))
+	q.nodes[0].next.Store(packRef(-1, 0))
+	for i := 1; i <= capacity; i++ {
+		next := packRef(-1, 0)
+		if i < capacity {
+			next = packRef(i+1, 0)
+		}
+		q.nodes[i].next.Store(next)
+	}
+	q.free.Store(packRef(1, 0))
+	return q
+}
+
+// allocNode pops a node off the free list, returning -1 when exhausted.
+func (q *RecyclingQueue) allocNode() int {
+	for {
+		top := q.free.Load()
+		idx, stamp := unpackRef(top)
+		if idx < 0 {
+			return -1
+		}
+		next := q.nodes[idx].next.Load()
+		nextIdx, _ := unpackRef(next)
+		if q.free.CompareAndSwap(top, packRef(nextIdx, stamp+1)) {
+			return idx
+		}
+	}
+}
+
+// freeNode pushes a node back on the free list.
+func (q *RecyclingQueue) freeNode(idx int) {
+	for {
+		top := q.free.Load()
+		topIdx, stamp := unpackRef(top)
+		// Bump the node's own stamp as it is reborn.
+		_, nodeStamp := unpackRef(q.nodes[idx].next.Load())
+		q.nodes[idx].next.Store(packRef(topIdx, nodeStamp+1))
+		if q.free.CompareAndSwap(top, packRef(idx, stamp+1)) {
+			return
+		}
+	}
+}
+
+// Enq appends x, reporting false when the node pool is exhausted.
+func (q *RecyclingQueue) Enq(x int64) bool {
+	idx := q.allocNode()
+	if idx < 0 {
+		return false
+	}
+	node := &q.nodes[idx]
+	node.value.Store(x)
+	// Terminate the node: keep bumping its stamp, clear the index.
+	_, nodeStamp := unpackRef(node.next.Load())
+	node.next.Store(packRef(-1, nodeStamp+1))
+
+	for {
+		tailRef := q.tail.Load()
+		tailIdx, tailStamp := unpackRef(tailRef)
+		nextRef := q.nodes[tailIdx].next.Load()
+		nextIdx, nextStamp := unpackRef(nextRef)
+		if tailRef != q.tail.Load() {
+			continue
+		}
+		if nextIdx < 0 {
+			if q.nodes[tailIdx].next.CompareAndSwap(nextRef, packRef(idx, nextStamp+1)) {
+				q.tail.CompareAndSwap(tailRef, packRef(idx, tailStamp+1))
+				return true
+			}
+		} else {
+			q.tail.CompareAndSwap(tailRef, packRef(nextIdx, tailStamp+1))
+		}
+	}
+}
+
+// Deq removes the head, reporting false when the queue is empty. The
+// outgoing sentinel goes back to the free pool — the step that would be an
+// ABA time bomb without the stamps.
+func (q *RecyclingQueue) Deq() (int64, bool) {
+	for {
+		headRef := q.head.Load()
+		headIdx, headStamp := unpackRef(headRef)
+		tailRef := q.tail.Load()
+		tailIdx, tailStamp := unpackRef(tailRef)
+		nextRef := q.nodes[headIdx].next.Load()
+		nextIdx, _ := unpackRef(nextRef)
+		if headRef != q.head.Load() {
+			continue
+		}
+		if headIdx == tailIdx {
+			if nextIdx < 0 {
+				return 0, false
+			}
+			q.tail.CompareAndSwap(tailRef, packRef(nextIdx, tailStamp+1))
+			continue
+		}
+		value := q.nodes[nextIdx].value.Load()
+		if q.head.CompareAndSwap(headRef, packRef(nextIdx, headStamp+1)) {
+			q.freeNode(headIdx)
+			return value, true
+		}
+	}
+}
+
+// Capacity reports the maximum number of queued items.
+func (q *RecyclingQueue) Capacity() int { return len(q.nodes) - 1 }

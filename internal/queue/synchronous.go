@@ -1,0 +1,185 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SynchronousQueue is the monitor-based rendezvous of Fig. 10.15: an
+// enqueuer parks until a dequeuer takes its item, and vice versa. At most
+// one enqueuer offers at a time; the rest queue on the condition.
+type SynchronousQueue[T any] struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	item      T
+	hasItem   bool
+	enqueuing bool
+}
+
+// NewSynchronousQueue returns an empty rendezvous queue.
+func NewSynchronousQueue[T any]() *SynchronousQueue[T] {
+	q := &SynchronousQueue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enq offers x and blocks until a dequeuer accepts it.
+func (q *SynchronousQueue[T]) Enq(x T) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.enqueuing {
+		q.cond.Wait()
+	}
+	q.enqueuing = true
+	q.item = x
+	q.hasItem = true
+	q.cond.Broadcast()
+	for q.hasItem {
+		q.cond.Wait()
+	}
+	q.enqueuing = false
+	q.cond.Broadcast()
+}
+
+// Deq blocks until an enqueuer offers an item, then takes it.
+func (q *SynchronousQueue[T]) Deq() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.hasItem {
+		q.cond.Wait()
+	}
+	t := q.item
+	var zero T
+	q.item = zero
+	q.hasItem = false
+	q.cond.Broadcast()
+	return t, true
+}
+
+// dualKind distinguishes the two node flavors of the dual queue.
+type dualKind int32
+
+const (
+	kindItem dualKind = iota + 1
+	kindReservation
+)
+
+// dualNode is a node of the synchronous dual queue: an ITEM node carries a
+// value waiting for a dequeuer; a RESERVATION node is a dequeuer waiting
+// for a value. item flips exactly once (non-nil→nil for items, nil→non-nil
+// for reservations), which is the rendezvous.
+type dualNode[T any] struct {
+	kind dualKind
+	item atomic.Pointer[T]
+	next atomic.Pointer[dualNode[T]]
+}
+
+// SynchronousDualQueue is the lock-free synchronous queue of Fig. 10.16:
+// when enqueuers and dequeuers wait, they wait in FIFO order as nodes of a
+// single Michael–Scott-style list, so the rendezvous itself is fair.
+type SynchronousDualQueue[T any] struct {
+	head atomic.Pointer[dualNode[T]]
+	tail atomic.Pointer[dualNode[T]]
+}
+
+// NewSynchronousDualQueue returns an empty rendezvous queue.
+func NewSynchronousDualQueue[T any]() *SynchronousDualQueue[T] {
+	q := &SynchronousDualQueue[T]{}
+	sentinel := &dualNode[T]{kind: kindItem}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enq offers x and spins until a dequeuer accepts it.
+func (q *SynchronousDualQueue[T]) Enq(x T) {
+	offer := &dualNode[T]{kind: kindItem}
+	offer.item.Store(&x)
+	for {
+		tail := q.tail.Load()
+		head := q.head.Load()
+		if head == tail || tail.kind == kindItem {
+			// Queue empty or holds waiting items: join the line of offers.
+			next := tail.next.Load()
+			if tail != q.tail.Load() {
+				continue
+			}
+			if next != nil {
+				q.tail.CompareAndSwap(tail, next)
+				continue
+			}
+			if !tail.next.CompareAndSwap(nil, offer) {
+				continue
+			}
+			q.tail.CompareAndSwap(tail, offer)
+			for offer.item.Load() != nil {
+				runtime.Gosched() // wait for a dequeuer to take the item
+			}
+			// Clean up: unlink our fulfilled node if it is head's next.
+			head := q.head.Load()
+			if head.next.Load() == offer {
+				q.head.CompareAndSwap(head, offer)
+			}
+			return
+		}
+		// Reservations are waiting: fulfill the oldest.
+		next := head.next.Load()
+		if tail != q.tail.Load() || head != q.head.Load() || next == nil {
+			continue
+		}
+		success := next.item.CompareAndSwap(nil, &x)
+		q.head.CompareAndSwap(head, next)
+		if success {
+			return
+		}
+	}
+}
+
+// Deq blocks (spinning) until an enqueuer offers an item.
+func (q *SynchronousDualQueue[T]) Deq() (T, bool) {
+	reservation := &dualNode[T]{kind: kindReservation}
+	for {
+		tail := q.tail.Load()
+		head := q.head.Load()
+		if head == tail || tail.kind == kindReservation {
+			// Queue empty or holds waiting dequeuers: get in line.
+			next := tail.next.Load()
+			if tail != q.tail.Load() {
+				continue
+			}
+			if next != nil {
+				q.tail.CompareAndSwap(tail, next)
+				continue
+			}
+			if !tail.next.CompareAndSwap(nil, reservation) {
+				continue
+			}
+			q.tail.CompareAndSwap(tail, reservation)
+			for reservation.item.Load() == nil {
+				runtime.Gosched() // wait for an enqueuer to fulfill us
+			}
+			head := q.head.Load()
+			if head.next.Load() == reservation {
+				q.head.CompareAndSwap(head, reservation)
+			}
+			return *reservation.item.Load(), true
+		}
+		// Items are waiting: take the oldest.
+		next := head.next.Load()
+		if tail != q.tail.Load() || head != q.head.Load() || next == nil {
+			continue
+		}
+		item := next.item.Load()
+		if item == nil {
+			// Already taken; help advance head past the spent node.
+			q.head.CompareAndSwap(head, next)
+			continue
+		}
+		success := next.item.CompareAndSwap(item, nil)
+		q.head.CompareAndSwap(head, next)
+		if success {
+			return *item, true
+		}
+	}
+}

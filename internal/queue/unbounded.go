@@ -1,0 +1,124 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// UnboundedQueue is the two-lock unbounded total queue of Fig. 10.8: an
+// enqueue holds only the enqueue lock, a dequeue only the dequeue lock.
+// Because the queue never fills, the locks never interact through a
+// condition; an empty dequeue simply reports false.
+type UnboundedQueue[T any] struct {
+	enqLock sync.Mutex
+	deqLock sync.Mutex
+	// head/tail point into a list whose boundary node's next field crosses
+	// between the two lock domains, so next is atomic.
+	head *unboundedNode[T]
+	tail *unboundedNode[T]
+}
+
+type unboundedNode[T any] struct {
+	value T
+	next  atomic.Pointer[unboundedNode[T]]
+}
+
+var _ Queue[int] = (*UnboundedQueue[int])(nil)
+
+// NewUnboundedQueue returns an empty queue.
+func NewUnboundedQueue[T any]() *UnboundedQueue[T] {
+	q := &UnboundedQueue[T]{}
+	sentinel := &unboundedNode[T]{}
+	q.head = sentinel
+	q.tail = sentinel
+	return q
+}
+
+// Enq appends x under the enqueue lock.
+func (q *UnboundedQueue[T]) Enq(x T) {
+	e := &unboundedNode[T]{value: x}
+	q.enqLock.Lock()
+	q.tail.next.Store(e)
+	q.tail = e
+	q.enqLock.Unlock()
+}
+
+// Deq removes the head under the dequeue lock, reporting false when empty.
+func (q *UnboundedQueue[T]) Deq() (T, bool) {
+	var zero T
+	q.deqLock.Lock()
+	next := q.head.next.Load()
+	if next == nil {
+		q.deqLock.Unlock()
+		return zero, false
+	}
+	result := next.value
+	q.head = next
+	q.deqLock.Unlock()
+	return result, true
+}
+
+// LockFreeQueue is the Michael & Scott queue (Fig. 10.9–10.11). Enq links a
+// node after the tail and then swings the tail; because the two steps are
+// distinct CASes, every operation is prepared to find the tail lagging and
+// help it forward. The Go GC rules out the ABA problem that makes the
+// original C version need counted pointers.
+type LockFreeQueue[T any] struct {
+	head atomic.Pointer[unboundedNode[T]]
+	tail atomic.Pointer[unboundedNode[T]]
+}
+
+var _ Queue[int] = (*LockFreeQueue[int])(nil)
+
+// NewLockFreeQueue returns an empty queue.
+func NewLockFreeQueue[T any]() *LockFreeQueue[T] {
+	q := &LockFreeQueue[T]{}
+	sentinel := &unboundedNode[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enq appends x.
+func (q *LockFreeQueue[T]) Enq(x T) {
+	node := &unboundedNode[T]{value: x}
+	for {
+		last := q.tail.Load()
+		next := last.next.Load()
+		if last != q.tail.Load() {
+			continue
+		}
+		if next == nil {
+			if last.next.CompareAndSwap(nil, node) {
+				q.tail.CompareAndSwap(last, node)
+				return
+			}
+		} else {
+			q.tail.CompareAndSwap(last, next) // help the lagging tail
+		}
+	}
+}
+
+// Deq removes the head, reporting false when the queue is empty.
+func (q *LockFreeQueue[T]) Deq() (T, bool) {
+	for {
+		first := q.head.Load()
+		last := q.tail.Load()
+		next := first.next.Load()
+		if first != q.head.Load() {
+			continue
+		}
+		if first == last {
+			if next == nil {
+				var zero T
+				return zero, false
+			}
+			q.tail.CompareAndSwap(last, next) // help the lagging tail
+			continue
+		}
+		value := next.value
+		if q.head.CompareAndSwap(first, next) {
+			return value, true
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// White-box tests: drive the Michael–Scott queue through the awkward
+// intermediate states a stalled thread can leave behind, and check that
+// other threads help it forward — the essence of lock-freedom.
+
+// lagTail simulates a thread that linked its node after the tail but
+// stalled before swinging the tail pointer.
+func lagTail(q *LockFreeQueue[int], value int) {
+	node := &unboundedNode[int]{value: value}
+	last := q.tail.Load()
+	for !last.next.CompareAndSwap(nil, node) {
+		last = last.next.Load()
+	}
+	// Deliberately do NOT update q.tail: the enqueuer "stalled" here.
+}
+
+func TestLockFreeQueueEnqHelpsLaggingTail(t *testing.T) {
+	q := NewLockFreeQueue[int]()
+	q.Enq(1)
+	lagTail(q, 2)
+	// Another enqueuer must help the tail forward and still succeed.
+	q.Enq(3)
+	for want := 1; want <= 3; want++ {
+		v, ok := q.Deq()
+		if !ok || v != want {
+			t.Fatalf("Deq = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := q.Deq(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestLockFreeQueueDeqHelpsLaggingTail(t *testing.T) {
+	q := NewLockFreeQueue[int]()
+	lagTail(q, 7) // head == tail but tail lags behind a real node
+	v, ok := q.Deq()
+	if !ok || v != 7 {
+		t.Fatalf("Deq = (%d,%v), want (7,true)", v, ok)
+	}
+	if _, ok := q.Deq(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestLockFreeQueueManyStalledEnqueuers(t *testing.T) {
+	// A stalled enqueuer must never block other threads for long: progress
+	// with a permanently lagging tail, repeatedly.
+	q := NewLockFreeQueue[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if i%50 == 25 {
+					lagTail(q, base+i)
+				} else {
+					q.Enq(base + i)
+				}
+			}
+		}(w * 1000)
+	}
+	wg.Wait()
+	seen := make(map[int]bool)
+	for {
+		v, ok := q.Deq()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d dequeued twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4*200 {
+		t.Fatalf("drained %d values, want %d", len(seen), 4*200)
+	}
+}
+
+func TestRecyclingQueueSequentialFIFO(t *testing.T) {
+	q := NewRecyclingQueue(8)
+	if q.Capacity() != 8 {
+		t.Fatalf("Capacity = %d, want 8", q.Capacity())
+	}
+	if _, ok := q.Deq(); ok {
+		t.Fatal("Deq on empty queue reported ok")
+	}
+	// Several fill/drain rounds force every node through the free list.
+	for round := 0; round < 5; round++ {
+		for i := int64(0); i < 8; i++ {
+			if !q.Enq(int64(round)*100 + i) {
+				t.Fatalf("round %d: Enq(%d) refused below capacity", round, i)
+			}
+		}
+		if q.Enq(999) {
+			t.Fatal("Enq succeeded beyond capacity")
+		}
+		for i := int64(0); i < 8; i++ {
+			v, ok := q.Deq()
+			if !ok || v != int64(round)*100+i {
+				t.Fatalf("round %d: Deq = (%d,%v), want (%d,true)", round, v, ok, int64(round)*100+i)
+			}
+		}
+	}
+}
+
+func TestRecyclingQueueConcurrent(t *testing.T) {
+	const (
+		producers = 3
+		consumers = 3
+		perProd   = 2000
+	)
+	q := NewRecyclingQueue(64)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		received = make(map[int64]bool)
+		got      atomic.Int64
+	)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				v := int64(p)*1_000_000 + int64(i)
+				for !q.Enq(v) {
+					runtime.Gosched() // pool exhausted; wait for consumers
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for got.Load() < producers*perProd {
+				v, ok := q.Deq()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				got.Add(1)
+				mu.Lock()
+				if received[v] {
+					t.Errorf("value %d received twice (ABA?)", v)
+				}
+				received[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(received) != producers*perProd {
+		t.Fatalf("received %d distinct values, want %d", len(received), producers*perProd)
+	}
+}
+
+func TestRecyclingQueueStampsAdvance(t *testing.T) {
+	// After a node cycles through the free list, references to it must
+	// carry a different stamp — the ABA defense itself.
+	q := NewRecyclingQueue(2)
+	q.Enq(1)
+	before := q.head.Load()
+	q.Deq()
+	q.Enq(2)
+	q.Deq()
+	after := q.head.Load()
+	_, s1 := unpackRef(before)
+	_, s2 := unpackRef(after)
+	if s1 == s2 {
+		t.Fatalf("head stamp did not advance across recycles: %d", s1)
+	}
+}
+
+func TestRecyclingQueuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRecyclingQueue(0) did not panic")
+		}
+	}()
+	NewRecyclingQueue(0)
+}

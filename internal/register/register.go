@@ -1,0 +1,288 @@
+// Package register implements the Chapter 4 shared-memory foundations: the
+// ladder of register constructions (safe → regular → atomic, boolean →
+// m-valued, SRSW → MRSW → MRMW) and wait-free atomic snapshots.
+//
+// The base cells are Go atomics, which are physically atomic; each
+// construction *uses* only the semantics the book assumes at that rung
+// (safe or regular), so the constructions are faithful even though the
+// hardware under them is stronger. Reader and writer identities are dense
+// core.ThreadID values, standing in for the book's ThreadID.get().
+package register
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"amp/internal/core"
+)
+
+// Register is a single-writer, multi-reader register of values of type T.
+// Read takes the calling reader's identity; Write may be called by the one
+// designated writer only.
+type Register[T any] interface {
+	Read(reader core.ThreadID) T
+	Write(v T)
+}
+
+// SRSWBool is the base cell: a single-reader single-writer boolean
+// register. It is physically atomic; the constructions above it assume only
+// safe or regular semantics.
+type SRSWBool struct {
+	v atomic.Bool
+}
+
+// Read returns the register's value.
+func (r *SRSWBool) Read() bool { return r.v.Load() }
+
+// Write stores v.
+func (r *SRSWBool) Write(v bool) { r.v.Store(v) }
+
+// SafeBoolMRSW builds a multi-reader safe boolean register from one SRSW
+// register per reader (Fig. 4.6): the writer writes each reader's private
+// copy in turn.
+type SafeBoolMRSW struct {
+	table []SRSWBool
+}
+
+// NewSafeBoolMRSW returns a register readable by `readers` distinct threads.
+func NewSafeBoolMRSW(readers int) *SafeBoolMRSW {
+	if readers <= 0 {
+		panic(fmt.Sprintf("register: readers must be positive, got %d", readers))
+	}
+	return &SafeBoolMRSW{table: make([]SRSWBool, readers)}
+}
+
+// Read returns the value from the calling reader's private cell.
+func (r *SafeBoolMRSW) Read(reader core.ThreadID) bool {
+	return r.table[reader].Read()
+}
+
+// Write stores v into every reader's cell.
+func (r *SafeBoolMRSW) Write(v bool) {
+	for i := range r.table {
+		r.table[i].Write(v)
+	}
+}
+
+// RegBoolMRSW upgrades a safe boolean MRSW register to a *regular* one
+// (Fig. 4.7): the writer suppresses redundant writes, so a read overlapping
+// a write can only observe the old or the new value.
+type RegBoolMRSW struct {
+	old  bool // writer-local: last value written
+	safe *SafeBoolMRSW
+}
+
+// NewRegBoolMRSW returns a regular boolean MRSW register.
+func NewRegBoolMRSW(readers int) *RegBoolMRSW {
+	return &RegBoolMRSW{safe: NewSafeBoolMRSW(readers)}
+}
+
+// Read returns the register's value.
+func (r *RegBoolMRSW) Read(reader core.ThreadID) bool { return r.safe.Read(reader) }
+
+// Write stores v, skipping the physical write when v equals the last value
+// written — the step that turns safe into regular.
+func (r *RegBoolMRSW) Write(v bool) {
+	if r.old != v {
+		r.old = v
+		r.safe.Write(v)
+	}
+}
+
+// RegularMRSW is an m-valued regular MRSW register built from regular
+// boolean registers in unary representation (Fig. 4.8): bit[x] set means
+// "value is x". Write sets the new bit then clears lower bits from high to
+// low; Read scans upward and returns the first set bit.
+type RegularMRSW struct {
+	bits []*RegBoolMRSW
+}
+
+// NewRegularMRSW returns a regular register over values 0..capacity-1,
+// initialized to init.
+func NewRegularMRSW(capacity, readers, init int) *RegularMRSW {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("register: capacity must be positive, got %d", capacity))
+	}
+	if init < 0 || init >= capacity {
+		panic(fmt.Sprintf("register: init %d out of range [0,%d)", init, capacity))
+	}
+	bits := make([]*RegBoolMRSW, capacity)
+	for i := range bits {
+		bits[i] = NewRegBoolMRSW(readers)
+	}
+	bits[init].Write(true)
+	r := &RegularMRSW{bits: bits}
+	return r
+}
+
+// Read scans from 0 upward and returns the index of the first set bit.
+func (r *RegularMRSW) Read(reader core.ThreadID) int {
+	for i := range r.bits {
+		if r.bits[i].Read(reader) {
+			return i
+		}
+	}
+	// Unreachable in a correct single-writer execution: the writer always
+	// leaves at least one bit at or below the last written value set.
+	panic("register: regular MRSW register has no set bit (concurrent writers?)")
+}
+
+// Write sets bit v, then clears all lower bits from v-1 down to 0.
+func (r *RegularMRSW) Write(v int) {
+	r.bits[v].Write(true)
+	for i := v - 1; i >= 0; i-- {
+		r.bits[i].Write(false)
+	}
+}
+
+// stamped is a timestamped value; larger stamps are newer. Ties are broken
+// by writer identity (relevant only for MRMW).
+type stamped[T any] struct {
+	stamp  int64
+	writer core.ThreadID
+	value  T
+}
+
+func maxStamped[T any](a, b *stamped[T]) *stamped[T] {
+	if b.stamp > a.stamp || (b.stamp == a.stamp && b.writer > a.writer) {
+		return b
+	}
+	return a
+}
+
+// srswStamped is an SRSW (also usable as regular) register holding a
+// stamped value; it is the cell type the atomic constructions are built on.
+type srswStamped[T any] struct {
+	p atomic.Pointer[stamped[T]]
+}
+
+func (c *srswStamped[T]) load() *stamped[T]   { return c.p.Load() }
+func (c *srswStamped[T]) store(v *stamped[T]) { c.p.Store(v) }
+
+// AtomicSRSW upgrades a regular SRSW register to an atomic one (Fig. 4.10)
+// by timestamping writes and having the (single) reader remember the newest
+// stamped value it has returned, so it never travels backward in time.
+type AtomicSRSW[T any] struct {
+	lastStamp int64 // writer-local
+	lastRead  []*stamped[T]
+	cell      srswStamped[T]
+}
+
+// NewAtomicSRSW returns an atomic register with the given initial value.
+// readers sizes the per-reader memory (the construction is single-reader in
+// the book; we keep one lastRead slot per reader so tests can reuse it as
+// the SRSW cells of larger constructions).
+func NewAtomicSRSW[T any](init T, readers int) *AtomicSRSW[T] {
+	r := &AtomicSRSW[T]{lastRead: make([]*stamped[T], readers)}
+	first := &stamped[T]{value: init}
+	r.cell.store(first)
+	for i := range r.lastRead {
+		r.lastRead[i] = first
+	}
+	return r
+}
+
+// Read returns the newer of the shared cell and the reader's memory.
+func (r *AtomicSRSW[T]) Read(reader core.ThreadID) T {
+	value := r.cell.load()
+	last := r.lastRead[reader]
+	result := maxStamped(last, value)
+	r.lastRead[reader] = result
+	return result.value
+}
+
+// Write timestamps v and stores it.
+func (r *AtomicSRSW[T]) Write(v T) {
+	r.lastStamp++
+	r.cell.store(&stamped[T]{stamp: r.lastStamp, value: v})
+}
+
+// AtomicMRSW builds a multi-reader atomic register from an n×n table of
+// SRSW atomic cells (Fig. 4.12). Readers help later readers by forwarding
+// the value they are about to return into their row.
+type AtomicMRSW[T any] struct {
+	lastStamp int64 // writer-local
+	table     [][]srswStamped[T]
+}
+
+// NewAtomicMRSW returns an atomic MRSW register for `readers` readers.
+func NewAtomicMRSW[T any](init T, readers int) *AtomicMRSW[T] {
+	if readers <= 0 {
+		panic(fmt.Sprintf("register: readers must be positive, got %d", readers))
+	}
+	table := make([][]srswStamped[T], readers)
+	first := &stamped[T]{value: init}
+	for i := range table {
+		table[i] = make([]srswStamped[T], readers)
+		for j := range table[i] {
+			table[i][j].store(first)
+		}
+	}
+	return &AtomicMRSW[T]{table: table}
+}
+
+// Read returns the newest value visible in the reader's column, then
+// forwards it across the reader's row so no later reader sees older state.
+func (r *AtomicMRSW[T]) Read(reader core.ThreadID) T {
+	me := int(reader)
+	value := r.table[me][me].load()
+	for i := range r.table {
+		value = maxStamped(value, r.table[i][me].load())
+	}
+	for i := range r.table {
+		if i == me {
+			continue
+		}
+		r.table[me][i].store(value)
+	}
+	return value.value
+}
+
+// Write timestamps v and stores it on the diagonal.
+func (r *AtomicMRSW[T]) Write(v T) {
+	r.lastStamp++
+	sv := &stamped[T]{stamp: r.lastStamp, value: v}
+	for i := range r.table {
+		r.table[i][i].store(sv)
+	}
+}
+
+// AtomicMRMW builds a multi-writer atomic register from one atomic MRSW
+// cell per writer (Fig. 4.13): a writer reads all cells, picks a stamp
+// higher than any it saw, and publishes into its own cell; readers take the
+// maximum, breaking stamp ties by writer identity.
+type AtomicMRMW[T any] struct {
+	table []srswStamped[T]
+}
+
+// NewAtomicMRMW returns an atomic MRMW register for `writers` writers (any
+// number of readers).
+func NewAtomicMRMW[T any](init T, writers int) *AtomicMRMW[T] {
+	if writers <= 0 {
+		panic(fmt.Sprintf("register: writers must be positive, got %d", writers))
+	}
+	t := make([]srswStamped[T], writers)
+	first := &stamped[T]{writer: -1, value: init}
+	for i := range t {
+		t[i].store(first)
+	}
+	return &AtomicMRMW[T]{table: t}
+}
+
+// WriteBy publishes v on behalf of the given writer.
+func (r *AtomicMRMW[T]) WriteBy(writer core.ThreadID, v T) {
+	max := r.table[0].load()
+	for i := 1; i < len(r.table); i++ {
+		max = maxStamped(max, r.table[i].load())
+	}
+	r.table[writer].store(&stamped[T]{stamp: max.stamp + 1, writer: writer, value: v})
+}
+
+// Read returns the value with the highest (stamp, writer) pair.
+func (r *AtomicMRMW[T]) Read(core.ThreadID) T {
+	max := r.table[0].load()
+	for i := 1; i < len(r.table); i++ {
+		max = maxStamped(max, r.table[i].load())
+	}
+	return max.value
+}

@@ -1,0 +1,187 @@
+package register
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"amp/internal/core"
+)
+
+// Snapshot is the atomic-snapshot object of §4.3: an array of single-writer
+// locations that any thread can Scan atomically.
+type Snapshot interface {
+	// Update stores v into the caller's location.
+	Update(me core.ThreadID, v int64)
+	// Scan returns an instantaneous view of all locations.
+	Scan(me core.ThreadID) []int64
+}
+
+// snapValue is one location's stamped value; for the wait-free construction
+// it also carries the snapshot the updater took just before writing.
+type snapValue struct {
+	stamp int64
+	value int64
+	snap  []int64 // nil in the obstruction-free construction
+}
+
+// SimpleSnapshot is the obstruction-free "collect twice" construction
+// (Fig. 4.15): a scan retries until two consecutive collects are identical,
+// i.e. no update moved in between.
+type SimpleSnapshot struct {
+	cells []atomic.Pointer[snapValue]
+}
+
+var _ Snapshot = (*SimpleSnapshot)(nil)
+
+// NewSimpleSnapshot returns a snapshot object over n locations, all zero.
+func NewSimpleSnapshot(n int) *SimpleSnapshot {
+	s := &SimpleSnapshot{cells: make([]atomic.Pointer[snapValue], n)}
+	zero := &snapValue{}
+	for i := range s.cells {
+		s.cells[i].Store(zero)
+	}
+	return s
+}
+
+// Update stores v into the caller's location with a fresh local stamp.
+func (s *SimpleSnapshot) Update(me core.ThreadID, v int64) {
+	old := s.cells[me].Load()
+	s.cells[me].Store(&snapValue{stamp: old.stamp + 1, value: v})
+}
+
+func (s *SimpleSnapshot) collect() []*snapValue {
+	copyOf := make([]*snapValue, len(s.cells))
+	for i := range s.cells {
+		copyOf[i] = s.cells[i].Load()
+	}
+	return copyOf
+}
+
+// Scan collects until it sees two identical consecutive collects ("a clean
+// double collect"), which must be a consistent cut.
+func (s *SimpleSnapshot) Scan(core.ThreadID) []int64 {
+	old := s.collect()
+	for {
+		cur := s.collect()
+		if sameCollect(old, cur) {
+			out := make([]int64, len(cur))
+			for i, sv := range cur {
+				out[i] = sv.value
+			}
+			return out
+		}
+		old = cur
+	}
+}
+
+func sameCollect(a, b []*snapValue) bool {
+	for i := range a {
+		if a[i] != b[i] { // pointer identity: same stamped write
+			return false
+		}
+	}
+	return true
+}
+
+// WFSnapshot is the wait-free snapshot (Fig. 4.17–4.19): every Update first
+// performs a Scan and embeds the result in the value it writes. A scanning
+// thread that sees some location change *twice* knows that location's
+// second write began after the scan did, so the embedded snapshot is a
+// legal result it can borrow.
+type WFSnapshot struct {
+	cells []atomic.Pointer[snapValue]
+}
+
+var _ Snapshot = (*WFSnapshot)(nil)
+
+// NewWFSnapshot returns a wait-free snapshot object over n locations.
+func NewWFSnapshot(n int) *WFSnapshot {
+	if n <= 0 {
+		panic(fmt.Sprintf("register: snapshot size must be positive, got %d", n))
+	}
+	s := &WFSnapshot{cells: make([]atomic.Pointer[snapValue], n)}
+	zero := &snapValue{snap: make([]int64, n)}
+	for i := range s.cells {
+		s.cells[i].Store(zero)
+	}
+	return s
+}
+
+// Update scans, then writes (stamp+1, v, scan) into the caller's location.
+func (s *WFSnapshot) Update(me core.ThreadID, v int64) {
+	snap := s.Scan(me)
+	old := s.cells[me].Load()
+	s.cells[me].Store(&snapValue{stamp: old.stamp + 1, value: v, snap: snap})
+}
+
+func (s *WFSnapshot) collect() []*snapValue {
+	copyOf := make([]*snapValue, len(s.cells))
+	for i := range s.cells {
+		copyOf[i] = s.cells[i].Load()
+	}
+	return copyOf
+}
+
+// Scan returns a consistent view: either from a clean double collect, or
+// borrowed from a location observed to move twice.
+func (s *WFSnapshot) Scan(core.ThreadID) []int64 {
+	moved := make([]bool, len(s.cells))
+	old := s.collect()
+	for {
+		cur := s.collect()
+		clean := true
+		for j := range s.cells {
+			if old[j] == cur[j] {
+				continue
+			}
+			clean = false
+			if moved[j] {
+				// Second observed move: cur[j]'s embedded snapshot was
+				// taken entirely within our scan's window.
+				out := make([]int64, len(cur[j].snap))
+				copy(out, cur[j].snap)
+				return out
+			}
+			moved[j] = true
+		}
+		if clean {
+			out := make([]int64, len(cur))
+			for i, sv := range cur {
+				out[i] = sv.value
+			}
+			return out
+		}
+		old = cur
+	}
+}
+
+// MutexSnapshot is the lock-based baseline used by experiment E14: Update
+// and Scan take a global mutex. It is trivially linearizable but blocking.
+type MutexSnapshot struct {
+	mu    sync.Mutex
+	table []int64
+}
+
+var _ Snapshot = (*MutexSnapshot)(nil)
+
+// NewMutexSnapshot returns a mutex-guarded snapshot over n locations.
+func NewMutexSnapshot(n int) *MutexSnapshot {
+	return &MutexSnapshot{table: make([]int64, n)}
+}
+
+// Update stores v into the caller's location under the lock.
+func (s *MutexSnapshot) Update(me core.ThreadID, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.table[me] = v
+}
+
+// Scan copies the table under the lock.
+func (s *MutexSnapshot) Scan(core.ThreadID) []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.table))
+	copy(out, s.table)
+	return out
+}

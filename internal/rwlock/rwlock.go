@@ -1,0 +1,269 @@
+// Package rwlock implements the Chapter 8 monitor-based synchronization
+// objects: a counting semaphore, the simple and FIFO readers–writers locks,
+// and a reentrant lock.
+//
+// The book builds these from Java monitors (a lock plus condition
+// variables); the Go rendering uses sync.Mutex + sync.Cond, the direct
+// equivalents. Reentrancy needs a notion of thread identity, which Go
+// lacks, so ReentrantLock takes explicit core.ThreadID handles.
+package rwlock
+
+import (
+	"fmt"
+	"sync"
+
+	"amp/internal/core"
+)
+
+// Semaphore is the counting semaphore of §8.5: Acquire blocks while the
+// count is zero, Release wakes a waiter.
+type Semaphore struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	state    int
+}
+
+// NewSemaphore returns a semaphore with the given initial (and maximum)
+// capacity.
+func NewSemaphore(capacity int) *Semaphore {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rwlock: semaphore capacity must be positive, got %d", capacity))
+	}
+	s := &Semaphore{capacity: capacity, state: capacity}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Acquire takes one permit, blocking until one is available.
+func (s *Semaphore) Acquire() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.state == 0 {
+		s.cond.Wait()
+	}
+	s.state--
+}
+
+// TryAcquire takes a permit only if one is immediately available.
+func (s *Semaphore) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == 0 {
+		return false
+	}
+	s.state--
+	return true
+}
+
+// Release returns one permit. Releasing beyond capacity panics: it always
+// indicates an acquire/release pairing bug.
+func (s *Semaphore) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == s.capacity {
+		panic("rwlock: semaphore released above capacity")
+	}
+	s.state++
+	s.cond.Signal()
+}
+
+// Available reports the current number of free permits.
+func (s *Semaphore) Available() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// RWLock is a readers–writers lock: many concurrent readers or one writer.
+type RWLock interface {
+	RLock()
+	RUnlock()
+	Lock()
+	Unlock()
+}
+
+// SimpleRWLock is the simple readers–writers lock of Fig. 8.7. Readers can
+// starve the writer: a continuous stream of readers keeps the count
+// positive forever. TestWriterPriority contrasts this with FIFORWLock.
+type SimpleRWLock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	readers int
+	writer  bool
+}
+
+var _ RWLock = (*SimpleRWLock)(nil)
+
+// NewSimpleRWLock returns an unlocked readers–writers lock.
+func NewSimpleRWLock() *SimpleRWLock {
+	l := &SimpleRWLock{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// RLock acquires the lock for reading.
+func (l *SimpleRWLock) RLock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.writer {
+		l.cond.Wait()
+	}
+	l.readers++
+}
+
+// RUnlock releases a read acquisition.
+func (l *SimpleRWLock) RUnlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.readers == 0 {
+		panic("rwlock: RUnlock without RLock")
+	}
+	l.readers--
+	if l.readers == 0 {
+		l.cond.Broadcast()
+	}
+}
+
+// Lock acquires the lock for writing.
+func (l *SimpleRWLock) Lock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.writer {
+		l.cond.Wait()
+	}
+	l.writer = true
+	for l.readers > 0 {
+		l.cond.Wait()
+	}
+}
+
+// Unlock releases a write acquisition.
+func (l *SimpleRWLock) Unlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.writer {
+		panic("rwlock: Unlock without Lock")
+	}
+	l.writer = false
+	l.cond.Broadcast()
+}
+
+// FIFORWLock is the fair readers–writers lock of Fig. 8.8: a writer that
+// has announced itself blocks later readers, so writers cannot starve
+// behind a reader stream.
+type FIFORWLock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	readers int // readers currently holding the lock
+	writer  bool
+}
+
+var _ RWLock = (*FIFORWLock)(nil)
+
+// NewFIFORWLock returns an unlocked fair readers–writers lock.
+func NewFIFORWLock() *FIFORWLock {
+	l := &FIFORWLock{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// RLock acquires for reading, waiting out any announced writer.
+func (l *FIFORWLock) RLock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.writer {
+		l.cond.Wait()
+	}
+	l.readers++
+}
+
+// RUnlock releases a read acquisition.
+func (l *FIFORWLock) RUnlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.readers == 0 {
+		panic("rwlock: RUnlock without RLock")
+	}
+	l.readers--
+	if l.readers == 0 {
+		l.cond.Broadcast()
+	}
+}
+
+// Lock announces the writer immediately (blocking later readers), then
+// waits for in-flight readers to drain.
+func (l *FIFORWLock) Lock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.writer {
+		l.cond.Wait()
+	}
+	l.writer = true // announce: later RLock calls now queue behind us
+	for l.readers > 0 {
+		l.cond.Wait()
+	}
+}
+
+// Unlock releases a write acquisition.
+func (l *FIFORWLock) Unlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.writer {
+		panic("rwlock: Unlock without Lock")
+	}
+	l.writer = false
+	l.cond.Broadcast()
+}
+
+// ReentrantLock is the lock of Fig. 8.12: a thread that holds the lock may
+// re-acquire it; the lock is freed when holds return to zero. Thread
+// identity is an explicit core.ThreadID.
+type ReentrantLock struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	owner core.ThreadID
+	holds int
+}
+
+// NewReentrantLock returns an unlocked reentrant lock.
+func NewReentrantLock() *ReentrantLock {
+	l := &ReentrantLock{owner: -1}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Lock acquires the lock for me, immediately if me already owns it.
+func (l *ReentrantLock) Lock(me core.ThreadID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.owner == me && l.holds > 0 {
+		l.holds++
+		return
+	}
+	for l.holds > 0 {
+		l.cond.Wait()
+	}
+	l.owner = me
+	l.holds = 1
+}
+
+// Unlock releases one hold; the last release frees the lock.
+func (l *ReentrantLock) Unlock(me core.ThreadID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.holds == 0 || l.owner != me {
+		panic(fmt.Sprintf("rwlock: thread %d unlocking a lock it does not hold", me))
+	}
+	l.holds--
+	if l.holds == 0 {
+		l.cond.Signal()
+	}
+}
+
+// HoldCount reports how many times the current owner holds the lock.
+func (l *ReentrantLock) HoldCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.holds
+}

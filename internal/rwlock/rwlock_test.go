@@ -1,0 +1,295 @@
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"amp/internal/core"
+)
+
+func TestSemaphoreBounds(t *testing.T) {
+	s := NewSemaphore(3)
+	if got := s.Available(); got != 3 {
+		t.Fatalf("Available = %d, want 3", got)
+	}
+	var active, maxActive atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Acquire()
+				cur := active.Add(1)
+				for {
+					m := maxActive.Load()
+					if cur <= m || maxActive.CompareAndSwap(m, cur) {
+						break
+					}
+				}
+				active.Add(-1)
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if m := maxActive.Load(); m > 3 {
+		t.Fatalf("semaphore admitted %d concurrent holders, capacity 3", m)
+	}
+	if got := s.Available(); got != 3 {
+		t.Fatalf("Available after drain = %d, want 3", got)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	s := NewSemaphore(1)
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed on full semaphore")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on empty semaphore")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release")
+	}
+	s.Release()
+}
+
+func TestSemaphoreOverReleasePanics(t *testing.T) {
+	s := NewSemaphore(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestSemaphoreZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSemaphore(0) did not panic")
+		}
+	}()
+	NewSemaphore(0)
+}
+
+// exerciseRW stress-tests reader/writer exclusion invariants.
+func exerciseRW(t *testing.T, l RWLock) {
+	t.Helper()
+	var (
+		readers atomic.Int32
+		writers atomic.Int32
+		wg      sync.WaitGroup
+	)
+	check := func() {
+		w := writers.Load()
+		r := readers.Load()
+		if w > 1 {
+			t.Errorf("%d concurrent writers", w)
+		}
+		if w == 1 && r > 0 {
+			t.Errorf("writer concurrent with %d readers", r)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 300; j++ {
+				l.RLock()
+				readers.Add(1)
+				check()
+				readers.Add(-1)
+				l.RUnlock()
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 150; j++ {
+				l.Lock()
+				writers.Add(1)
+				check()
+				writers.Add(-1)
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSimpleRWLockExclusion(t *testing.T) { exerciseRW(t, NewSimpleRWLock()) }
+func TestFIFORWLockExclusion(t *testing.T)   { exerciseRW(t, NewFIFORWLock()) }
+
+func TestRWLockConcurrentReaders(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		l    RWLock
+	}{
+		{"simple", NewSimpleRWLock()},
+		{"fifo", NewFIFORWLock()},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			tt.l.RLock()
+			done := make(chan struct{})
+			go func() {
+				tt.l.RLock() // must not block behind another reader
+				tt.l.RUnlock()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("second reader blocked behind first")
+			}
+			tt.l.RUnlock()
+		})
+	}
+}
+
+func TestFIFORWLockWriterBlocksLaterReaders(t *testing.T) {
+	l := NewFIFORWLock()
+	l.RLock() // an in-flight reader
+
+	writerIn := make(chan struct{})
+	go func() {
+		l.Lock() // announces writer, then waits for the reader
+		close(writerIn)
+		l.Unlock()
+	}()
+	// Wait until the writer has announced itself.
+	waitUntil(t, func() bool {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.writer
+	})
+
+	readerIn := make(chan struct{})
+	go func() {
+		l.RLock() // must queue behind the announced writer
+		close(readerIn)
+		l.RUnlock()
+	}()
+	select {
+	case <-readerIn:
+		t.Fatal("later reader overtook an announced writer")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	l.RUnlock() // writer may now proceed, then the reader
+	select {
+	case <-writerIn:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer never acquired")
+	}
+	select {
+	case <-readerIn:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never acquired after writer")
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRWLockUnderflowPanics(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		f    func()
+	}{
+		{"simple runlock", func() { NewSimpleRWLock().RUnlock() }},
+		{"simple unlock", func() { NewSimpleRWLock().Unlock() }},
+		{"fifo runlock", func() { NewFIFORWLock().RUnlock() }},
+		{"fifo unlock", func() { NewFIFORWLock().Unlock() }},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("underflow did not panic")
+				}
+			}()
+			tt.f()
+		})
+	}
+}
+
+func TestReentrantLockReentry(t *testing.T) {
+	l := NewReentrantLock()
+	l.Lock(3)
+	l.Lock(3) // re-entry must not deadlock
+	if got := l.HoldCount(); got != 2 {
+		t.Fatalf("HoldCount = %d, want 2", got)
+	}
+	l.Unlock(3)
+	if got := l.HoldCount(); got != 1 {
+		t.Fatalf("HoldCount after one unlock = %d, want 1", got)
+	}
+
+	// Another thread must wait until holds drain to zero.
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock(4)
+		close(acquired)
+		l.Unlock(4)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second thread acquired while first still holds")
+	case <-time.After(50 * time.Millisecond):
+	}
+	l.Unlock(3)
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second thread never acquired")
+	}
+}
+
+func TestReentrantLockExclusion(t *testing.T) {
+	l := NewReentrantLock()
+	var inCS atomic.Int32
+	var wg sync.WaitGroup
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Lock(me)
+				l.Lock(me)
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("reentrant exclusion violated: %d in CS", got)
+				}
+				inCS.Add(-1)
+				l.Unlock(me)
+				l.Unlock(me)
+			}
+		}(core.ThreadID(th))
+	}
+	wg.Wait()
+}
+
+func TestReentrantLockWrongOwnerPanics(t *testing.T) {
+	l := NewReentrantLock()
+	l.Lock(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign unlock did not panic")
+		}
+		l.Unlock(1)
+	}()
+	l.Unlock(2)
+}

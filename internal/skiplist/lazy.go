@@ -1,0 +1,214 @@
+package skiplist
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// lazyNode is a LazySkipList tower. next pointers are atomic because the
+// wait-free Contains reads them without locks; marked and fullyLinked are
+// the logical-deletion and linearization flags of Fig. 14.7.
+type lazyNode struct {
+	mu          sync.Mutex
+	key         int
+	next        []atomic.Pointer[lazyNode]
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	topLevel    int
+}
+
+func newLazyNode(key, topLevel int) *lazyNode {
+	return &lazyNode{
+		key:      key,
+		next:     make([]atomic.Pointer[lazyNode], topLevel+1),
+		topLevel: topLevel,
+	}
+}
+
+// LazySkipList is the lock-based skiplist of §14.3: optimistic find, lock
+// and validate the per-level predecessors, logically delete with a marked
+// bit. An unmarked, fully linked node is in the set; Add linearizes when
+// fullyLinked is set, Remove when marked is set.
+type LazySkipList struct {
+	head *lazyNode
+	tail *lazyNode
+}
+
+var _ Set = (*LazySkipList)(nil)
+
+// NewLazySkipList returns an empty set.
+func NewLazySkipList() *LazySkipList {
+	head := newLazyNode(KeyMin, maxHeight-1)
+	tail := newLazyNode(KeyMax, maxHeight-1)
+	for i := range head.next {
+		head.next[i].Store(tail)
+	}
+	head.fullyLinked.Store(true)
+	tail.fullyLinked.Store(true)
+	return &LazySkipList{head: head, tail: tail}
+}
+
+// find fills preds/succs per level and returns the highest level at which
+// a node with the key was found, or -1.
+func (s *LazySkipList) find(key int, preds, succs *[maxHeight]*lazyNode) int {
+	lFound := -1
+	pred := s.head
+	for level := maxHeight - 1; level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr.key < key {
+			pred = curr
+			curr = pred.next[level].Load()
+		}
+		if lFound == -1 && curr.key == key {
+			lFound = level
+		}
+		preds[level] = pred
+		succs[level] = curr
+	}
+	return lFound
+}
+
+// Add inserts x, reporting whether it was absent.
+func (s *LazySkipList) Add(x int) bool {
+	checkKey(x)
+	topLevel := randomLevel()
+	var preds, succs [maxHeight]*lazyNode
+	for {
+		lFound := s.find(x, &preds, &succs)
+		if lFound != -1 {
+			found := succs[lFound]
+			if !found.marked.Load() {
+				// Someone added it; wait until their linking completes so
+				// our false return is linearizable.
+				for !found.fullyLinked.Load() {
+				}
+				return false
+			}
+			continue // marked victim still in the way: retry
+		}
+		// Lock the predecessors bottom-up and validate each window.
+		highestLocked := -1
+		valid := true
+		var prevPred *lazyNode
+		for level := 0; valid && level <= topLevel; level++ {
+			pred := preds[level]
+			succ := succs[level]
+			if pred != prevPred { // towers repeat preds; lock once
+				pred.mu.Lock()
+				highestLocked = level
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && !succ.marked.Load() && pred.next[level].Load() == succ
+		}
+		if !valid {
+			unlockPreds(&preds, highestLocked)
+			continue
+		}
+		node := newLazyNode(x, topLevel)
+		for level := 0; level <= topLevel; level++ {
+			node.next[level].Store(succs[level])
+		}
+		for level := 0; level <= topLevel; level++ {
+			preds[level].next[level].Store(node)
+		}
+		node.fullyLinked.Store(true) // linearization point
+		unlockPreds(&preds, highestLocked)
+		return true
+	}
+}
+
+// unlockPreds unlocks the distinct predecessors locked up to maxLevel.
+func unlockPreds(preds *[maxHeight]*lazyNode, highestLocked int) {
+	var prev *lazyNode
+	for level := 0; level <= highestLocked; level++ {
+		if preds[level] != prev {
+			preds[level].mu.Unlock()
+			prev = preds[level]
+		}
+	}
+}
+
+// Remove deletes x, reporting whether it was present.
+func (s *LazySkipList) Remove(x int) bool {
+	checkKey(x)
+	var preds, succs [maxHeight]*lazyNode
+	var victim *lazyNode
+	isMarked := false
+	topLevel := -1
+	for {
+		lFound := s.find(x, &preds, &succs)
+		if lFound != -1 {
+			victim = succs[lFound]
+		}
+		if !isMarked {
+			// First iteration: decide whether there is a removable victim.
+			if lFound == -1 {
+				return false
+			}
+			if !victim.fullyLinked.Load() || victim.topLevel != lFound || victim.marked.Load() {
+				return false
+			}
+			topLevel = victim.topLevel
+			victim.mu.Lock()
+			if victim.marked.Load() {
+				victim.mu.Unlock()
+				return false
+			}
+			victim.marked.Store(true) // linearization point
+			isMarked = true
+		}
+		// Lock predecessors and validate, then physically unlink.
+		highestLocked := -1
+		valid := true
+		var prevPred *lazyNode
+		for level := 0; valid && level <= topLevel; level++ {
+			pred := preds[level]
+			if pred != prevPred {
+				pred.mu.Lock()
+				highestLocked = level
+				prevPred = pred
+			}
+			valid = !pred.marked.Load() && pred.next[level].Load() == victim
+		}
+		if !valid {
+			unlockPreds(&preds, highestLocked)
+			continue // re-find and retry the unlink
+		}
+		for level := topLevel; level >= 0; level-- {
+			preds[level].next[level].Store(victim.next[level].Load())
+		}
+		victim.mu.Unlock()
+		unlockPreds(&preds, highestLocked)
+		return true
+	}
+}
+
+// Contains is wait-free: one traversal, no locks (Fig. 14.11).
+func (s *LazySkipList) Contains(x int) bool {
+	checkKey(x)
+	pred := s.head
+	var curr *lazyNode
+	for level := maxHeight - 1; level >= 0; level-- {
+		curr = pred.next[level].Load()
+		for curr.key < x {
+			pred = curr
+			curr = pred.next[level].Load()
+		}
+	}
+	return curr.key == x && curr.fullyLinked.Load() && !curr.marked.Load()
+}
+
+// Ascend calls f on each key in ascending order, skipping marked and
+// not-yet-linked nodes, until f returns false. Wait-free and weakly
+// consistent, like Contains.
+func (s *LazySkipList) Ascend(f func(key int) bool) {
+	curr := s.head.next[0].Load()
+	for curr != s.tail {
+		if curr.fullyLinked.Load() && !curr.marked.Load() {
+			if !f(curr.key) {
+				return
+			}
+		}
+		curr = curr.next[0].Load()
+	}
+}

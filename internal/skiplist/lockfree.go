@@ -1,0 +1,228 @@
+package skiplist
+
+import "sync/atomic"
+
+// lfRef is an immutable (successor, marked) pair, as in packages list and
+// hashset.
+type lfRef struct {
+	node   *lfNode
+	marked bool
+}
+
+type lfNode struct {
+	key      int
+	next     []atomic.Pointer[lfRef]
+	topLevel int
+}
+
+func newLFNode(key, topLevel int) *lfNode {
+	n := &lfNode{
+		key:      key,
+		next:     make([]atomic.Pointer[lfRef], topLevel+1),
+		topLevel: topLevel,
+	}
+	empty := &lfRef{}
+	for i := range n.next {
+		n.next[i].Store(empty)
+	}
+	return n
+}
+
+// LockFreeSkipList is the nonblocking skiplist of §14.4. The bottom-level
+// list is the set: a node is present iff it is reachable at level 0 and its
+// level-0 next pointer is unmarked. Upper levels are shortcuts that find()
+// repairs as it descends.
+type LockFreeSkipList struct {
+	head *lfNode
+	tail *lfNode
+}
+
+var _ Set = (*LockFreeSkipList)(nil)
+
+// NewLockFreeSkipList returns an empty set.
+func NewLockFreeSkipList() *LockFreeSkipList {
+	head := newLFNode(KeyMin, maxHeight-1)
+	tail := newLFNode(KeyMax, maxHeight-1)
+	for i := range head.next {
+		head.next[i].Store(&lfRef{node: tail})
+	}
+	return &LockFreeSkipList{head: head, tail: tail}
+}
+
+// find locates the per-level windows around key, snipping marked nodes it
+// passes; it reports whether a node with the key is present at bottom
+// level. preds/succs are filled for levels 0..maxHeight-1.
+func (s *LockFreeSkipList) find(key int, preds, succs *[maxHeight]*lfNode) bool {
+retry:
+	for {
+		pred := s.head
+		var curr *lfNode
+		for level := maxHeight - 1; level >= 0; level-- {
+			curr = pred.next[level].Load().node
+			for {
+				succRef := curr.next[level].Load()
+				for succRef.marked {
+					expected := pred.next[level].Load()
+					if expected.node != curr || expected.marked {
+						continue retry
+					}
+					if !pred.next[level].CompareAndSwap(expected, &lfRef{node: succRef.node}) {
+						continue retry
+					}
+					curr = succRef.node
+					succRef = curr.next[level].Load()
+				}
+				if curr.key < key {
+					pred = curr
+					curr = succRef.node
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		return curr.key == key
+	}
+}
+
+// Add inserts x, reporting whether it was absent. The level-0 link CAS is
+// the linearization point; higher-level links are installed afterwards,
+// re-finding when they race.
+func (s *LockFreeSkipList) Add(x int) bool {
+	checkKey(x)
+	topLevel := randomLevel()
+	var preds, succs [maxHeight]*lfNode
+	for {
+		if s.find(x, &preds, &succs) {
+			return false
+		}
+		node := newLFNode(x, topLevel)
+		for level := 0; level <= topLevel; level++ {
+			node.next[level].Store(&lfRef{node: succs[level]})
+		}
+		pred, succ := preds[0], succs[0]
+		expected := pred.next[0].Load()
+		if expected.node != succ || expected.marked {
+			continue
+		}
+		if !pred.next[0].CompareAndSwap(expected, &lfRef{node: node}) {
+			continue
+		}
+		// Link the shortcut levels.
+		for level := 1; level <= topLevel; level++ {
+			for {
+				cur := node.next[level].Load()
+				if cur.marked {
+					return true // node is being removed; stop linking
+				}
+				pred, succ = preds[level], succs[level]
+				if cur.node != succ {
+					if !node.next[level].CompareAndSwap(cur, &lfRef{node: succ}) {
+						continue // re-read our own pointer
+					}
+				}
+				expected := pred.next[level].Load()
+				if expected.node == succ && !expected.marked &&
+					pred.next[level].CompareAndSwap(expected, &lfRef{node: node}) {
+					break
+				}
+				s.find(x, &preds, &succs) // refresh the windows and retry
+				if succs[level] == node {
+					// Someone linked us here while we retried.
+					break
+				}
+			}
+		}
+		return true
+	}
+}
+
+// Remove deletes x, reporting whether it was present. Marking the
+// level-0 next pointer is the linearization point.
+func (s *LockFreeSkipList) Remove(x int) bool {
+	checkKey(x)
+	var preds, succs [maxHeight]*lfNode
+	for {
+		if !s.find(x, &preds, &succs) {
+			return false
+		}
+		victim := succs[0]
+		// Mark the shortcut levels top-down.
+		for level := victim.topLevel; level >= 1; level-- {
+			for {
+				ref := victim.next[level].Load()
+				if ref.marked {
+					break
+				}
+				victim.next[level].CompareAndSwap(ref, &lfRef{node: ref.node, marked: true})
+			}
+		}
+		// Mark level 0: whoever wins this CAS owns the removal.
+		for {
+			ref := victim.next[0].Load()
+			if ref.marked {
+				return false // someone else removed it first
+			}
+			if victim.next[0].CompareAndSwap(ref, &lfRef{node: ref.node, marked: true}) {
+				s.find(x, &preds, &succs) // physically snip, best effort
+				return true
+			}
+		}
+	}
+}
+
+// Min returns the smallest key in the set, walking the bottom-level list
+// and skipping logically deleted nodes. It reports false when the set is
+// observed empty. Chapter 15's SkipQueue uses this as its findMin step.
+func (s *LockFreeSkipList) Min() (int, bool) {
+	curr := s.head.next[0].Load().node
+	for curr != s.tail {
+		if !curr.next[0].Load().marked {
+			return curr.key, true
+		}
+		curr = curr.next[0].Load().node
+	}
+	return 0, false
+}
+
+// Contains is wait-free: it descends without snipping, skipping marked
+// nodes (Fig. 14.16).
+func (s *LockFreeSkipList) Contains(x int) bool {
+	checkKey(x)
+	pred := s.head
+	var curr *lfNode
+	for level := maxHeight - 1; level >= 0; level-- {
+		curr = pred.next[level].Load().node
+		for {
+			succRef := curr.next[level].Load()
+			for succRef.marked {
+				curr = succRef.node
+				succRef = curr.next[level].Load()
+			}
+			if curr.key < x {
+				pred = curr
+				curr = succRef.node
+			} else {
+				break
+			}
+		}
+	}
+	return curr.key == x && !curr.next[0].Load().marked
+}
+
+// Ascend calls f on each key in ascending order, skipping logically
+// deleted nodes, until f returns false. The traversal is wait-free and
+// weakly consistent: concurrent updates may or may not be observed.
+func (s *LockFreeSkipList) Ascend(f func(key int) bool) {
+	curr := s.head.next[0].Load().node
+	for curr != s.tail {
+		ref := curr.next[0].Load()
+		if !ref.marked {
+			if !f(curr.key) {
+				return
+			}
+		}
+		curr = ref.node
+	}
+}

@@ -1,0 +1,51 @@
+// Package skiplist implements the Chapter 14 concurrent skiplists: the
+// lock-based LazySkipList (Fig. 14.7–14.11), whose Contains is wait-free,
+// and the LockFreeSkipList (Fig. 14.12–14.16), where the bottom-level list
+// defines membership and upper levels are best-effort shortcuts.
+package skiplist
+
+import (
+	"math"
+	"sync/atomic"
+
+	"amp/internal/list"
+)
+
+// Set is the concurrent integer-set abstraction (same shape as list.Set).
+type Set = list.Set
+
+// Key bounds: usable keys lie strictly inside (KeyMin, KeyMax); the bounds
+// are the head and tail sentinel keys.
+const (
+	KeyMin = math.MinInt64
+	KeyMax = math.MaxInt64
+)
+
+// maxHeight is the number of levels (0..maxHeight-1). 2^16 expected items
+// per full-height tower is plenty for tests and benchmarks.
+const maxHeight = 16
+
+// levelSeed drives the shared lock-free level generator.
+var levelSeed atomic.Uint64
+
+// randomLevel returns a tower top level in [0, maxHeight), geometrically
+// distributed with p = 1/2, using a splitmix64 step over a shared atomic
+// seed (allocation-free and safe for concurrent use).
+func randomLevel() int {
+	z := levelSeed.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	lvl := 0
+	for z&1 == 1 && lvl < maxHeight-1 {
+		lvl++
+		z >>= 1
+	}
+	return lvl
+}
+
+func checkKey(x int) {
+	if x == KeyMin || x == KeyMax {
+		panic("skiplist: key collides with a sentinel")
+	}
+}

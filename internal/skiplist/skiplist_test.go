@@ -1,0 +1,344 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"amp/internal/core"
+)
+
+func implementations() map[string]func() Set {
+	return map[string]func() Set{
+		"lazy":     func() Set { return NewLazySkipList() },
+		"lockfree": func() Set { return NewLockFreeSkipList() },
+	}
+}
+
+func TestRandomLevelDistribution(t *testing.T) {
+	const n = 100_000
+	var counts [maxHeight]int
+	for i := 0; i < n; i++ {
+		lvl := randomLevel()
+		if lvl < 0 || lvl >= maxHeight {
+			t.Fatalf("randomLevel out of range: %d", lvl)
+		}
+		counts[lvl]++
+	}
+	// Roughly half the towers are height 1 (level 0).
+	if counts[0] < n/3 || counts[0] > 2*n/3 {
+		t.Fatalf("level-0 frequency %d/%d far from 1/2", counts[0], n)
+	}
+	// Higher levels are rarer than lower ones, within noise.
+	if counts[3] >= counts[0] {
+		t.Fatalf("level 3 (%d) not rarer than level 0 (%d)", counts[3], counts[0])
+	}
+}
+
+func TestSequentialBasics(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if s.Contains(5) {
+				t.Fatal("empty set contains 5")
+			}
+			if !s.Add(5) || s.Add(5) {
+				t.Fatal("Add semantics broken")
+			}
+			if !s.Contains(5) {
+				t.Fatal("Contains after Add = false")
+			}
+			if !s.Remove(5) || s.Remove(5) {
+				t.Fatal("Remove semantics broken")
+			}
+			if s.Contains(5) {
+				t.Fatal("Contains after Remove = true")
+			}
+		})
+	}
+}
+
+func TestLargeOrderedScan(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			const n = 3000
+			perm := rand.New(rand.NewSource(5)).Perm(n)
+			for _, k := range perm {
+				if !s.Add(k) {
+					t.Fatalf("Add(%d) = false", k)
+				}
+			}
+			for k := 0; k < n; k++ {
+				if !s.Contains(k) {
+					t.Fatalf("Contains(%d) = false", k)
+				}
+			}
+			if s.Contains(n + 7) {
+				t.Fatal("phantom key")
+			}
+		})
+	}
+}
+
+func TestDifferentialAgainstMap(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			ref := make(map[int]bool)
+			rng := rand.New(rand.NewSource(17))
+			for i := 0; i < 6000; i++ {
+				k := rng.Intn(128)
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := s.Add(k), !ref[k]; got != want {
+						t.Fatalf("op %d: Add(%d) = %v, want %v", i, k, got, want)
+					}
+					ref[k] = true
+				case 1:
+					if got, want := s.Remove(k), ref[k]; got != want {
+						t.Fatalf("op %d: Remove(%d) = %v, want %v", i, k, got, want)
+					}
+					delete(ref, k)
+				default:
+					if got := s.Contains(k); got != ref[k] {
+						t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, ref[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentSetSemantics(t *testing.T) {
+	const (
+		workers = 6
+		iters   = 700
+		keys    = 48
+	)
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			var adds, removes [keys]atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						k := rng.Intn(keys)
+						switch rng.Intn(3) {
+						case 0:
+							if s.Add(k) {
+								adds[k].Add(1)
+							}
+						case 1:
+							if s.Remove(k) {
+								removes[k].Add(1)
+							}
+						default:
+							s.Contains(k)
+						}
+					}
+				}(int64(w + 71))
+			}
+			wg.Wait()
+			for k := 0; k < keys; k++ {
+				diff := adds[k].Load() - removes[k].Load()
+				if diff != 0 && diff != 1 {
+					t.Fatalf("key %d: %d adds vs %d removes", k, adds[k].Load(), removes[k].Load())
+				}
+				if got, want := s.Contains(k), diff == 1; got != want {
+					t.Fatalf("key %d: Contains = %v, want %v", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestLinearizable(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			rec := core.NewRecorder()
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func(me core.ThreadID) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(me) + 5))
+					for i := 0; i < 6; i++ {
+						k := rng.Intn(3)
+						switch rng.Intn(3) {
+						case 0:
+							p := rec.Call(me, "add", k)
+							p.Done(s.Add(k))
+						case 1:
+							p := rec.Call(me, "remove", k)
+							p.Done(s.Remove(k))
+						default:
+							p := rec.Call(me, "contains", k)
+							p.Done(s.Contains(k))
+						}
+					}
+				}(core.ThreadID(w))
+			}
+			wg.Wait()
+			res := core.Check(core.SetModel(), rec.History())
+			if res.Exhausted {
+				t.Skip("checker budget exhausted")
+			}
+			if !res.Linearizable {
+				t.Fatalf("%s produced a non-linearizable history:\n%v", name, rec.History())
+			}
+		})
+	}
+}
+
+func TestSentinelKeyPanics(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer func() {
+				if recover() == nil {
+					t.Fatal("sentinel key did not panic")
+				}
+			}()
+			s.Add(KeyMax)
+		})
+	}
+}
+
+func TestQuickSetEquivalence(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint16) bool {
+				s := mk()
+				ref := make(map[int]bool)
+				for _, code := range ops {
+					k := int(code % 24)
+					switch (code / 24) % 3 {
+					case 0:
+						if s.Add(k) != !ref[k] {
+							return false
+						}
+						ref[k] = true
+					case 1:
+						if s.Remove(k) != ref[k] {
+							return false
+						}
+						delete(ref, k)
+					default:
+						if s.Contains(k) != ref[k] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+type ascender interface {
+	Set
+	Ascend(f func(key int) bool)
+}
+
+func TestAscendOrdered(t *testing.T) {
+	for name, mk := range map[string]func() ascender{
+		"lazy":     func() ascender { return NewLazySkipList() },
+		"lockfree": func() ascender { return NewLockFreeSkipList() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			perm := rand.New(rand.NewSource(31)).Perm(200)
+			for _, k := range perm {
+				s.Add(k)
+			}
+			for k := 0; k < 200; k += 3 {
+				s.Remove(k)
+			}
+			var got []int
+			s.Ascend(func(k int) bool {
+				got = append(got, k)
+				return true
+			})
+			var want []int
+			for k := 0; k < 200; k++ {
+				if k%3 != 0 {
+					want = append(want, k)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Ascend yielded %d keys, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Ascend[%d] = %d, want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	s := NewLockFreeSkipList()
+	for k := 0; k < 50; k++ {
+		s.Add(k)
+	}
+	n := 0
+	s.Ascend(func(int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("Ascend visited %d keys after early stop, want 10", n)
+	}
+}
+
+func TestAscendDuringConcurrentUpdates(t *testing.T) {
+	s := NewLockFreeSkipList()
+	for k := 0; k < 100; k += 2 {
+		s.Add(k)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(77))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				k := rng.Intn(100)
+				if rng.Intn(2) == 0 {
+					s.Add(k)
+				} else {
+					s.Remove(k)
+				}
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		last := KeyMin
+		s.Ascend(func(k int) bool {
+			if k <= last {
+				t.Errorf("Ascend out of order: %d after %d", k, last)
+				return false
+			}
+			last = k
+			return true
+		})
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,218 @@
+package spin
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"amp/internal/core"
+)
+
+// Composite lock (Fig. 7.13–7.16): the best of backoff and queueing. Only a
+// small, fixed window of threads queue (keeping handoff cheap); everyone
+// else backs off trying to get into the window. Each waiting slot is a
+// node in a short TOLock-style implicit queue.
+
+// compositeState is a waiting node's lifecycle state.
+type compositeState int32
+
+const (
+	nodeFree compositeState = iota
+	nodeWaiting
+	nodeReleased
+	nodeAborted
+)
+
+// compositeNode is one slot of the waiting window.
+type compositeNode struct {
+	state atomic.Int32
+	pred  atomic.Pointer[compositeNode]
+}
+
+// CompositeLock combines backoff (to get one of `size` waiting slots) with
+// a queue of at most `size` waiting threads. The tail pointer packs the
+// node index and a version stamp to avoid ABA on recycled nodes.
+type CompositeLock struct {
+	nodes    []compositeNode
+	tail     atomic.Uint64 // stamp<<32 | (index+1); 0 = empty
+	myNode   []*compositeNode
+	minDelay time.Duration
+	maxDelay time.Duration
+}
+
+var _ Lock = (*CompositeLock)(nil)
+
+// compositeWindow is the waiting-window size; the book uses a small
+// constant independent of thread count.
+const compositeWindow = 4
+
+// NewCompositeLock returns a composite lock for up to capacity threads.
+func NewCompositeLock(capacity int) *CompositeLock {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("spin: composite lock capacity must be positive, got %d", capacity))
+	}
+	return &CompositeLock{
+		nodes:    make([]compositeNode, compositeWindow),
+		myNode:   make([]*compositeNode, capacity),
+		minDelay: defaultMinDelay,
+		maxDelay: defaultMaxDelay,
+	}
+}
+
+func (l *CompositeLock) packTail(node *compositeNode, stamp uint32) uint64 {
+	if node == nil {
+		return uint64(stamp) << 32
+	}
+	for i := range l.nodes {
+		if &l.nodes[i] == node {
+			return uint64(stamp)<<32 | uint64(i+1)
+		}
+	}
+	panic("spin: composite node not in window")
+}
+
+func (l *CompositeLock) unpackTail(v uint64) (*compositeNode, uint32) {
+	idx := uint32(v)
+	stamp := uint32(v >> 32)
+	if idx == 0 {
+		return nil, stamp
+	}
+	return &l.nodes[idx-1], stamp
+}
+
+// Lock acquires the lock: back off into a free window slot, splice into the
+// short queue, and spin on the predecessor.
+func (l *CompositeLock) Lock(me core.ThreadID) {
+	backoff := NewBackoff(l.minDelay, l.maxDelay)
+	for {
+		if node := l.tryAcquireSlot(backoff); node != nil {
+			if l.spliceAndWait(me, node, backoff) {
+				return
+			}
+		}
+		backoff.Pause()
+	}
+}
+
+// tryAcquireSlot claims a random-ish free node from the window via CAS,
+// backing off on failure a bounded number of times before giving up so the
+// caller can restart.
+func (l *CompositeLock) tryAcquireSlot(backoff *Backoff) *compositeNode {
+	start := int(time.Now().UnixNano()) % compositeWindow
+	for attempt := 0; attempt < 8; attempt++ {
+		node := &l.nodes[(start+attempt)%compositeWindow]
+		if node.state.CompareAndSwap(int32(nodeFree), int32(nodeWaiting)) {
+			return node
+		}
+		backoff.Pause()
+	}
+	return nil
+}
+
+// spliceAndWait enqueues the node behind the current tail and waits for the
+// predecessor chain to release it. It reports false when the wait must be
+// abandoned (never in this always-patient variant; the structure mirrors
+// the book's timeout-capable original).
+func (l *CompositeLock) spliceAndWait(me core.ThreadID, node *compositeNode, backoff *Backoff) bool {
+	// Splice in: swap the tail to point at our node.
+	var predNode *compositeNode
+	for {
+		old := l.tail.Load()
+		pred, stamp := l.unpackTail(old)
+		if l.tail.CompareAndSwap(old, l.packTail(node, stamp+1)) {
+			predNode = pred
+			break
+		}
+	}
+	// Wait for the predecessor (if any) to release us.
+	if predNode != nil {
+		node.pred.Store(predNode)
+		for compositeState(predNode.state.Load()) != nodeReleased {
+			runtime.Gosched()
+		}
+		predNode.state.Store(int32(nodeFree)) // recycle predecessor's slot
+		node.pred.Store(nil)
+	}
+	l.myNode[me] = node
+	return true
+}
+
+// Unlock releases the lock: if we are still the tail, detach and free our
+// node; otherwise mark it released for the successor to recycle.
+func (l *CompositeLock) Unlock(me core.ThreadID) {
+	node := l.myNode[me]
+	l.myNode[me] = nil
+	old := l.tail.Load()
+	tailNode, stamp := l.unpackTail(old)
+	if tailNode == node && l.tail.CompareAndSwap(old, l.packTail(nil, stamp+1)) {
+		node.state.Store(int32(nodeFree))
+		return
+	}
+	node.state.Store(int32(nodeReleased))
+}
+
+// Capacity reports the thread bound.
+func (l *CompositeLock) Capacity() int { return len(l.myNode) }
+
+// HBOLock is the hierarchical backoff lock (§7.8.2): a test-and-set lock
+// whose backoff is cluster-sensitive — threads in the same cluster as the
+// lock holder back off briefly (the lock is likely to stay local), remote
+// threads back off longer. On this testbed clusters are simulated by
+// thread ID parity, standing in for NUMA node identity.
+type HBOLock struct {
+	state    atomic.Int32 // 0 = free; otherwise holder's cluster + 1
+	clusters int
+	capacity int
+}
+
+var _ Lock = (*HBOLock)(nil)
+
+// Cluster backoff windows: short when the holder is local, long when
+// remote (the book's LOCAL_MIN/MAX vs REMOTE_MIN/MAX).
+const (
+	hboLocalMin  = time.Microsecond
+	hboLocalMax  = 32 * time.Microsecond
+	hboRemoteMin = 4 * time.Microsecond
+	hboRemoteMax = 512 * time.Microsecond
+)
+
+// NewHBOLock returns a hierarchical backoff lock for up to capacity
+// threads spread over the given cluster count.
+func NewHBOLock(capacity, clusters int) *HBOLock {
+	if capacity <= 0 || clusters <= 0 {
+		panic(fmt.Sprintf("spin: invalid HBO lock (capacity=%d, clusters=%d)", capacity, clusters))
+	}
+	return &HBOLock{clusters: clusters, capacity: capacity}
+}
+
+// clusterOf maps a thread to its simulated cluster.
+func (l *HBOLock) clusterOf(me core.ThreadID) int32 {
+	return int32(int(me)%l.clusters) + 1
+}
+
+// Lock acquires the lock with cluster-sensitive backoff.
+func (l *HBOLock) Lock(me core.ThreadID) {
+	myCluster := l.clusterOf(me)
+	localBackoff := NewBackoff(hboLocalMin, hboLocalMax)
+	remoteBackoff := NewBackoff(hboRemoteMin, hboRemoteMax)
+	for {
+		if l.state.CompareAndSwap(0, myCluster) {
+			return
+		}
+		holder := l.state.Load()
+		if holder == myCluster {
+			localBackoff.Pause()
+		} else {
+			remoteBackoff.Pause()
+		}
+	}
+}
+
+// Unlock releases the lock.
+func (l *HBOLock) Unlock(core.ThreadID) {
+	l.state.Store(0)
+}
+
+// Capacity reports the thread bound.
+func (l *HBOLock) Capacity() int { return l.capacity }

@@ -1,0 +1,378 @@
+// Package spin implements the Chapter 7 spin locks: test-and-set (TAS),
+// test-and-test-and-set (TTAS), TTAS with exponential backoff, the
+// array-based ALock, the CLH and MCS queue locks, and the timeout-capable
+// TOLock.
+//
+// The book parks per-thread queue nodes in ThreadLocal storage; Go has no
+// goroutine-local storage by design, so each lock holds its per-thread
+// state in arrays indexed by dense core.ThreadID handles, and spinning
+// yields to the Go scheduler (runtime.Gosched) where the book's code would
+// burn a hardware thread.
+package spin
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amp/internal/core"
+)
+
+// Lock is a spin lock whose operations identify the calling thread. IDs
+// must be dense in [0, Capacity()) and at most one goroutine may use a
+// given ID at a time. TAS-family locks ignore the ID; queue locks use it to
+// find their per-thread node.
+type Lock interface {
+	Lock(me core.ThreadID)
+	Unlock(me core.ThreadID)
+	Capacity() int
+}
+
+// unbounded is the Capacity reported by locks with no per-thread state.
+const unbounded = 1 << 30
+
+// TASLock spins on getAndSet (Fig. 7.2). Every spin is a read-modify-write
+// on the lock word, so under contention the interconnect saturates — the
+// bad curve in experiment E1.
+type TASLock struct {
+	state atomic.Bool
+}
+
+var _ Lock = (*TASLock)(nil)
+
+// Lock acquires the lock.
+func (l *TASLock) Lock(core.ThreadID) {
+	for l.state.Swap(true) {
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock.
+func (l *TASLock) Unlock(core.ThreadID) {
+	l.state.Store(false)
+}
+
+// Capacity reports that the lock supports any number of threads.
+func (l *TASLock) Capacity() int { return unbounded }
+
+// TTASLock spins on a plain read until the lock looks free, then pounces
+// with getAndSet (Fig. 7.3). Spinning readers hit their local cache, so it
+// degrades far more gracefully than TASLock.
+type TTASLock struct {
+	state atomic.Bool
+}
+
+var _ Lock = (*TTASLock)(nil)
+
+// Lock acquires the lock.
+func (l *TTASLock) Lock(core.ThreadID) {
+	for {
+		for l.state.Load() {
+			runtime.Gosched()
+		}
+		if !l.state.Swap(true) {
+			return
+		}
+	}
+}
+
+// Unlock releases the lock.
+func (l *TTASLock) Unlock(core.ThreadID) {
+	l.state.Store(false)
+}
+
+// Capacity reports that the lock supports any number of threads.
+func (l *TTASLock) Capacity() int { return unbounded }
+
+// Backoff is the truncated randomized exponential backoff helper of
+// Fig. 7.5: each call sleeps a random duration up to the current limit,
+// then doubles the limit up to the maximum. It is not safe for concurrent
+// use; give each thread its own.
+type Backoff struct {
+	minDelay time.Duration
+	maxDelay time.Duration
+	limit    time.Duration
+	rng      uint64 // xorshift state; cheap and allocation-free
+}
+
+// NewBackoff returns a backoff starting at minDelay and capped at maxDelay.
+func NewBackoff(minDelay, maxDelay time.Duration) *Backoff {
+	if minDelay <= 0 || maxDelay < minDelay {
+		panic(fmt.Sprintf("spin: invalid backoff window [%v, %v]", minDelay, maxDelay))
+	}
+	return &Backoff{
+		minDelay: minDelay,
+		maxDelay: maxDelay,
+		limit:    minDelay,
+		rng:      uint64(time.Now().UnixNano()) | 1,
+	}
+}
+
+// Pause sleeps for a random duration in [0, limit) and doubles the limit.
+func (b *Backoff) Pause() {
+	b.rng ^= b.rng << 13
+	b.rng ^= b.rng >> 7
+	b.rng ^= b.rng << 17
+	d := time.Duration(b.rng % uint64(b.limit))
+	if b.limit < b.maxDelay {
+		b.limit *= 2
+		if b.limit > b.maxDelay {
+			b.limit = b.maxDelay
+		}
+	}
+	if d == 0 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(d)
+}
+
+// Reset restores the limit to the minimum delay, for reuse across
+// acquisitions.
+func (b *Backoff) Reset() { b.limit = b.minDelay }
+
+// Default backoff window for BackoffLock; tuned for a scheduler-backed
+// testbed rather than bare hardware.
+const (
+	defaultMinDelay = time.Microsecond
+	defaultMaxDelay = 256 * time.Microsecond
+)
+
+// BackoffLock is TTAS plus randomized exponential backoff after a failed
+// pounce (Fig. 7.6): losers get out of the winner's way. Per-thread backoff
+// state is kept in an array indexed by thread ID.
+type BackoffLock struct {
+	state    atomic.Bool
+	backoffs []*Backoff
+}
+
+var _ Lock = (*BackoffLock)(nil)
+
+// NewBackoffLock returns a backoff lock for up to capacity threads with the
+// default delay window.
+func NewBackoffLock(capacity int) *BackoffLock {
+	return NewBackoffLockWindow(capacity, defaultMinDelay, defaultMaxDelay)
+}
+
+// NewBackoffLockWindow returns a backoff lock with an explicit window.
+func NewBackoffLockWindow(capacity int, minDelay, maxDelay time.Duration) *BackoffLock {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("spin: backoff lock capacity must be positive, got %d", capacity))
+	}
+	l := &BackoffLock{backoffs: make([]*Backoff, capacity)}
+	for i := range l.backoffs {
+		l.backoffs[i] = NewBackoff(minDelay, maxDelay)
+	}
+	return l
+}
+
+// Lock acquires the lock, backing off after each failed attempt.
+func (l *BackoffLock) Lock(me core.ThreadID) {
+	backoff := l.backoffs[me]
+	backoff.Reset()
+	for {
+		for l.state.Load() {
+			runtime.Gosched()
+		}
+		if !l.state.Swap(true) {
+			return
+		}
+		backoff.Pause()
+	}
+}
+
+// Unlock releases the lock.
+func (l *BackoffLock) Unlock(core.ThreadID) {
+	l.state.Store(false)
+}
+
+// Capacity reports the thread bound.
+func (l *BackoffLock) Capacity() int { return len(l.backoffs) }
+
+// paddedBool spaces flags a cache line apart so waiters on adjacent ALock
+// slots do not false-share (§7.5.1).
+type paddedBool struct {
+	v atomic.Bool
+	_ [56]byte
+}
+
+// ALock is the array-based bounded queue lock (Fig. 7.7): threads take a
+// ticket and spin on their own slot of a circular flag array; releasing
+// sets the next slot.
+type ALock struct {
+	tail   atomic.Int64
+	flag   []paddedBool
+	mySlot []int64
+	size   int
+}
+
+var _ Lock = (*ALock)(nil)
+
+// NewALock returns an ALock serving up to capacity concurrent threads.
+func NewALock(capacity int) *ALock {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("spin: ALock capacity must be positive, got %d", capacity))
+	}
+	l := &ALock{
+		flag:   make([]paddedBool, capacity),
+		mySlot: make([]int64, capacity),
+		size:   capacity,
+	}
+	l.flag[0].v.Store(true)
+	return l
+}
+
+// Lock takes the next slot and spins until its flag goes up.
+func (l *ALock) Lock(me core.ThreadID) {
+	slot := l.tail.Add(1) - 1
+	l.mySlot[me] = slot
+	idx := int(slot) % l.size
+	for !l.flag[idx].v.Load() {
+		runtime.Gosched()
+	}
+}
+
+// Unlock lowers this slot's flag and raises the successor's.
+func (l *ALock) Unlock(me core.ThreadID) {
+	slot := l.mySlot[me]
+	l.flag[int(slot)%l.size].v.Store(false)
+	l.flag[int(slot+1)%l.size].v.Store(true)
+}
+
+// Capacity reports the slot count.
+func (l *ALock) Capacity() int { return l.size }
+
+// clhNode is a CLH queue node; a thread spins on its predecessor's node.
+type clhNode struct {
+	locked atomic.Bool
+}
+
+// CLHLock is the Craig–Landin–Hagersten list-based queue lock (Fig. 7.9):
+// implicit queue via a swapped tail pointer, spinning on the predecessor's
+// node, recycling the predecessor's node for the next acquisition.
+type CLHLock struct {
+	tail   atomic.Pointer[clhNode]
+	myNode []*clhNode
+	myPred []*clhNode
+}
+
+var _ Lock = (*CLHLock)(nil)
+
+// NewCLHLock returns a CLH lock for up to capacity threads.
+func NewCLHLock(capacity int) *CLHLock {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("spin: CLH capacity must be positive, got %d", capacity))
+	}
+	l := &CLHLock{
+		myNode: make([]*clhNode, capacity),
+		myPred: make([]*clhNode, capacity),
+	}
+	l.tail.Store(&clhNode{}) // an unlocked sentinel
+	for i := range l.myNode {
+		l.myNode[i] = &clhNode{}
+	}
+	return l
+}
+
+// Lock enqueues the caller's node and spins on the predecessor.
+func (l *CLHLock) Lock(me core.ThreadID) {
+	qnode := l.myNode[me]
+	qnode.locked.Store(true)
+	pred := l.tail.Swap(qnode)
+	l.myPred[me] = pred
+	for pred.locked.Load() {
+		runtime.Gosched()
+	}
+}
+
+// Unlock clears the caller's node and recycles the predecessor's.
+func (l *CLHLock) Unlock(me core.ThreadID) {
+	qnode := l.myNode[me]
+	qnode.locked.Store(false)
+	l.myNode[me] = l.myPred[me]
+}
+
+// Capacity reports the thread bound.
+func (l *CLHLock) Capacity() int { return len(l.myNode) }
+
+// mcsNode is an MCS queue node; a thread spins on its *own* node, which its
+// predecessor will clear — the property that makes MCS suited to NUMA.
+type mcsNode struct {
+	locked atomic.Bool
+	next   atomic.Pointer[mcsNode]
+}
+
+// MCSLock is the Mellor-Crummey–Scott queue lock (Fig. 7.10): explicit
+// queue with local spinning.
+type MCSLock struct {
+	tail  atomic.Pointer[mcsNode]
+	nodes []*mcsNode
+}
+
+var _ Lock = (*MCSLock)(nil)
+
+// NewMCSLock returns an MCS lock for up to capacity threads.
+func NewMCSLock(capacity int) *MCSLock {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("spin: MCS capacity must be positive, got %d", capacity))
+	}
+	l := &MCSLock{nodes: make([]*mcsNode, capacity)}
+	for i := range l.nodes {
+		l.nodes[i] = &mcsNode{}
+	}
+	return l
+}
+
+// Lock appends the caller's node to the queue and spins on it if there is a
+// predecessor.
+func (l *MCSLock) Lock(me core.ThreadID) {
+	qnode := l.nodes[me]
+	pred := l.tail.Swap(qnode)
+	if pred != nil {
+		qnode.locked.Store(true)
+		pred.next.Store(qnode)
+		for qnode.locked.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock hands the lock to the successor, waiting out the linking race if
+// the successor has swapped the tail but not yet linked itself.
+func (l *MCSLock) Unlock(me core.ThreadID) {
+	qnode := l.nodes[me]
+	if qnode.next.Load() == nil {
+		if l.tail.CompareAndSwap(qnode, nil) {
+			return
+		}
+		// A successor exists but has not linked in yet; wait for it.
+		for qnode.next.Load() == nil {
+			runtime.Gosched()
+		}
+	}
+	succ := qnode.next.Load()
+	succ.locked.Store(false)
+	qnode.next.Store(nil)
+}
+
+// Capacity reports the thread bound.
+func (l *MCSLock) Capacity() int { return len(l.nodes) }
+
+// StdMutex adapts sync.Mutex to the Lock interface as the runtime baseline
+// for experiment E1.
+type StdMutex struct {
+	mu sync.Mutex
+}
+
+var _ Lock = (*StdMutex)(nil)
+
+// Lock acquires the mutex.
+func (l *StdMutex) Lock(core.ThreadID) { l.mu.Lock() }
+
+// Unlock releases the mutex.
+func (l *StdMutex) Unlock(core.ThreadID) { l.mu.Unlock() }
+
+// Capacity reports that the lock supports any number of threads.
+func (l *StdMutex) Capacity() int { return unbounded }

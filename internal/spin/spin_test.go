@@ -1,0 +1,260 @@
+package spin
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"amp/internal/core"
+)
+
+// exercise runs `threads` goroutines through `iters` critical sections each
+// and fails on any mutual-exclusion violation.
+func exercise(t *testing.T, l Lock, threads, iters int) {
+	t.Helper()
+	var (
+		inCS    atomic.Int32
+		counter int64
+		wg      sync.WaitGroup
+	)
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock(me)
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("mutual exclusion violated: %d threads in CS", got)
+				}
+				counter++
+				inCS.Add(-1)
+				l.Unlock(me)
+			}
+		}(core.ThreadID(th))
+	}
+	wg.Wait()
+	if counter != int64(threads*iters) {
+		t.Fatalf("lost updates: counter = %d, want %d", counter, threads*iters)
+	}
+}
+
+func TestTASLock(t *testing.T)     { exercise(t, &TASLock{}, 4, 500) }
+func TestTTASLock(t *testing.T)    { exercise(t, &TTASLock{}, 4, 500) }
+func TestBackoffLock(t *testing.T) { exercise(t, NewBackoffLock(4), 4, 200) }
+func TestALock(t *testing.T)       { exercise(t, NewALock(8), 8, 300) }
+func TestCLHLock(t *testing.T)     { exercise(t, NewCLHLock(8), 8, 300) }
+func TestMCSLock(t *testing.T)     { exercise(t, NewMCSLock(8), 8, 300) }
+func TestTOLock(t *testing.T)      { exercise(t, NewTOLock(8), 8, 300) }
+func TestStdMutex(t *testing.T)    { exercise(t, &StdMutex{}, 4, 500) }
+
+func TestSoloAcquire(t *testing.T) {
+	locks := map[string]Lock{
+		"tas":     &TASLock{},
+		"ttas":    &TTASLock{},
+		"backoff": NewBackoffLock(1),
+		"alock":   NewALock(2),
+		"clh":     NewCLHLock(2),
+		"mcs":     NewMCSLock(2),
+		"tolock":  NewTOLock(2),
+		"std":     &StdMutex{},
+	}
+	for name, l := range locks {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 50; i++ {
+				l.Lock(0)
+				l.Unlock(0)
+			}
+		})
+	}
+}
+
+func TestALockFIFO(t *testing.T) {
+	// With the lock held, two waiters that enqueue in a known order must be
+	// served in that order.
+	l := NewALock(4)
+	l.Lock(0) // holder
+
+	order := make(chan int, 2)
+	ready := make(chan struct{}, 2)
+	go func() {
+		ready <- struct{}{}
+		l.Lock(1)
+		order <- 1
+		l.Unlock(1)
+	}()
+	<-ready
+	waitForTicket(t, &l.tail, 2) // waiter 1 has taken its slot
+	go func() {
+		ready <- struct{}{}
+		l.Lock(2)
+		order <- 2
+		l.Unlock(2)
+	}()
+	<-ready
+	waitForTicket(t, &l.tail, 3)
+
+	l.Unlock(0)
+	if first := <-order; first != 1 {
+		t.Fatalf("ALock served waiter %d first, want 1 (FIFO)", first)
+	}
+	if second := <-order; second != 2 {
+		t.Fatalf("ALock served waiter %d second, want 2", second)
+	}
+}
+
+func waitForTicket(t *testing.T, tail *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for tail.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for waiter to enqueue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTOLockTimeout(t *testing.T) {
+	l := NewTOLock(4)
+	l.Lock(0)
+	start := time.Now()
+	if l.TryLock(1, 20*time.Millisecond) {
+		t.Fatal("TryLock succeeded while the lock was held")
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("TryLock returned after %v, before the patience window", elapsed)
+	}
+	l.Unlock(0)
+	if !l.TryLock(1, time.Second) {
+		t.Fatal("TryLock failed on a free lock")
+	}
+	l.Unlock(1)
+}
+
+func TestTOLockAbandonedNodeSkipped(t *testing.T) {
+	// Thread 1 times out while waiting; thread 2, queued behind it, must
+	// still acquire once the holder releases.
+	l := NewTOLock(4)
+	l.Lock(0)
+	if l.TryLock(1, 10*time.Millisecond) {
+		t.Fatal("unexpected acquisition")
+	}
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock(2)
+		close(acquired)
+		l.Unlock(2)
+	}()
+	time.Sleep(10 * time.Millisecond) // let thread 2 enqueue
+	l.Unlock(0)
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("successor never skipped the abandoned node")
+	}
+}
+
+func TestBackoffPauseGrowsAndResets(t *testing.T) {
+	b := NewBackoff(time.Microsecond, 8*time.Microsecond)
+	if b.limit != time.Microsecond {
+		t.Fatalf("initial limit = %v", b.limit)
+	}
+	for i := 0; i < 10; i++ {
+		b.Pause()
+	}
+	if b.limit != 8*time.Microsecond {
+		t.Fatalf("limit after pauses = %v, want cap %v", b.limit, 8*time.Microsecond)
+	}
+	b.Reset()
+	if b.limit != time.Microsecond {
+		t.Fatalf("limit after Reset = %v", b.limit)
+	}
+}
+
+func TestBackoffInvalidWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid window did not panic")
+		}
+	}()
+	NewBackoff(time.Millisecond, time.Microsecond)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func()
+	}{
+		{"alock", func() { NewALock(0) }},
+		{"clh", func() { NewCLHLock(0) }},
+		{"mcs", func() { NewMCSLock(0) }},
+		{"tolock", func() { NewTOLock(0) }},
+		{"backoff", func() { NewBackoffLock(0) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("constructor did not panic")
+				}
+			}()
+			tt.f()
+		})
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	if got := NewALock(7).Capacity(); got != 7 {
+		t.Errorf("ALock capacity = %d, want 7", got)
+	}
+	if got := NewCLHLock(5).Capacity(); got != 5 {
+		t.Errorf("CLH capacity = %d, want 5", got)
+	}
+	if got := (&TASLock{}).Capacity(); got <= 0 {
+		t.Errorf("TAS capacity = %d, want positive", got)
+	}
+}
+
+func TestCompositeLock(t *testing.T) { exercise(t, NewCompositeLock(8), 8, 200) }
+func TestHBOLock(t *testing.T)       { exercise(t, NewHBOLock(8, 2), 8, 300) }
+
+func TestCompositeLockSolo(t *testing.T) {
+	l := NewCompositeLock(2)
+	for i := 0; i < 100; i++ {
+		l.Lock(0)
+		l.Unlock(0)
+	}
+}
+
+func TestCompositeLockMoreThreadsThanWindow(t *testing.T) {
+	// More threads than waiting slots: the overflow threads back off and
+	// retry, but exclusion and progress must hold.
+	exercise(t, NewCompositeLock(12), 12, 100)
+}
+
+func TestHBOLockClusters(t *testing.T) {
+	l := NewHBOLock(4, 2)
+	if l.clusterOf(0) == l.clusterOf(1) {
+		t.Fatal("threads 0 and 1 should map to different clusters")
+	}
+	if l.clusterOf(0) != l.clusterOf(2) {
+		t.Fatal("threads 0 and 2 should share a cluster")
+	}
+}
+
+func TestCompositePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCompositeLock(0) },
+		func() { NewHBOLock(0, 1) },
+		func() { NewHBOLock(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,87 @@
+package spin
+
+import (
+	"runtime"
+	"time"
+
+	"sync/atomic"
+
+	"amp/internal/core"
+)
+
+// toNode is a TOLock queue node. pred is nil while the owner waits or holds
+// the lock, points to available when the owner released the lock, and
+// points to the abandoning node's predecessor when the owner timed out.
+type toNode struct {
+	pred atomic.Pointer[toNode]
+}
+
+// available is the sentinel marking a released node.
+var available = &toNode{}
+
+// TOLock is the CLH variant with wait-free timeout (Fig. 7.12): a thread
+// that gives up cannot unlink itself (its successor spins on it), so it
+// marks its node "abandoned" by pointing pred at its own predecessor, and
+// successors skip over abandoned nodes.
+type TOLock struct {
+	tail   atomic.Pointer[toNode]
+	myNode []*toNode
+}
+
+// NewTOLock returns a TOLock for up to capacity threads.
+func NewTOLock(capacity int) *TOLock {
+	if capacity <= 0 {
+		panic("spin: TOLock capacity must be positive")
+	}
+	return &TOLock{myNode: make([]*toNode, capacity)}
+}
+
+// TryLock attempts to acquire the lock within the patience window,
+// returning whether it succeeded. On failure the caller holds nothing.
+func (l *TOLock) TryLock(me core.ThreadID, patience time.Duration) bool {
+	start := time.Now()
+	qnode := &toNode{}
+	l.myNode[me] = qnode
+	pred := l.tail.Swap(qnode)
+	if pred == nil || pred.pred.Load() == available {
+		return true // lock was free
+	}
+	for time.Since(start) < patience {
+		predPred := pred.pred.Load()
+		if predPred == available {
+			return true // predecessor released the lock to us
+		}
+		if predPred != nil {
+			pred = predPred // predecessor abandoned; skip over it
+		}
+		runtime.Gosched()
+	}
+	// Timed out: try to unlink quietly if we are still the tail, else mark
+	// the node abandoned so successors skip it.
+	if !l.tail.CompareAndSwap(qnode, pred) {
+		qnode.pred.Store(pred)
+	}
+	l.myNode[me] = nil
+	return false
+}
+
+// Lock acquires with unbounded patience.
+func (l *TOLock) Lock(me core.ThreadID) {
+	for !l.TryLock(me, time.Hour) {
+	}
+}
+
+// Unlock releases the lock: if no one is queued behind us, reset the tail;
+// otherwise flag the node available for the successor.
+func (l *TOLock) Unlock(me core.ThreadID) {
+	qnode := l.myNode[me]
+	if !l.tail.CompareAndSwap(qnode, nil) {
+		qnode.pred.Store(available)
+	}
+	l.myNode[me] = nil
+}
+
+// Capacity reports the thread bound.
+func (l *TOLock) Capacity() int { return len(l.myNode) }
+
+var _ Lock = (*TOLock)(nil)

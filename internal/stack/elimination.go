@@ -1,0 +1,99 @@
+package stack
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// EliminationBackoffStack (Fig. 11.11) is a Treiber stack whose backoff is
+// productive: a thread that loses the top-of-stack CAS visits the
+// elimination array, where a concurrent push–pop pair can cancel out
+// without touching the stack at all. A push offers its value; a pop offers
+// nil; if they meet, both complete.
+type EliminationBackoffStack[T any] struct {
+	stack LockFreeStack[T]
+	array *EliminationArray[T]
+
+	mu     sync.Mutex
+	pool   []*rand.Rand // borrowed per elimination episode
+	seeded int64
+}
+
+var _ Stack[int] = (*EliminationBackoffStack[int])(nil)
+
+// Default elimination parameters: a small array with a short patience keeps
+// the fast path fast while still pairing colliders under load.
+const (
+	defaultEliminationWidth   = 4
+	defaultEliminationTimeout = 50 * time.Microsecond
+)
+
+// NewEliminationBackoffStack returns an empty stack with default
+// elimination parameters.
+func NewEliminationBackoffStack[T any]() *EliminationBackoffStack[T] {
+	return NewEliminationBackoffStackSized[T](defaultEliminationWidth, defaultEliminationTimeout)
+}
+
+// NewEliminationBackoffStackSized configures the elimination array's width
+// and patience explicitly.
+func NewEliminationBackoffStackSized[T any](width int, timeout time.Duration) *EliminationBackoffStack[T] {
+	return &EliminationBackoffStack[T]{array: NewEliminationArray[T](width, timeout)}
+}
+
+// getRNG hands out a private RNG; contention here is off the hot path
+// (first visit only per borrow).
+func (s *EliminationBackoffStack[T]) getRNG() *rand.Rand {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.pool); n > 0 {
+		r := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return r
+	}
+	s.seeded++
+	return rand.New(rand.NewSource(time.Now().UnixNano() ^ s.seeded))
+}
+
+func (s *EliminationBackoffStack[T]) putRNG(r *rand.Rand) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool = append(s.pool, r)
+}
+
+// Push adds x on top, eliminating against a concurrent Pop when the CAS
+// path is contended.
+func (s *EliminationBackoffStack[T]) Push(x T) {
+	node := &treiberNode[T]{value: x}
+	if s.stack.tryPush(node) {
+		return
+	}
+	rng := s.getRNG()
+	defer s.putRNG(rng)
+	for {
+		if s.stack.tryPush(node) {
+			return
+		}
+		if other, err := s.array.Visit(&x, rng, 0); err == nil && other == nil {
+			return // exchanged with a pop: our value was taken
+		}
+	}
+}
+
+// Pop removes the top, eliminating against a concurrent Push when the CAS
+// path is contended. It reports false when the stack is empty.
+func (s *EliminationBackoffStack[T]) Pop() (T, bool) {
+	if v, ok, popped := s.stack.tryPop(); popped {
+		return v, ok
+	}
+	rng := s.getRNG()
+	defer s.putRNG(rng)
+	for {
+		if v, ok, popped := s.stack.tryPop(); popped {
+			return v, ok
+		}
+		if other, err := s.array.Visit(nil, rng, 0); err == nil && other != nil {
+			return *other, true // exchanged with a push: took its value
+		}
+	}
+}

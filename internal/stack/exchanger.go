@@ -1,0 +1,118 @@
+package stack
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTimeout reports that an exchange or elimination attempt found no
+// partner within its patience window.
+var ErrTimeout = errors.New("stack: exchange timed out")
+
+// Exchanger slot states (the book's stamp values).
+const (
+	slotEmpty int32 = iota
+	slotWaiting
+	slotBusy
+)
+
+// exchSlot is an immutable (item, state) pair standing in for the book's
+// AtomicStampedReference: a CAS replaces the whole pair.
+type exchSlot[T any] struct {
+	item  *T
+	state int32
+}
+
+// Exchanger is the lock-free exchanger of Fig. 11.8: two threads meet; the
+// first to arrive parks its item in the slot (EMPTY→WAITING), the second
+// swaps in its own (WAITING→BUSY), and the first collects it and resets.
+type Exchanger[T any] struct {
+	slot atomic.Pointer[exchSlot[T]]
+}
+
+// NewExchanger returns an empty exchanger.
+func NewExchanger[T any]() *Exchanger[T] {
+	e := &Exchanger[T]{}
+	e.slot.Store(&exchSlot[T]{state: slotEmpty})
+	return e
+}
+
+// Exchange offers myItem (nil means "offering nothing", as a pop does) and
+// waits up to timeout for a partner's item. It returns the partner's offer,
+// or ErrTimeout.
+func (e *Exchanger[T]) Exchange(myItem *T, timeout time.Duration) (*T, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if time.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		cur := e.slot.Load()
+		switch cur.state {
+		case slotEmpty:
+			// Try to be the first arriver.
+			inserted := &exchSlot[T]{item: myItem, state: slotWaiting}
+			if !e.slot.CompareAndSwap(cur, inserted) {
+				continue
+			}
+			for !time.Now().After(deadline) {
+				if s := e.slot.Load(); s.state == slotBusy {
+					e.slot.Store(&exchSlot[T]{state: slotEmpty})
+					return s.item, nil
+				}
+				runtime.Gosched()
+			}
+			// Timed out: withdraw our WAITING pair. If the CAS fails, the
+			// only possible transition is a partner's WAITING→BUSY, so the
+			// exchange actually succeeded — collect it.
+			if e.slot.CompareAndSwap(inserted, &exchSlot[T]{state: slotEmpty}) {
+				return nil, ErrTimeout
+			}
+			s := e.slot.Load()
+			e.slot.Store(&exchSlot[T]{state: slotEmpty})
+			return s.item, nil
+		case slotWaiting:
+			// Someone is parked: try to be its partner.
+			if e.slot.CompareAndSwap(cur, &exchSlot[T]{item: myItem, state: slotBusy}) {
+				return cur.item, nil
+			}
+		default: // slotBusy: a pair is mid-exchange; retry
+			runtime.Gosched()
+		}
+	}
+}
+
+// EliminationArray (Fig. 11.9) spreads colliding threads over a bank of
+// exchangers: Visit picks a random slot and tries to exchange there.
+type EliminationArray[T any] struct {
+	exchangers []*Exchanger[T]
+	timeout    time.Duration
+}
+
+// NewEliminationArray returns an array of `capacity` exchangers whose
+// visits wait up to timeout for a partner.
+func NewEliminationArray[T any](capacity int, timeout time.Duration) *EliminationArray[T] {
+	if capacity <= 0 {
+		panic("stack: elimination array capacity must be positive")
+	}
+	a := &EliminationArray[T]{
+		exchangers: make([]*Exchanger[T], capacity),
+		timeout:    timeout,
+	}
+	for i := range a.exchangers {
+		a.exchangers[i] = NewExchanger[T]()
+	}
+	return a
+}
+
+// Visit offers value at a random slot within the given range width,
+// waiting out the array's timeout.
+func (a *EliminationArray[T]) Visit(value *T, rng *rand.Rand, width int) (*T, error) {
+	if width <= 0 || width > len(a.exchangers) {
+		width = len(a.exchangers)
+	}
+	slot := rng.Intn(width)
+	return a.exchangers[slot].Exchange(value, a.timeout)
+}

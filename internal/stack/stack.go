@@ -1,0 +1,52 @@
+// Package stack implements the Chapter 11 concurrent stacks: a lock-based
+// baseline, the Treiber lock-free stack with exponential backoff
+// (Fig. 11.2), and the elimination-backoff stack (Fig. 11.11) built from a
+// lock-free exchanger (Fig. 11.8) and an elimination array (Fig. 11.9).
+//
+// The elimination idea: a concurrent push–pop pair cancels out, so instead
+// of fighting over the top-of-stack CAS, colliding threads meet in an
+// exchanger and trade directly — turning the stack's sequential bottleneck
+// into parallel throughput.
+package stack
+
+import "sync"
+
+// Stack is a LIFO pool. Pop reports ok=false when the stack is observed
+// empty (total semantics).
+type Stack[T any] interface {
+	Push(x T)
+	Pop() (T, bool)
+}
+
+// LockedStack is the mutex-guarded baseline for experiment E5.
+type LockedStack[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+var _ Stack[int] = (*LockedStack[int])(nil)
+
+// NewLockedStack returns an empty stack.
+func NewLockedStack[T any]() *LockedStack[T] {
+	return &LockedStack[T]{}
+}
+
+// Push adds x on top.
+func (s *LockedStack[T]) Push(x T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, x)
+}
+
+// Pop removes the top, reporting false when empty.
+func (s *LockedStack[T]) Pop() (T, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	top := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return top, true
+}

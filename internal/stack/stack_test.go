@@ -1,0 +1,436 @@
+package stack
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"amp/internal/core"
+)
+
+func implementations() map[string]func() Stack[int] {
+	return map[string]func() Stack[int]{
+		"locked":      func() Stack[int] { return NewLockedStack[int]() },
+		"treiber":     func() Stack[int] { return NewLockFreeStack[int]() },
+		"elimination": func() Stack[int] { return NewEliminationBackoffStack[int]() },
+	}
+}
+
+func TestSequentialLIFO(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if _, ok := s.Pop(); ok {
+				t.Fatal("Pop on empty stack reported ok")
+			}
+			for i := 0; i < 100; i++ {
+				s.Push(i)
+			}
+			for i := 99; i >= 0; i-- {
+				v, ok := s.Pop()
+				if !ok || v != i {
+					t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+				}
+			}
+			if _, ok := s.Pop(); ok {
+				t.Fatal("Pop on drained stack reported ok")
+			}
+		})
+	}
+}
+
+func TestDifferentialAgainstSlice(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			var ref []int
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 3000; i++ {
+				if rng.Intn(2) == 0 {
+					v := rng.Intn(1000)
+					s.Push(v)
+					ref = append(ref, v)
+				} else {
+					v, ok := s.Pop()
+					if len(ref) == 0 {
+						if ok {
+							t.Fatalf("op %d: Pop ok on empty stack", i)
+						}
+						continue
+					}
+					want := ref[len(ref)-1]
+					if !ok || v != want {
+						t.Fatalf("op %d: Pop = (%d,%v), want (%d,true)", i, v, ok, want)
+					}
+					ref = ref[:len(ref)-1]
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentConservation: under concurrent pushes and pops, every value
+// pushed is popped exactly once (after a final drain), and nothing is
+// invented.
+func TestConcurrentConservation(t *testing.T) {
+	const (
+		workers = 4
+		perW    = 400
+	)
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			var (
+				wg       sync.WaitGroup
+				mu       sync.Mutex
+				popped   = make(map[int]int)
+				popCount atomic.Int64
+			)
+			record := func(v int) {
+				mu.Lock()
+				popped[v]++
+				mu.Unlock()
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(base int) {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						s.Push(base + i)
+						if i%2 == 1 {
+							if v, ok := s.Pop(); ok {
+								popCount.Add(1)
+								record(v)
+							}
+						}
+					}
+				}(w * 1_000_000)
+			}
+			wg.Wait()
+			for {
+				v, ok := s.Pop()
+				if !ok {
+					break
+				}
+				popCount.Add(1)
+				record(v)
+			}
+			if got := popCount.Load(); got != workers*perW {
+				t.Fatalf("popped %d values, want %d", got, workers*perW)
+			}
+			for v, n := range popped {
+				if n != 1 {
+					t.Fatalf("value %d popped %d times", v, n)
+				}
+			}
+		})
+	}
+}
+
+func TestLinearizableStacks(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			rec := core.NewRecorder()
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func(me core.ThreadID) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(me) + 21))
+					for i := 0; i < 6; i++ {
+						if rng.Intn(2) == 0 {
+							v := int(me)*100 + i
+							p := rec.Call(me, "push", v)
+							s.Push(v)
+							p.Done(nil)
+						} else {
+							p := rec.Call(me, "pop", nil)
+							v, ok := s.Pop()
+							if ok {
+								p.Done(v)
+							} else {
+								p.Done(core.Empty)
+							}
+						}
+					}
+				}(core.ThreadID(w))
+			}
+			wg.Wait()
+			res := core.Check(core.StackModel(), rec.History())
+			if res.Exhausted {
+				t.Skip("checker budget exhausted")
+			}
+			if !res.Linearizable {
+				t.Fatalf("%s produced a non-linearizable history:\n%v", name, rec.History())
+			}
+		})
+	}
+}
+
+func TestExchangerPairsUp(t *testing.T) {
+	e := NewExchanger[int]()
+	a, b := 1, 2
+	var gotA, gotB *int
+	var errA, errB error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		gotA, errA = e.Exchange(&a, time.Second)
+	}()
+	go func() {
+		defer wg.Done()
+		gotB, errB = e.Exchange(&b, time.Second)
+	}()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("exchange errors: %v, %v", errA, errB)
+	}
+	if gotA == nil || gotB == nil || *gotA != 2 || *gotB != 1 {
+		t.Fatalf("exchange mismatch: A got %v, B got %v", gotA, gotB)
+	}
+}
+
+func TestExchangerTimesOutAlone(t *testing.T) {
+	e := NewExchanger[int]()
+	v := 5
+	start := time.Now()
+	if _, err := e.Exchange(&v, 20*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("solo Exchange err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("Exchange returned before its patience elapsed")
+	}
+	// The slot must be clean again: a later pair succeeds.
+	done := make(chan *int, 1)
+	go func() {
+		w := 9
+		r, _ := e.Exchange(&w, time.Second)
+		done <- r
+	}()
+	u := 8
+	r, err := e.Exchange(&u, time.Second)
+	if err != nil {
+		t.Fatalf("post-timeout Exchange failed: %v", err)
+	}
+	if *r != 9 || *<-done != 8 {
+		t.Fatal("post-timeout exchange returned wrong items")
+	}
+}
+
+func TestExchangerNilOffers(t *testing.T) {
+	// A push/pop style pairing: one side offers nil.
+	e := NewExchanger[int]()
+	v := 3
+	var wg sync.WaitGroup
+	var got *int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, _ = e.Exchange(nil, time.Second)
+	}()
+	r, err := e.Exchange(&v, time.Second)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Exchange error: %v", err)
+	}
+	if r != nil {
+		t.Fatalf("push side got %v, want nil", r)
+	}
+	if got == nil || *got != 3 {
+		t.Fatalf("pop side got %v, want 3", got)
+	}
+}
+
+func TestEliminationManyExchanges(t *testing.T) {
+	// Force heavy contention so elimination actually triggers; correctness
+	// is covered by conservation, this checks it completes briskly.
+	s := NewEliminationBackoffStackSized[int](2, 100*time.Microsecond)
+	var wg sync.WaitGroup
+	var pops atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if w%2 == 0 {
+					s.Push(i)
+				} else if _, ok := s.Pop(); ok {
+					pops.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Drain and count: pushes - pops must remain.
+	remaining := 0
+	for {
+		if _, ok := s.Pop(); !ok {
+			break
+		}
+		remaining++
+	}
+	if int64(remaining)+pops.Load() != 4*200 {
+		t.Fatalf("conservation violated: %d popped + %d drained != %d pushed",
+			pops.Load(), remaining, 4*200)
+	}
+}
+
+func TestEliminationArrayWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-width elimination array did not panic")
+		}
+	}()
+	NewEliminationArray[int](0, time.Millisecond)
+}
+
+func TestQuickStackEquivalence(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []int8) bool {
+				s := mk()
+				var ref []int
+				for _, code := range ops {
+					if code >= 0 {
+						s.Push(int(code))
+						ref = append(ref, int(code))
+					} else {
+						v, ok := s.Pop()
+						if len(ref) == 0 {
+							if ok {
+								return false
+							}
+							continue
+						}
+						if !ok || v != ref[len(ref)-1] {
+							return false
+						}
+						ref = ref[:len(ref)-1]
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEliminationUnderRealContention(t *testing.T) {
+	// Force CAS failures (and thus the elimination path) by running with
+	// extra scheduler parallelism and a single-slot elimination array.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	s := NewEliminationBackoffStackSized[int](1, 200*time.Microsecond)
+	const (
+		workers = 8
+		perW    = 500
+	)
+	var (
+		wg     sync.WaitGroup
+		pushed atomic.Int64
+		popped atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if w%2 == 0 {
+					s.Push(w*perW + i)
+					pushed.Add(1)
+				} else if _, ok := s.Pop(); ok {
+					popped.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	drained := int64(0)
+	for {
+		if _, ok := s.Pop(); !ok {
+			break
+		}
+		drained++
+	}
+	if popped.Load()+drained != pushed.Load() {
+		t.Fatalf("conservation violated: pushed %d, popped %d + drained %d",
+			pushed.Load(), popped.Load(), drained)
+	}
+}
+
+func TestTreiberUnderRealContention(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	s := NewLockFreeStack[int]()
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	var popped atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				s.Push(i)
+				if _, ok := s.Pop(); ok {
+					popped.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	remaining := int64(0)
+	for {
+		if _, ok := s.Pop(); !ok {
+			break
+		}
+		remaining++
+	}
+	if popped.Load()+remaining != workers*perW {
+		t.Fatalf("conservation violated: %d popped + %d remaining != %d",
+			popped.Load(), remaining, workers*perW)
+	}
+}
+
+func TestEliminationArrayVisitPairs(t *testing.T) {
+	a := NewEliminationArray[int](1, 100*time.Millisecond)
+	rngA := rand.New(rand.NewSource(1))
+	rngB := rand.New(rand.NewSource(2))
+	v := 42
+	var got *int
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, err = a.Visit(nil, rngA, 1)
+	}()
+	other, err2 := a.Visit(&v, rngB, 0) // width 0 clamps to full array
+	<-done
+	if err != nil || err2 != nil {
+		t.Fatalf("Visit errors: %v, %v", err, err2)
+	}
+	if got == nil || *got != 42 || other != nil {
+		t.Fatalf("Visit pairing wrong: got=%v other=%v", got, other)
+	}
+}
+
+func TestEliminationArrayVisitTimesOut(t *testing.T) {
+	a := NewEliminationArray[int](2, 5*time.Millisecond)
+	rng := rand.New(rand.NewSource(3))
+	v := 1
+	if _, err := a.Visit(&v, rng, 2); err != ErrTimeout {
+		t.Fatalf("solo Visit err = %v, want ErrTimeout", err)
+	}
+}

@@ -1,0 +1,86 @@
+package stack
+
+import (
+	"sync/atomic"
+	"time"
+
+	"amp/internal/spin"
+)
+
+type treiberNode[T any] struct {
+	value T
+	next  *treiberNode[T]
+}
+
+// LockFreeStack is Treiber's stack (Fig. 11.2): a single CAS on the top
+// pointer per operation, with randomized exponential backoff after a failed
+// CAS. The Go GC makes the pop CAS ABA-safe without counted pointers.
+type LockFreeStack[T any] struct {
+	top      atomic.Pointer[treiberNode[T]]
+	minDelay time.Duration
+	maxDelay time.Duration
+}
+
+var _ Stack[int] = (*LockFreeStack[int])(nil)
+
+// Backoff window defaults, matching the spin package's tuning for a
+// scheduler-backed testbed.
+const (
+	defaultMinDelay = time.Microsecond
+	defaultMaxDelay = 128 * time.Microsecond
+)
+
+// NewLockFreeStack returns an empty stack with the default backoff window.
+func NewLockFreeStack[T any]() *LockFreeStack[T] {
+	return &LockFreeStack[T]{minDelay: defaultMinDelay, maxDelay: defaultMaxDelay}
+}
+
+// tryPush attempts one CAS of the top pointer.
+func (s *LockFreeStack[T]) tryPush(node *treiberNode[T]) bool {
+	oldTop := s.top.Load()
+	node.next = oldTop
+	return s.top.CompareAndSwap(oldTop, node)
+}
+
+// Push adds x on top, backing off after each failed CAS.
+func (s *LockFreeStack[T]) Push(x T) {
+	node := &treiberNode[T]{value: x}
+	if s.tryPush(node) {
+		return
+	}
+	backoff := spin.NewBackoff(s.minDelay, s.maxDelay)
+	for {
+		backoff.Pause()
+		if s.tryPush(node) {
+			return
+		}
+	}
+}
+
+// tryPop attempts one CAS of the top pointer; popped reports whether the
+// CAS was applied (as opposed to losing a race), ok whether the stack was
+// nonempty.
+func (s *LockFreeStack[T]) tryPop() (value T, ok, popped bool) {
+	oldTop := s.top.Load()
+	if oldTop == nil {
+		return value, false, true
+	}
+	if s.top.CompareAndSwap(oldTop, oldTop.next) {
+		return oldTop.value, true, true
+	}
+	return value, false, false
+}
+
+// Pop removes the top, reporting false when the stack is empty.
+func (s *LockFreeStack[T]) Pop() (T, bool) {
+	if v, ok, popped := s.tryPop(); popped {
+		return v, ok
+	}
+	backoff := spin.NewBackoff(s.minDelay, s.maxDelay)
+	for {
+		backoff.Pause()
+		if v, ok, popped := s.tryPop(); popped {
+			return v, ok
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package steal implements the Chapter 16 work-distribution machinery: the
+// bounded work-stealing deque of Arora, Blumofe and Plaxton (Fig.
+// 16.10–16.12), the unbounded cyclic-array deque (Fig. 16.13–16.15, the
+// Chase–Lev design), and executors that schedule fork/join task graphs by
+// work stealing, work sharing, or a single shared queue (the baselines of
+// experiment E10).
+package steal
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DEQueue is a double-ended work queue: the owner pushes and pops at the
+// bottom; thieves pop at the top. Only the owner may call PushBottom and
+// PopBottom.
+type DEQueue[T any] interface {
+	PushBottom(x T)
+	PopBottom() (T, bool)
+	PopTop() (T, bool)
+}
+
+// BoundedDEQueue is the ABP deque: a fixed array, a bottom index touched
+// only by the owner, and a (top, stamp) pair CASed by thieves. The stamp
+// defeats the ABA problem when the owner resets top to zero.
+type BoundedDEQueue[T any] struct {
+	tasks  []atomic.Pointer[T]
+	bottom atomic.Int64
+	top    atomic.Uint64 // stamp<<32 | index
+}
+
+var _ DEQueue[int] = (*BoundedDEQueue[int])(nil)
+
+// NewBoundedDEQueue returns a deque holding at most capacity tasks.
+func NewBoundedDEQueue[T any](capacity int) *BoundedDEQueue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("steal: deque capacity must be positive, got %d", capacity))
+	}
+	return &BoundedDEQueue[T]{tasks: make([]atomic.Pointer[T], capacity)}
+}
+
+func packTop(index, stamp uint32) uint64 { return uint64(stamp)<<32 | uint64(index) }
+func unpackTop(v uint64) (index, stamp uint32) {
+	return uint32(v), uint32(v >> 32)
+}
+
+// PushBottom adds a task at the bottom (owner only). It panics when the
+// deque is full.
+func (q *BoundedDEQueue[T]) PushBottom(x T) {
+	b := q.bottom.Load()
+	if int(b) >= len(q.tasks) {
+		panic("steal: bounded deque overflow")
+	}
+	q.tasks[b].Store(&x)
+	q.bottom.Store(b + 1)
+}
+
+// PopTop steals the task at the top. A failed CAS means a concurrent thief
+// or the owner won; the thief simply reports empty-handed.
+func (q *BoundedDEQueue[T]) PopTop() (T, bool) {
+	var zero T
+	old := q.top.Load()
+	oldTop, oldStamp := unpackTop(old)
+	if q.bottom.Load() <= int64(oldTop) {
+		return zero, false
+	}
+	r := q.tasks[oldTop].Load()
+	if q.top.CompareAndSwap(old, packTop(oldTop+1, oldStamp+1)) {
+		return *r, true
+	}
+	return zero, false
+}
+
+// PopBottom takes the newest task (owner only). When the deque holds one
+// task, the owner races thieves with a CAS on top; either way it resets the
+// indices so the array is reused from zero.
+func (q *BoundedDEQueue[T]) PopBottom() (T, bool) {
+	var zero T
+	b := q.bottom.Load()
+	if b == 0 {
+		return zero, false
+	}
+	b--
+	q.bottom.Store(b)
+	r := q.tasks[b].Load()
+	old := q.top.Load()
+	oldTop, oldStamp := unpackTop(old)
+	if b > int64(oldTop) {
+		return *r, true
+	}
+	if b == int64(oldTop) {
+		// One task left: duel the thieves.
+		q.bottom.Store(0)
+		if q.top.CompareAndSwap(old, packTop(0, oldStamp+1)) {
+			return *r, true
+		}
+	}
+	// A thief got the last task; reset.
+	q.top.Store(packTop(0, oldStamp+1))
+	q.bottom.Store(0)
+	return zero, false
+}
+
+// Size reports bottom-top; owner-accurate, approximate for others.
+func (q *BoundedDEQueue[T]) Size() int {
+	top, _ := unpackTop(q.top.Load())
+	n := int(q.bottom.Load()) - int(top)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// circularArray is the growable power-of-two ring of the unbounded deque.
+type circularArray[T any] struct {
+	logCap int
+	tasks  []atomic.Pointer[T]
+}
+
+func newCircularArray[T any](logCap int) *circularArray[T] {
+	return &circularArray[T]{logCap: logCap, tasks: make([]atomic.Pointer[T], 1<<logCap)}
+}
+
+func (a *circularArray[T]) capacity() int64   { return 1 << a.logCap }
+func (a *circularArray[T]) get(i int64) *T    { return a.tasks[i&(a.capacity()-1)].Load() }
+func (a *circularArray[T]) put(i int64, x *T) { a.tasks[i&(a.capacity()-1)].Store(x) }
+
+// resize returns a ring of twice the capacity holding [top, bottom).
+func (a *circularArray[T]) resize(bottom, top int64) *circularArray[T] {
+	next := newCircularArray[T](a.logCap + 1)
+	for i := top; i < bottom; i++ {
+		next.put(i, a.get(i))
+	}
+	return next
+}
+
+// UnboundedDEQueue is the cyclic-array deque of Fig. 16.13: top only ever
+// increases, so no stamp is needed, and the owner grows the ring when full.
+type UnboundedDEQueue[T any] struct {
+	tasks  atomic.Pointer[circularArray[T]]
+	bottom atomic.Int64
+	top    atomic.Int64
+}
+
+var _ DEQueue[int] = (*UnboundedDEQueue[int])(nil)
+
+// initialLogCapacity is the starting ring size (2^4 slots).
+const initialLogCapacity = 4
+
+// NewUnboundedDEQueue returns an empty deque.
+func NewUnboundedDEQueue[T any]() *UnboundedDEQueue[T] {
+	q := &UnboundedDEQueue[T]{}
+	q.tasks.Store(newCircularArray[T](initialLogCapacity))
+	return q
+}
+
+// PushBottom adds a task at the bottom (owner only), growing the ring when
+// fewer than two slots remain.
+func (q *UnboundedDEQueue[T]) PushBottom(x T) {
+	oldBottom := q.bottom.Load()
+	oldTop := q.top.Load()
+	current := q.tasks.Load()
+	if oldBottom-oldTop >= current.capacity()-1 {
+		current = current.resize(oldBottom, oldTop)
+		q.tasks.Store(current)
+	}
+	current.put(oldBottom, &x)
+	q.bottom.Store(oldBottom + 1)
+}
+
+// PopTop steals the oldest task.
+func (q *UnboundedDEQueue[T]) PopTop() (T, bool) {
+	var zero T
+	oldTop := q.top.Load()
+	oldBottom := q.bottom.Load()
+	current := q.tasks.Load()
+	if oldBottom-oldTop <= 0 {
+		return zero, false
+	}
+	r := current.get(oldTop)
+	if q.top.CompareAndSwap(oldTop, oldTop+1) {
+		return *r, true
+	}
+	return zero, false
+}
+
+// PopBottom takes the newest task (owner only).
+func (q *UnboundedDEQueue[T]) PopBottom() (T, bool) {
+	var zero T
+	b := q.bottom.Load() - 1
+	q.bottom.Store(b)
+	oldTop := q.top.Load()
+	size := b - oldTop
+	if size < 0 {
+		q.bottom.Store(oldTop)
+		return zero, false
+	}
+	r := q.tasks.Load().get(b)
+	if size > 0 {
+		return *r, true
+	}
+	// Last task: duel the thieves for it, then normalize indices.
+	won := q.top.CompareAndSwap(oldTop, oldTop+1)
+	q.bottom.Store(oldTop + 1)
+	if won {
+		return *r, true
+	}
+	return zero, false
+}
+
+// Size reports bottom-top; owner-accurate, approximate for others.
+func (q *UnboundedDEQueue[T]) Size() int {
+	n := q.bottom.Load() - q.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

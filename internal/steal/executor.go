@@ -1,0 +1,306 @@
+package steal
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"amp/internal/queue"
+)
+
+// Spawner lets a running task fork further tasks into its executor.
+type Spawner interface {
+	Spawn(t Task)
+}
+
+// Task is a unit of work in a fork/join graph; it receives a Spawner bound
+// to the worker executing it.
+type Task func(s Spawner)
+
+// Executor runs a task graph to quiescence.
+type Executor interface {
+	// Run executes root and everything it transitively spawns, returning
+	// when no work remains.
+	Run(root Task)
+	// Workers reports the parallelism.
+	Workers() int
+}
+
+// StealingExecutor distributes tasks over per-worker unbounded deques with
+// random stealing (Fig. 16.1/16.5): owners work off their own bottom;
+// idle workers steal from a random victim's top.
+type StealingExecutor struct {
+	workers int
+}
+
+var _ Executor = (*StealingExecutor)(nil)
+
+// NewStealingExecutor returns an executor with the given worker count.
+func NewStealingExecutor(workers int) *StealingExecutor {
+	if workers <= 0 {
+		panic(fmt.Sprintf("steal: worker count must be positive, got %d", workers))
+	}
+	return &StealingExecutor{workers: workers}
+}
+
+// Workers reports the parallelism.
+func (e *StealingExecutor) Workers() int { return e.workers }
+
+// stealWorker is one worker's view of a stealing run.
+type stealWorker struct {
+	id    int
+	deque *UnboundedDEQueue[Task]
+	run   *stealRun
+	rng   *rand.Rand
+}
+
+type stealRun struct {
+	deques  []*UnboundedDEQueue[Task]
+	pending atomic.Int64
+}
+
+// Spawn forks a task onto this worker's own deque.
+func (w *stealWorker) Spawn(t Task) {
+	w.run.pending.Add(1)
+	w.deque.PushBottom(t)
+}
+
+// Run executes the graph: each worker drains its own deque and steals from
+// random victims when empty, exiting when the global pending count reaches
+// zero.
+func (e *StealingExecutor) Run(root Task) {
+	run := &stealRun{deques: make([]*UnboundedDEQueue[Task], e.workers)}
+	for i := range run.deques {
+		run.deques[i] = NewUnboundedDEQueue[Task]()
+	}
+	run.pending.Store(1)
+	run.deques[0].PushBottom(root)
+
+	var wg sync.WaitGroup
+	for i := 0; i < e.workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := &stealWorker{
+				id:    id,
+				deque: run.deques[id],
+				run:   run,
+				rng:   rand.New(rand.NewSource(int64(id) + 1)),
+			}
+			for {
+				task, ok := w.deque.PopBottom()
+				if !ok {
+					if run.pending.Load() == 0 {
+						return
+					}
+					victim := w.rng.Intn(len(run.deques))
+					task, ok = run.deques[victim].PopTop()
+					if !ok {
+						runtime.Gosched()
+						continue
+					}
+				}
+				task(w)
+				run.pending.Add(-1)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// SharingExecutor distributes tasks by rebalancing (Fig. 16.4): each worker
+// has a locked queue and, after each task, balances its queue against a
+// random partner's with probability inverse to its size.
+type SharingExecutor struct {
+	workers int
+}
+
+var _ Executor = (*SharingExecutor)(nil)
+
+// NewSharingExecutor returns a work-sharing executor.
+func NewSharingExecutor(workers int) *SharingExecutor {
+	if workers <= 0 {
+		panic(fmt.Sprintf("steal: worker count must be positive, got %d", workers))
+	}
+	return &SharingExecutor{workers: workers}
+}
+
+// Workers reports the parallelism.
+func (e *SharingExecutor) Workers() int { return e.workers }
+
+// sharedQueue is a locked slice used as a LIFO task queue.
+type sharedQueue struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+func (q *sharedQueue) push(t Task) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	q.mu.Unlock()
+}
+
+func (q *sharedQueue) pop() (Task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return nil, false
+	}
+	t := q.tasks[len(q.tasks)-1]
+	q.tasks = q.tasks[:len(q.tasks)-1]
+	return t, true
+}
+
+func (q *sharedQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.tasks)
+}
+
+type shareWorker struct {
+	id    int
+	queue *sharedQueue
+	run   *shareRun
+}
+
+type shareRun struct {
+	queues  []*sharedQueue
+	pending atomic.Int64
+}
+
+// Spawn forks a task onto this worker's queue.
+func (w *shareWorker) Spawn(t Task) {
+	w.run.pending.Add(1)
+	w.queue.push(t)
+}
+
+// balance evens out two queues (the book's WorkSharingThread balancing
+// act). Callers must pass the queues in a canonical order (here: worker
+// index order) so concurrent balancers cannot deadlock.
+func balance(first, second *sharedQueue) {
+	if first == second {
+		return
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	defer first.mu.Unlock()
+	defer second.mu.Unlock()
+	total := len(first.tasks) + len(second.tasks)
+	half := total / 2
+	for len(first.tasks) > half {
+		t := first.tasks[len(first.tasks)-1]
+		first.tasks = first.tasks[:len(first.tasks)-1]
+		second.tasks = append(second.tasks, t)
+	}
+	for len(second.tasks) > total-half {
+		t := second.tasks[len(second.tasks)-1]
+		second.tasks = second.tasks[:len(second.tasks)-1]
+		first.tasks = append(first.tasks, t)
+	}
+}
+
+// Run executes the graph with rebalancing.
+func (e *SharingExecutor) Run(root Task) {
+	run := &shareRun{queues: make([]*sharedQueue, e.workers)}
+	for i := range run.queues {
+		run.queues[i] = &sharedQueue{}
+	}
+	run.pending.Store(1)
+	run.queues[0].push(root)
+
+	var wg sync.WaitGroup
+	for i := 0; i < e.workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 77))
+			w := &shareWorker{id: id, queue: run.queues[id], run: run}
+			for {
+				task, ok := w.queue.pop()
+				if ok {
+					task(w)
+					run.pending.Add(-1)
+				} else if run.pending.Load() == 0 {
+					return
+				} else {
+					runtime.Gosched()
+				}
+				size := w.queue.size()
+				if rng.Intn(size+1) == 0 { // probability 1/(size+1)
+					victim := rng.Intn(len(run.queues))
+					lo, hi := w.id, victim
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					balance(run.queues[lo], run.queues[hi])
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// SingleQueueExecutor is the baseline: every worker shares one lock-free
+// queue, so the queue itself is the bottleneck.
+type SingleQueueExecutor struct {
+	workers int
+}
+
+var _ Executor = (*SingleQueueExecutor)(nil)
+
+// NewSingleQueueExecutor returns the shared-queue baseline executor.
+func NewSingleQueueExecutor(workers int) *SingleQueueExecutor {
+	if workers <= 0 {
+		panic(fmt.Sprintf("steal: worker count must be positive, got %d", workers))
+	}
+	return &SingleQueueExecutor{workers: workers}
+}
+
+// Workers reports the parallelism.
+func (e *SingleQueueExecutor) Workers() int { return e.workers }
+
+type singleWorker struct {
+	run *singleRun
+}
+
+type singleRun struct {
+	queue   *queue.LockFreeQueue[Task]
+	pending atomic.Int64
+}
+
+// Spawn forks a task onto the shared queue.
+func (w *singleWorker) Spawn(t Task) {
+	w.run.pending.Add(1)
+	w.run.queue.Enq(t)
+}
+
+// Run executes the graph off the one shared queue.
+func (e *SingleQueueExecutor) Run(root Task) {
+	run := &singleRun{queue: queue.NewLockFreeQueue[Task]()}
+	run.pending.Store(1)
+	run.queue.Enq(root)
+
+	var wg sync.WaitGroup
+	for i := 0; i < e.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &singleWorker{run: run}
+			for {
+				task, ok := run.queue.Deq()
+				if !ok {
+					if run.pending.Load() == 0 {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				task(w)
+				run.pending.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+}

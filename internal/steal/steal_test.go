@@ -1,0 +1,279 @@
+package steal
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func dequeues() map[string]func() DEQueue[int] {
+	return map[string]func() DEQueue[int]{
+		"bounded":   func() DEQueue[int] { return NewBoundedDEQueue[int](1 << 12) },
+		"unbounded": func() DEQueue[int] { return NewUnboundedDEQueue[int]() },
+	}
+}
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	for name, mk := range dequeues() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			if _, ok := q.PopBottom(); ok {
+				t.Fatal("PopBottom on empty deque reported ok")
+			}
+			for i := 0; i < 100; i++ {
+				q.PushBottom(i)
+			}
+			for i := 99; i >= 0; i-- {
+				v, ok := q.PopBottom()
+				if !ok || v != i {
+					t.Fatalf("PopBottom = (%d,%v), want (%d,true)", v, ok, i)
+				}
+			}
+			if _, ok := q.PopBottom(); ok {
+				t.Fatal("PopBottom on drained deque reported ok")
+			}
+		})
+	}
+}
+
+func TestDequeThiefFIFO(t *testing.T) {
+	for name, mk := range dequeues() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			for i := 0; i < 50; i++ {
+				q.PushBottom(i)
+			}
+			for i := 0; i < 50; i++ {
+				v, ok := q.PopTop()
+				if !ok || v != i {
+					t.Fatalf("PopTop = (%d,%v), want (%d,true)", v, ok, i)
+				}
+			}
+			if _, ok := q.PopTop(); ok {
+				t.Fatal("PopTop on drained deque reported ok")
+			}
+		})
+	}
+}
+
+func TestDequeReuseAfterReset(t *testing.T) {
+	// The bounded deque resets indices to zero when emptied; it must be
+	// fully reusable afterwards.
+	q := NewBoundedDEQueue[int](8)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 6; i++ {
+			q.PushBottom(i)
+		}
+		for i := 5; i >= 0; i-- {
+			if v, ok := q.PopBottom(); !ok || v != i {
+				t.Fatalf("round %d: PopBottom = (%d,%v), want (%d,true)", round, v, ok, i)
+			}
+		}
+	}
+}
+
+func TestBoundedDequeOverflowPanics(t *testing.T) {
+	q := NewBoundedDEQueue[int](2)
+	q.PushBottom(1)
+	q.PushBottom(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	q.PushBottom(3)
+}
+
+func TestUnboundedDequeGrows(t *testing.T) {
+	q := NewUnboundedDEQueue[int]()
+	const n = 10_000 // far beyond the initial ring
+	for i := 0; i < n; i++ {
+		q.PushBottom(i)
+	}
+	if got := q.Size(); got != n {
+		t.Fatalf("Size = %d, want %d", got, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if v, ok := q.PopBottom(); !ok || v != i {
+			t.Fatalf("PopBottom = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+// TestDequeOwnerVsThieves: one owner pushes/pops while thieves steal;
+// every task is executed exactly once.
+func TestDequeOwnerVsThieves(t *testing.T) {
+	const (
+		thieves = 3
+		total   = 20_000
+	)
+	// The ABP deque's bottom index rewinds only when the deque empties, so
+	// its array must cover the whole push stream.
+	for name, mk := range map[string]func() DEQueue[int]{
+		"bounded":   func() DEQueue[int] { return NewBoundedDEQueue[int](total) },
+		"unbounded": func() DEQueue[int] { return NewUnboundedDEQueue[int]() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			var (
+				taken [total]atomic.Int32
+				done  atomic.Bool
+				wg    sync.WaitGroup
+			)
+			for th := 0; th < thieves; th++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for !done.Load() {
+						if v, ok := q.PopTop(); ok {
+							taken[v].Add(1)
+						}
+					}
+					// Final sweep after the owner stops.
+					for {
+						v, ok := q.PopTop()
+						if !ok {
+							return
+						}
+						taken[v].Add(1)
+					}
+				}()
+			}
+			// Owner: push everything, popping occasionally.
+			for i := 0; i < total; i++ {
+				q.PushBottom(i)
+				if i%3 == 0 {
+					if v, ok := q.PopBottom(); ok {
+						taken[v].Add(1)
+					}
+				}
+			}
+			for {
+				v, ok := q.PopBottom()
+				if !ok {
+					break
+				}
+				taken[v].Add(1)
+			}
+			done.Store(true)
+			wg.Wait()
+			// One more owner sweep in case thieves raced the flag.
+			for {
+				v, ok := q.PopTop()
+				if !ok {
+					break
+				}
+				taken[v].Add(1)
+			}
+			for i := range taken {
+				if got := taken[i].Load(); got != 1 {
+					t.Fatalf("task %d executed %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func executors(workers int) map[string]Executor {
+	return map[string]Executor{
+		"stealing": NewStealingExecutor(workers),
+		"sharing":  NewSharingExecutor(workers),
+		"single":   NewSingleQueueExecutor(workers),
+	}
+}
+
+// countdownTask builds a binary task tree of the given depth; every leaf
+// increments the counter. 2^depth leaves must be counted exactly.
+func countdownTask(depth int, leaves *atomic.Int64) Task {
+	return func(s Spawner) {
+		if depth == 0 {
+			leaves.Add(1)
+			return
+		}
+		s.Spawn(countdownTask(depth-1, leaves))
+		s.Spawn(countdownTask(depth-1, leaves))
+	}
+}
+
+func TestExecutorsRunTaskTree(t *testing.T) {
+	const depth = 10
+	for name, ex := range executors(4) {
+		t.Run(name, func(t *testing.T) {
+			var leaves atomic.Int64
+			ex.Run(countdownTask(depth, &leaves))
+			if got, want := leaves.Load(), int64(1<<depth); got != want {
+				t.Fatalf("executed %d leaves, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestExecutorsSingleWorker(t *testing.T) {
+	for name, ex := range executors(1) {
+		t.Run(name, func(t *testing.T) {
+			var leaves atomic.Int64
+			ex.Run(countdownTask(6, &leaves))
+			if got := leaves.Load(); got != 64 {
+				t.Fatalf("executed %d leaves, want 64", got)
+			}
+		})
+	}
+}
+
+func TestExecutorsIrregularTree(t *testing.T) {
+	// A lopsided tree: left spines spawn heavy subtrees, stressing stealing.
+	var build func(n int, total *atomic.Int64) Task
+	build = func(n int, total *atomic.Int64) Task {
+		return func(s Spawner) {
+			total.Add(1)
+			for i := 0; i < n; i++ {
+				s.Spawn(build(i, total))
+			}
+		}
+	}
+	// T(n) = 1 + sum T(i) for i<n; T(0)=1 → T(n) = 2^n.
+	for name, ex := range executors(3) {
+		t.Run(name, func(t *testing.T) {
+			var total atomic.Int64
+			ex.Run(build(12, &total))
+			if got, want := total.Load(), int64(1<<12); got != want {
+				t.Fatalf("executed %d tasks, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestExecutorWorkers(t *testing.T) {
+	if got := NewStealingExecutor(5).Workers(); got != 5 {
+		t.Fatalf("Workers = %d, want 5", got)
+	}
+}
+
+func TestExecutorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewStealingExecutor(0) },
+		func() { NewSharingExecutor(0) },
+		func() { NewSingleQueueExecutor(0) },
+		func() { NewBoundedDEQueue[int](0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPackUnpackTop(t *testing.T) {
+	for _, tt := range []struct{ index, stamp uint32 }{
+		{0, 0}, {1, 0}, {0, 1}, {12345, 67890}, {1<<32 - 1, 1<<32 - 1},
+	} {
+		i, s := unpackTop(packTop(tt.index, tt.stamp))
+		if i != tt.index || s != tt.stamp {
+			t.Fatalf("roundtrip (%d,%d) -> (%d,%d)", tt.index, tt.stamp, i, s)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package stm implements the Chapter 18 software transactional memory in
+// the style the chapter converges on (and TL2, its chapter-notes
+// reference): a global version clock, per-location versioned write-locks,
+// invisible optimistic reads validated against the clock, and commit-time
+// locking with write-back.
+//
+// The unit of transactional state is the TVar, the book's atomic object.
+// Transactions run inside STM.Atomic, which re-executes the function until
+// it commits:
+//
+//	x := stm.NewTVar(0)
+//	s.Atomic(func(tx *stm.Tx) {
+//		x.Set(tx, x.Get(tx)+1)
+//	})
+//
+// Aborts propagate as a private panic that Atomic catches — user code
+// simply stops at the failed Get/Set, so a transaction never observes an
+// inconsistent snapshot (the "zombie" problem of §18.3 cannot arise).
+package stm
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"amp/internal/spin"
+)
+
+// STM is an isolated transactional universe: a global version clock plus
+// commit/abort statistics. TVars from different STM instances must not be
+// mixed in one transaction.
+type STM struct {
+	clock   atomic.Uint64
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+// New returns a fresh STM universe.
+func New() *STM {
+	return &STM{}
+}
+
+// Commits reports the number of committed transactions.
+func (s *STM) Commits() int64 { return s.commits.Load() }
+
+// Aborts reports the number of aborted-and-retried transaction attempts.
+func (s *STM) Aborts() int64 { return s.aborts.Load() }
+
+// lockedBit marks a version word held by a committing transaction.
+const lockedBit = 1 << 63
+
+// tvarIDs hands every TVar a unique identity for deadlock-free commit-time
+// lock ordering.
+var tvarIDs atomic.Uint64
+
+// tvar is the type-erased view of a TVar that Tx works with.
+type tvar interface {
+	metaWord() *atomic.Uint64
+	commit(staged any, wv uint64)
+	order() uint64
+}
+
+// TVar is a transactional variable holding a value of type T.
+type TVar[T any] struct {
+	id   uint64
+	meta atomic.Uint64 // version | lockedBit
+	val  atomic.Pointer[T]
+}
+
+// NewTVar returns a TVar initialized to init (version 0, unlocked).
+func NewTVar[T any](init T) *TVar[T] {
+	v := &TVar[T]{id: tvarIDs.Add(1)}
+	v.val.Store(&init)
+	return v
+}
+
+func (v *TVar[T]) metaWord() *atomic.Uint64 { return &v.meta }
+func (v *TVar[T]) order() uint64            { return v.id }
+
+// commit installs the staged value and releases the lock by publishing the
+// new version (write-back, then unlock, in one store).
+func (v *TVar[T]) commit(staged any, wv uint64) {
+	value := staged.(T)
+	v.val.Store(&value)
+	v.meta.Store(wv) // release: wv has lockedBit clear
+}
+
+// Load reads the value non-transactionally. It is safe at any time but
+// sees only committed values; use it for quiescent inspection.
+func (v *TVar[T]) Load() T {
+	return *v.val.Load()
+}
+
+// Get reads the TVar inside a transaction, aborting (and retrying the
+// whole transaction) if a consistent value cannot be proven.
+func (v *TVar[T]) Get(tx *Tx) T {
+	if staged, ok := tx.writes[tvar(v)]; ok {
+		return staged.(T)
+	}
+	pre := v.meta.Load()
+	value := v.val.Load()
+	post := v.meta.Load()
+	if pre != post || post&lockedBit != 0 || post > tx.readVersion {
+		tx.abort()
+	}
+	tx.reads = append(tx.reads, v)
+	return *value
+}
+
+// Set stages a write to the TVar; it becomes visible on commit.
+func (v *TVar[T]) Set(tx *Tx, value T) {
+	tx.writes[tvar(v)] = value
+}
+
+// Tx is one transaction attempt. It must only be used within the Atomic
+// call that created it.
+type Tx struct {
+	stm         *STM
+	readVersion uint64
+	reads       []tvar
+	writes      map[tvar]any
+}
+
+// abortSignal is the private panic payload that unwinds an attempt.
+type abortSignal struct{}
+
+func (tx *Tx) abort() {
+	panic(abortSignal{})
+}
+
+// Retry aborts the current attempt unconditionally; combined with an
+// updated precondition inside the transaction function this gives a crude
+// "retry when state changes" (the transaction re-runs from scratch).
+func (tx *Tx) Retry() {
+	tx.abort()
+}
+
+// Atomic runs fn transactionally, retrying with randomized backoff until
+// an attempt commits. fn must confine its shared-state access to Get/Set
+// on TVars and must be safe to re-execute.
+func (s *STM) Atomic(fn func(tx *Tx)) {
+	var backoff *spin.Backoff
+	for {
+		if s.attempt(fn) {
+			s.commits.Add(1)
+			return
+		}
+		s.aborts.Add(1)
+		if backoff == nil {
+			backoff = spin.NewBackoff(time.Microsecond, 128*time.Microsecond)
+		}
+		backoff.Pause()
+	}
+}
+
+// attempt runs fn once, reporting whether it committed.
+func (s *STM) attempt(fn func(tx *Tx)) (committed bool) {
+	tx := &Tx{
+		stm:         s,
+		readVersion: s.clock.Load(),
+		writes:      make(map[tvar]any),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				return // aborted attempt; Atomic will retry
+			}
+			panic(r) // user panic: propagate
+		}
+	}()
+	fn(tx)
+	return tx.commit()
+}
+
+// commit implements the TL2 commit protocol: lock the write set in id
+// order, take a write version, validate the read set, write back, release.
+func (tx *Tx) commit() bool {
+	if len(tx.writes) == 0 {
+		// Read-only transactions validated every read against readVersion
+		// already; nothing to publish.
+		return true
+	}
+	locked := make([]tvar, 0, len(tx.writes))
+	ordered := make([]tvar, 0, len(tx.writes))
+	for v := range tx.writes {
+		ordered = append(ordered, v)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order() < ordered[j].order() })
+
+	release := func() {
+		for _, v := range locked {
+			meta := v.metaWord()
+			meta.Store(meta.Load() &^ lockedBit)
+		}
+	}
+	for _, v := range ordered {
+		meta := v.metaWord()
+		cur := meta.Load()
+		if cur&lockedBit != 0 || cur > tx.readVersion || !meta.CompareAndSwap(cur, cur|lockedBit) {
+			release()
+			return false
+		}
+		locked = append(locked, v)
+	}
+	writeVersion := tx.stm.clock.Add(1)
+	// Validate reads: unlocked (unless we hold the lock) and not newer than
+	// our snapshot.
+	for _, r := range tx.reads {
+		cur := r.metaWord().Load()
+		if _, isWrite := tx.writes[r]; isWrite {
+			cur &^= lockedBit // we hold this lock ourselves
+		}
+		if cur&lockedBit != 0 || cur > tx.readVersion {
+			release()
+			return false
+		}
+	}
+	for _, v := range ordered {
+		v.commit(tx.writes[v], writeVersion)
+	}
+	return true
+}
