@@ -1,0 +1,27 @@
+# Entry points for the tier-1 verify, the benchmarks, and the server.
+
+GO ?= go
+ADDR ?= 127.0.0.1:7171
+
+.PHONY: build test race vet bench serve load
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+serve:
+	$(GO) run ./cmd/ampserved -addr $(ADDR)
+
+load:
+	$(GO) run ./cmd/ampbench -serve-addr $(ADDR) -clients 16 -ops 5000

@@ -1,0 +1,131 @@
+// Load-generator mode: ampbench -serve-addr drives a running ampserved
+// over TCP with concurrent clients and reports throughput and latency
+// percentiles, closing the loop between the in-process experiments
+// (E1–E14) and the served system.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// loadConfig parameterizes one load run.
+type loadConfig struct {
+	addr    string
+	clients int
+	ops     int // per client
+	timeout time.Duration
+}
+
+// loadMix is the command cycle every client replays; it touches all six
+// command families. %d is the client's key/value cursor.
+var loadMix = []string{
+	"SET %d", "GET %d", "DEL %d",
+	"ENQ %d", "DEQ",
+	"PUSH %d", "POP",
+	"INC", "READ",
+	"PQADD %d", "PQMIN",
+}
+
+// clientResult carries one client's measurements.
+type clientResult struct {
+	lat []time.Duration
+	err error
+}
+
+// runLoad executes the load and prints a summary.
+func runLoad(cfg loadConfig, out io.Writer) error {
+	if cfg.clients <= 0 || cfg.ops <= 0 {
+		return fmt.Errorf("clients (%d) and ops (%d) must be positive", cfg.clients, cfg.ops)
+	}
+	if cfg.timeout <= 0 {
+		cfg.timeout = 10 * time.Second
+	}
+
+	results := make([]clientResult, cfg.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for id := 0; id < cfg.clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id] = runClient(cfg, id)
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for id, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("client %d: %w", id, r.err)
+		}
+		all = append(all, r.lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	total := len(all)
+	opsPerSec := float64(total) / elapsed.Seconds()
+	fmt.Fprintf(out, "ampbench load: addr=%s clients=%d ops/client=%d\n", cfg.addr, cfg.clients, cfg.ops)
+	fmt.Fprintf(out, "  %d ops in %v → %.0f ops/sec\n", total, elapsed.Round(time.Millisecond), opsPerSec)
+	fmt.Fprintf(out, "  latency p50=%v p99=%v max=%v\n",
+		quantile(all, 0.50), quantile(all, 0.99), all[total-1])
+	return nil
+}
+
+// runClient opens one connection and replays the mix, timing each
+// command round-trip.
+func runClient(cfg loadConfig, id int) clientResult {
+	conn, err := net.Dial("tcp", cfg.addr)
+	if err != nil {
+		return clientResult{err: err}
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	lat := make([]time.Duration, 0, cfg.ops)
+	base := 1_000_000 * (id + 1)
+	for i := 0; i < cfg.ops; i++ {
+		tmpl := loadMix[i%len(loadMix)]
+		cmd := tmpl
+		if strings.Contains(tmpl, "%d") {
+			arg := base + i
+			if strings.HasPrefix(tmpl, "PQADD") {
+				// Stay inside the priority range of even tightly
+				// configured bounded backends (-pq-cap >= 8).
+				arg = i % 8
+			}
+			cmd = fmt.Sprintf(tmpl, arg)
+		}
+
+		begin := time.Now()
+		if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+			return clientResult{err: fmt.Errorf("write %q: %w", cmd, err)}
+		}
+		conn.SetReadDeadline(time.Now().Add(cfg.timeout))
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return clientResult{err: fmt.Errorf("read reply to %q: %w", cmd, err)}
+		}
+		lat = append(lat, time.Since(begin))
+		if strings.HasPrefix(line, "ERR") {
+			return clientResult{err: fmt.Errorf("%q → %s", cmd, strings.TrimSpace(line))}
+		}
+	}
+	return clientResult{lat: lat}
+}
+
+// quantile reads the q-quantile from a sorted sample.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"amp/internal/server"
+)
+
+// TestLoadMode drives an in-process ampserved with the load generator.
+func TestLoadMode(t *testing.T) {
+	srv, err := server.New(server.Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	var sb strings.Builder
+	err = run([]string{"-serve-addr", srv.Addr().String(), "-clients", "4", "-ops", "120"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"480 ops", "ops/sec", "p50=", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The server must have seen every measured family.
+	counts := map[string]int64{}
+	for _, s := range srv.Stats() {
+		counts[s.Name] = s.Count
+	}
+	for _, op := range []string{"set.add", "queue.enq", "stack.push", "counter.inc", "pqueue.add"} {
+		if counts[op] == 0 {
+			t.Errorf("server stats: op %s never executed (%v)", op, counts)
+		}
+	}
+}
+
+func TestLoadModeBadAddr(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-serve-addr", "127.0.0.1:1", "-clients", "1", "-ops", "1"}, &sb); err == nil {
+		t.Fatal("load against a dead address should fail")
+	}
+}
+
+func TestLoadModeRejectsBadCounts(t *testing.T) {
+	var sb strings.Builder
+	if err := runLoad(loadConfig{addr: "x", clients: 0, ops: 5}, &sb); err == nil {
+		t.Fatal("clients=0 should fail")
+	}
+}

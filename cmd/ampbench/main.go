@@ -10,6 +10,14 @@
 //	ampbench -list           # list experiments
 //	ampbench -threads 1,2,4  # custom thread axis
 //	ampbench -ops 5000       # per-thread operations per cell
+//
+// With -serve-addr, ampbench turns into a load generator for a running
+// ampserved instance instead:
+//
+//	ampbench -serve-addr 127.0.0.1:7171 -clients 16 -ops 5000
+//
+// Each client opens one TCP connection and replays a mix covering all six
+// command families; the run reports ops/sec and p50/p99 latency.
 package main
 
 import (
@@ -41,9 +49,19 @@ func run(args []string, out io.Writer) error {
 		ops       = fs.Int("ops", 0, "per-thread operations per cell overriding the preset")
 		ablations = fs.Bool("ablations", false, "also run the design-choice ablations (A1..)")
 		procs     = fs.Int("procs", 0, "GOMAXPROCS override (0 = leave as is)")
+		serveAddr = fs.String("serve-addr", "", "drive a running ampserved at this address instead of the in-process experiments")
+		clients   = fs.Int("clients", 8, "load mode: concurrent client connections")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *serveAddr != "" {
+		opsPerClient := *ops
+		if opsPerClient <= 0 {
+			opsPerClient = 2000
+		}
+		return runLoad(loadConfig{addr: *serveAddr, clients: *clients, ops: opsPerClient}, out)
 	}
 
 	if *list {

@@ -1,0 +1,140 @@
+// Command ampserved serves the book's concurrent objects over TCP: a
+// sharded in-memory data-structure server whose backends — hash set,
+// queue, stack, counter, priority queue — are selected per family at
+// startup from the implementations in internal/ (see internal/server for
+// the protocol).
+//
+// Usage:
+//
+//	ampserved                              # defaults on 127.0.0.1:7171
+//	ampserved -addr :7171 -shards 8
+//	ampserved -set lockfree -queue recycling -counter network
+//	ampserved -http 127.0.0.1:7172         # expvar stats endpoint
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
+// finishes in-flight commands, and drains connections for -drain before
+// forcing them closed.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"amp/internal/server"
+)
+
+// statsSrv is read by the expvar callback; an atomic pointer because test
+// runs construct several servers in one process.
+var statsSrv atomic.Pointer[server.Server]
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, sig); err != nil {
+		fmt.Fprintln(os.Stderr, "ampserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves until an error or a signal; factored out so tests
+// can drive it with a synthetic signal channel.
+func run(args []string, out io.Writer, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("ampserved", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7171", "TCP listen address")
+		httpAddr = fs.String("http", "", "optional expvar HTTP address (empty = off)")
+		shards   = fs.Int("shards", 0, "data-plane shards (0 = GOMAXPROCS)")
+		drain    = fs.Duration("drain", 5*time.Second, "connection drain budget on shutdown")
+		idle     = fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle this long")
+
+		set            = fs.String("set", "", "set backend: "+strings.Join(server.SetBackends(), "|"))
+		queue          = fs.String("queue", "", "queue backend: "+strings.Join(server.QueueBackends(), "|"))
+		stack          = fs.String("stack", "", "stack backend: "+strings.Join(server.StackBackends(), "|"))
+		pqueue         = fs.String("pqueue", "", "priority-queue backend: "+strings.Join(server.PQueueBackends(), "|"))
+		counter        = fs.String("counter", "", "counter backend: "+strings.Join(server.CounterBackends(), "|"))
+		metricsCounter = fs.String("metrics-counter", "",
+			"counting backend for the metrics layer: "+strings.Join(server.CounterBackends(), "|"))
+
+		setCap   = fs.Int("set-cap", 0, "per-shard hash table size (power of two)")
+		queueCap = fs.Int("queue-cap", 0, "bounded/recycling queue capacity")
+		pqCap    = fs.Int("pq-cap", 0, "heap capacity / linear/tree priority range")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Options{
+		Shards:         *shards,
+		Set:            *set,
+		Queue:          *queue,
+		Stack:          *stack,
+		PQueue:         *pqueue,
+		Counter:        *counter,
+		MetricsCounter: *metricsCounter,
+		SetCapacity:    *setCap,
+		QueueCapacity:  *queueCap,
+		PQCapacity:     *pqCap,
+		IdleTimeout:    *idle,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen(*addr); err != nil {
+		return err
+	}
+	opts := srv.Options()
+	fmt.Fprintf(out, "ampserved: listening on %s (shards=%d set=%s queue=%s stack=%s pqueue=%s counter=%s)\n",
+		srv.Addr(), opts.Shards, opts.Set, opts.Queue, opts.Stack, opts.PQueue, opts.Counter)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		statsSrv.Store(srv)
+		if expvar.Get("ampserved") == nil {
+			expvar.Publish("ampserved", expvar.Func(func() any {
+				if s := statsSrv.Load(); s != nil {
+					return s.Stats()
+				}
+				return nil
+			}))
+		}
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: http.DefaultServeMux}
+		go httpSrv.ListenAndServe()
+		fmt.Fprintf(out, "ampserved: expvar stats on http://%s/debug/vars\n", *httpAddr)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	select {
+	case err := <-serveErr:
+		srv.Shutdown(context.Background())
+		return err
+	case s := <-sig:
+		fmt.Fprintf(out, "ampserved: %v, shutting down\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if httpSrv != nil {
+		httpSrv.Shutdown(ctx)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "ampserved: bye")
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var addrRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startMain runs run() with an ephemeral port and returns the bound
+// address, the output writer, and the signal channel that stops it.
+func startMain(t *testing.T, extra ...string) (addr string, done chan error, sig chan os.Signal) {
+	t.Helper()
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	sig = make(chan os.Signal, 1)
+	done = make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() {
+		done <- run(args, pw, sig)
+		pw.Close()
+	}()
+
+	// The first output line announces the address.
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read banner: %v (run may have failed: %v)", err, drainErr(done))
+	}
+	m := addrRE.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("banner %q has no address", line)
+	}
+	go func() { // keep the pipe from filling up
+		r := bufio.NewReader(pr)
+		for {
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+	return m[1], done, sig
+}
+
+func drainErr(done chan error) error {
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(time.Second):
+		return nil
+	}
+}
+
+func TestRunServesAndShutsDown(t *testing.T) {
+	addr, done, sig := startMain(t, "-set", "lockfree", "-queue", "recycling", "-counter", "network")
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for _, step := range []struct{ cmd, want string }{
+		{"SET 9", "1"}, {"GET 9", "1"}, {"ENQ 5", "OK"}, {"DEQ", "5"}, {"INC", "0"},
+	} {
+		fmt.Fprintf(conn, "%s\n", step.cmd)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		got, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("%s: read: %v", step.cmd, err)
+		}
+		if got = strings.TrimSuffix(got, "\n"); got != step.want {
+			t.Fatalf("%s → %q, want %q", step.cmd, got, step.want)
+		}
+	}
+
+	sig <- syscall.SIGINT
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGINT")
+	}
+}
+
+func TestRunRejectsBadBackend(t *testing.T) {
+	err := run([]string{"-set", "nope"}, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("run error = %v, want unknown-backend", err)
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard, nil); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+}

@@ -23,10 +23,18 @@
 //	barrier    sense-reversing, tree, static-tree, dissemination (Ch. 17)
 //	stm        TL2-style software transactional memory (Ch. 18)
 //	bench      workload generators and the experiment harness
+//	server     ampserved: a sharded TCP server over the structures above,
+//	           with per-family backend selection (line protocol, graceful
+//	           shutdown)
+//	metrics    op counters and latency histograms built on the Ch. 12
+//	           counting structures
 //
-// Binaries: cmd/ampbench regenerates the evaluation tables (experiments
-// E1–E14, see DESIGN.md and EXPERIMENTS.md); cmd/linearize checks recorded
-// histories for linearizability. Runnable walkthroughs live in examples/.
+// Binaries: cmd/ampserved serves the structures over TCP (see
+// internal/server for the protocol); cmd/ampbench regenerates the
+// evaluation tables (experiments E1–E14, see DESIGN.md and
+// EXPERIMENTS.md) and, with -serve-addr, load-tests a running ampserved;
+// cmd/linearize checks recorded histories for linearizability. Runnable
+// walkthroughs live in examples/.
 //
 // The benchmarks in bench_test.go expose every experiment through
 // `go test -bench`.

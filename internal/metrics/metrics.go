@@ -1,0 +1,230 @@
+// Package metrics provides the observability layer of the ampserved data
+// plane: monotone event counters and latency histograms built on the
+// Chapter 12 shared counters from package counting, instead of a plain
+// atomic per metric.
+//
+// A metrics.Counter wraps any counting.Counter ticket dispenser: every Inc
+// takes one ticket, so after quiescence the highest ticket+1 is exactly the
+// number of events. This lets the server dogfood the combining tree or a
+// counting network as its own instrumentation, with the single-cell
+// CASCounter as the default. Histograms are arrays of such counters over
+// power-of-two latency buckets.
+//
+// Like the combining tree itself, counters are driven by a bounded set of
+// threads: Inc and Observe take the caller's core.ThreadID (the server
+// passes the owning shard's ID).
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"amp/internal/core"
+	"amp/internal/counting"
+)
+
+// Counter counts events on top of a counting.Counter ticket dispenser.
+type Counter struct {
+	c  counting.Counter
+	hi atomic.Int64 // highest ticket observed + 1 == events counted
+}
+
+// NewCounter wraps the given ticket dispenser; nil means a fresh
+// CASCounter.
+func NewCounter(c counting.Counter) *Counter {
+	if c == nil {
+		c = &counting.CASCounter{}
+	}
+	return &Counter{c: c}
+}
+
+// Inc records one event on behalf of thread me. The thread ID must be
+// below the underlying counter's Capacity (relevant to the combining
+// tree; single-cell and network counters ignore it).
+func (m *Counter) Inc(me core.ThreadID) {
+	n := m.c.GetAndIncrement(me) + 1
+	for {
+		cur := m.hi.Load()
+		if n <= cur || m.hi.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value reports the number of events counted so far. While increments are
+// in flight the value may lag by the tickets not yet folded in; after
+// quiescence it is exact.
+func (m *Counter) Value() int64 { return m.hi.Load() }
+
+// histBuckets spans 1µs to ~2^24µs (≈ 16.8s); slower observations land in
+// the last bucket.
+const histBuckets = 25
+
+// Histogram is a log₂-bucketed latency histogram. Bucket i counts
+// observations in [2^(i-1), 2^i) microseconds (bucket 0: below 1µs).
+type Histogram struct {
+	buckets [histBuckets]*Counter
+	sumNS   atomic.Int64
+}
+
+// NewHistogram builds a histogram whose buckets are produced by factory
+// (nil means CASCounter buckets).
+func NewHistogram(factory func() counting.Counter) *Histogram {
+	h := &Histogram{}
+	for i := range h.buckets {
+		var c counting.Counter
+		if factory != nil {
+			c = factory()
+		}
+		h.buckets[i] = NewCounter(c)
+	}
+	return h
+}
+
+// bucketOf maps a microsecond latency to its bucket index.
+func bucketOf(us int64) int {
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) // 1 → 1, 2..3 → 2, 4..7 → 3, ...
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample on behalf of thread me.
+func (h *Histogram) Observe(d time.Duration, me core.ThreadID) {
+	h.sumNS.Add(int64(d))
+	h.buckets[bucketOf(d.Microseconds())].Inc(me)
+}
+
+// Count reports the number of samples observed.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for _, b := range h.buckets {
+		n += b.Value()
+	}
+	return n
+}
+
+// Mean reports the average observed latency (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Quantile reports an upper bound for the q-quantile (0 < q ≤ 1): the
+// upper edge of the bucket holding the q·count-th sample. Resolution is a
+// factor of two, which is all a capacity dashboard needs.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, b := range h.buckets {
+		seen += b.Value()
+		if seen >= rank {
+			return time.Duration(int64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<uint(histBuckets)) * time.Microsecond
+}
+
+// Op bundles the two per-operation instruments.
+type Op struct {
+	name    string
+	count   *Counter
+	latency *Histogram
+}
+
+// Observe records one completed operation with its latency.
+func (o *Op) Observe(d time.Duration, me core.ThreadID) {
+	o.count.Inc(me)
+	o.latency.Observe(d, me)
+}
+
+// Count reports how many operations completed.
+func (o *Op) Count() int64 { return o.count.Value() }
+
+// OpStats is one row of a Registry snapshot.
+type OpStats struct {
+	Name  string
+	Count int64
+	P50   time.Duration
+	P99   time.Duration
+	Mean  time.Duration
+}
+
+// Registry is a fixed set of named operations. The op set is declared at
+// construction so the hot path is a read-only map lookup with no locking.
+type Registry struct {
+	names []string
+	ops   map[string]*Op
+}
+
+// NewRegistry builds a registry with one Op per name. factory produces the
+// counting backend for every counter in the registry (nil = CASCounter).
+func NewRegistry(factory func() counting.Counter, names ...string) *Registry {
+	r := &Registry{ops: make(map[string]*Op, len(names))}
+	for _, name := range names {
+		if _, dup := r.ops[name]; dup {
+			panic(fmt.Sprintf("metrics: duplicate op %q", name))
+		}
+		var c counting.Counter
+		if factory != nil {
+			c = factory()
+		}
+		r.ops[name] = &Op{name: name, count: NewCounter(c), latency: NewHistogram(factory)}
+		r.names = append(r.names, name)
+	}
+	return r
+}
+
+// Op returns the instrument for a registered name, panicking on unknown
+// names (registration is fixed at construction by design).
+func (r *Registry) Op(name string) *Op {
+	op, ok := r.ops[name]
+	if !ok {
+		panic(fmt.Sprintf("metrics: unregistered op %q", name))
+	}
+	return op
+}
+
+// Snapshot returns per-op statistics in registration order.
+func (r *Registry) Snapshot() []OpStats {
+	out := make([]OpStats, 0, len(r.names))
+	for _, name := range r.names {
+		op := r.ops[name]
+		out = append(out, OpStats{
+			Name:  name,
+			Count: op.Count(),
+			P50:   op.latency.Quantile(0.50),
+			P99:   op.latency.Quantile(0.99),
+			Mean:  op.latency.Mean(),
+		})
+	}
+	return out
+}
+
+// Format renders the snapshot as one "op <name> count=… p50us=… p99us=…
+// meanus=…" line per op — the body of the server's STATS reply.
+func (r *Registry) Format() string {
+	var sb strings.Builder
+	for _, s := range r.Snapshot() {
+		fmt.Fprintf(&sb, "op %s count=%d p50us=%d p99us=%d meanus=%d\n",
+			s.Name, s.Count, s.P50.Microseconds(), s.P99.Microseconds(), s.Mean.Microseconds())
+	}
+	return sb.String()
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"amp/internal/core"
+	"amp/internal/counting"
+)
+
+// TestCounterExact checks that concurrent increments are counted exactly,
+// for both the single-cell baseline and the combining tree.
+func TestCounterExact(t *testing.T) {
+	const threads, perThread = 8, 2000
+	backends := map[string]counting.Counter{
+		"cas":       &counting.CASCounter{},
+		"combining": counting.NewCombiningTree(threads),
+	}
+	for name, backend := range backends {
+		t.Run(name, func(t *testing.T) {
+			c := NewCounter(backend)
+			var wg sync.WaitGroup
+			for id := 0; id < threads; id++ {
+				wg.Add(1)
+				go func(me core.ThreadID) {
+					defer wg.Done()
+					for i := 0; i < perThread; i++ {
+						c.Inc(me)
+					}
+				}(core.ThreadID(id))
+			}
+			wg.Wait()
+			if got, want := c.Value(), int64(threads*perThread); got != want {
+				t.Fatalf("Value() = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		us   int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+		{1 << 40, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.us); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.us, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	// 99 fast samples and one slow one.
+	for i := 0; i < 99; i++ {
+		h.Observe(10*time.Microsecond, 0)
+	}
+	h.Observe(5*time.Millisecond, 0)
+
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count() = %d, want 100", got)
+	}
+	if p50 := h.Quantile(0.50); p50 > 16*time.Microsecond {
+		t.Errorf("p50 = %v, want <= 16µs", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 > 16*time.Microsecond {
+		t.Errorf("p99 = %v, want <= 16µs (99 of 100 samples are 10µs)", p99)
+	}
+	if p100 := h.Quantile(1.0); p100 < 4*time.Millisecond {
+		t.Errorf("p100 = %v, want >= 4ms", p100)
+	}
+	if mean := h.Mean(); mean < 10*time.Microsecond || mean > time.Millisecond {
+		t.Errorf("Mean() = %v, want within (10µs, 1ms)", mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Errorf("empty histogram should report zeros, got count=%d mean=%v p99=%v",
+			h.Count(), h.Mean(), h.Quantile(0.99))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry(nil, "set.add", "set.contains")
+	r.Op("set.add").Observe(time.Millisecond, 0)
+	r.Op("set.add").Observe(time.Millisecond, 0)
+	r.Op("set.contains").Observe(time.Microsecond, 0)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot() has %d rows, want 2", len(snap))
+	}
+	if snap[0].Name != "set.add" || snap[0].Count != 2 {
+		t.Errorf("row 0 = %+v, want set.add count 2", snap[0])
+	}
+	if snap[1].Name != "set.contains" || snap[1].Count != 1 {
+		t.Errorf("row 1 = %+v, want set.contains count 1", snap[1])
+	}
+
+	out := r.Format()
+	if !strings.Contains(out, "op set.add count=2") {
+		t.Errorf("Format() missing set.add line:\n%s", out)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Op on unregistered name should panic")
+		}
+	}()
+	r.Op("nope")
+}
+
+// TestRegistryCombiningBackend exercises a registry whose every counter is
+// a combining tree, concurrently, as the server uses it.
+func TestRegistryCombiningBackend(t *testing.T) {
+	const threads = 4
+	r := NewRegistry(func() counting.Counter { return counting.NewCombiningTree(threads) }, "q.enq")
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Op("q.enq").Observe(time.Microsecond, me)
+			}
+		}(core.ThreadID(id))
+	}
+	wg.Wait()
+	if got := r.Op("q.enq").Count(); got != 2000 {
+		t.Fatalf("Count() = %d, want 2000", got)
+	}
+}

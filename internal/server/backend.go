@@ -1,0 +1,324 @@
+// Backend registry: every command family is served by a structure from
+// internal/, chosen by name at startup. This is the server-side rendering
+// of the book's central theme — many synchronization strategies for one
+// abstract object — and of the Adjusted Objects idea of selecting the
+// implementation per workload.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"amp/internal/counting"
+	"amp/internal/hashset"
+	"amp/internal/list"
+	"amp/internal/pqueue"
+	"amp/internal/queue"
+	"amp/internal/stack"
+)
+
+// Options selects the data-plane layout and its backends. The zero value
+// is usable: every field has a default.
+type Options struct {
+	// Shards is the number of single-goroutine data-plane shards
+	// (default GOMAXPROCS). Keyed commands hash to a shard; unkeyed
+	// commands are spread round-robin.
+	Shards int
+
+	// Backend names per family; see *Backends() for the valid names.
+	Set            string // default "striped"
+	Queue          string // default "unbounded"
+	Stack          string // default "treiber"
+	PQueue         string // default "skip"
+	Counter        string // default "combining"
+	MetricsCounter string // counting backend for metrics; default "cas"
+
+	// SetCapacity is the initial per-shard hash-table size (power of
+	// two, default 1024). QueueCapacity bounds the "bounded" and
+	// "recycling" queues (default 4096). PQCapacity is the "heap"
+	// capacity and the priority range of "linear"/"tree" (default 1024).
+	SetCapacity   int
+	QueueCapacity int
+	PQCapacity    int
+
+	// IdleTimeout drops connections silent for this long (default 2m).
+	IdleTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	def := func(s *string, v string) {
+		if *s == "" {
+			*s = v
+		}
+	}
+	defInt := func(n *int, v int) {
+		if *n <= 0 {
+			*n = v
+		}
+	}
+	defInt(&o.Shards, runtime.GOMAXPROCS(0))
+	def(&o.Set, "striped")
+	def(&o.Queue, "unbounded")
+	def(&o.Stack, "treiber")
+	def(&o.PQueue, "skip")
+	def(&o.Counter, "combining")
+	def(&o.MetricsCounter, "cas")
+	defInt(&o.SetCapacity, 1024)
+	defInt(&o.QueueCapacity, 4096)
+	defInt(&o.PQCapacity, 1024)
+	// The hash-table constructors require power-of-two capacities ≥ 2.
+	o.SetCapacity = nextPow2(max(2, o.SetCapacity))
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	return o
+}
+
+// errFull reports a bounded structure at capacity.
+var errFull = errors.New("full")
+
+// queueBackend adapts the queue family. enq returns errFull when a
+// bounded backend is at capacity.
+type queueBackend interface {
+	enq(v int64) error
+	deq() (int64, bool)
+}
+
+// stackBackend adapts the stack family.
+type stackBackend interface {
+	push(v int64)
+	pop() (int64, bool)
+}
+
+// pqBackend adapts the priority-queue family. add reports errFull or a
+// range error for bounded backends.
+type pqBackend interface {
+	add(p int64) error
+	removeMin() (int64, bool)
+}
+
+// genericQueue serves the queue.Queue implementations that never refuse an
+// enqueue.
+type genericQueue struct{ q queue.Queue[int64] }
+
+func (g genericQueue) enq(v int64) error  { g.q.Enq(v); return nil }
+func (g genericQueue) deq() (int64, bool) { return g.q.Deq() }
+
+// boundedQueue guards the blocking two-lock bounded queue with a size
+// check so a full queue answers FULL instead of stalling its shard. The
+// check races with concurrent shards, so an enqueue squeezing past it may
+// still block briefly until a dequeue; that is the book's Fig. 10.3
+// semantics, bounded here to the race window.
+type boundedQueue struct{ q *queue.BoundedQueue[int64] }
+
+func (b boundedQueue) enq(v int64) error {
+	if b.q.Size() >= b.q.Capacity() {
+		return errFull
+	}
+	b.q.Enq(v)
+	return nil
+}
+
+// deq uses TryDeq: the blocking Deq would park the shard goroutine on an
+// empty queue, stalling every command routed to that shard.
+func (b boundedQueue) deq() (int64, bool) { return b.q.TryDeq() }
+
+// recyclingQueue adapts the node-recycling queue, whose Enq refuses when
+// the node pool is exhausted.
+type recyclingQueue struct{ q *queue.RecyclingQueue }
+
+func (r recyclingQueue) enq(v int64) error {
+	if !r.q.Enq(v) {
+		return errFull
+	}
+	return nil
+}
+func (r recyclingQueue) deq() (int64, bool) { return r.q.Deq() }
+
+// genericStack serves any stack.Stack.
+type genericStack struct{ s stack.Stack[int64] }
+
+func (g genericStack) push(v int64)       { g.s.Push(v) }
+func (g genericStack) pop() (int64, bool) { return g.s.Pop() }
+
+// rangedPQ serves the bounded pools (SimpleLinear, SimpleTree), which
+// panic outside their priority range; the adapter turns that into an error
+// reply.
+type rangedPQ struct {
+	q   pqueue.PQueue
+	rng int64
+}
+
+func (r rangedPQ) add(p int64) error {
+	if p < 0 || p >= r.rng {
+		return fmt.Errorf("priority %d outside [0,%d)", p, r.rng)
+	}
+	r.q.Add(int(p))
+	return nil
+}
+func (r rangedPQ) removeMin() (int64, bool) {
+	v, ok := r.q.RemoveMin()
+	return int64(v), ok
+}
+
+// cappedPQ serves the fine-grained heap, which panics past its capacity;
+// a conservative item count turns overflow into FULL. The count may
+// transiently overestimate (add reserves before inserting), never
+// underestimate, so the heap cannot overflow.
+type cappedPQ struct {
+	q    *pqueue.FineGrainedHeap
+	cap  int64
+	size atomic.Int64
+}
+
+func (c *cappedPQ) add(p int64) error {
+	if p < sentinelGuardMin || p > sentinelGuardMax {
+		return fmt.Errorf("priority %d out of range", p)
+	}
+	if c.size.Add(1) > c.cap {
+		c.size.Add(-1)
+		return errFull
+	}
+	c.q.Add(int(p))
+	return nil
+}
+func (c *cappedPQ) removeMin() (int64, bool) {
+	v, ok := c.q.RemoveMin()
+	if ok {
+		c.size.Add(-1)
+	}
+	return int64(v), ok
+}
+
+// openPQ serves the unbounded linearizable/quiescent queues.
+type openPQ struct{ q pqueue.PQueue }
+
+func (o openPQ) add(p int64) error {
+	if p < sentinelGuardMin || p > sentinelGuardMax {
+		return fmt.Errorf("priority %d out of range", p)
+	}
+	o.q.Add(int(p))
+	return nil
+}
+func (o openPQ) removeMin() (int64, bool) {
+	v, ok := o.q.RemoveMin()
+	return int64(v), ok
+}
+
+// The list- and skiplist-based structures reserve math.MinInt64 and
+// math.MaxInt64 as ±∞ sentinels, so the protocol rejects the two extreme
+// keys rather than panic.
+const (
+	sentinelGuardMin = list.KeyMin + 1
+	sentinelGuardMax = list.KeyMax - 1
+)
+
+// Backend constructor tables. Each entry builds a fresh instance from the
+// (defaulted) options.
+var (
+	setBackends = map[string]func(o Options) list.Set{
+		"coarse":    func(o Options) list.Set { return hashset.NewCoarseHashSet(o.SetCapacity) },
+		"striped":   func(o Options) list.Set { return hashset.NewStripedHashSet(o.SetCapacity) },
+		"refinable": func(o Options) list.Set { return hashset.NewRefinableHashSet(o.SetCapacity) },
+		"lockfree":  func(o Options) list.Set { return hashset.NewLockFreeHashSet() },
+		"cuckoo":    func(o Options) list.Set { return hashset.NewStripedCuckooHashSet(o.SetCapacity) },
+	}
+	queueBackends = map[string]func(o Options) queueBackend{
+		"bounded":   func(o Options) queueBackend { return boundedQueue{queue.NewBoundedQueue[int64](o.QueueCapacity)} },
+		"unbounded": func(o Options) queueBackend { return genericQueue{queue.NewUnboundedQueue[int64]()} },
+		"lockfree":  func(o Options) queueBackend { return genericQueue{queue.NewLockFreeQueue[int64]()} },
+		"recycling": func(o Options) queueBackend { return recyclingQueue{queue.NewRecyclingQueue(o.QueueCapacity)} },
+	}
+	stackBackends = map[string]func(o Options) stackBackend{
+		"locked":      func(o Options) stackBackend { return genericStack{stack.NewLockedStack[int64]()} },
+		"treiber":     func(o Options) stackBackend { return genericStack{stack.NewLockFreeStack[int64]()} },
+		"elimination": func(o Options) stackBackend { return genericStack{stack.NewEliminationBackoffStack[int64]()} },
+	}
+	pqBackends = map[string]func(o Options) pqBackend{
+		"locked": func(o Options) pqBackend { return openPQ{pqueue.NewLockedHeap()} },
+		"skip":   func(o Options) pqBackend { return openPQ{pqueue.NewSkipQueue()} },
+		"heap": func(o Options) pqBackend {
+			c := &cappedPQ{q: pqueue.NewFineGrainedHeap(o.PQCapacity)}
+			c.cap = int64(o.PQCapacity)
+			return c
+		},
+		"linear": func(o Options) pqBackend {
+			return rangedPQ{pqueue.NewSimpleLinear(o.PQCapacity), int64(o.PQCapacity)}
+		},
+		"tree": func(o Options) pqBackend {
+			return rangedPQ{pqueue.NewSimpleTree(nextPow2(o.PQCapacity)), int64(nextPow2(o.PQCapacity))}
+		},
+	}
+	// Counter backends size their width to the shard count: the shards
+	// are exactly the threads that touch them.
+	counterBackends = map[string]func(o Options) counting.Counter{
+		"cas":       func(o Options) counting.Counter { return &counting.CASCounter{} },
+		"lock":      func(o Options) counting.Counter { return &counting.LockCounter{} },
+		"combining": func(o Options) counting.Counter { return counting.NewCombiningTree(counterWidth(o)) },
+		"diffracting": func(o Options) counting.Counter {
+			return counting.NewNetworkCounter(counting.NewDiffractingTree(counterWidth(o)))
+		},
+		"network": func(o Options) counting.Counter {
+			return counting.NewNetworkCounter(counting.NewBitonic(counterWidth(o)))
+		},
+	}
+)
+
+// counterWidth sizes combining trees and counting networks: a power of
+// two covering every shard (the structures require width ≥ 2).
+func counterWidth(o Options) int {
+	w := o.Shards
+	if w < 2 {
+		w = 2
+	}
+	return nextPow2(w)
+}
+
+// nextPow2 rounds n up to a power of two (n ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SetBackends lists the valid -set names.
+func SetBackends() []string { return sortedKeys(setBackends) }
+
+// QueueBackends lists the valid -queue names.
+func QueueBackends() []string { return sortedKeys(queueBackends) }
+
+// StackBackends lists the valid -stack names.
+func StackBackends() []string { return sortedKeys(stackBackends) }
+
+// PQueueBackends lists the valid -pqueue names.
+func PQueueBackends() []string { return sortedKeys(pqBackends) }
+
+// CounterBackends lists the valid -counter and -metrics-counter names.
+func CounterBackends() []string { return sortedKeys(counterBackends) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// lookup resolves one backend name against its table.
+func lookup[V any](family, name string, table map[string]V) (V, error) {
+	v, ok := table[name]
+	if !ok {
+		var zero V
+		return zero, fmt.Errorf("server: unknown %s backend %q (have %s)",
+			family, name, strings.Join(sortedKeys(table), ", "))
+	}
+	return v, nil
+}

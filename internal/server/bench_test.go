@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineSet measures the data plane alone (shard hop included,
+// no network): mixed SET/GET/DEL on the default striped backend.
+func BenchmarkEngineSet(b *testing.B) {
+	srv, err := New(Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	e := srv.eng
+
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			i++
+			switch i % 3 {
+			case 0:
+				e.do(Command{OpSet, i})
+			case 1:
+				e.do(Command{OpGet, i})
+			default:
+				e.do(Command{OpDel, i})
+			}
+		}
+	})
+}
+
+// BenchmarkServerTCP measures full round-trips over loopback TCP, one
+// pipelining-free client per benchmark goroutine.
+func BenchmarkServerTCP(b *testing.B) {
+	srv, err := New(Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := srv.Addr().String()
+
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		i := int64(0)
+		for pb.Next() {
+			i++
+			if _, err := fmt.Fprintf(conn, "SET %d\n", i); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := r.ReadString('\n'); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

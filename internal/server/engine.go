@@ -1,0 +1,265 @@
+// The data plane: N single-goroutine shards in front of the shared
+// concurrent structures. Keyed commands (the set family) hash to a shard
+// that owns a private hash set, so set traffic is contention-local by
+// construction — partitioning first, as McKenney puts it. Unkeyed
+// commands (stack, queue, counter, priority queue) are spread round-robin
+// over the shards but execute against shared structures; the shards then
+// serve as a bounded thread set, which is exactly what the combining tree
+// and the metrics counters need: shard i always calls with ThreadID i.
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amp/internal/core"
+	"amp/internal/counting"
+	"amp/internal/list"
+	"amp/internal/metrics"
+)
+
+// status encodes the shape of a reply.
+type status uint8
+
+const (
+	stOK status = iota
+	stInt
+	stEmpty
+	stFull
+	stErr
+)
+
+// reply is the result of executing one command.
+type reply struct {
+	status status
+	val    int64
+	msg    string // stErr only
+}
+
+func errReply(format string, args ...any) reply {
+	return reply{status: stErr, msg: fmt.Sprintf(format, args...)}
+}
+
+// request is one command in flight to a shard.
+type request struct {
+	cmd   Command
+	start time.Time
+	resp  chan reply
+}
+
+// shard owns a private set instance and a request channel drained by a
+// single goroutine.
+type shard struct {
+	id   core.ThreadID
+	set  list.Set
+	reqs chan request
+}
+
+// shardQueueDepth bounds buffered requests per shard; senders block when
+// a shard is saturated, which is the natural backpressure.
+const shardQueueDepth = 128
+
+// engine is the assembled data plane.
+type engine struct {
+	opts    Options
+	shards  []*shard
+	queue   queueBackend
+	stack   stackBackend
+	pq      pqBackend
+	counter counting.Counter
+	incs    atomic.Int64 // completed INCs: highest ticket + 1
+	rr      atomic.Uint32
+	metrics *metrics.Registry
+	mops    [numOps]*metrics.Op
+	wg      sync.WaitGroup
+}
+
+// newEngine builds the structures and starts one goroutine per shard.
+func newEngine(o Options) (*engine, error) {
+	newSet, err := lookup("set", o.Set, setBackends)
+	if err != nil {
+		return nil, err
+	}
+	newQueue, err := lookup("queue", o.Queue, queueBackends)
+	if err != nil {
+		return nil, err
+	}
+	newStack, err := lookup("stack", o.Stack, stackBackends)
+	if err != nil {
+		return nil, err
+	}
+	newPQ, err := lookup("pqueue", o.PQueue, pqBackends)
+	if err != nil {
+		return nil, err
+	}
+	newCounter, err := lookup("counter", o.Counter, counterBackends)
+	if err != nil {
+		return nil, err
+	}
+	newMetricsCounter, err := lookup("metrics-counter", o.MetricsCounter, counterBackends)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		opts:    o,
+		queue:   newQueue(o),
+		stack:   newStack(o),
+		pq:      newPQ(o),
+		counter: newCounter(o),
+		metrics: metrics.NewRegistry(func() counting.Counter { return newMetricsCounter(o) }, allMetricNames()...),
+	}
+	for op, name := range metricNames {
+		if name != "" {
+			e.mops[op] = e.metrics.Op(name)
+		}
+	}
+	for i := 0; i < o.Shards; i++ {
+		s := &shard{
+			id:   core.ThreadID(i),
+			set:  newSet(o),
+			reqs: make(chan request, shardQueueDepth),
+		}
+		e.shards = append(e.shards, s)
+		e.wg.Add(1)
+		go e.serve(s)
+	}
+	return e, nil
+}
+
+// stop drains and terminates the shard goroutines. Callers must guarantee
+// no further do() calls (the server waits for all connections first).
+func (e *engine) stop() {
+	for _, s := range e.shards {
+		close(s.reqs)
+	}
+	e.wg.Wait()
+}
+
+// do routes one command to its shard and waits for the reply.
+func (e *engine) do(cmd Command) reply {
+	var s *shard
+	switch cmd.Op {
+	case OpSet, OpGet, OpDel:
+		s = e.shards[keyShard(cmd.Arg, len(e.shards))]
+	default:
+		s = e.shards[int(e.rr.Add(1)-1)%len(e.shards)]
+	}
+	req := request{cmd: cmd, start: time.Now(), resp: make(chan reply, 1)}
+	s.reqs <- req
+	return <-req.resp
+}
+
+// keyShard spreads keys over shards with a Fibonacci multiplicative hash
+// (well-mixed high bits, any shard count).
+func keyShard(key int64, n int) int {
+	const fib64 = 0x9E3779B97F4A7C15
+	return int((uint64(key) * fib64 >> 17) % uint64(n))
+}
+
+// serve is the shard goroutine: read, execute, measure, reply.
+func (e *engine) serve(s *shard) {
+	defer e.wg.Done()
+	for req := range s.reqs {
+		r := e.execute(s, req.cmd)
+		if op := e.mops[req.cmd.Op]; op != nil {
+			op.Observe(time.Since(req.start), s.id)
+		}
+		req.resp <- r
+	}
+}
+
+// execute applies one command against the shard's set or the shared
+// structures. It runs on the shard goroutine, so s.id is a valid dense
+// ThreadID for the width-bounded counters.
+func (e *engine) execute(s *shard, cmd Command) reply {
+	switch cmd.Op {
+	case OpSet, OpGet, OpDel:
+		if cmd.Arg < sentinelGuardMin || cmd.Arg > sentinelGuardMax {
+			return errReply("key %d is reserved", cmd.Arg)
+		}
+		key := int(cmd.Arg)
+		var changed bool
+		switch cmd.Op {
+		case OpSet:
+			changed = s.set.Add(key)
+		case OpGet:
+			changed = s.set.Contains(key)
+		default:
+			changed = s.set.Remove(key)
+		}
+		return reply{status: stInt, val: boolInt(changed)}
+
+	case OpPush:
+		e.stack.push(cmd.Arg)
+		return reply{status: stOK}
+	case OpPop:
+		return valueReply(e.stack.pop())
+
+	case OpEnq:
+		if err := e.queue.enq(cmd.Arg); err == errFull {
+			return reply{status: stFull}
+		} else if err != nil {
+			return errReply("%v", err)
+		}
+		return reply{status: stOK}
+	case OpDeq:
+		return valueReply(e.queue.deq())
+
+	case OpInc:
+		ticket := e.counter.GetAndIncrement(s.id)
+		for {
+			cur := e.incs.Load()
+			if ticket+1 <= cur || e.incs.CompareAndSwap(cur, ticket+1) {
+				break
+			}
+		}
+		return reply{status: stInt, val: ticket}
+	case OpRead:
+		return reply{status: stInt, val: e.incs.Load()}
+
+	case OpPQAdd:
+		if err := e.pq.add(cmd.Arg); err == errFull {
+			return reply{status: stFull}
+		} else if err != nil {
+			return errReply("%v", err)
+		}
+		return reply{status: stOK}
+	case OpPQMin:
+		return valueReply(e.pq.removeMin())
+
+	default:
+		return errReply("cannot execute %s", cmd.Op)
+	}
+}
+
+func valueReply(v int64, ok bool) reply {
+	if !ok {
+		return reply{status: stEmpty}
+	}
+	return reply{status: stInt, val: v}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// statsBody renders the STATS reply body: the configuration, then one
+// line per measured op from the metrics registry.
+func (e *engine) statsBody() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "shards %d\n", len(e.shards))
+	fmt.Fprintf(&sb, "backend set=%s queue=%s stack=%s pqueue=%s counter=%s metrics-counter=%s\n",
+		e.opts.Set, e.opts.Queue, e.opts.Stack, e.opts.PQueue, e.opts.Counter, e.opts.MetricsCounter)
+	sb.WriteString(e.metrics.Format())
+	return sb.String()
+}
+
+// Stats exposes the metrics snapshot (for the expvar endpoint).
+func (e *engine) snapshot() []metrics.OpStats { return e.metrics.Snapshot() }

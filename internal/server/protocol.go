@@ -1,0 +1,222 @@
+// Package server implements ampserved, a sharded TCP front-end over the
+// book's concurrent objects. Clients speak a line-oriented text protocol;
+// each command family is routed to a concurrent structure from internal/
+// chosen at startup through the backend registry (see backend.go), so the
+// same server can run its sets striped, refinable, split-ordered or
+// cuckoo, its queues two-lock or Michael–Scott, its counters combined or
+// routed through a counting network.
+//
+// Protocol (one command per line, LF or CRLF terminated, ≤ MaxLineLen
+// bytes; integer arguments are signed 64-bit decimals):
+//
+//	SET k      add k to the set          → 1 (added) | 0 (already present)
+//	GET k      membership of k           → 1 | 0
+//	DEL k      remove k from the set     → 1 (removed) | 0 (absent)
+//	PUSH v     push v on the stack       → OK
+//	POP        pop the stack             → v | EMPTY
+//	ENQ v      enqueue v                 → OK | FULL
+//	DEQ        dequeue                   → v | EMPTY
+//	INC        take a counter ticket     → ticket value
+//	READ       read the counter          → number of INCs completed
+//	PQADD p    add priority p            → OK | FULL
+//	PQMIN      remove the min priority   → p | EMPTY
+//	STATS      per-op counters/latency   → multi-line body, then END
+//	PING       liveness                  → PONG
+//	QUIT       close the connection      → OK
+//
+// Any failure is reported as "ERR <reason>"; malformed commands keep the
+// connection open, an oversized line closes it (framing is lost).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Op enumerates the protocol commands.
+type Op uint8
+
+// The command set. OpInvalid is the zero value so an unset Command is
+// never a valid operation.
+const (
+	OpInvalid Op = iota
+	OpSet
+	OpGet
+	OpDel
+	OpPush
+	OpPop
+	OpEnq
+	OpDeq
+	OpInc
+	OpRead
+	OpPQAdd
+	OpPQMin
+	OpStats
+	OpPing
+	OpQuit
+	numOps
+)
+
+// MaxLineLen bounds a protocol line (command, argument, terminator). Long
+// lines cannot be re-framed reliably, so the server drops the connection.
+const MaxLineLen = 128
+
+// ErrLineTooLong reports a line over MaxLineLen bytes.
+var ErrLineTooLong = errors.New("line too long")
+
+// opInfo describes one verb.
+type opInfo struct {
+	op     Op
+	hasArg bool
+}
+
+// verbs maps the canonical (upper-case) verb to its op. Lookup is done on
+// an ASCII-uppercased copy, making verbs case-insensitive.
+var verbs = map[string]opInfo{
+	"SET":   {OpSet, true},
+	"GET":   {OpGet, true},
+	"DEL":   {OpDel, true},
+	"PUSH":  {OpPush, true},
+	"POP":   {OpPop, false},
+	"ENQ":   {OpEnq, true},
+	"DEQ":   {OpDeq, false},
+	"INC":   {OpInc, false},
+	"READ":  {OpRead, false},
+	"PQADD": {OpPQAdd, true},
+	"PQMIN": {OpPQMin, false},
+	"STATS": {OpStats, false},
+	"PING":  {OpPing, false},
+	"QUIT":  {OpQuit, false},
+}
+
+// opNames is the inverse of verbs, for error messages.
+var opNames = func() [numOps]string {
+	var names [numOps]string
+	names[OpInvalid] = "INVALID"
+	for verb, info := range verbs {
+		names[info.op] = verb
+	}
+	return names
+}()
+
+// String returns the canonical verb.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// HasArg reports whether the op carries an integer argument.
+func (o Op) HasArg() bool { return verbs[o.String()].hasArg }
+
+// Command is one parsed protocol line.
+type Command struct {
+	Op  Op
+	Arg int64 // meaningful only when Op.HasArg()
+}
+
+// ParseCommand parses one line (without the trailing LF; a trailing CR is
+// tolerated). It never panics on hostile input.
+func ParseCommand(line []byte) (Command, error) {
+	if len(line) > MaxLineLen {
+		return Command{}, ErrLineTooLong
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	fields := splitFields(line)
+	if len(fields) == 0 {
+		return Command{}, errors.New("empty command")
+	}
+	verb := asciiUpper(fields[0])
+	info, ok := verbs[verb]
+	if !ok {
+		return Command{}, fmt.Errorf("unknown command %q", verb)
+	}
+	switch {
+	case info.hasArg && len(fields) != 2:
+		return Command{}, fmt.Errorf("%s needs exactly one integer argument", verb)
+	case !info.hasArg && len(fields) != 1:
+		return Command{}, fmt.Errorf("%s takes no argument", verb)
+	}
+	cmd := Command{Op: info.op}
+	if info.hasArg {
+		arg, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Command{}, fmt.Errorf("bad integer %q", fields[1])
+		}
+		cmd.Arg = arg
+	}
+	return cmd, nil
+}
+
+// splitFields splits on runs of spaces and tabs. Any other control byte
+// poisons the line: no verb or decimal contains one, and rejecting them
+// here keeps garbage (including NULs from half-open sockets) out of error
+// messages.
+func splitFields(line []byte) []string {
+	var fields []string
+	start := -1
+	for i := 0; i <= len(line); i++ {
+		var b byte
+		if i < len(line) {
+			b = line[i]
+		} else {
+			b = ' '
+		}
+		switch {
+		case b == ' ' || b == '\t':
+			if start >= 0 {
+				fields = append(fields, string(line[start:i]))
+				start = -1
+			}
+		case b < 0x20 || b == 0x7f:
+			return nil
+		default:
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	return fields
+}
+
+// asciiUpper uppercases ASCII letters only (verbs are pure ASCII).
+func asciiUpper(s string) string {
+	up := []byte(s)
+	for i, b := range up {
+		if 'a' <= b && b <= 'z' {
+			up[i] = b - 'a' + 'A'
+		}
+	}
+	return string(up)
+}
+
+// metricNames maps each data-plane op to its metrics registry key; control
+// ops (STATS, PING, QUIT) are not measured.
+var metricNames = [numOps]string{
+	OpSet:   "set.add",
+	OpGet:   "set.contains",
+	OpDel:   "set.remove",
+	OpPush:  "stack.push",
+	OpPop:   "stack.pop",
+	OpEnq:   "queue.enq",
+	OpDeq:   "queue.deq",
+	OpInc:   "counter.inc",
+	OpRead:  "counter.read",
+	OpPQAdd: "pqueue.add",
+	OpPQMin: "pqueue.min",
+}
+
+// allMetricNames lists the measured ops in protocol order.
+func allMetricNames() []string {
+	var names []string
+	for _, n := range metricNames {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}

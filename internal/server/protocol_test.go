@@ -1,0 +1,98 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCommandValid(t *testing.T) {
+	cases := []struct {
+		line string
+		want Command
+	}{
+		{"SET 42", Command{OpSet, 42}},
+		{"set 42", Command{OpSet, 42}},
+		{"Set\t42", Command{OpSet, 42}},
+		{"  GET   7  ", Command{OpGet, 7}},
+		{"DEL -3", Command{OpDel, -3}},
+		{"PUSH 9223372036854775807", Command{OpPush, 9223372036854775807}},
+		{"POP", Command{OpPop, 0}},
+		{"ENQ -9223372036854775808", Command{OpEnq, -9223372036854775808}},
+		{"DEQ", Command{OpDeq, 0}},
+		{"INC", Command{OpInc, 0}},
+		{"READ", Command{OpRead, 0}},
+		{"PQADD 5", Command{OpPQAdd, 5}},
+		{"PQMIN", Command{OpPQMin, 0}},
+		{"STATS", Command{OpStats, 0}},
+		{"ping", Command{OpPing, 0}},
+		{"QUIT", Command{OpQuit, 0}},
+		{"QUIT\r", Command{OpQuit, 0}},
+	}
+	for _, c := range cases {
+		got, err := ParseCommand([]byte(c.line))
+		if err != nil {
+			t.Errorf("ParseCommand(%q) error: %v", c.line, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseCommand(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseCommandInvalid(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"\r",
+		"FROB 1",                          // unknown verb
+		"SET",                             // missing argument
+		"SET 1 2",                         // extra argument
+		"SET x",                           // non-integer
+		"SET 99999999999999999999999",     // overflow
+		"SET 1.5",                         // float
+		"POP 1",                           // unexpected argument
+		"STATS now",                       // unexpected argument
+		"SET\x001",                        // NUL byte
+		"GET \x0142",                      // control byte
+		"SET " + strings.Repeat("9", 200), // oversized line
+	}
+	for _, line := range cases {
+		if cmd, err := ParseCommand([]byte(line)); err == nil {
+			t.Errorf("ParseCommand(%q) = %+v, want error", line, cmd)
+		}
+	}
+}
+
+func TestParseCommandTooLong(t *testing.T) {
+	line := "SET " + strings.Repeat("1", MaxLineLen)
+	if _, err := ParseCommand([]byte(line)); err != ErrLineTooLong {
+		t.Errorf("ParseCommand(len %d) error = %v, want ErrLineTooLong", len(line), err)
+	}
+}
+
+// FuzzParseCommand asserts the parser never panics and that accepted
+// commands are well-formed.
+func FuzzParseCommand(f *testing.F) {
+	seeds := []string{
+		"SET 42", "GET 1", "DEL -1", "PUSH 0", "POP", "ENQ 5", "DEQ",
+		"INC", "READ", "PQADD 3", "PQMIN", "STATS", "PING", "QUIT",
+		"", " ", "set\t1", "SET  1 ", "FOO", "SET \x00", "SET 1\r",
+		strings.Repeat("A", 200),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			return
+		}
+		if cmd.Op == OpInvalid || cmd.Op >= numOps {
+			t.Fatalf("accepted command with invalid op: %+v from %q", cmd, line)
+		}
+		if !cmd.Op.HasArg() && cmd.Arg != 0 {
+			t.Fatalf("argless op carries arg: %+v from %q", cmd, line)
+		}
+	})
+}

@@ -1,0 +1,275 @@
+// The network front-end: accept loop, per-connection read/parse/execute/
+// write loop, and graceful shutdown (stop accepting, wake idle readers,
+// finish in-flight commands, then force-close stragglers and stop the
+// shards).
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"amp/internal/metrics"
+)
+
+// Server is the ampserved TCP server. Construct with New, then Listen and
+// Serve (or ListenAndServe); always Shutdown, even if Serve was never
+// called, to stop the shard goroutines.
+type Server struct {
+	opts Options
+	eng  *engine
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	connWG   sync.WaitGroup
+	done     chan struct{}
+	shutdown sync.Once
+}
+
+// New builds the data plane (validating backend names) and starts the
+// shard goroutines.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	eng, err := newEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		opts:  opts,
+		eng:   eng,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Options reports the defaulted configuration in effect.
+func (s *Server) Options() Options { return s.opts }
+
+// Stats returns the current per-op metrics snapshot.
+func (s *Server) Stats() []metrics.OpStats { return s.eng.snapshot() }
+
+// Listen binds the TCP address (e.g. "127.0.0.1:0").
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr reports the bound address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Serve accepts connections until the listener closes. It returns nil
+// after Shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		if !s.track(conn) {
+			conn.Close() // lost the race with Shutdown
+			continue
+		}
+		s.connWG.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// track registers a live connection; false once shutdown began.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// handle runs one connection's read/parse/execute/write loop.
+func (s *Server) handle(conn net.Conn) {
+	defer s.connWG.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+
+	// A scanner line is at most MaxLineLen+1 bytes (the LF is consumed);
+	// anything longer surfaces as bufio.ErrTooLong.
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, MaxLineLen+1), MaxLineLen+1)
+	w := bufio.NewWriter(conn)
+
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		if !sc.Scan() {
+			err := sc.Err()
+			switch {
+			case err == nil: // EOF: client closed
+			case errors.Is(err, bufio.ErrTooLong):
+				// Framing is lost; report and drop the connection.
+				// Drain the rest of the line first: closing with
+				// unread data risks a TCP reset that could destroy
+				// the error reply in flight.
+				s.reply(w, reply{status: stErr, msg: ErrLineTooLong.Error()})
+				drainLine(conn)
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				// Idle (or woken by Shutdown): drop silently.
+			}
+			return
+		}
+
+		cmd, err := ParseCommand(sc.Bytes())
+		if err != nil {
+			if !s.reply(w, errReply("%v", err)) {
+				return
+			}
+			continue
+		}
+
+		switch cmd.Op {
+		case OpQuit:
+			s.reply(w, reply{status: stOK})
+			return
+		case OpPing:
+			if !s.replyRaw(w, "PONG") {
+				return
+			}
+		case OpStats:
+			if !s.replyRaw(w, s.eng.statsBody()+"END") {
+				return
+			}
+		default:
+			if !s.reply(w, s.eng.do(cmd)) {
+				return
+			}
+		}
+	}
+}
+
+// reply writes one reply line and flushes; false on a dead connection.
+func (s *Server) reply(w *bufio.Writer, r reply) bool {
+	var line string
+	switch r.status {
+	case stOK:
+		line = "OK"
+	case stInt:
+		line = strconv.FormatInt(r.val, 10)
+	case stEmpty:
+		line = "EMPTY"
+	case stFull:
+		line = "FULL"
+	case stErr:
+		line = "ERR " + r.msg
+	}
+	return s.replyRaw(w, line)
+}
+
+func (s *Server) replyRaw(w *bufio.Writer, line string) bool {
+	if _, err := w.WriteString(line); err != nil {
+		return false
+	}
+	if err := w.WriteByte('\n'); err != nil {
+		return false
+	}
+	return w.Flush() == nil
+}
+
+// Shutdown stops accepting, wakes idle readers so in-flight commands can
+// finish, and waits for connections to drain. When ctx expires first, the
+// remaining connections are force-closed. The shard goroutines stop after
+// the last connection, so every accepted command gets a reply. Safe to
+// call more than once; only the first call does the work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutdown.Do(func() {
+		close(s.done)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		// Wake connections blocked in Read; they observe done and exit
+		// after finishing (and answering) any command already parsed.
+		s.eachConn(func(c net.Conn) { c.SetReadDeadline(time.Now()) })
+
+		drained := make(chan struct{})
+		go func() { s.connWG.Wait(); close(drained) }()
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			s.eachConn(func(c net.Conn) { c.Close() })
+			<-drained
+			err = fmt.Errorf("server: drain expired: %w", ctx.Err())
+		}
+		s.eng.stop()
+	})
+	return err
+}
+
+// drainLine discards input up to the next newline, bounded in bytes and
+// time, so the peer's oversized line is consumed before the close.
+func drainLine(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 4096)
+	for budget := 1 << 20; budget > 0; {
+		n, err := conn.Read(buf)
+		for i := 0; i < n; i++ {
+			if buf[i] == '\n' {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+		budget -= n
+	}
+}
+
+func (s *Server) eachConn(f func(net.Conn)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		f(c)
+	}
+}

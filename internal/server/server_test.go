@@ -1,0 +1,520 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer boots a server on a loopback ephemeral port and registers a
+// cleanup shutdown.
+func startServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv
+}
+
+// client is a line-oriented test client.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, srv *Server) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// cmd sends one command and returns the reply line.
+func (c *client) cmd(t *testing.T, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		t.Fatalf("write %q: %v", line, err)
+	}
+	return c.readLine(t)
+}
+
+func (c *client) readLine(t *testing.T) string {
+	t.Helper()
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	return strings.TrimSuffix(reply, "\n")
+}
+
+// expect asserts one command/reply pair.
+func (c *client) expect(t *testing.T, line, want string) {
+	t.Helper()
+	if got := c.cmd(t, line); got != want {
+		t.Fatalf("%q → %q, want %q", line, got, want)
+	}
+}
+
+func TestServeAllFamilies(t *testing.T) {
+	srv := startServer(t, Options{Shards: 4})
+	c := dial(t, srv)
+
+	c.expect(t, "PING", "PONG")
+
+	// Set family.
+	c.expect(t, "SET 42", "1")
+	c.expect(t, "SET 42", "0")
+	c.expect(t, "GET 42", "1")
+	c.expect(t, "GET 7", "0")
+	c.expect(t, "DEL 42", "1")
+	c.expect(t, "DEL 42", "0")
+	c.expect(t, "GET 42", "0")
+
+	// Stack family (LIFO).
+	c.expect(t, "PUSH 1", "OK")
+	c.expect(t, "PUSH 2", "OK")
+	c.expect(t, "POP", "2")
+	c.expect(t, "POP", "1")
+	c.expect(t, "POP", "EMPTY")
+
+	// Queue family (FIFO).
+	c.expect(t, "ENQ 10", "OK")
+	c.expect(t, "ENQ 20", "OK")
+	c.expect(t, "DEQ", "10")
+	c.expect(t, "DEQ", "20")
+	c.expect(t, "DEQ", "EMPTY")
+
+	// Counter family.
+	c.expect(t, "INC", "0")
+	c.expect(t, "INC", "1")
+	c.expect(t, "READ", "2")
+
+	// Priority-queue family.
+	c.expect(t, "PQADD 5", "OK")
+	c.expect(t, "PQADD 3", "OK")
+	c.expect(t, "PQADD 9", "OK")
+	c.expect(t, "PQMIN", "3")
+	c.expect(t, "PQMIN", "5")
+	c.expect(t, "PQMIN", "9")
+	c.expect(t, "PQMIN", "EMPTY")
+
+	// Errors keep the connection usable.
+	c.expect(t, "FROB", `ERR unknown command "FROB"`)
+	c.expect(t, "SET", "ERR SET needs exactly one integer argument")
+	c.expect(t, "SET x", `ERR bad integer "x"`)
+	c.expect(t, "SET -9223372036854775808", "ERR key -9223372036854775808 is reserved")
+	c.expect(t, "GET 7", "0")
+
+	c.expect(t, "QUIT", "OK")
+}
+
+// TestBackendMatrix boots one server per backend name of every family and
+// exercises that family, so each flaggable implementation is covered.
+func TestBackendMatrix(t *testing.T) {
+	exercise := map[string]func(t *testing.T, c *client){
+		"set": func(t *testing.T, c *client) {
+			c.expect(t, "SET 11", "1")
+			c.expect(t, "GET 11", "1")
+			c.expect(t, "DEL 11", "1")
+			c.expect(t, "GET 11", "0")
+		},
+		"queue": func(t *testing.T, c *client) {
+			c.expect(t, "ENQ 1", "OK")
+			c.expect(t, "ENQ 2", "OK")
+			c.expect(t, "DEQ", "1")
+			c.expect(t, "DEQ", "2")
+			c.expect(t, "DEQ", "EMPTY")
+		},
+		"stack": func(t *testing.T, c *client) {
+			c.expect(t, "PUSH 1", "OK")
+			c.expect(t, "PUSH 2", "OK")
+			c.expect(t, "POP", "2")
+			c.expect(t, "POP", "1")
+		},
+		"pqueue": func(t *testing.T, c *client) {
+			c.expect(t, "PQADD 8", "OK")
+			c.expect(t, "PQADD 2", "OK")
+			c.expect(t, "PQMIN", "2")
+			c.expect(t, "PQMIN", "8")
+		},
+		"counter": func(t *testing.T, c *client) {
+			c.expect(t, "INC", "0")
+			c.expect(t, "INC", "1")
+			c.expect(t, "READ", "2")
+		},
+	}
+	families := map[string][]string{
+		"set":     SetBackends(),
+		"queue":   QueueBackends(),
+		"stack":   StackBackends(),
+		"pqueue":  PQueueBackends(),
+		"counter": CounterBackends(),
+	}
+	for family, names := range families {
+		for _, name := range names {
+			t.Run(family+"/"+name, func(t *testing.T) {
+				opts := Options{Shards: 2}
+				switch family {
+				case "set":
+					opts.Set = name
+				case "queue":
+					opts.Queue = name
+				case "stack":
+					opts.Stack = name
+				case "pqueue":
+					opts.PQueue = name
+				case "counter":
+					opts.Counter = name
+				}
+				srv := startServer(t, opts)
+				c := dial(t, srv)
+				exercise[family](t, c)
+			})
+		}
+	}
+}
+
+func TestMetricsCounterBackends(t *testing.T) {
+	for _, name := range CounterBackends() {
+		t.Run(name, func(t *testing.T) {
+			srv := startServer(t, Options{Shards: 2, MetricsCounter: name})
+			c := dial(t, srv)
+			c.expect(t, "SET 5", "1")
+			stats := c.cmd(t, "STATS")
+			body := readStats(t, c, stats)
+			if !strings.Contains(body, "op set.add count=1") {
+				t.Fatalf("STATS missing set.add count:\n%s", body)
+			}
+		})
+	}
+}
+
+// readStats consumes a STATS body whose first line is already read.
+func readStats(t *testing.T, c *client, first string) string {
+	t.Helper()
+	var sb strings.Builder
+	line := first
+	for line != "END" {
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+		line = c.readLine(t)
+	}
+	return sb.String()
+}
+
+func TestUnknownBackend(t *testing.T) {
+	for _, opts := range []Options{
+		{Set: "nope"}, {Queue: "nope"}, {Stack: "nope"},
+		{PQueue: "nope"}, {Counter: "nope"}, {MetricsCounter: "nope"},
+	} {
+		if _, err := New(opts); err == nil || !strings.Contains(err.Error(), `"nope"`) {
+			t.Errorf("New(%+v) error = %v, want unknown-backend error", opts, err)
+		}
+	}
+}
+
+// TestPerKeyLinearizable runs concurrent clients on disjoint key ranges;
+// on disjoint keys every client must observe strictly sequential set
+// semantics regardless of interleaving with other clients.
+func TestPerKeyLinearizable(t *testing.T) {
+	srv := startServer(t, Options{Shards: 4})
+	const clients, keysEach, rounds = 8, 16, 10
+
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := dial(t, srv)
+			base := 1_000_000 * (id + 1)
+			for r := 0; r < rounds; r++ {
+				for k := base; k < base+keysEach; k++ {
+					key := strconv.Itoa(k)
+					c.expect(t, "GET "+key, "0")
+					c.expect(t, "SET "+key, "1")
+					c.expect(t, "SET "+key, "0")
+					c.expect(t, "GET "+key, "1")
+					c.expect(t, "DEL "+key, "1")
+					c.expect(t, "DEL "+key, "0")
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// TestCounterTickets checks that concurrent INCs hand out unique tickets
+// and READ converges on the total.
+func TestCounterTickets(t *testing.T) {
+	srv := startServer(t, Options{Shards: 4, Counter: "combining"})
+	const clients, each = 8, 200
+
+	results := make(chan int64, clients*each)
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := dial(t, srv)
+			for i := 0; i < each; i++ {
+				v, err := strconv.ParseInt(c.cmd(t, "INC"), 10, 64)
+				if err != nil {
+					t.Errorf("INC reply not an integer: %v", err)
+					return
+				}
+				results <- v
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	seen := make(map[int64]bool)
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("duplicate ticket %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != clients*each {
+		t.Fatalf("got %d unique tickets, want %d", len(seen), clients*each)
+	}
+	c := dial(t, srv)
+	if got := c.cmd(t, "READ"); got != strconv.Itoa(clients*each) {
+		t.Fatalf("READ = %s, want %d", got, clients*each)
+	}
+}
+
+// TestQueueMultiset checks that concurrently enqueued values are dequeued
+// exactly once each.
+func TestQueueMultiset(t *testing.T) {
+	srv := startServer(t, Options{Shards: 4, Queue: "lockfree"})
+	const clients, each = 6, 100
+
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := dial(t, srv)
+			for i := 0; i < each; i++ {
+				c.expect(t, fmt.Sprintf("ENQ %d", id*each+i), "OK")
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	c := dial(t, srv)
+	seen := make(map[string]bool)
+	for i := 0; i < clients*each; i++ {
+		v := c.cmd(t, "DEQ")
+		if v == "EMPTY" || seen[v] {
+			t.Fatalf("dequeue %d: got %q (duplicate or premature empty)", i, v)
+		}
+		seen[v] = true
+	}
+	c.expect(t, "DEQ", "EMPTY")
+}
+
+func TestBoundedQueueFull(t *testing.T) {
+	srv := startServer(t, Options{Shards: 2, Queue: "recycling", QueueCapacity: 4})
+	c := dial(t, srv)
+	for i := 0; i < 4; i++ {
+		c.expect(t, fmt.Sprintf("ENQ %d", i), "OK")
+	}
+	c.expect(t, "ENQ 99", "FULL")
+	c.expect(t, "DEQ", "0")
+	c.expect(t, "ENQ 99", "OK")
+}
+
+func TestPQueueRange(t *testing.T) {
+	srv := startServer(t, Options{Shards: 2, PQueue: "linear", PQCapacity: 8})
+	c := dial(t, srv)
+	c.expect(t, "PQADD 7", "OK")
+	c.expect(t, "PQMIN", "7")
+	if got := c.cmd(t, "PQADD 8"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("PQADD 8 = %q, want ERR (range is [0,8))", got)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	srv := startServer(t, Options{Shards: 2})
+	c := dial(t, srv)
+	c.expect(t, "SET 1", "1")
+	c.expect(t, "SET 2", "1")
+	c.expect(t, "GET 1", "1")
+	c.expect(t, "PUSH 3", "OK")
+	c.expect(t, "INC", "0")
+
+	body := readStats(t, c, c.cmd(t, "STATS"))
+	for _, want := range []string{
+		"shards 2",
+		"backend set=striped queue=unbounded stack=treiber pqueue=skip counter=combining",
+		"op set.add count=2",
+		"op set.contains count=1",
+		"op stack.push count=1",
+		"op counter.inc count=1",
+		"op queue.enq count=0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("STATS missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestPartialReads feeds a pipelined pair of commands byte by byte; the
+// framing layer must reassemble them.
+func TestPartialReads(t *testing.T) {
+	srv := startServer(t, Options{Shards: 2})
+	c := dial(t, srv)
+	for _, b := range []byte("SET 123\nGET 123\n") {
+		if _, err := c.conn.Write([]byte{b}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.readLine(t); got != "1" {
+		t.Fatalf("SET 123 → %q, want 1", got)
+	}
+	if got := c.readLine(t); got != "1" {
+		t.Fatalf("GET 123 → %q, want 1", got)
+	}
+}
+
+// TestOversizedLine checks that a line the framing layer cannot buffer
+// gets an error reply and a closed connection.
+func TestOversizedLine(t *testing.T) {
+	srv := startServer(t, Options{Shards: 2})
+	c := dial(t, srv)
+	long := "SET " + strings.Repeat("1", 4*MaxLineLen) + "\n"
+	if _, err := c.conn.Write([]byte(long)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := c.readLine(t); got != "ERR line too long" {
+		t.Fatalf("reply = %q, want ERR line too long", got)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after oversized line")
+	}
+}
+
+func TestIdleTimeout(t *testing.T) {
+	srv := startServer(t, Options{Shards: 2, IdleTimeout: 50 * time.Millisecond})
+	c := dial(t, srv)
+	c.expect(t, "PING", "PONG")
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("idle connection not closed")
+	}
+}
+
+// TestGracefulShutdown drives traffic from several clients, shuts the
+// server down mid-stream, and checks that no goroutines leak.
+func TestGracefulShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv, err := New(Options{Shards: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	// Clients hammer until their connection dies.
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; ; i++ {
+				if _, err := fmt.Fprintf(conn, "SET %d\n", id*1000+i); err != nil {
+					return
+				}
+				conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+				if _, err := r.ReadString('\n'); err != nil {
+					return
+				}
+			}
+		}(id)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	wg.Wait()
+
+	// All server goroutines (acceptor, conns, shards) must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestShutdownUnserved: a server that never served must still stop its
+// shard goroutines.
+func TestShutdownUnserved(t *testing.T) {
+	srv, err := New(Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
