@@ -1,7 +1,9 @@
 // Load-generator mode: ampbench -serve-addr drives a running ampserved
 // over TCP with concurrent clients and reports throughput and latency
 // percentiles, closing the loop between the in-process experiments
-// (E1–E14) and the served system.
+// (E1–E14) and the served system. With -depth N each client pipelines:
+// it keeps N commands in flight and the server batches them through its
+// flat-combining shards (experiment E15).
 package main
 
 import (
@@ -20,6 +22,7 @@ type loadConfig struct {
 	addr    string
 	clients int
 	ops     int // per client
+	depth   int // pipeline depth: commands in flight per connection
 	timeout time.Duration
 }
 
@@ -72,15 +75,23 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 
 	total := len(all)
 	opsPerSec := float64(total) / elapsed.Seconds()
-	fmt.Fprintf(out, "ampbench load: addr=%s clients=%d ops/client=%d\n", cfg.addr, cfg.clients, cfg.ops)
+	depth := cfg.depth
+	if depth < 1 {
+		depth = 1
+	}
+	fmt.Fprintf(out, "ampbench load: addr=%s clients=%d ops/client=%d depth=%d\n",
+		cfg.addr, cfg.clients, cfg.ops, depth)
 	fmt.Fprintf(out, "  %d ops in %v → %.0f ops/sec\n", total, elapsed.Round(time.Millisecond), opsPerSec)
 	fmt.Fprintf(out, "  latency p50=%v p99=%v max=%v\n",
 		quantile(all, 0.50), quantile(all, 0.99), all[total-1])
 	return nil
 }
 
-// runClient opens one connection and replays the mix, timing each
-// command round-trip.
+// runClient opens one connection and replays the mix with cfg.depth
+// commands in flight: each round writes a window of commands in one
+// flush, then reads the window's replies. Latency is recorded per
+// command as the round-trip of its window — at depth 1 this is exactly
+// the old per-command round-trip.
 func runClient(cfg loadConfig, id int) clientResult {
 	conn, err := net.Dial("tcp", cfg.addr)
 	if err != nil {
@@ -88,34 +99,53 @@ func runClient(cfg loadConfig, id int) clientResult {
 	}
 	defer conn.Close()
 	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	depth := cfg.depth
+	if depth < 1 {
+		depth = 1
+	}
 
 	lat := make([]time.Duration, 0, cfg.ops)
 	base := 1_000_000 * (id + 1)
-	for i := 0; i < cfg.ops; i++ {
-		tmpl := loadMix[i%len(loadMix)]
-		cmd := tmpl
-		if strings.Contains(tmpl, "%d") {
-			arg := base + i
-			if strings.HasPrefix(tmpl, "PQADD") {
-				// Stay inside the priority range of even tightly
-				// configured bounded backends (-pq-cap >= 8).
-				arg = i % 8
+	window := make([]string, 0, depth)
+	for sent := 0; sent < cfg.ops; sent += len(window) {
+		window = window[:0]
+		for i := sent; i < cfg.ops && len(window) < depth; i++ {
+			tmpl := loadMix[i%len(loadMix)]
+			cmd := tmpl
+			if strings.Contains(tmpl, "%d") {
+				arg := base + i
+				if strings.HasPrefix(tmpl, "PQADD") {
+					// Stay inside the priority range of even tightly
+					// configured bounded backends (-pq-cap >= 8).
+					arg = i % 8
+				}
+				cmd = fmt.Sprintf(tmpl, arg)
 			}
-			cmd = fmt.Sprintf(tmpl, arg)
+			window = append(window, cmd)
 		}
 
 		begin := time.Now()
-		if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
-			return clientResult{err: fmt.Errorf("write %q: %w", cmd, err)}
+		for _, cmd := range window {
+			w.WriteString(cmd)
+			w.WriteByte('\n')
+		}
+		if err := w.Flush(); err != nil {
+			return clientResult{err: fmt.Errorf("write window at %d: %w", sent, err)}
 		}
 		conn.SetReadDeadline(time.Now().Add(cfg.timeout))
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return clientResult{err: fmt.Errorf("read reply to %q: %w", cmd, err)}
+		for _, cmd := range window {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return clientResult{err: fmt.Errorf("read reply to %q: %w", cmd, err)}
+			}
+			if strings.HasPrefix(line, "ERR") {
+				return clientResult{err: fmt.Errorf("%q → %s", cmd, strings.TrimSpace(line))}
+			}
 		}
-		lat = append(lat, time.Since(begin))
-		if strings.HasPrefix(line, "ERR") {
-			return clientResult{err: fmt.Errorf("%q → %s", cmd, strings.TrimSpace(line))}
+		d := time.Since(begin)
+		for range window {
+			lat = append(lat, d)
 		}
 	}
 	return clientResult{lat: lat}

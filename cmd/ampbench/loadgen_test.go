@@ -55,6 +55,55 @@ func TestLoadMode(t *testing.T) {
 	}
 }
 
+// TestLoadModePipelined drives the server with pipeline depth 8 and
+// checks that every op still executes exactly once.
+func TestLoadModePipelined(t *testing.T) {
+	srv, err := server.New(server.Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	var sb strings.Builder
+	err = run([]string{"-serve-addr", srv.Addr().String(),
+		"-clients", "4", "-ops", "110", "-depth", "8"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"depth=8", "440 ops", "ops/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// 4 clients × 110 ops × the 11-command mix = 40 full cycles; every
+	// measured family must have run its share.
+	counts := map[string]int64{}
+	for _, s := range srv.Stats() {
+		counts[s.Name] = s.Count
+	}
+	for _, op := range []string{"set.add", "queue.enq", "stack.push", "counter.inc", "pqueue.add"} {
+		if counts[op] != 40 {
+			t.Errorf("server stats: op %s count = %d, want 40", op, counts[op])
+		}
+	}
+}
+
 func TestLoadModeBadAddr(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-serve-addr", "127.0.0.1:1", "-clients", "1", "-ops", "1"}, &sb); err == nil {

@@ -15,9 +15,14 @@
 // ampserved instance instead:
 //
 //	ampbench -serve-addr 127.0.0.1:7171 -clients 16 -ops 5000
+//	ampbench -serve-addr 127.0.0.1:7171 -clients 16 -ops 5000 -depth 8
 //
 // Each client opens one TCP connection and replays a mix covering all six
-// command families; the run reports ops/sec and p50/p99 latency.
+// command families; the run reports ops/sec and p50/p99 latency. -depth
+// sets the pipeline depth: commands kept in flight per connection (1 =
+// wait for every reply, the pre-pipelining behavior). Latency is the
+// round-trip of a command's window, so at depth > 1 it measures batch
+// turnaround, not per-command service time.
 package main
 
 import (
@@ -51,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		procs     = fs.Int("procs", 0, "GOMAXPROCS override (0 = leave as is)")
 		serveAddr = fs.String("serve-addr", "", "drive a running ampserved at this address instead of the in-process experiments")
 		clients   = fs.Int("clients", 8, "load mode: concurrent client connections")
+		depth     = fs.Int("depth", 1, "load mode: pipeline depth (commands in flight per connection)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,7 +67,7 @@ func run(args []string, out io.Writer) error {
 		if opsPerClient <= 0 {
 			opsPerClient = 2000
 		}
-		return runLoad(loadConfig{addr: *serveAddr, clients: *clients, ops: opsPerClient}, out)
+		return runLoad(loadConfig{addr: *serveAddr, clients: *clients, ops: opsPerClient, depth: *depth}, out)
 	}
 
 	if *list {

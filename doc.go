@@ -24,7 +24,8 @@
 //	stm        TL2-style software transactional memory (Ch. 18)
 //	bench      workload generators and the experiment harness
 //	server     ampserved: a sharded TCP server over the structures above,
-//	           with per-family backend selection (line protocol, graceful
+//	           with per-family backend selection (pipelined line protocol
+//	           with per-shard batching and flat combining, graceful
 //	           shutdown)
 //	metrics    op counters and latency histograms built on the Ch. 12
 //	           counting structures

@@ -8,7 +8,8 @@
 // number of events. This lets the server dogfood the combining tree or a
 // counting network as its own instrumentation, with the single-cell
 // CASCounter as the default. Histograms are arrays of such counters over
-// power-of-two latency buckets.
+// power-of-two buckets: Histogram buckets latencies, SizeHistogram
+// buckets integer sizes (the server's combined-batch sizes).
 //
 // Like the combining tree itself, counters are driven by a bounded set of
 // threads: Inc and Observe take the caller's core.ThreadID (the server
@@ -85,13 +86,18 @@ func NewHistogram(factory func() counting.Counter) *Histogram {
 }
 
 // bucketOf maps a microsecond latency to its bucket index.
-func bucketOf(us int64) int {
-	if us <= 0 {
+func bucketOf(us int64) int { return logBucket(us, histBuckets) }
+
+// logBucket maps a value to its log₂ bucket among n buckets: bucket 0
+// holds values ≤ 0, bucket i (i ≥ 1) holds [2^(i-1), 2^i), and the last
+// bucket absorbs everything larger.
+func logBucket(v int64, n int) int {
+	if v <= 0 {
 		return 0
 	}
-	b := bits.Len64(uint64(us)) // 1 → 1, 2..3 → 2, 4..7 → 3, ...
-	if b >= histBuckets {
-		return histBuckets - 1
+	b := bits.Len64(uint64(v)) // 1 → 1, 2..3 → 2, 4..7 → 3, ...
+	if b >= n {
+		return n - 1
 	}
 	return b
 }
@@ -140,6 +146,96 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return time.Duration(int64(1)<<uint(histBuckets)) * time.Microsecond
+}
+
+// sizeBuckets spans sizes 1 to 2^16; larger sizes land in the last
+// bucket.
+const sizeBuckets = 17
+
+// SizeHistogram is a log₂-bucketed histogram of positive integer sizes.
+// The server records one sample per shard wakeup: how many commands the
+// flat-combining pass applied in that run, which makes the realized
+// batching visible in STATS. Bucket 0 holds sizes ≤ 0 (unused in
+// practice), bucket i holds sizes in [2^(i-1), 2^i).
+//
+// Like Histogram, the buckets are Counters over a pluggable
+// counting.Counter backend and recording takes the caller's ThreadID.
+type SizeHistogram struct {
+	buckets [sizeBuckets]*Counter
+	sum     atomic.Int64
+}
+
+// NewSizeHistogram builds a size histogram whose buckets are produced by
+// factory (nil means CASCounter buckets).
+func NewSizeHistogram(factory func() counting.Counter) *SizeHistogram {
+	h := &SizeHistogram{}
+	for i := range h.buckets {
+		var c counting.Counter
+		if factory != nil {
+			c = factory()
+		}
+		h.buckets[i] = NewCounter(c)
+	}
+	return h
+}
+
+// Observe records one size sample on behalf of thread me.
+func (h *SizeHistogram) Observe(n int64, me core.ThreadID) {
+	h.sum.Add(n)
+	h.buckets[logBucket(n, sizeBuckets)].Inc(me)
+}
+
+// Count reports the number of samples observed.
+func (h *SizeHistogram) Count() int64 {
+	var n int64
+	for _, b := range h.buckets {
+		n += b.Value()
+	}
+	return n
+}
+
+// Sum reports the total of all observed sizes.
+func (h *SizeHistogram) Sum() int64 { return h.sum.Load() }
+
+// Mean reports the average observed size (0 when empty).
+func (h *SizeHistogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile reports an upper bound for the q-quantile (0 < q ≤ 1): the
+// largest size in the bucket holding the q·count-th sample (2^i − 1 for
+// bucket i). Resolution is a factor of two.
+func (h *SizeHistogram) Quantile(q float64) int64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, b := range h.buckets {
+		seen += b.Value()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			return int64(1)<<uint(i) - 1
+		}
+	}
+	return int64(1)<<uint(sizeBuckets) - 1
+}
+
+// Format renders the histogram as one "hist <name> count=… sum=… mean=…
+// p50=… p99=…" line, in the style of Registry.Format's op lines.
+func (h *SizeHistogram) Format(name string) string {
+	return fmt.Sprintf("hist %s count=%d sum=%d mean=%.1f p50=%d p99=%d\n",
+		name, h.Count(), h.Sum(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
 }
 
 // Op bundles the two per-operation instruments.

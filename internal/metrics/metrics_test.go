@@ -87,6 +87,105 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
+// TestSizeHistogramBuckets pins the log₂ bucket boundaries used for
+// batch sizes: bucket i (i ≥ 1) holds [2^(i-1), 2^i), the last bucket
+// absorbs everything larger.
+func TestSizeHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{127, 7}, {128, 8},
+		{1 << 15, 16}, {1<<16 - 1, 16},
+		{1 << 16, sizeBuckets - 1}, {1 << 40, sizeBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := logBucket(c.n, sizeBuckets); got != c.want {
+			t.Errorf("logBucket(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSizeHistogramStats(t *testing.T) {
+	h := NewSizeHistogram(nil)
+	// 90 singleton batches and 10 large combined ones.
+	for i := 0; i < 90; i++ {
+		h.Observe(1, 0)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100, 0)
+	}
+
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count() = %d, want 100", got)
+	}
+	if got := h.Sum(); got != 90+10*100 {
+		t.Fatalf("Sum() = %d, want %d", got, 90+10*100)
+	}
+	if mean := h.Mean(); mean != 10.9 {
+		t.Errorf("Mean() = %v, want 10.9", mean)
+	}
+	// p50 lands in the size-1 bucket (upper bound 2^1−1 = 1); p99 in the
+	// bucket of 100, [64, 128), upper bound 127.
+	if p50 := h.Quantile(0.50); p50 != 1 {
+		t.Errorf("p50 = %d, want 1", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 127 {
+		t.Errorf("p99 = %d, want 127", p99)
+	}
+}
+
+func TestSizeHistogramEmpty(t *testing.T) {
+	h := NewSizeHistogram(nil)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Errorf("empty size histogram should report zeros, got count=%d sum=%d mean=%v p99=%d",
+			h.Count(), h.Sum(), h.Mean(), h.Quantile(0.99))
+	}
+}
+
+// TestSizeHistogramConcurrent observes sizes from many threads over a
+// combining-tree backend, as the server's shards do; counts and sum must
+// come out exact after quiescence.
+func TestSizeHistogramConcurrent(t *testing.T) {
+	const threads, perThread = 8, 1000
+	h := NewSizeHistogram(func() counting.Counter { return counting.NewCombiningTree(threads) })
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(me core.ThreadID) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				h.Observe(int64(i%8+1), me)
+			}
+		}(core.ThreadID(id))
+	}
+	wg.Wait()
+
+	if got, want := h.Count(), int64(threads*perThread); got != want {
+		t.Fatalf("Count() = %d, want %d", got, want)
+	}
+	// Each thread observes 1..8 cyclically: 125 full cycles of sum 36.
+	if got, want := h.Sum(), int64(threads*(perThread/8)*36); got != want {
+		t.Fatalf("Sum() = %d, want %d", got, want)
+	}
+}
+
+// TestSizeHistogramFormat pins the STATS rendering of the batch-size
+// line.
+func TestSizeHistogramFormat(t *testing.T) {
+	h := NewSizeHistogram(nil)
+	for i := 0; i < 4; i++ {
+		h.Observe(8, 0)
+	}
+	got := h.Format("shard.batch")
+	want := "hist shard.batch count=4 sum=32 mean=8.0 p50=15 p99=15\n"
+	if got != want {
+		t.Errorf("Format() = %q, want %q", got, want)
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	r := NewRegistry(nil, "set.add", "set.contains")
 	r.Op("set.add").Observe(time.Millisecond, 0)

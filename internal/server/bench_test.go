@@ -35,6 +35,70 @@ func BenchmarkEngineSet(b *testing.B) {
 	})
 }
 
+// BenchmarkServerTCPPipelined measures loopback TCP throughput with each
+// client keeping a window of commands in flight, exercising the
+// parse-ahead batching and flat-combining path end to end. Compare with
+// BenchmarkServerTCP for the pipelining speedup.
+func BenchmarkServerTCPPipelined(b *testing.B) {
+	const depth = 16
+	srv, err := New(Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := srv.Addr().String()
+
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		w := bufio.NewWriter(conn)
+		i := int64(0)
+		window := 0
+		for pb.Next() {
+			i++
+			fmt.Fprintf(w, "SET %d\n", i)
+			if window++; window < depth {
+				continue
+			}
+			if err := w.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+			for ; window > 0; window-- {
+				if _, err := r.ReadString('\n'); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+		if window > 0 {
+			if err := w.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+			for ; window > 0; window-- {
+				if _, err := r.ReadString('\n'); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkServerTCP measures full round-trips over loopback TCP, one
 // pipelining-free client per benchmark goroutine.
 func BenchmarkServerTCP(b *testing.B) {

@@ -6,6 +6,9 @@
 // over the shards but execute against shared structures; the shards then
 // serve as a bounded thread set, which is exactly what the combining tree
 // and the metrics counters need: shard i always calls with ThreadID i.
+// Commands travel in batches — contiguous per-connection runs — and each
+// shard goroutine flat-combines: it drains its queue per wakeup and
+// applies the whole run before replying, one reply slice per batch.
 package server
 
 import (
@@ -43,38 +46,65 @@ func errReply(format string, args ...any) reply {
 	return reply{status: stErr, msg: fmt.Sprintf(format, args...)}
 }
 
-// request is one command in flight to a shard.
-type request struct {
-	cmd   Command
-	start time.Time
-	resp  chan reply
+// batch is a contiguous run of commands from one connection (or one
+// direct do call), bound for a single shard and answered as a unit: the
+// shard fills replies — one per command, in order — and sends the slice
+// on resp. Batches, their slices, and their reply channels are recycled
+// through batchPool, so the hot path stops allocating once the pool is
+// warm (the reply-channel pooling the ROADMAP asked for).
+type batch struct {
+	cmds    []Command
+	replies []reply
+	start   time.Time
+	resp    chan []reply
 }
 
-// shard owns a private set instance and a request channel drained by a
+var batchPool = sync.Pool{
+	New: func() any { return &batch{resp: make(chan []reply, 1)} },
+}
+
+func getBatch() *batch { return batchPool.Get().(*batch) }
+
+func putBatch(b *batch) {
+	b.reset()
+	batchPool.Put(b)
+}
+
+func (b *batch) reset() {
+	b.cmds = b.cmds[:0]
+	b.replies = b.replies[:0]
+}
+
+// shard owns a private set instance and a batch channel drained by a
 // single goroutine.
 type shard struct {
-	id   core.ThreadID
-	set  list.Set
-	reqs chan request
+	id      core.ThreadID
+	set     list.Set
+	batches chan *batch
 }
 
-// shardQueueDepth bounds buffered requests per shard; senders block when
-// a shard is saturated, which is the natural backpressure.
+// shardQueueDepth bounds buffered batches per shard; senders block when
+// a shard is saturated, which is the natural backpressure (submit adds
+// the shutdown escape hatch so a draining server cannot deadlock behind
+// a wedged shard).
 const shardQueueDepth = 128
 
 // engine is the assembled data plane.
 type engine struct {
-	opts    Options
-	shards  []*shard
-	queue   queueBackend
-	stack   stackBackend
-	pq      pqBackend
-	counter counting.Counter
-	incs    atomic.Int64 // completed INCs: highest ticket + 1
-	rr      atomic.Uint32
-	metrics *metrics.Registry
-	mops    [numOps]*metrics.Op
-	wg      sync.WaitGroup
+	opts       Options
+	shards     []*shard
+	queue      queueBackend
+	stack      stackBackend
+	pq         pqBackend
+	counter    counting.Counter
+	incs       atomic.Int64 // completed INCs: highest ticket + 1
+	rr         atomic.Uint32
+	metrics    *metrics.Registry
+	mops       [numOps]*metrics.Op
+	batchSizes *metrics.SizeHistogram // commands combined per shard wakeup
+	stopping   chan struct{}
+	abortOnce  sync.Once
+	wg         sync.WaitGroup
 }
 
 // newEngine builds the structures and starts one goroutine per shard.
@@ -104,13 +134,16 @@ func newEngine(o Options) (*engine, error) {
 		return nil, err
 	}
 
+	factory := func() counting.Counter { return newMetricsCounter(o) }
 	e := &engine{
-		opts:    o,
-		queue:   newQueue(o),
-		stack:   newStack(o),
-		pq:      newPQ(o),
-		counter: newCounter(o),
-		metrics: metrics.NewRegistry(func() counting.Counter { return newMetricsCounter(o) }, allMetricNames()...),
+		opts:       o,
+		queue:      newQueue(o),
+		stack:      newStack(o),
+		pq:         newPQ(o),
+		counter:    newCounter(o),
+		metrics:    metrics.NewRegistry(factory, allMetricNames()...),
+		batchSizes: metrics.NewSizeHistogram(factory),
+		stopping:   make(chan struct{}),
 	}
 	for op, name := range metricNames {
 		if name != "" {
@@ -119,9 +152,9 @@ func newEngine(o Options) (*engine, error) {
 	}
 	for i := 0; i < o.Shards; i++ {
 		s := &shard{
-			id:   core.ThreadID(i),
-			set:  newSet(o),
-			reqs: make(chan request, shardQueueDepth),
+			id:      core.ThreadID(i),
+			set:     newSet(o),
+			batches: make(chan *batch, shardQueueDepth),
 		}
 		e.shards = append(e.shards, s)
 		e.wg.Add(1)
@@ -131,26 +164,75 @@ func newEngine(o Options) (*engine, error) {
 }
 
 // stop drains and terminates the shard goroutines. Callers must guarantee
-// no further do() calls (the server waits for all connections first).
+// no further do/doBatch calls (the server waits for all connections
+// first).
 func (e *engine) stop() {
+	e.abort()
 	for _, s := range e.shards {
-		close(s.reqs)
+		close(s.batches)
 	}
 	e.wg.Wait()
 }
 
+// abort tells submitters stuck on a saturated shard queue to give up
+// instead of blocking forever. The server fires it when the shutdown
+// drain deadline expires, so pipelined clients parked in submit cannot
+// deadlock the drain; stop fires it unconditionally.
+func (e *engine) abort() {
+	e.abortOnce.Do(func() { close(e.stopping) })
+}
+
 // do routes one command to its shard and waits for the reply.
 func (e *engine) do(cmd Command) reply {
-	var s *shard
-	switch cmd.Op {
-	case OpSet, OpGet, OpDel:
-		s = e.shards[keyShard(cmd.Arg, len(e.shards))]
-	default:
-		s = e.shards[int(e.rr.Add(1)-1)%len(e.shards)]
+	var si int
+	if cmd.Op.Keyed() {
+		si = keyShard(cmd.Arg, len(e.shards))
+	} else {
+		si = e.nextShard()
 	}
-	req := request{cmd: cmd, start: time.Now(), resp: make(chan reply, 1)}
-	s.reqs <- req
-	return <-req.resp
+	b := getBatch()
+	b.cmds = append(b.cmds, cmd)
+	replies, ok := e.doBatch(si, b)
+	if !ok {
+		putBatch(b)
+		return errReply("server shutting down")
+	}
+	r := replies[0]
+	putBatch(b)
+	return r
+}
+
+// nextShard spreads unkeyed runs round-robin over the shards.
+func (e *engine) nextShard() int { return int(e.rr.Add(1)-1) % len(e.shards) }
+
+// doBatch submits a filled batch to shard si and waits for its replies,
+// one per command, in order. ok is false when the engine aborted while
+// the shard queue was full; the batch was not executed and still belongs
+// to the caller.
+func (e *engine) doBatch(si int, b *batch) ([]reply, bool) {
+	b.start = time.Now()
+	if !e.submit(e.shards[si], b) {
+		return nil, false
+	}
+	return <-b.resp, true
+}
+
+// submit enqueues b on its shard. The fast path is a non-blocking send;
+// when the queue is full it blocks, but abandons the wait once abort
+// fires — the unbounded-wait footgun fix: a draining server must not
+// leave connection goroutines parked on a saturated shard forever.
+func (e *engine) submit(s *shard, b *batch) bool {
+	select {
+	case s.batches <- b:
+		return true
+	default:
+	}
+	select {
+	case s.batches <- b:
+		return true
+	case <-e.stopping:
+		return false
+	}
 }
 
 // keyShard spreads keys over shards with a Fibonacci multiplicative hash
@@ -160,15 +242,42 @@ func keyShard(key int64, n int) int {
 	return int((uint64(key) * fib64 >> 17) % uint64(n))
 }
 
-// serve is the shard goroutine: read, execute, measure, reply.
+// serve is the shard goroutine, now a flat combiner (the book's Chs.
+// 11–12 argument rendered at the shard queue): each wakeup drains every
+// batch already buffered and applies the whole run against the backends
+// before the next channel receive, amortizing one synchronization
+// round-trip over the run. Each batch is answered as soon as its own
+// commands are done, so early submitters are not held hostage to the
+// rest of the run.
 func (e *engine) serve(s *shard) {
 	defer e.wg.Done()
-	for req := range s.reqs {
-		r := e.execute(s, req.cmd)
-		if op := e.mops[req.cmd.Op]; op != nil {
-			op.Observe(time.Since(req.start), s.id)
+	run := make([]*batch, 0, shardQueueDepth)
+	for b := range s.batches {
+		run = append(run[:0], b)
+	drain:
+		for len(run) < shardQueueDepth {
+			select {
+			case more, ok := <-s.batches:
+				if !ok {
+					break drain // closed: finish what we hold
+				}
+				run = append(run, more)
+			default:
+				break drain
+			}
 		}
-		req.resp <- r
+		combined := 0
+		for _, b := range run {
+			for _, cmd := range b.cmds {
+				b.replies = append(b.replies, e.execute(s, cmd))
+				if op := e.mops[cmd.Op]; op != nil {
+					op.Observe(time.Since(b.start), s.id)
+				}
+			}
+			combined += len(b.cmds)
+			b.resp <- b.replies
+		}
+		e.batchSizes.Observe(int64(combined), s.id)
 	}
 }
 
@@ -257,6 +366,7 @@ func (e *engine) statsBody() string {
 	fmt.Fprintf(&sb, "shards %d\n", len(e.shards))
 	fmt.Fprintf(&sb, "backend set=%s queue=%s stack=%s pqueue=%s counter=%s metrics-counter=%s\n",
 		e.opts.Set, e.opts.Queue, e.opts.Stack, e.opts.PQueue, e.opts.Counter, e.opts.MetricsCounter)
+	sb.WriteString(e.batchSizes.Format("shard.batch"))
 	sb.WriteString(e.metrics.Format())
 	return sb.String()
 }

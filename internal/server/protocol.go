@@ -26,6 +26,14 @@
 //
 // Any failure is reported as "ERR <reason>"; malformed commands keep the
 // connection open, an oversized line closes it (framing is lost).
+//
+// Clients may pipeline: send any number of commands without waiting for
+// replies. The server parses ahead of the data plane, executes batches
+// of buffered commands, and answers with exactly one reply per command
+// (STATS: one multi-line body) in the order the commands were sent.
+// Commands on one connection take effect in the order they were sent;
+// commands on different connections may interleave arbitrarily, each
+// atomically (the structures are linearizable).
 package server
 
 import (
@@ -110,6 +118,13 @@ func (o Op) String() string {
 
 // HasArg reports whether the op carries an integer argument.
 func (o Op) HasArg() bool { return verbs[o.String()].hasArg }
+
+// Keyed reports whether the op addresses the sharded per-key set family.
+// Keyed commands must execute on the shard owning their key; unkeyed
+// commands run against shared structures and may execute on any shard,
+// which is what lets a pipelined batch ride along with whatever run is
+// already open.
+func (o Op) Keyed() bool { return o == OpSet || o == OpGet || o == OpDel }
 
 // Command is one parsed protocol line.
 type Command struct {

@@ -1,8 +1,13 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
+	"net"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestParseCommandValid(t *testing.T) {
@@ -69,6 +74,181 @@ func TestParseCommandTooLong(t *testing.T) {
 	if _, err := ParseCommand([]byte(line)); err != ErrLineTooLong {
 		t.Errorf("ParseCommand(len %d) error = %v, want ErrLineTooLong", len(line), err)
 	}
+}
+
+// Reply expectations for FuzzPipeline, mirroring the framing rules of
+// Server.handle and serveBatch.
+const (
+	expAny   = iota // exactly one non-empty reply line, any content
+	expExact        // one reply line with this exact text
+	expErr          // one reply line starting with "ERR "
+	expStats        // a STATS block: lines up to and including "END"
+)
+
+type pipeExpect struct {
+	kind int
+	text string
+}
+
+// simulatePipeline is the oracle for FuzzPipeline: it walks data with the
+// server's own framing rules and returns the reply sequence a correct
+// server must produce, plus how many bytes the client should send —
+// writing past a line that closes the connection (QUIT, or one that
+// overflows the read buffer) races the close and risks a TCP reset
+// destroying replies in flight, so the client stops there.
+func simulatePipeline(data []byte) (exps []pipeExpect, consume int) {
+	pos := 0
+	for pos < len(data) {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		content := data[pos:]
+		if nl >= 0 {
+			content = data[pos : pos+nl]
+		}
+		if len(content) > MaxLineLen+1 {
+			// Overflows the connection's read buffer: bufio.ErrBufferFull,
+			// one ERR reply, connection closed.
+			exps = append(exps, pipeExpect{kind: expErr})
+			if nl >= 0 {
+				return exps, pos + nl + 1
+			}
+			return exps, len(data)
+		}
+		if nl < 0 {
+			// Final line without a terminator: served at EOF when
+			// non-empty, silent close when empty.
+			if len(content) > 0 {
+				exps = append(exps, expectFor(content))
+			}
+			return exps, len(data)
+		}
+		e := expectFor(content)
+		exps = append(exps, e)
+		pos += nl + 1
+		if e.kind == expExact && e.text == "OK" {
+			return exps, pos // QUIT: server closes after the OK
+		}
+	}
+	return exps, len(data)
+}
+
+// expectFor maps one line's content to its reply expectation.
+func expectFor(content []byte) pipeExpect {
+	cmd, err := ParseCommand(content)
+	switch {
+	case err != nil:
+		return pipeExpect{kind: expErr}
+	case cmd.Op == OpQuit:
+		return pipeExpect{kind: expExact, text: "OK"}
+	case cmd.Op == OpPing:
+		return pipeExpect{kind: expExact, text: "PONG"}
+	case cmd.Op == OpStats:
+		return pipeExpect{kind: expStats}
+	default:
+		return pipeExpect{kind: expAny}
+	}
+}
+
+// FuzzPipeline feeds arbitrary byte streams — multi-line pipelines,
+// partial writes, oversized lines — to a live server connection and
+// asserts the pipelined read path answers exactly one reply per
+// well-formed line, in order, closes when the protocol says so, and
+// leaks no goroutines.
+func FuzzPipeline(f *testing.F) {
+	seeds := []string{
+		"SET 1\nGET 1\nDEL 1\n",
+		"PING\nSTATS\nINC\nREAD\n",
+		"ENQ 5\nDEQ\nPUSH 6\nPOP\nPQADD 2\nPQMIN\n",
+		"QUIT\nSET 9\n",                                      // data after QUIT is ignored
+		"SET 1",                                              // final line without newline
+		"\n\n \n\r\n",                                        // empty and blank lines each get an ERR
+		"FROB\nSET x\nSET 1 2\n",                             // parse errors keep the connection open
+		"SET " + strings.Repeat("9", 200) + "\nGET 1\n",      // oversized: ERR + close, GET unanswered
+		strings.Repeat("A", 300),                             // oversized final line, no newline
+		"SET 1\n" + strings.Repeat("B", MaxLineLen+1) + "\n", // max content that still frames: ERR, stays open
+		"GET -9223372036854775808\n",                         // reserved key error from the engine
+	}
+	for i, s := range seeds {
+		f.Add([]byte(s), byte(i*7+1))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, chunk byte) {
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		exps, consume := simulatePipeline(data)
+
+		srv := startServer(t, Options{Shards: 2})
+		base := runtime.NumGoroutine()
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer conn.Close()
+
+		// Write in small chunks so the server sees partial lines, then
+		// half-close: the server must still answer everything sent.
+		size := int(chunk)%16 + 1
+		for off := 0; off < consume; off += size {
+			end := off + size
+			if end > consume {
+				end = consume
+			}
+			if _, err := conn.Write(data[off:end]); err != nil {
+				t.Fatalf("write chunk at %d: %v", off, err)
+			}
+		}
+		if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+			t.Fatalf("CloseWrite: %v", err)
+		}
+
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		r := bufio.NewReader(conn)
+		for i, e := range exps {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("reply %d/%d: %v (input %q)", i+1, len(exps), err, data)
+			}
+			line = strings.TrimSuffix(line, "\n")
+			switch e.kind {
+			case expExact:
+				if line != e.text {
+					t.Fatalf("reply %d = %q, want %q (input %q)", i+1, line, e.text, data)
+				}
+			case expErr:
+				if !strings.HasPrefix(line, "ERR ") {
+					t.Fatalf("reply %d = %q, want ERR (input %q)", i+1, line, data)
+				}
+			case expAny:
+				if line == "" {
+					t.Fatalf("reply %d empty (input %q)", i+1, data)
+				}
+			case expStats:
+				for n := 0; line != "END"; n++ {
+					if n > 10_000 {
+						t.Fatalf("STATS block for reply %d never reached END", i+1)
+					}
+					line, err = r.ReadString('\n')
+					if err != nil {
+						t.Fatalf("STATS block for reply %d: %v", i+1, err)
+					}
+					line = strings.TrimSuffix(line, "\n")
+				}
+			}
+		}
+		if extra, err := r.ReadString('\n'); err == nil || len(extra) > 0 {
+			t.Fatalf("unexpected extra reply %q after %d expected (input %q)", extra, len(exps), data)
+		}
+
+		// The handler goroutine must exit once the connection is done.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				t.Fatalf("goroutine leak: %d live, %d at baseline\n%s",
+					runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
 }
 
 // FuzzParseCommand asserts the parser never panics and that accepted

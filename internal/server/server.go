@@ -1,16 +1,18 @@
-// The network front-end: accept loop, per-connection read/parse/execute/
-// write loop, and graceful shutdown (stop accepting, wake idle readers,
+// The network front-end: accept loop, per-connection pipelined
+// read/parse/execute/write loop (parse ahead, batch per shard, flush per
+// batch), and graceful shutdown (stop accepting, wake idle readers,
 // finish in-flight commands, then force-close stragglers and stop the
 // shards).
 package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
-	"os"
 	"strconv"
 	"sync"
 	"time"
@@ -125,17 +127,42 @@ func (s *Server) untrack(conn net.Conn) {
 	delete(s.conns, conn)
 }
 
-// handle runs one connection's read/parse/execute/write loop.
+// maxBatch caps the commands a connection collects per parse-ahead
+// round. It bounds per-connection memory and keeps one chatty pipeliner
+// from monopolizing its shards for too long per wakeup.
+const maxBatch = 128
+
+// lineItem is one parsed line of a pipelined batch: a command, or the
+// parse error to report in its place.
+type lineItem struct {
+	cmd Command
+	err error
+}
+
+func parseItem(line []byte) lineItem {
+	cmd, err := ParseCommand(line)
+	return lineItem{cmd: cmd, err: err}
+}
+
+// handle runs one connection's pipelined read/parse/execute/write loop:
+// block for one line, parse ahead through everything the kernel already
+// delivered, execute the whole batch as contiguous per-shard runs, and
+// flush the replies once per batch instead of once per line. A client
+// that never pipelines degenerates to the old per-line behavior; a
+// pipelined client amortizes both syscalls and shard hops over the
+// batch.
 func (s *Server) handle(conn net.Conn) {
 	defer s.connWG.Done()
 	defer s.untrack(conn)
 	defer conn.Close()
 
-	// A scanner line is at most MaxLineLen+1 bytes (the LF is consumed);
-	// anything longer surfaces as bufio.ErrTooLong.
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, MaxLineLen+1), MaxLineLen+1)
+	// The reader holds one maximal line: MaxLineLen+1 bytes of content
+	// (the old scanner's tolerance — ParseCommand still rejects anything
+	// over MaxLineLen) plus the LF. A line that cannot fit surfaces as
+	// bufio.ErrBufferFull and drops the connection.
+	r := bufio.NewReaderSize(conn, MaxLineLen+2)
 	w := bufio.NewWriter(conn)
+	items := make([]lineItem, 0, maxBatch)
 
 	for {
 		select {
@@ -144,52 +171,151 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 		}
 		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
-		if !sc.Scan() {
-			err := sc.Err()
-			switch {
-			case err == nil: // EOF: client closed
-			case errors.Is(err, bufio.ErrTooLong):
-				// Framing is lost; report and drop the connection.
-				// Drain the rest of the line first: closing with
-				// unread data risks a TCP reset that could destroy
-				// the error reply in flight.
-				s.reply(w, reply{status: stErr, msg: ErrLineTooLong.Error()})
-				drainLine(conn)
-			case errors.Is(err, os.ErrDeadlineExceeded):
-				// Idle (or woken by Shutdown): drop silently.
-			}
+		line, err := readLine(r)
+		switch {
+		case err == nil:
+		case errors.Is(err, bufio.ErrBufferFull):
+			// Framing is lost; report and drop the connection. Drain
+			// the rest of the line first: closing with unread data
+			// risks a TCP reset that could destroy the error reply in
+			// flight.
+			s.reply(w, reply{status: stErr, msg: ErrLineTooLong.Error()})
+			w.Flush()
+			drainLine(conn)
 			return
-		}
-
-		cmd, err := ParseCommand(sc.Bytes())
-		if err != nil {
-			if !s.reply(w, errReply("%v", err)) {
-				return
-			}
-			continue
-		}
-
-		switch cmd.Op {
-		case OpQuit:
-			s.reply(w, reply{status: stOK})
+		case errors.Is(err, io.EOF) && len(line) > 0:
+			// Final line without a terminator: serve it, then close.
+			s.serveBatch(w, append(items[:0], parseItem(line)))
+			w.Flush()
 			return
-		case OpPing:
-			if !s.replyRaw(w, "PONG") {
-				return
-			}
-		case OpStats:
-			if !s.replyRaw(w, s.eng.statsBody()+"END") {
-				return
-			}
 		default:
-			if !s.reply(w, s.eng.do(cmd)) {
-				return
+			// Clean EOF, idle timeout (or the Shutdown wake), or a
+			// transport error: drop silently.
+			return
+		}
+
+		items = append(items[:0], parseItem(line))
+		// Parse ahead: collect every complete line the kernel already
+		// delivered, without blocking on the socket again. Peek only
+		// inspects buffered bytes, so a partial trailing line stays for
+		// the next round.
+		for len(items) < maxBatch {
+			n := r.Buffered()
+			if n == 0 {
+				break
 			}
+			buffered, _ := r.Peek(n)
+			if bytes.IndexByte(buffered, '\n') < 0 {
+				break
+			}
+			line, _ := readLine(r)
+			items = append(items, parseItem(line))
+		}
+
+		ok := s.serveBatch(w, items)
+		if w.Flush() != nil || !ok {
+			return
 		}
 	}
 }
 
-// reply writes one reply line and flushes; false on a dead connection.
+// readLine returns the next line without its LF. On bufio.ErrBufferFull
+// (a line longer than the reader can hold) or io.EOF with partial
+// content (a final unterminated line) the bytes read so far come back
+// with the error. The returned slice aliases the reader's buffer and is
+// valid only until the next read.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err != nil {
+		return line, err
+	}
+	return line[:len(line)-1], nil
+}
+
+// serveBatch answers one parse-ahead batch in protocol order. Commands
+// are grouped into contiguous runs that share a shard: a keyed command
+// pins the open run to its key's shard, unkeyed commands ride along with
+// whatever run is open (any shard may execute them), and a keyed command
+// for a different shard — or a control command or parse error, which
+// must reply in position — cuts the run. Each run travels to its shard
+// as one batch, where the flat-combining loop in engine.serve answers it
+// as a unit; runs are submitted strictly in order, one at a time, which
+// is what preserves per-connection program order across shards. The
+// caller flushes the writer; the return is false when the connection
+// must close (write error, QUIT, or engine shutdown).
+func (s *Server) serveBatch(w *bufio.Writer, items []lineItem) bool {
+	b := getBatch()
+	defer putBatch(b)
+	shard := -1 // no keyed command has pinned the open run yet
+
+	flushRun := func() bool {
+		if len(b.cmds) == 0 {
+			return true
+		}
+		si := shard
+		if si < 0 {
+			si = s.eng.nextShard()
+		}
+		replies, ok := s.eng.doBatch(si, b)
+		if !ok {
+			// Aborted shutdown: still answer each accepted command.
+			for range b.cmds {
+				if !s.reply(w, errReply("server shutting down")) {
+					return false
+				}
+			}
+			return false
+		}
+		for _, r := range replies {
+			if !s.reply(w, r) {
+				return false
+			}
+		}
+		b.reset()
+		shard = -1
+		return true
+	}
+
+	for _, it := range items {
+		if it.err != nil {
+			if !flushRun() {
+				return false
+			}
+			if !s.reply(w, errReply("%v", it.err)) {
+				return false
+			}
+			continue
+		}
+		switch it.cmd.Op {
+		case OpQuit:
+			if flushRun() {
+				s.reply(w, reply{status: stOK})
+			}
+			return false
+		case OpPing:
+			if !flushRun() || !s.replyRaw(w, "PONG") {
+				return false
+			}
+		case OpStats:
+			if !flushRun() || !s.replyRaw(w, s.eng.statsBody()+"END") {
+				return false
+			}
+		default:
+			if it.cmd.Op.Keyed() {
+				si := keyShard(it.cmd.Arg, len(s.eng.shards))
+				if shard >= 0 && si != shard && !flushRun() {
+					return false
+				}
+				shard = si
+			}
+			b.cmds = append(b.cmds, it.cmd)
+		}
+	}
+	return flushRun()
+}
+
+// reply appends one reply line to the write buffer (the batch loop
+// flushes once per batch); false on a write error.
 func (s *Server) reply(w *bufio.Writer, r reply) bool {
 	var line string
 	switch r.status {
@@ -211,10 +337,7 @@ func (s *Server) replyRaw(w *bufio.Writer, line string) bool {
 	if _, err := w.WriteString(line); err != nil {
 		return false
 	}
-	if err := w.WriteByte('\n'); err != nil {
-		return false
-	}
-	return w.Flush() == nil
+	return w.WriteByte('\n') == nil
 }
 
 // Shutdown stops accepting, wakes idle readers so in-flight commands can
@@ -238,6 +361,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		select {
 		case <-drained:
 		case <-ctx.Done():
+			// Unstick connection goroutines parked on saturated shard
+			// queues, then force-close the sockets.
+			s.eng.abort()
 			s.eachConn(func(c net.Conn) { c.Close() })
 			<-drained
 			err = fmt.Errorf("server: drain expired: %w", ctx.Err())
