@@ -3,7 +3,7 @@
 GO ?= go
 ADDR ?= 127.0.0.1:7171
 
-.PHONY: build test race vet bench serve load
+.PHONY: build test race vet bench bench-ci serve load
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,15 @@ vet:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The CI allocation gate, runnable locally: pinned subset, 5 repeats,
+# fails if any epoch steady-state bench allocates. Writes BENCH_ci.json.
+bench-ci:
+	$(GO) test -run='^$$' -bench='Epoch.*Steady|LockFree.*(EnqDeq|AddRemove)' -benchmem -count=5 \
+		./internal/queue ./internal/list ./internal/skiplist | tee bench.txt
+	$(GO) test -run='^$$' -bench='BenchmarkServerTCPPipelined' -benchmem -count=5 \
+		./internal/server | tee -a bench.txt
+	$(GO) run ./cmd/benchgate -in bench.txt -out BENCH_ci.json -gate 'Epoch.*Steady'
 
 serve:
 	$(GO) run ./cmd/ampserved -addr $(ADDR)

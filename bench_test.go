@@ -368,6 +368,44 @@ func BenchmarkE14Snapshot(b *testing.B) {
 	}
 }
 
+// BenchmarkE16EpochRecycling — experiment E16: epoch-recycled lock-free
+// structures vs their GC-backed twins, update-heavy mix. The exact
+// 0 allocs/op claim is gated by the Epoch*Steady benches in
+// internal/{queue,list,skiplist}; this entry point tracks throughput.
+func BenchmarkE16EpochRecycling(b *testing.B) {
+	queues := []struct {
+		name string
+		mk   func() queue.Queue[int]
+	}{
+		{"queue-gc", func() queue.Queue[int] { return queue.NewLockFreeQueue[int]() }},
+		{"queue-epoch", func() queue.Queue[int] { return queue.NewEpochQueue[int]() }},
+	}
+	for _, q := range queues {
+		b.Run(q.name, func(b *testing.B) {
+			r := bench.QueuePairs(q.mk(), benchThreads, splitOps(b))
+			b.ReportMetric(r.Throughput(), "ops/ms")
+		})
+	}
+	sets := []struct {
+		name string
+		mk   func() list.Set
+	}{
+		{"list-gc", func() list.Set { return list.NewLockFreeList() }},
+		{"list-epoch", func() list.Set { return list.NewEpochList() }},
+		{"skip-gc", func() list.Set { return skiplist.NewLockFreeSkipList() }},
+		{"skip-epoch", func() list.Set { return skiplist.NewEpochSkipList() }},
+	}
+	for _, s := range sets {
+		b.Run(s.name, func(b *testing.B) {
+			mix := bench.SetMix{ContainsPct: 0, AddPct: 50, KeyRange: 128}
+			set := s.mk()
+			mix.Prefill(set)
+			r := mix.Run(set, benchThreads, splitOps(b))
+			b.ReportMetric(r.Throughput(), "ops/ms")
+		})
+	}
+}
+
 // TestBenchmarkNamesMatchExperiments pins the DESIGN.md experiment index to
 // the benchmark entry points above.
 func TestBenchmarkNamesMatchExperiments(t *testing.T) {
@@ -376,7 +414,7 @@ func TestBenchmarkNamesMatchExperiments(t *testing.T) {
 			t.Fatalf("experiment %s unregistered", e.ID)
 		}
 	}
-	if got := len(bench.All); got != 14 {
-		t.Fatalf("DESIGN.md lists 14 experiments; harness has %d", got)
+	if got := len(bench.All); got != 15 {
+		t.Fatalf("DESIGN.md lists 15 experiments; harness has %d", got)
 	}
 }

@@ -1,0 +1,77 @@
+// Command benchgate turns `go test -bench -benchmem` output into a JSON
+// artifact and enforces the allocation regression gate from ISSUE/CI:
+// any benchmark matching -gate that reports allocs/op > 0 fails the run.
+//
+// Usage:
+//
+//	go test -bench=... -benchmem -count=5 ./... | benchgate -out BENCH_ci.json -gate 'Epoch.*Steady'
+//
+// The epoch-recycled structures promise steady-state allocation freedom;
+// this is the check that keeps the promise from regressing silently.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "bench output file (default stdin)")
+		out  = flag.String("out", "BENCH_ci.json", "JSON artifact path (empty to skip)")
+		gate = flag.String("gate", "", "regexp of benchmark names that must report 0 allocs/op")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("benchgate: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	report, err := Parse(r)
+	if err != nil {
+		fatalf("benchgate: %v", err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatalf("benchgate: no benchmark lines found in input")
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("benchgate: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatalf("benchgate: %v", err)
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks, %d samples)\n",
+			*out, len(report.Benchmarks), report.Samples)
+	}
+
+	if *gate != "" {
+		violations, err := report.Gate(*gate)
+		if err != nil {
+			fatalf("benchgate: %v", err)
+		}
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.0f allocs/op (want 0)\n", v.Name, v.AllocsPerOp)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: gate %q passed (0 allocs/op)\n", *gate)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

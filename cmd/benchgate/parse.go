@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark aggregates every sample of one benchmark name (repeated
+// -count runs collapse into one entry). AllocsPerOp and BytesPerOp keep
+// the worst (maximum) sample: the gate must hold for every run, not on
+// average. NsPerOp keeps the mean.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	Iterations  int64   `json:"iterations"` // total across runs
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_ci.json artifact shape.
+type Report struct {
+	Samples    int          `json:"samples"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches standard `go test -bench -benchmem` result lines:
+//
+//	BenchmarkName-8   123456   147.6 ns/op   16 B/op   1 allocs/op
+//
+// The B/op and allocs/op columns require -benchmem; lines without them
+// still parse (zero values) so throughput-only benches can ride along.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// Parse consumes `go test -bench` output and aggregates it per name.
+// The goroutine-count suffix (-8) stays in the name: the same benchmark
+// at different GOMAXPROCS is a different measurement.
+func Parse(r io.Reader) (*Report, error) {
+	byName := make(map[string]*Benchmark)
+	var order []string
+	var sums map[string]float64 = make(map[string]float64)
+	samples := 0
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %v", sc.Text(), err)
+		}
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytesOp, allocsOp float64
+		if m[4] != "" {
+			bytesOp, _ = strconv.ParseFloat(m[4], 64)
+			allocsOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name}
+			byName[name] = b
+			order = append(order, name)
+		}
+		b.Runs++
+		b.Iterations += iters
+		sums[name] += ns
+		if bytesOp > b.BytesPerOp {
+			b.BytesPerOp = bytesOp
+		}
+		if allocsOp > b.AllocsPerOp {
+			b.AllocsPerOp = allocsOp
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	rep := &Report{Samples: samples}
+	for _, name := range order {
+		b := byName[name]
+		b.NsPerOp = sums[name] / float64(b.Runs)
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, nil
+}
+
+// Gate returns the benchmarks matching pattern whose worst sample
+// allocated, i.e. the allocation-regression violations.
+func (r *Report) Gate(pattern string) ([]*Benchmark, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("bad -gate pattern: %v", err)
+	}
+	matched := false
+	var bad []*Benchmark
+	for _, b := range r.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		matched = true
+		if b.AllocsPerOp > 0 {
+			bad = append(bad, b)
+		}
+	}
+	if !matched {
+		return nil, fmt.Errorf("gate %q matched no benchmarks — pinned subset renamed?", pattern)
+	}
+	return bad, nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: amp/internal/queue
+cpu: Test CPU
+BenchmarkEpochQueueSteadyEnqDeq-8      	15206725	       147.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEpochQueueSteadyEnqDeq-8      	15100000	       149.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLockFreeQueueEnqDeq-8         	38889381	        68.00 ns/op	      16 B/op	       1 allocs/op
+BenchmarkServerTCPPipelined/depth=8-8  	  120000	      9500 ns/op
+PASS
+ok  	amp/internal/queue	12.3s
+`
+
+func TestParseAggregates(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 4 {
+		t.Fatalf("Samples = %d, want 4", rep.Samples)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("Benchmarks = %d, want 3", len(rep.Benchmarks))
+	}
+	var epoch *Benchmark
+	for _, b := range rep.Benchmarks {
+		if b.Name == "BenchmarkEpochQueueSteadyEnqDeq-8" {
+			epoch = b
+		}
+	}
+	if epoch == nil {
+		t.Fatal("epoch benchmark not found")
+	}
+	if epoch.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", epoch.Runs)
+	}
+	if epoch.AllocsPerOp != 0 {
+		t.Fatalf("AllocsPerOp = %f, want 0", epoch.AllocsPerOp)
+	}
+	if epoch.NsPerOp < 147 || epoch.NsPerOp > 150 {
+		t.Fatalf("NsPerOp = %f, want mean of 147.6 and 149.0", epoch.NsPerOp)
+	}
+}
+
+func TestGatePassesOnZeroAllocs(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := rep.Gate(`Epoch.*Steady`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("gate flagged %d benchmarks, want 0", len(bad))
+	}
+}
+
+func TestGateFlagsAllocatingBench(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := rep.Gate(`LockFreeQueue`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0].Name != "BenchmarkLockFreeQueueEnqDeq-8" {
+		t.Fatalf("gate = %+v, want the allocating lockfree bench", bad)
+	}
+}
+
+func TestGateKeepsWorstSample(t *testing.T) {
+	// A single allocating run out of five must still fail the gate.
+	flaky := `BenchmarkEpochListSteadyAddRemove-8  1000  200 ns/op  0 B/op  0 allocs/op
+BenchmarkEpochListSteadyAddRemove-8  1000  200 ns/op  16 B/op  1 allocs/op
+`
+	rep, err := Parse(strings.NewReader(flaky))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := rep.Gate(`Epoch.*Steady`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("gate flagged %d, want 1 (worst sample allocated)", len(bad))
+	}
+}
+
+func TestGateRejectsEmptyMatch(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Gate(`NoSuchBench`); err == nil {
+		t.Fatal("gate with no matches should error, not silently pass")
+	}
+}

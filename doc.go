@@ -14,6 +14,7 @@
 //	rwlock     semaphores and readers–writers locks (Ch. 8)
 //	list       coarse/fine/optimistic/lazy/lock-free list sets (Ch. 9)
 //	queue      bounded, two-lock, Michael–Scott, synchronous queues (Ch. 10)
+//	epoch      epoch-based memory reclamation for the lock-free backends
 //	stack      Treiber and elimination-backoff stacks (Ch. 11)
 //	counting   combining trees and counting networks (Ch. 12)
 //	hashset    striped/refinable/split-ordered/cuckoo hash sets (Ch. 13)
@@ -32,10 +33,32 @@
 //
 // Binaries: cmd/ampserved serves the structures over TCP (see
 // internal/server for the protocol); cmd/ampbench regenerates the
-// evaluation tables (experiments E1–E14, see DESIGN.md and
+// evaluation tables (experiments E1–E16, see DESIGN.md and
 // EXPERIMENTS.md) and, with -serve-addr, load-tests a running ampserved;
 // cmd/linearize checks recorded histories for linearizability. Runnable
 // walkthroughs live in examples/.
+//
+// # Memory reclamation
+//
+// The book's CAS-based structures lean on the garbage collector for two
+// distinct guarantees: ABA safety (a freed-and-reallocated node can
+// never alias a pending CAS expectation) and safe memory reclamation (a
+// node is never reused while a concurrent reader can still reach it).
+// The repo offers all three reclamation strategies, selectable as
+// server backends:
+//
+//   - GC-backed (queue.LockFreeQueue, list.LockFreeList,
+//     skiplist.LockFreeSkipList): both guarantees come from the
+//     collector; every insert allocates. Simplest, and the baseline the
+//     others are measured against.
+//   - Stamped pool (queue.RecyclingQueue, §10.6): a fixed node pool with
+//     (index, stamp) packed references. Allocation-free and bounded, at
+//     the price of a capacity limit and hand-built stamp discipline.
+//   - Epoch-based (internal/epoch; queue.EpochQueue, list.EpochList,
+//     skiplist.EpochSkipList): operations pin an epoch record, retired
+//     nodes wait out a two-epoch grace period, then recycle through
+//     per-slot pools. Unbounded and 0 allocs/op at steady state — the
+//     property CI's bench job enforces (see EXPERIMENTS.md E16).
 //
 // The benchmarks in bench_test.go expose every experiment through
 // `go test -bench`.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -15,15 +16,29 @@ import (
 	"amp/internal/core"
 )
 
-// Result is one measured cell: total operations over elapsed wall time.
+// Result is one measured cell: total operations over elapsed wall time,
+// plus the heap allocations the run cost.
 type Result struct {
 	Ops     int64
 	Elapsed time.Duration
+	// Allocs is the process-wide heap-object allocation delta across the
+	// run (runtime.MemStats.Mallocs). The counter is global, so
+	// concurrent background work inflates it; within the harness the
+	// measured workload dominates.
+	Allocs uint64
 }
 
 // Throughput reports operations per millisecond.
 func (r Result) Throughput() float64 {
 	return PerMilli(r.Ops, r.Elapsed)
+}
+
+// AllocsPerOp reports heap allocations per operation.
+func (r Result) AllocsPerOp() float64 {
+	if r.Ops <= 0 {
+		return 0
+	}
+	return float64(r.Allocs) / float64(r.Ops)
 }
 
 // PerMilli reports count per millisecond of elapsed time, resolving well
@@ -55,12 +70,17 @@ func Measure(threads, opsPerThread int, fn func(me core.ThreadID, rng *rand.Rand
 			}
 		}(core.ThreadID(th))
 	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	began := time.Now()
 	close(start)
 	wg.Wait()
+	elapsed := time.Since(began)
+	runtime.ReadMemStats(&after)
 	return Result{
 		Ops:     int64(threads) * int64(opsPerThread),
-		Elapsed: time.Since(began),
+		Elapsed: elapsed,
+		Allocs:  after.Mallocs - before.Mallocs,
 	}
 }
 
@@ -75,18 +95,22 @@ type SeriesTable struct {
 	X      []int
 	Names  []string // series display order
 	Data   map[string][]float64
-	Notes  []string
+	// AllocData holds an optional allocs/op series per name; when any
+	// series is present, Format renders a second block.
+	AllocData map[string][]float64
+	Notes     []string
 }
 
 // NewSeriesTable returns an empty table over the given x axis.
 func NewSeriesTable(id, title, xlabel, unit string, x []int) *SeriesTable {
 	return &SeriesTable{
-		ID:     id,
-		Title:  title,
-		XLabel: xlabel,
-		Unit:   unit,
-		X:      x,
-		Data:   make(map[string][]float64),
+		ID:        id,
+		Title:     title,
+		XLabel:    xlabel,
+		Unit:      unit,
+		X:         x,
+		Data:      make(map[string][]float64),
+		AllocData: make(map[string][]float64),
 	}
 }
 
@@ -97,6 +121,15 @@ func (t *SeriesTable) Add(name string, value float64) {
 		t.Names = append(t.Names, name)
 	}
 	t.Data[name] = append(t.Data[name], value)
+}
+
+// AddAlloc appends an allocs/op sample to the named series. The series
+// shares the x axis with the throughput series of the same name.
+func (t *SeriesTable) AddAlloc(name string, allocsPerOp float64) {
+	if t.AllocData == nil {
+		t.AllocData = make(map[string][]float64)
+	}
+	t.AllocData[name] = append(t.AllocData[name], allocsPerOp)
 }
 
 // Note attaches a footnote printed under the table.
@@ -130,6 +163,26 @@ func (t *SeriesTable) Format() string {
 			}
 		}
 		b.WriteByte('\n')
+	}
+	if len(t.AllocData) > 0 {
+		fmt.Fprintf(&b, "%s — %s (allocs/op)\n", t.ID, t.Title)
+		fmt.Fprintf(&b, "%-10s", t.XLabel)
+		for _, n := range t.Names {
+			fmt.Fprintf(&b, "%*s", width, n)
+		}
+		b.WriteByte('\n')
+		for i, x := range t.X {
+			fmt.Fprintf(&b, "%-10d", x)
+			for _, n := range t.Names {
+				series := t.AllocData[n]
+				if i < len(series) && !math.IsNaN(series[i]) {
+					fmt.Fprintf(&b, "%*.2f", width, series[i])
+				} else {
+					fmt.Fprintf(&b, "%*s", width, "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
 	}
 	for _, note := range t.Notes {
 		fmt.Fprintf(&b, "  note: %s\n", note)

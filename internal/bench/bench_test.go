@@ -60,8 +60,8 @@ func TestByID(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(All) != 14 {
-		t.Fatalf("expected 14 experiments, have %d", len(All))
+	if len(All) != 15 {
+		t.Fatalf("expected 15 experiments, have %d", len(All))
 	}
 }
 

@@ -132,6 +132,12 @@ var All = []Experiment{
 		Description: "wait-free vs collect-twice vs mutex snapshot (Ch. 4, implemented)",
 		Run:         runE14,
 	},
+	{
+		ID:          "E16",
+		Title:       "epoch-based node recycling",
+		Description: "GC-backed vs epoch-recycled queue/list/skiplist: throughput and allocs/op (internal/epoch)",
+		Run:         runE16,
+	},
 }
 
 // ByID returns the experiment (primary or ablation) with the given ID.
@@ -561,4 +567,65 @@ func nextPow2(n int) int {
 		p *= 2
 	}
 	return p
+}
+
+// runE16 compares the GC-backed lock-free structures with their
+// epoch-recycled twins on an update-heavy workload, reporting throughput
+// and allocs/op side by side. Each structure is warmed with one
+// single-threaded pre-pass so the epoch pools are populated before
+// measurement — the steady state the server reaches after its first
+// seconds of traffic.
+func runE16(cfg Config) *SeriesTable {
+	t := NewSeriesTable("E16", "epoch-based node recycling, update-heavy", "threads", "ops/ms", cfg.Threads)
+	mix := SetMix{ContainsPct: 0, AddPct: 50, KeyRange: 128}
+	warmSet := func(s list.Set) {
+		for i := 0; i < 4096; i++ {
+			s.Add(i % mix.KeyRange)
+			s.Remove(i % mix.KeyRange)
+		}
+	}
+	for _, n := range cfg.Threads {
+		q := queue.NewLockFreeQueue[int]()
+		r := QueuePairs(q, n, cfg.Ops)
+		t.Add("queue-gc", r.Throughput())
+		t.AddAlloc("queue-gc", r.AllocsPerOp())
+
+		eq := queue.NewEpochQueue[int]()
+		for i := 0; i < 4096; i++ {
+			eq.Enq(i)
+			eq.Deq()
+		}
+		r = QueuePairs(eq, n, cfg.Ops)
+		t.Add("queue-epoch", r.Throughput())
+		t.AddAlloc("queue-epoch", r.AllocsPerOp())
+
+		ll := list.NewLockFreeList()
+		mix.Prefill(ll)
+		r = mix.Run(ll, n, cfg.Ops/2)
+		t.Add("list-gc", r.Throughput())
+		t.AddAlloc("list-gc", r.AllocsPerOp())
+
+		el := list.NewEpochList()
+		mix.Prefill(el)
+		warmSet(el)
+		r = mix.Run(el, n, cfg.Ops/2)
+		t.Add("list-epoch", r.Throughput())
+		t.AddAlloc("list-epoch", r.AllocsPerOp())
+
+		ls := skiplist.NewLockFreeSkipList()
+		mix.Prefill(ls)
+		r = mix.Run(ls, n, cfg.Ops/2)
+		t.Add("skip-gc", r.Throughput())
+		t.AddAlloc("skip-gc", r.AllocsPerOp())
+
+		es := skiplist.NewEpochSkipList()
+		mix.Prefill(es)
+		warmSet(es)
+		r = mix.Run(es, n, cfg.Ops/2)
+		t.Add("skip-epoch", r.Throughput())
+		t.AddAlloc("skip-epoch", r.AllocsPerOp())
+	}
+	t.Note("allocs/op is a process-wide runtime.MemStats delta: harness noise adds a small constant to every cell")
+	t.Note("epoch structures are warmed before measurement; go test -bench gates the exact 0 allocs/op claim")
+	return t
 }

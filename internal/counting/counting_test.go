@@ -68,10 +68,20 @@ func TestConcurrentTicketsUniqueAndGapFree(t *testing.T) {
 }
 
 // TestPerThreadTicketsIncrease: each thread's own ticket sequence must be
-// strictly increasing (program order within a thread).
+// strictly increasing (program order within a thread). Only the
+// linearizable counters promise this under concurrency; the network
+// counters are quiescently consistent (Ch. 12) — a thread's later token
+// may legally exit with a smaller value while other tokens are in
+// flight, so they are covered by the sequential and step-property tests
+// instead.
 func TestPerThreadTicketsIncrease(t *testing.T) {
 	const threads = 4
-	for name, c := range counters(threads) {
+	linearizable := map[string]Counter{
+		"cas":       &CASCounter{},
+		"lock":      &LockCounter{},
+		"combining": NewCombiningTree(threads),
+	}
+	for name, c := range linearizable {
 		t.Run(name, func(t *testing.T) {
 			var wg sync.WaitGroup
 			for th := 0; th < threads; th++ {

@@ -1,0 +1,316 @@
+// Package epoch implements epoch-based memory reclamation (EBR) for the
+// lock-free structures, generalizing the stamped node pool of
+// queue.RecyclingQueue (§10.6). The book's CAS-based algorithms lean on
+// the garbage collector for two things at once: ABA safety and safe
+// memory reclamation. That is correct but costs an allocation per
+// operation on every served hot path. EBR recovers both guarantees with
+// explicit recycling, the scheme McKenney develops for RCU:
+//
+//   - A Domain keeps a global epoch counter and a fixed set of Slots.
+//   - An operation Pins a slot, recording the epoch it runs under, and
+//     Unpins on exit. While any slot is pinned at epoch e, no memory
+//     retired at e or later is ever reused, so a pinned operation can
+//     chase stale pointers — including the ABA-prone CAS windows of the
+//     Michael–Scott queue and the Harris–Michael list — without ever
+//     touching recycled memory.
+//   - Unlinked nodes are Retired, not freed: they join the pinning
+//     slot's retire list tagged with the current global epoch.
+//   - The global epoch advances when every pinned slot has observed it.
+//     Memory retired at epoch r is safe to reuse once the global epoch
+//     reaches r+2: both advancements past r prove that every operation
+//     that could still hold a reference has unpinned.
+//   - Safe memory is not returned to the GC but recycled: Alloc hands
+//     retired nodes back to the structure, type-erased, so steady-state
+//     operation allocates nothing.
+//
+// A Domain partitions its recycled memory into numbered pools (node
+// types, tower heights); items never migrate between pools. Slots keep
+// private free lists and spill to a shared, mutex-guarded overflow so
+// producer-heavy slots feed consumer-heavy ones; the mutex is off the
+// hot path (touched only when a private list empties or overflows).
+//
+// Contract: Retire and Alloc may only be called between Pin and Unpin,
+// on the Slot that Pin returned. A goroutine must not nest Pins of the
+// same Domain. A stalled pinned slot blocks reclamation (memory grows,
+// correctness is unaffected) — exactly RCU's reader-side contract.
+package epoch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// activeBit marks a pinned slot; the low bits hold the observed epoch.
+	activeBit = 1 << 63
+	epochMask = activeBit - 1
+
+	// nBuckets is the per-slot retire ring. Retires tag the current
+	// global epoch g and land in bucket g%nBuckets; a bucket reclaimed
+	// for a new epoch held epoch g-nBuckets ≤ g-2, which is always past
+	// its grace period.
+	nBuckets = 4
+
+	// advanceEvery amortizes the O(slots) advance scan over pins.
+	advanceEvery = 64
+
+	// localFreeMax bounds a slot's private free list per pool before it
+	// spills to the shared overflow; xferBatch items move per spill or
+	// refill, amortizing the mutex.
+	localFreeMax = 256
+	xferBatch    = 64
+)
+
+// retiredItem is one retired node awaiting its grace period.
+type retiredItem struct {
+	pool int32
+	x    any
+}
+
+// bucket collects items retired under one epoch.
+type bucket struct {
+	epoch uint64
+	items []retiredItem
+}
+
+// Slot is one epoch record plus its private retire ring and free lists.
+// A Slot is exclusively owned between Pin and Unpin; ownership passes
+// between goroutines through the domain's slot free stack, whose CASes
+// order every plain-field access.
+type Slot struct {
+	d   *Domain
+	idx uint32
+
+	// state is read by every TryAdvance scan; keep the shared words away
+	// from the owner-only fields.
+	state    atomic.Uint64 // activeBit|epoch while pinned, 0 while idle
+	nextFree atomic.Uint32 // slot free-stack link: index+1, 0 ends
+	_        [48]byte
+
+	pins    uint64
+	retired [nBuckets]bucket
+	free    [][]any // per-pool recycled items, owner-only
+}
+
+// Domain is one reclamation scope, typically owned by one structure
+// instance. The zero value is not usable; call NewDomain.
+type Domain struct {
+	global  atomic.Uint64
+	freeTop atomic.Uint64 // stamped slot stack top: stamp<<32 | index+1
+	slots   []Slot
+	npools  int
+
+	// Shared overflow between slots, per pool. Cold path only.
+	xmu  sync.Mutex
+	xfer [][]any
+}
+
+// NewDomain returns a Domain with the given number of recycling pools.
+// Structures number their node types (and skiplist tower heights) as
+// pools; Alloc and Retire take the pool index.
+func NewDomain(pools int) *Domain {
+	if pools <= 0 {
+		panic(fmt.Sprintf("epoch: pools must be positive, got %d", pools))
+	}
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 128 {
+		n = 128
+	}
+	d := &Domain{slots: make([]Slot, n), npools: pools, xfer: make([][]any, pools)}
+	for i := range d.slots {
+		s := &d.slots[i]
+		s.d = d
+		s.idx = uint32(i)
+		s.free = make([][]any, pools)
+		if i+1 < n {
+			s.nextFree.Store(uint32(i + 2)) // link to slot i+1
+		}
+	}
+	d.freeTop.Store(1) // stamp 0, index 0
+	return d
+}
+
+// Epoch reports the current global epoch (diagnostics and tests).
+func (d *Domain) Epoch() uint64 { return d.global.Load() }
+
+// acquire pops a slot off the stamped free stack, yielding the scheduler
+// while every slot is pinned (possible only when pinned goroutines
+// outnumber slots, i.e. under heavy oversubscription).
+func (d *Domain) acquire() *Slot {
+	for {
+		top := d.freeTop.Load()
+		idx := uint32(top)
+		if idx == 0 {
+			runtime.Gosched()
+			continue
+		}
+		s := &d.slots[idx-1]
+		next := s.nextFree.Load()
+		// The stamp makes the pop immune to the ABA recycling of slots
+		// (same trick as RecyclingQueue's free list).
+		if d.freeTop.CompareAndSwap(top, (top>>32+1)<<32|uint64(next)) {
+			return s
+		}
+	}
+}
+
+// release pushes a slot back on the free stack.
+func (d *Domain) release(s *Slot) {
+	for {
+		top := d.freeTop.Load()
+		s.nextFree.Store(uint32(top))
+		if d.freeTop.CompareAndSwap(top, (top>>32+1)<<32|uint64(s.idx+1)) {
+			return
+		}
+	}
+}
+
+// Pin enters a read-side critical section: it claims a slot and records
+// the current global epoch in it. The store-then-recheck loop guarantees
+// that once Pin returns, every later epoch advancement scans this slot —
+// an advancement concurrent with the pin may miss it, but then the
+// re-read observes the advanced epoch and the loop re-pins under it.
+func (d *Domain) Pin() *Slot {
+	s := d.acquire()
+	for {
+		e := d.global.Load()
+		s.state.Store(activeBit | e)
+		if d.global.Load() == e {
+			break
+		}
+	}
+	s.pins++
+	if s.pins%advanceEvery == 0 {
+		d.TryAdvance()
+	}
+	return s
+}
+
+// Unpin leaves the critical section and returns the slot.
+func (d *Domain) Unpin(s *Slot) {
+	s.state.Store(0)
+	d.release(s)
+}
+
+// TryAdvance bumps the global epoch if every pinned slot has observed
+// the current one, reporting whether it advanced. Pins call it every
+// advanceEvery operations; it is exported for tests and for structures
+// that want to force reclamation forward.
+func (d *Domain) TryAdvance() bool {
+	e := d.global.Load()
+	for i := range d.slots {
+		st := d.slots[i].state.Load()
+		if st&activeBit != 0 && st&epochMask != e {
+			return false
+		}
+	}
+	return d.global.CompareAndSwap(e, e+1)
+}
+
+// Retire hands a no-longer-reachable item to the collector. The caller
+// must have unlinked x from the structure (no path from the roots
+// reaches it) and must still hold s pinned. x becomes available to
+// Alloc once two epoch advancements prove all possible readers gone.
+func (s *Slot) Retire(pool int, x any) {
+	g := s.d.global.Load()
+	b := &s.retired[g%nBuckets]
+	if b.epoch != g {
+		if len(b.items) > 0 {
+			s.reclaim(b) // ring leftovers are ≥ nBuckets epochs old
+		}
+		b.epoch = g
+	}
+	b.items = append(b.items, retiredItem{pool: int32(pool), x: x})
+}
+
+// Alloc returns a recycled item from the pool, or nil when none has
+// cleared its grace period yet (the caller then allocates fresh). The
+// caller must hold s pinned.
+func (s *Slot) Alloc(pool int) any {
+	if x := s.take(pool); x != nil {
+		return x
+	}
+	g := s.d.global.Load()
+	for i := range s.retired {
+		if b := &s.retired[i]; len(b.items) > 0 && b.epoch+2 <= g {
+			s.reclaim(b)
+		}
+	}
+	if x := s.take(pool); x != nil {
+		return x
+	}
+	s.refill(pool)
+	if x := s.take(pool); x != nil {
+		return x
+	}
+	s.d.TryAdvance() // make headway for the next Alloc
+	return nil
+}
+
+// Free returns an item that was never published to the structure (e.g.
+// prepared for a CAS that failed) straight to the free list, skipping
+// the grace period no reader needs.
+func (s *Slot) Free(pool int, x any) { s.put(pool, x) }
+
+// reclaim moves a ripe bucket's items to the free lists.
+func (s *Slot) reclaim(b *bucket) {
+	for i := range b.items {
+		it := b.items[i]
+		b.items[i].x = nil
+		s.put(int(it.pool), it.x)
+	}
+	b.items = b.items[:0]
+}
+
+// put appends to the private free list, spilling a batch to the shared
+// overflow when it overflows.
+func (s *Slot) put(pool int, x any) {
+	f := s.free[pool]
+	if len(f) >= localFreeMax {
+		d := s.d
+		spill := f[len(f)-xferBatch:]
+		d.xmu.Lock()
+		d.xfer[pool] = append(d.xfer[pool], spill...)
+		d.xmu.Unlock()
+		for i := range spill {
+			spill[i] = nil
+		}
+		f = f[:len(f)-xferBatch]
+	}
+	s.free[pool] = append(f, x)
+}
+
+// take pops from the private free list.
+func (s *Slot) take(pool int) any {
+	f := s.free[pool]
+	n := len(f)
+	if n == 0 {
+		return nil
+	}
+	x := f[n-1]
+	f[n-1] = nil
+	s.free[pool] = f[:n-1]
+	return x
+}
+
+// refill pulls a batch from the shared overflow into the private list.
+func (s *Slot) refill(pool int) {
+	d := s.d
+	d.xmu.Lock()
+	xf := d.xfer[pool]
+	k := xferBatch
+	if k > len(xf) {
+		k = len(xf)
+	}
+	if k > 0 {
+		moved := xf[len(xf)-k:]
+		s.free[pool] = append(s.free[pool], moved...)
+		for i := range moved {
+			moved[i] = nil
+		}
+		d.xfer[pool] = xf[:len(xf)-k]
+	}
+	d.xmu.Unlock()
+}

@@ -1,0 +1,189 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"amp/internal/epoch"
+)
+
+// Pool indices of EpochList's reclamation domain: nodes and the
+// immutable (successor, marked) pairs are recycled separately.
+const (
+	elNodePool = 0
+	elRefPool  = 1
+)
+
+// elRef is the (successor, marked) pair of §9.8, immutable while
+// published. Replaced pairs are retired to the epoch domain and mutated
+// only after their grace period, pre-publication.
+type elRef struct {
+	node   *elNode
+	marked bool
+}
+
+type elNode struct {
+	key  int
+	next atomic.Pointer[elRef]
+}
+
+// EpochList is the Harris–Michael nonblocking list (Fig. 9.24) with
+// epoch-based reclamation: where LockFreeList leans on the GC for both
+// ABA safety and memory, EpochList pins every operation to an
+// epoch.Domain slot and recycles unlinked nodes *and* the per-CAS
+// (successor, marked) pairs, so steady-state Add/Remove churn allocates
+// nothing. The retirement protocol: whoever wins the CAS that replaces
+// a published pair retires the displaced pair, and whoever wins the
+// snip CAS that unlinks a marked node additionally retires the node and
+// its final marked pair — each object has exactly one such winner.
+type EpochList struct {
+	dom  *epoch.Domain
+	head *elNode
+}
+
+var _ Set = (*EpochList)(nil)
+
+// NewEpochList returns an empty set with its own reclamation domain.
+func NewEpochList() *EpochList {
+	tail := &elNode{key: KeyMax}
+	tail.next.Store(&elRef{})
+	head := &elNode{key: KeyMin}
+	head.next.Store(&elRef{node: tail})
+	return &EpochList{dom: epoch.NewDomain(2), head: head}
+}
+
+// ref returns a recycled (or fresh) pair set to (n, marked). The pair
+// is exclusively owned until published by a successful CAS.
+func (l *EpochList) ref(s *epoch.Slot, n *elNode, marked bool) *elRef {
+	if r := s.Alloc(elRefPool); r != nil {
+		ref := r.(*elRef)
+		ref.node, ref.marked = n, marked
+		return ref
+	}
+	return &elRef{node: n, marked: marked}
+}
+
+// node returns a recycled (or fresh) node keyed x; its next field is
+// overwritten by the caller before publication.
+func (l *EpochList) node(s *epoch.Slot, x int) *elNode {
+	if r := s.Alloc(elNodePool); r != nil {
+		n := r.(*elNode)
+		n.key = x
+		return n
+	}
+	return &elNode{key: x}
+}
+
+// find returns a window (pred, curr) with curr.key >= x and no marked
+// nodes between pred and curr, snipping out marked nodes it passes.
+// A successful snip retires the displaced predecessor pair, the
+// unlinked node, and the node's final marked pair.
+func (l *EpochList) find(s *epoch.Slot, x int) (pred, curr *elNode) {
+retry:
+	for {
+		pred = l.head
+		curr = pred.next.Load().node
+		for {
+			succRef := curr.next.Load()
+			for succRef.marked {
+				expected := pred.next.Load()
+				if expected.node != curr || expected.marked {
+					continue retry
+				}
+				snip := l.ref(s, succRef.node, false)
+				if !pred.next.CompareAndSwap(expected, snip) {
+					s.Free(elRefPool, snip)
+					continue retry
+				}
+				s.Retire(elRefPool, expected)
+				s.Retire(elRefPool, succRef)
+				s.Retire(elNodePool, curr)
+				curr = succRef.node
+				succRef = curr.next.Load()
+			}
+			if curr.key >= x {
+				return pred, curr
+			}
+			pred = curr
+			curr = succRef.node
+		}
+	}
+}
+
+// Add inserts x, reporting whether it was absent.
+func (l *EpochList) Add(x int) bool {
+	checkKey(x)
+	s := l.dom.Pin()
+	defer l.dom.Unpin(s)
+	for {
+		pred, curr := l.find(s, x)
+		if curr.key == x {
+			return false
+		}
+		expected := pred.next.Load()
+		if expected.node != curr || expected.marked {
+			continue
+		}
+		node := l.node(s, x)
+		node.next.Store(l.ref(s, curr, false))
+		install := l.ref(s, node, false)
+		if pred.next.CompareAndSwap(expected, install) {
+			s.Retire(elRefPool, expected)
+			return true
+		}
+		// Nothing was published: everything goes straight back.
+		s.Free(elRefPool, install)
+		s.Free(elRefPool, node.next.Load())
+		s.Free(elNodePool, node)
+	}
+}
+
+// Remove deletes x. The successful mark CAS is the linearization point;
+// unlinking is a best-effort courtesy (find will finish the job — and
+// the retirement — otherwise).
+func (l *EpochList) Remove(x int) bool {
+	checkKey(x)
+	s := l.dom.Pin()
+	defer l.dom.Unpin(s)
+	for {
+		pred, curr := l.find(s, x)
+		if curr.key != x {
+			return false
+		}
+		succRef := curr.next.Load()
+		if succRef.marked {
+			continue // someone else is removing it; re-find
+		}
+		marked := l.ref(s, succRef.node, true)
+		if !curr.next.CompareAndSwap(succRef, marked) {
+			s.Free(elRefPool, marked)
+			continue
+		}
+		s.Retire(elRefPool, succRef)
+		if expected := pred.next.Load(); expected.node == curr && !expected.marked {
+			snip := l.ref(s, succRef.node, false)
+			if pred.next.CompareAndSwap(expected, snip) {
+				s.Retire(elRefPool, expected)
+				s.Retire(elRefPool, marked)
+				s.Retire(elNodePool, curr)
+			} else {
+				s.Free(elRefPool, snip)
+			}
+		}
+		return true
+	}
+}
+
+// Contains traverses once and reports (found ∧ unmarked). It snips
+// nothing but still pins: the traversal chases pointers that concurrent
+// removers are retiring.
+func (l *EpochList) Contains(x int) bool {
+	checkKey(x)
+	s := l.dom.Pin()
+	defer l.dom.Unpin(s)
+	curr := l.head
+	for curr.key < x {
+		curr = curr.next.Load().node
+	}
+	found := curr.key == x && !curr.next.Load().marked
+	return found
+}

@@ -1,0 +1,30 @@
+package list
+
+import "testing"
+
+// BenchmarkEpochListSteadyAddRemove is the allocation gate for the epoch
+// list: once the node and ref pools are warm, an Add/Remove pair over a
+// small key range must recycle instead of allocate.
+func BenchmarkEpochListSteadyAddRemove(b *testing.B) {
+	l := NewEpochList()
+	for i := 0; i < 2048; i++ {
+		l.Add(i % 64)
+		l.Remove(i % 64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Add(i % 64)
+		l.Remove(i % 64)
+	}
+}
+
+// BenchmarkLockFreeListAddRemove is the GC-backed baseline.
+func BenchmarkLockFreeListAddRemove(b *testing.B) {
+	l := NewLockFreeList()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Add(i % 64)
+		l.Remove(i % 64)
+	}
+}

@@ -18,6 +18,7 @@ func implementations() map[string]func() Set {
 		"optimistic": func() Set { return NewOptimisticList() },
 		"lazy":       func() Set { return NewLazyList() },
 		"lockfree":   func() Set { return NewLockFreeList() },
+		"epoch":      func() Set { return NewEpochList() },
 	}
 }
 

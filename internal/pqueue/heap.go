@@ -157,8 +157,18 @@ func (q *FineGrainedHeap) RemoveMin() (int, bool) {
 		q.heap[heapRoot].mu.Unlock()
 		return priority, true
 	}
+	if q.heap[heapRoot].tag == statusBusy {
+		// The replacement is still owned by an in-flight Add. Adopt it:
+		// percolation puts it in its proper place, so the owner's
+		// bubble-up is unnecessary — and must not be waited for. Leaving
+		// it BUSY would let percolation carry it down a subtree the
+		// owner's upward chase never visits, orphaning the BUSY tag and
+		// livelocking every Add that later bubbles past that slot.
+		q.heap[heapRoot].tag = statusAvailable
+		q.heap[heapRoot].owner = 0
+	}
 
-	// Percolate the (AVAILABLE or BUSY) root replacement down.
+	// Percolate the root replacement down.
 	parent := heapRoot
 	for 2*parent+1 < len(q.heap) {
 		left, right := 2*parent, 2*parent+1

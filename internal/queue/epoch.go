@@ -1,0 +1,106 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"amp/internal/epoch"
+)
+
+// EpochQueue is the Michael & Scott queue of Fig. 10.9–10.11 with
+// epoch-based node recycling instead of GC-fed allocation: the shape the
+// algorithm takes between the GC-reliant LockFreeQueue and the
+// fixed-pool RecyclingQueue. Every operation runs pinned to an
+// epoch.Domain slot, which rules out both use-after-reuse and the ABA
+// problem — a node read while pinned cannot be recycled until the pin is
+// released — so the queue needs neither counted pointers nor the
+// garbage collector, keeps unbounded capacity, and stops allocating once
+// the node pool is warm.
+//
+// A retired node's value is only overwritten when the node is reused
+// (stale pinned readers may still load it), so a dequeued value of a
+// pointerful T stays reachable until its node cycles back around.
+type EpochQueue[T any] struct {
+	dom  *epoch.Domain
+	head atomic.Pointer[eqNode[T]]
+	tail atomic.Pointer[eqNode[T]]
+}
+
+type eqNode[T any] struct {
+	value T
+	next  atomic.Pointer[eqNode[T]]
+}
+
+var _ Queue[int] = (*EpochQueue[int])(nil)
+
+// NewEpochQueue returns an empty queue with its own reclamation domain.
+func NewEpochQueue[T any]() *EpochQueue[T] {
+	q := &EpochQueue[T]{dom: epoch.NewDomain(1)}
+	sentinel := &eqNode[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// node returns a recycled node reset for reuse, or a fresh one while the
+// pool is cold.
+func (q *EpochQueue[T]) node(s *epoch.Slot, x T) *eqNode[T] {
+	if r := s.Alloc(0); r != nil {
+		n := r.(*eqNode[T])
+		n.value = x
+		n.next.Store(nil)
+		return n
+	}
+	return &eqNode[T]{value: x}
+}
+
+// Enq appends x. The CAS structure is exactly Fig. 10.10 — the pin is
+// what makes the uncounted pointers safe against recycling.
+func (q *EpochQueue[T]) Enq(x T) {
+	s := q.dom.Pin()
+	n := q.node(s, x)
+	for {
+		last := q.tail.Load()
+		next := last.next.Load()
+		if last != q.tail.Load() {
+			continue
+		}
+		if next == nil {
+			if last.next.CompareAndSwap(nil, n) {
+				q.tail.CompareAndSwap(last, n)
+				q.dom.Unpin(s)
+				return
+			}
+		} else {
+			q.tail.CompareAndSwap(last, next) // help the lagging tail
+		}
+	}
+}
+
+// Deq removes the head, reporting false when the queue is empty. The
+// outgoing sentinel is retired to the domain, not dropped for the GC.
+func (q *EpochQueue[T]) Deq() (T, bool) {
+	s := q.dom.Pin()
+	for {
+		first := q.head.Load()
+		last := q.tail.Load()
+		next := first.next.Load()
+		if first != q.head.Load() {
+			continue
+		}
+		if first == last {
+			if next == nil {
+				q.dom.Unpin(s)
+				var zero T
+				return zero, false
+			}
+			q.tail.CompareAndSwap(last, next) // help the lagging tail
+			continue
+		}
+		value := next.value
+		if q.head.CompareAndSwap(first, next) {
+			s.Retire(0, first)
+			q.dom.Unpin(s)
+			return value, true
+		}
+	}
+}

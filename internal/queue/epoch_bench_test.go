@@ -1,0 +1,50 @@
+package queue
+
+import "testing"
+
+// BenchmarkEpochQueueSteadyEnqDeq is the allocation gate for the epoch
+// queue: after a warm-up that fills the node pools, a steady
+// Enq/Deq pair must recycle instead of allocate — CI fails the build if
+// allocs/op is nonzero.
+func BenchmarkEpochQueueSteadyEnqDeq(b *testing.B) {
+	q := NewEpochQueue[int]()
+	for i := 0; i < 2048; i++ {
+		q.Enq(i)
+		q.Deq()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enq(i)
+		q.Deq()
+	}
+}
+
+// BenchmarkEpochQueueSteadyParallel exercises the same steady state with
+// contended slots: every goroutine keeps one element in flight.
+func BenchmarkEpochQueueSteadyParallel(b *testing.B) {
+	q := NewEpochQueue[int]()
+	for i := 0; i < 4096; i++ {
+		q.Enq(i)
+		q.Deq()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enq(1)
+			q.Deq()
+		}
+	})
+}
+
+// BenchmarkLockFreeQueueEnqDeq is the GC-backed baseline the epoch
+// variant is measured against (one node allocation per Enq).
+func BenchmarkLockFreeQueueEnqDeq(b *testing.B) {
+	q := NewLockFreeQueue[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enq(i)
+		q.Deq()
+	}
+}

@@ -17,6 +17,7 @@ func totalQueues() map[string]func() Queue[int] {
 		"lockfree":  func() Queue[int] { return NewLockFreeQueue[int]() },
 		"chan":      func() Queue[int] { return NewChanQueue[int](1 << 16) },
 		"hw":        func() Queue[int] { return NewHWQueue[int](1 << 16) },
+		"epoch":     func() Queue[int] { return NewEpochQueue[int]() },
 	}
 }
 

@@ -1,0 +1,112 @@
+package queue
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRecyclingQueueStampWraparound drives every stamp field past the
+// 2^32 boundary. The stamps only ever need to distinguish a reference
+// from its earlier lives — equality, not ordering — so uint32 overflow
+// must be harmless. The whitebox setup plants stamps two shy of the
+// maximum in head, tail, the free list, and every node link, then runs
+// enough traffic that each CAS-incremented stamp wraps.
+func TestRecyclingQueueStampWraparound(t *testing.T) {
+	const capacity = 4
+	q := NewRecyclingQueue(capacity)
+	const high = uint32(math.MaxUint32 - 1)
+	reStamp := func(ref *atomic.Uint64) {
+		idx, _ := unpackRef(ref.Load())
+		ref.Store(packRef(idx, high))
+	}
+	reStamp(&q.head)
+	reStamp(&q.tail)
+	reStamp(&q.free)
+	for i := range q.nodes {
+		reStamp(&q.nodes[i].next)
+	}
+
+	// Each Enq+Deq pair bumps every touched stamp at least once; 64
+	// pairs push all of them across MaxUint32 and far beyond.
+	for i := int64(0); i < 64; i++ {
+		if !q.Enq(i) {
+			t.Fatalf("Enq(%d) refused with empty queue", i)
+		}
+		got, ok := q.Deq()
+		if !ok || got != i {
+			t.Fatalf("Deq = (%d, %v), want (%d, true)", got, ok, i)
+		}
+	}
+	// FIFO across the wrap with the queue partly full.
+	for i := int64(100); i < 100+capacity; i++ {
+		if !q.Enq(i) {
+			t.Fatalf("Enq(%d) refused below capacity", i)
+		}
+	}
+	for i := int64(100); i < 100+capacity; i++ {
+		if got, ok := q.Deq(); !ok || got != i {
+			t.Fatalf("Deq = (%d, %v), want (%d, true)", got, ok, i)
+		}
+	}
+	if _, stamp := unpackRef(q.head.Load()); stamp >= high {
+		t.Fatalf("head stamp %d never wrapped past MaxUint32", stamp)
+	}
+}
+
+// TestRecyclingQueueExhaustionConcurrentEnq fills the pool from many
+// goroutines at once: exactly capacity enqueues may succeed, the rest
+// must refuse (never block, never panic), and after a full drain the
+// pool is whole again — every refused slot is reusable.
+func TestRecyclingQueueExhaustionConcurrentEnq(t *testing.T) {
+	const (
+		capacity   = 64
+		goroutines = 8
+		attempts   = 64 // per goroutine: 8×64 = 512 attempts on 64 slots
+	)
+	q := NewRecyclingQueue(capacity)
+	var succeeded atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				if q.Enq(int64(g)<<32 | int64(i)) {
+					succeeded.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := succeeded.Load(); got != capacity {
+		t.Fatalf("%d concurrent enqueues succeeded, want exactly %d", got, capacity)
+	}
+
+	// Drain: every successful enqueue comes back exactly once.
+	seen := make(map[int64]bool, capacity)
+	for i := 0; i < capacity; i++ {
+		v, ok := q.Deq()
+		if !ok {
+			t.Fatalf("Deq %d/%d reported empty", i+1, capacity)
+		}
+		if seen[v] {
+			t.Fatalf("value %d dequeued twice", v)
+		}
+		seen[v] = true
+	}
+	if _, ok := q.Deq(); ok {
+		t.Fatal("Deq on drained queue reported ok")
+	}
+
+	// The full pool must be reusable after the churn.
+	for i := int64(0); i < capacity; i++ {
+		if !q.Enq(i) {
+			t.Fatalf("Enq(%d) refused after drain: free list lost nodes", i)
+		}
+	}
+	if q.Enq(999) {
+		t.Fatal("Enq above capacity succeeded")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"amp/internal/list"
 	"amp/internal/pqueue"
 	"amp/internal/queue"
+	"amp/internal/skiplist"
 	"amp/internal/stack"
 )
 
@@ -227,12 +228,19 @@ var (
 		"refinable": func(o Options) list.Set { return hashset.NewRefinableHashSet(o.SetCapacity) },
 		"lockfree":  func(o Options) list.Set { return hashset.NewLockFreeHashSet() },
 		"cuckoo":    func(o Options) list.Set { return hashset.NewStripedCuckooHashSet(o.SetCapacity) },
+		// Epoch-recycled ordered sets: allocation-free once warm (see
+		// internal/epoch). Ordered-set semantics instead of hashing.
+		"list-epoch": func(o Options) list.Set { return list.NewEpochList() },
+		"skip-epoch": func(o Options) list.Set { return skiplist.NewEpochSkipList() },
 	}
 	queueBackends = map[string]func(o Options) queueBackend{
 		"bounded":   func(o Options) queueBackend { return boundedQueue{queue.NewBoundedQueue[int64](o.QueueCapacity)} },
 		"unbounded": func(o Options) queueBackend { return genericQueue{queue.NewUnboundedQueue[int64]()} },
 		"lockfree":  func(o Options) queueBackend { return genericQueue{queue.NewLockFreeQueue[int64]()} },
 		"recycling": func(o Options) queueBackend { return recyclingQueue{queue.NewRecyclingQueue(o.QueueCapacity)} },
+		// Michael–Scott with epoch-based node recycling: unbounded like
+		// "lockfree" but allocation-free once warm.
+		"lockfree-epoch": func(o Options) queueBackend { return genericQueue{queue.NewEpochQueue[int64]()} },
 	}
 	stackBackends = map[string]func(o Options) stackBackend{
 		"locked":      func(o Options) stackBackend { return genericStack{stack.NewLockedStack[int64]()} },

@@ -543,7 +543,7 @@ func historyClient(addr string, rec *core.Recorder, me core.ThreadID,
 // proves nothing either way, so the test bounds each check and
 // re-records a fresh history instead of hanging; only a decided
 // non-linearizable verdict fails immediately.
-func testServerLinearizable(t *testing.T, model core.Model, addVerb, takeVerb, addAct, takeAct string) {
+func testServerLinearizable(t *testing.T, opts Options, model core.Model, addVerb, takeVerb, addAct, takeAct string) {
 	// Twelve clients in rounds of two concurrent connections with mixed
 	// pipeline depths 1 and 3. Verifying queue linearizability is
 	// exponential in the number of simultaneously open operations
@@ -560,7 +560,7 @@ func testServerLinearizable(t *testing.T, model core.Model, addVerb, takeVerb, a
 	const attempts = 6
 
 	for attempt := 1; attempt <= attempts; attempt++ {
-		srv := startServer(t, Options{Shards: 4}) // fresh structures: model starts empty
+		srv := startServer(t, opts) // fresh structures: model starts empty
 		rec := core.NewRecorder()
 
 		for r := 0; r < rounds && !t.Failed(); r++ {
@@ -604,13 +604,21 @@ func testServerLinearizable(t *testing.T, model core.Model, addVerb, takeVerb, a
 // TestServerLinearizableQueue checks ENQ/DEQ histories recorded through
 // the pipelined server against the FIFO queue model.
 func TestServerLinearizableQueue(t *testing.T) {
-	testServerLinearizable(t, core.QueueModel(), "ENQ", "DEQ", "enq", "deq")
+	testServerLinearizable(t, Options{Shards: 4}, core.QueueModel(), "ENQ", "DEQ", "enq", "deq")
+}
+
+// TestServerLinearizableQueueEpoch runs the same harness against the
+// epoch-recycled Michael–Scott backend: node reuse must never produce a
+// history the FIFO model rejects.
+func TestServerLinearizableQueueEpoch(t *testing.T) {
+	testServerLinearizable(t, Options{Shards: 4, Queue: "lockfree-epoch"},
+		core.QueueModel(), "ENQ", "DEQ", "enq", "deq")
 }
 
 // TestServerLinearizableStack checks PUSH/POP histories recorded through
 // the pipelined server against the LIFO stack model.
 func TestServerLinearizableStack(t *testing.T) {
-	testServerLinearizable(t, core.StackModel(), "PUSH", "POP", "push", "pop")
+	testServerLinearizable(t, Options{Shards: 4}, core.StackModel(), "PUSH", "POP", "push", "pop")
 }
 
 // TestPartialReads feeds a pipelined pair of commands byte by byte; the

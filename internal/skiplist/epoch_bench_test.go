@@ -1,0 +1,40 @@
+package skiplist
+
+import "testing"
+
+// BenchmarkEpochSkipSteadyAddRemove is the allocation gate for the epoch
+// skiplist. Tower heights are geometric, so the warm-up must see enough
+// churn that every height's pool (and the ref pool) holds spares; the
+// occasional tall tower early in the timed loop amortizes to 0 allocs/op
+// over b.N.
+func BenchmarkEpochSkipSteadyAddRemove(b *testing.B) {
+	s := NewEpochSkipList()
+	for i := 0; i < 1; i++ {
+		for k := 0; k < 512; k++ {
+			s.Add(k)
+		}
+		for k := 0; k < 512; k++ {
+			s.Remove(k)
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		s.Add(i % 64)
+		s.Remove(i % 64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(i % 64)
+		s.Remove(i % 64)
+	}
+}
+
+// BenchmarkLockFreeSkipAddRemove is the GC-backed baseline.
+func BenchmarkLockFreeSkipAddRemove(b *testing.B) {
+	s := NewLockFreeSkipList()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(i % 64)
+		s.Remove(i % 64)
+	}
+}

@@ -14,6 +14,7 @@ func implementations() map[string]func() Set {
 	return map[string]func() Set{
 		"lazy":     func() Set { return NewLazySkipList() },
 		"lockfree": func() Set { return NewLockFreeSkipList() },
+		"epoch":    func() Set { return NewEpochSkipList() },
 	}
 }
 
@@ -255,6 +256,7 @@ func TestAscendOrdered(t *testing.T) {
 	for name, mk := range map[string]func() ascender{
 		"lazy":     func() ascender { return NewLazySkipList() },
 		"lockfree": func() ascender { return NewLockFreeSkipList() },
+		"epoch":    func() ascender { return NewEpochSkipList() },
 	} {
 		t.Run(name, func(t *testing.T) {
 			s := mk()

@@ -95,9 +95,12 @@ func (q *BoundedDEQueue[T]) PopBottom() (T, bool) {
 			return *r, true
 		}
 	}
-	// A thief got the last task; reset.
-	q.top.Store(packTop(0, oldStamp+1))
+	// A thief got the last task; reset. bottom must be published first:
+	// resetting top to zero while bottom still holds the decremented
+	// index would let a thief past the emptiness check and hand it the
+	// already-taken task in tasks[0].
 	q.bottom.Store(0)
+	q.top.Store(packTop(0, oldStamp+1))
 	return zero, false
 }
 
