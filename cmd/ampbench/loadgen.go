@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"strings"
@@ -21,8 +22,10 @@ import (
 type loadConfig struct {
 	addr    string
 	clients int
-	ops     int // per client
-	depth   int // pipeline depth: commands in flight per connection
+	ops     int    // per client
+	depth   int    // pipeline depth: commands in flight per connection
+	mode    string // "mix" (all families) or "map" (string-keyed HSET/HGET/HDEL)
+	keys    int    // map mode: size of the string key space
 	timeout time.Duration
 }
 
@@ -49,6 +52,14 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 	}
 	if cfg.timeout <= 0 {
 		cfg.timeout = 10 * time.Second
+	}
+	switch cfg.mode {
+	case "", "mix", "map":
+	default:
+		return fmt.Errorf("unknown load mode %q (have mix, map)", cfg.mode)
+	}
+	if cfg.mode == "map" && cfg.keys <= 0 {
+		return fmt.Errorf("keys (%d) must be positive in map mode", cfg.keys)
 	}
 
 	results := make([]clientResult, cfg.clients)
@@ -79,8 +90,16 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 	if depth < 1 {
 		depth = 1
 	}
-	fmt.Fprintf(out, "ampbench load: addr=%s clients=%d ops/client=%d depth=%d\n",
-		cfg.addr, cfg.clients, cfg.ops, depth)
+	mode := cfg.mode
+	if mode == "" {
+		mode = "mix"
+	}
+	fmt.Fprintf(out, "ampbench load: addr=%s mode=%s clients=%d ops/client=%d depth=%d",
+		cfg.addr, mode, cfg.clients, cfg.ops, depth)
+	if mode == "map" {
+		fmt.Fprintf(out, " keys=%d", cfg.keys)
+	}
+	fmt.Fprintln(out)
 	fmt.Fprintf(out, "  %d ops in %v → %.0f ops/sec\n", total, elapsed.Round(time.Millisecond), opsPerSec)
 	fmt.Fprintf(out, "  latency p50=%v p99=%v max=%v\n",
 		quantile(all, 0.50), quantile(all, 0.99), all[total-1])
@@ -105,22 +124,38 @@ func runClient(cfg loadConfig, id int) clientResult {
 		depth = 1
 	}
 
+	// Map mode replays Zipf-popular string keys: a few hot keys absorb
+	// most of the traffic (the realistic cache-like skew), while the tail
+	// still sprays every shard. Each client seeds its own generator so
+	// runs are reproducible without being identical across clients.
+	var rng *rand.Rand
+	var zipf *rand.Zipf
+	if cfg.mode == "map" {
+		rng = rand.New(rand.NewSource(int64(id)*104729 + 7))
+		zipf = rand.NewZipf(rng, 1.2, 1, uint64(cfg.keys-1))
+	}
+
 	lat := make([]time.Duration, 0, cfg.ops)
 	base := 1_000_000 * (id + 1)
 	window := make([]string, 0, depth)
 	for sent := 0; sent < cfg.ops; sent += len(window) {
 		window = window[:0]
 		for i := sent; i < cfg.ops && len(window) < depth; i++ {
-			tmpl := loadMix[i%len(loadMix)]
-			cmd := tmpl
-			if strings.Contains(tmpl, "%d") {
-				arg := base + i
-				if strings.HasPrefix(tmpl, "PQADD") {
-					// Stay inside the priority range of even tightly
-					// configured bounded backends (-pq-cap >= 8).
-					arg = i % 8
+			var cmd string
+			if zipf != nil {
+				cmd = mapCommand(rng, zipf, base+i)
+			} else {
+				tmpl := loadMix[i%len(loadMix)]
+				cmd = tmpl
+				if strings.Contains(tmpl, "%d") {
+					arg := base + i
+					if strings.HasPrefix(tmpl, "PQADD") {
+						// Stay inside the priority range of even tightly
+						// configured bounded backends (-pq-cap >= 8).
+						arg = i % 8
+					}
+					cmd = fmt.Sprintf(tmpl, arg)
 				}
-				cmd = fmt.Sprintf(tmpl, arg)
 			}
 			window = append(window, cmd)
 		}
@@ -149,6 +184,20 @@ func runClient(cfg loadConfig, id int) clientResult {
 		}
 	}
 	return clientResult{lat: lat}
+}
+
+// mapCommand draws one string-map command: a Zipf-popular key with a
+// write-heavy verb mix (50% HSET, 30% HGET, 20% HDEL), value v.
+func mapCommand(rng *rand.Rand, zipf *rand.Zipf, v int) string {
+	key := zipf.Uint64()
+	switch r := rng.Intn(10); {
+	case r < 5:
+		return fmt.Sprintf("HSET key:%d %d", key, v)
+	case r < 8:
+		return fmt.Sprintf("HGET key:%d", key)
+	default:
+		return fmt.Sprintf("HDEL key:%d", key)
+	}
 }
 
 // quantile reads the q-quantile from a sorted sample.

@@ -104,6 +104,69 @@ func TestLoadModePipelined(t *testing.T) {
 	}
 }
 
+// TestLoadModeMap drives the server with the Zipf string-key workload and
+// checks that only the map family executed.
+func TestLoadModeMap(t *testing.T) {
+	srv, err := server.New(server.Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	var sb strings.Builder
+	err = run([]string{"-serve-addr", srv.Addr().String(),
+		"-clients", "4", "-ops", "150", "-depth", "4", "-mode", "map", "-keys", "64"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"mode=map", "keys=64", "600 ops", "ops/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	counts := map[string]int64{}
+	for _, s := range srv.Stats() {
+		counts[s.Name] = s.Count
+	}
+	if total := counts["map.set"] + counts["map.get"] + counts["map.del"]; total != 600 {
+		t.Errorf("map family executed %d ops, want 600 (%v)", total, counts)
+	}
+	if counts["map.set"] == 0 || counts["map.get"] == 0 || counts["map.del"] == 0 {
+		t.Errorf("map verb mix incomplete: %v", counts)
+	}
+	for _, op := range []string{"set.add", "queue.enq", "stack.push"} {
+		if counts[op] != 0 {
+			t.Errorf("map mode executed %s %d times, want 0", op, counts[op])
+		}
+	}
+}
+
+func TestLoadModeRejectsBadMode(t *testing.T) {
+	var sb strings.Builder
+	if err := runLoad(loadConfig{addr: "x", clients: 1, ops: 1, mode: "nope"}, &sb); err == nil {
+		t.Fatal("mode=nope should fail")
+	}
+	if err := runLoad(loadConfig{addr: "x", clients: 1, ops: 1, mode: "map", keys: 0}, &sb); err == nil {
+		t.Fatal("map mode with keys=0 should fail")
+	}
+}
+
 func TestLoadModeBadAddr(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-serve-addr", "127.0.0.1:1", "-clients", "1", "-ops", "1"}, &sb); err == nil {

@@ -16,13 +16,16 @@
 //
 //	ampbench -serve-addr 127.0.0.1:7171 -clients 16 -ops 5000
 //	ampbench -serve-addr 127.0.0.1:7171 -clients 16 -ops 5000 -depth 8
+//	ampbench -serve-addr 127.0.0.1:7171 -mode map -keys 4096
 //
 // Each client opens one TCP connection and replays a mix covering all six
 // command families; the run reports ops/sec and p50/p99 latency. -depth
 // sets the pipeline depth: commands kept in flight per connection (1 =
 // wait for every reply, the pre-pipelining behavior). Latency is the
 // round-trip of a command's window, so at depth > 1 it measures batch
-// turnaround, not per-command service time.
+// turnaround, not per-command service time. -mode map switches the
+// workload to string-keyed HSET/HGET/HDEL with Zipf-popular keys drawn
+// from a -keys-sized space.
 package main
 
 import (
@@ -57,6 +60,8 @@ func run(args []string, out io.Writer) error {
 		serveAddr = fs.String("serve-addr", "", "drive a running ampserved at this address instead of the in-process experiments")
 		clients   = fs.Int("clients", 8, "load mode: concurrent client connections")
 		depth     = fs.Int("depth", 1, "load mode: pipeline depth (commands in flight per connection)")
+		mode      = fs.String("mode", "mix", "load mode workload: mix (all families) or map (Zipf string keys)")
+		keys      = fs.Int("keys", 1024, "load mode: string key-space size for -mode map")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +72,8 @@ func run(args []string, out io.Writer) error {
 		if opsPerClient <= 0 {
 			opsPerClient = 2000
 		}
-		return runLoad(loadConfig{addr: *serveAddr, clients: *clients, ops: opsPerClient, depth: *depth}, out)
+		return runLoad(loadConfig{addr: *serveAddr, clients: *clients, ops: opsPerClient,
+			depth: *depth, mode: *mode, keys: *keys}, out)
 	}
 
 	if *list {

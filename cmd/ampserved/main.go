@@ -8,7 +8,7 @@
 //
 //	ampserved                              # defaults on 127.0.0.1:7171
 //	ampserved -addr :7171 -shards 8
-//	ampserved -set lockfree -queue recycling -counter network
+//	ampserved -set lockfree -map refinable -queue recycling -counter network
 //	ampserved -http 127.0.0.1:7172         # expvar stats endpoint
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
@@ -59,6 +59,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		idle     = fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle this long")
 
 		set            = fs.String("set", "", "set backend: "+strings.Join(server.SetBackends(), "|"))
+		mapb           = fs.String("map", "", "string-map backend: "+strings.Join(server.MapBackends(), "|"))
 		queue          = fs.String("queue", "", "queue backend: "+strings.Join(server.QueueBackends(), "|"))
 		stack          = fs.String("stack", "", "stack backend: "+strings.Join(server.StackBackends(), "|"))
 		pqueue         = fs.String("pqueue", "", "priority-queue backend: "+strings.Join(server.PQueueBackends(), "|"))
@@ -77,6 +78,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	srv, err := server.New(server.Options{
 		Shards:         *shards,
 		Set:            *set,
+		Map:            *mapb,
 		Queue:          *queue,
 		Stack:          *stack,
 		PQueue:         *pqueue,
@@ -94,8 +96,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		return err
 	}
 	opts := srv.Options()
-	fmt.Fprintf(out, "ampserved: listening on %s (shards=%d set=%s queue=%s stack=%s pqueue=%s counter=%s)\n",
-		srv.Addr(), opts.Shards, opts.Set, opts.Queue, opts.Stack, opts.PQueue, opts.Counter)
+	fmt.Fprintf(out, "ampserved: listening on %s (shards=%d set=%s map=%s queue=%s stack=%s pqueue=%s counter=%s)\n",
+		srv.Addr(), opts.Shards, opts.Set, opts.Map, opts.Queue, opts.Stack, opts.PQueue, opts.Counter)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {

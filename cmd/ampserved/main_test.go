@@ -61,7 +61,8 @@ func drainErr(done chan error) error {
 }
 
 func TestRunServesAndShutsDown(t *testing.T) {
-	addr, done, sig := startMain(t, "-set", "lockfree", "-queue", "recycling", "-counter", "network")
+	addr, done, sig := startMain(t, "-set", "lockfree", "-map", "refinable",
+		"-queue", "recycling", "-counter", "network")
 
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -71,6 +72,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	r := bufio.NewReader(conn)
 	for _, step := range []struct{ cmd, want string }{
 		{"SET 9", "1"}, {"GET 9", "1"}, {"ENQ 5", "OK"}, {"DEQ", "5"}, {"INC", "0"},
+		{"HSET greet 1", "1"}, {"HGET greet", "1"}, {"HDEL greet", "1"}, {"HGET greet", "EMPTY"},
 	} {
 		fmt.Fprintf(conn, "%s\n", step.cmd)
 		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
@@ -95,9 +97,11 @@ func TestRunServesAndShutsDown(t *testing.T) {
 }
 
 func TestRunRejectsBadBackend(t *testing.T) {
-	err := run([]string{"-set", "nope"}, io.Discard, nil)
-	if err == nil || !strings.Contains(err.Error(), `"nope"`) {
-		t.Fatalf("run error = %v, want unknown-backend", err)
+	for _, flag := range []string{"-set", "-map"} {
+		err := run([]string{flag, "nope"}, io.Discard, nil)
+		if err == nil || !strings.Contains(err.Error(), `"nope"`) {
+			t.Fatalf("run %s error = %v, want unknown-backend", flag, err)
+		}
 	}
 }
 

@@ -18,6 +18,8 @@
 //	stack      Treiber and elimination-backoff stacks (Ch. 11)
 //	counting   combining trees and counting networks (Ch. 12)
 //	hashset    striped/refinable/split-ordered/cuckoo hash sets (Ch. 13)
+//	strmap     the Ch. 13 lock disciplines as string→int64 maps: coarse,
+//	           striped, refinable, chained phased cuckoo (FNV-1a hashing)
 //	skiplist   lazy and lock-free skiplists (Ch. 14)
 //	pqueue     bounded pools, fine-grained heap, skip-queue (Ch. 15)
 //	steal      work-stealing deques and executors (Ch. 16)
@@ -27,7 +29,10 @@
 //	server     ampserved: a sharded TCP server over the structures above,
 //	           with per-family backend selection (pipelined line protocol
 //	           with per-shard batching and flat combining, graceful
-//	           shutdown)
+//	           shutdown). Commands cover int-keyed sets (SET/GET/DEL),
+//	           string-keyed maps (HSET/HGET/HDEL, routed by FNV-1a with
+//	           per-shard chaining on the full key), queues, stacks,
+//	           counters, and priority queues.
 //	metrics    op counters and latency histograms built on the Ch. 12
 //	           counting structures
 //

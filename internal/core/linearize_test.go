@@ -216,6 +216,59 @@ func TestCheckPQueue(t *testing.T) {
 	}
 }
 
+func TestCheckMap(t *testing.T) {
+	good := seq(
+		op(0, "set", MapSetInput{K: "a", V: 1}, true),
+		op(0, "set", MapSetInput{K: "a", V: 2}, false),
+		op(0, "get", "a", int64(2)),
+		op(0, "get", "b", Empty),
+		op(0, "del", "a", true),
+		op(0, "del", "a", false),
+		op(0, "get", "a", Empty),
+	)
+	if res := Check(MapModel(), good); !res.Linearizable {
+		t.Fatal("legal map history rejected")
+	}
+	bad := seq(
+		op(0, "set", MapSetInput{K: "a", V: 1}, true),
+		op(1, "set", MapSetInput{K: "a", V: 2}, true), // must report overwrite
+	)
+	if res := Check(MapModel(), bad); res.Linearizable {
+		t.Fatal("double insert of same key accepted")
+	}
+	stale := seq(
+		op(0, "set", MapSetInput{K: "a", V: 1}, true),
+		op(0, "set", MapSetInput{K: "a", V: 2}, false),
+		op(1, "get", "a", int64(1)), // stale read after overwrite returned
+	)
+	if res := Check(MapModel(), stale); res.Linearizable {
+		t.Fatal("stale map read accepted")
+	}
+}
+
+func TestCheckMapConcurrentOverwrite(t *testing.T) {
+	// Two overlapping sets may linearize in either order, so a later get may
+	// see either value — but a non-overlapping get pair must not invert.
+	h := History{
+		{Thread: 0, Action: "set", Input: MapSetInput{K: "k", V: 0}, Output: true, Call: 1, Return: 2},
+		{Thread: 0, Action: "set", Input: MapSetInput{K: "k", V: 1}, Output: false, Call: 3, Return: 6},
+		{Thread: 1, Action: "set", Input: MapSetInput{K: "k", V: 2}, Output: false, Call: 4, Return: 5},
+		{Thread: 0, Action: "get", Input: "k", Output: int64(1), Call: 7, Return: 8},
+	}
+	if res := Check(MapModel(), h); !res.Linearizable {
+		t.Fatal("legal overlapping-set history rejected")
+	}
+	inverted := History{
+		{Thread: 0, Action: "set", Input: MapSetInput{K: "k", V: 0}, Output: true, Call: 1, Return: 2},
+		{Thread: 0, Action: "set", Input: MapSetInput{K: "k", V: 1}, Output: false, Call: 3, Return: 4},
+		{Thread: 1, Action: "set", Input: MapSetInput{K: "k", V: 2}, Output: false, Call: 5, Return: 6},
+		{Thread: 0, Action: "get", Input: "k", Output: int64(1), Call: 7, Return: 8},
+	}
+	if res := Check(MapModel(), inverted); res.Linearizable {
+		t.Fatal("map new/old inversion accepted")
+	}
+}
+
 func TestCheckCounter(t *testing.T) {
 	good := seq(
 		op(0, "getAndIncrement", nil, int64(0)),

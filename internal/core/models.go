@@ -161,6 +161,73 @@ func SetModel() Model {
 	}
 }
 
+// MapPair is one key/value entry in a MapModel state. States are kept as
+// slices sorted by key so reflect.DeepEqual works for the checker's state
+// cache.
+type MapPair struct {
+	K string
+	V int64
+}
+
+// MapSetInput is the input of a MapModel "set" action.
+type MapSetInput struct {
+	K string
+	V int64
+}
+
+// MapModel specifies a string-keyed map of int64 values, matching the
+// server's HSET/HGET/HDEL semantics:
+//
+//	set(MapSetInput{k,v}) -> true if k was absent (insert vs overwrite)
+//	get(k)                -> v, or Empty when k is absent
+//	del(k)                -> true if k was present
+func MapModel() Model {
+	return Model{
+		Name: "map",
+		Init: func() any { return []MapPair(nil) },
+		Apply: func(state any, action string, input any) (any, any) {
+			s := state.([]MapPair)
+			find := func(k string) (int, bool) {
+				i := sort.Search(len(s), func(i int) bool { return s[i].K >= k })
+				return i, i < len(s) && s[i].K == k
+			}
+			switch action {
+			case "set":
+				in := input.(MapSetInput)
+				i, present := find(in.K)
+				if present {
+					next := make([]MapPair, len(s))
+					copy(next, s)
+					next[i].V = in.V
+					return next, false
+				}
+				next := make([]MapPair, len(s)+1)
+				copy(next, s[:i])
+				next[i] = MapPair{K: in.K, V: in.V}
+				copy(next[i+1:], s[i:])
+				return next, true
+			case "get":
+				i, present := find(input.(string))
+				if !present {
+					return s, Empty
+				}
+				return s, s[i].V
+			case "del":
+				i, present := find(input.(string))
+				if !present {
+					return s, false
+				}
+				next := make([]MapPair, len(s)-1)
+				copy(next, s[:i])
+				copy(next[i:], s[i+1:])
+				return next, true
+			default:
+				panic("core: map model: unknown action " + action)
+			}
+		},
+	}
+}
+
 // PQueueModel specifies a min-priority queue of int priorities:
 //
 //	add(k)      -> nil

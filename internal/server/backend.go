@@ -21,6 +21,7 @@ import (
 	"amp/internal/queue"
 	"amp/internal/skiplist"
 	"amp/internal/stack"
+	"amp/internal/strmap"
 )
 
 // Options selects the data-plane layout and its backends. The zero value
@@ -33,14 +34,16 @@ type Options struct {
 
 	// Backend names per family; see *Backends() for the valid names.
 	Set            string // default "striped"
+	Map            string // default "striped"
 	Queue          string // default "unbounded"
 	Stack          string // default "treiber"
 	PQueue         string // default "skip"
 	Counter        string // default "combining"
 	MetricsCounter string // counting backend for metrics; default "cas"
 
-	// SetCapacity is the initial per-shard hash-table size (power of
-	// two, default 1024). QueueCapacity bounds the "bounded" and
+	// SetCapacity is the initial per-shard hash-table size for both the
+	// integer set and the string map (power of two, default 1024).
+	// QueueCapacity bounds the "bounded" and
 	// "recycling" queues (default 4096). PQCapacity is the "heap"
 	// capacity and the priority range of "linear"/"tree" (default 1024).
 	SetCapacity   int
@@ -64,6 +67,7 @@ func (o Options) withDefaults() Options {
 	}
 	defInt(&o.Shards, runtime.GOMAXPROCS(0))
 	def(&o.Set, "striped")
+	def(&o.Map, "striped")
 	def(&o.Queue, "unbounded")
 	def(&o.Stack, "treiber")
 	def(&o.PQueue, "skip")
@@ -233,6 +237,15 @@ var (
 		"list-epoch": func(o Options) list.Set { return list.NewEpochList() },
 		"skip-epoch": func(o Options) list.Set { return skiplist.NewEpochSkipList() },
 	}
+	// The map family serves HSET/HGET/HDEL: per-shard string-keyed
+	// dictionaries with open chaining (internal/strmap), mirroring the
+	// set registry's synchronization spectrum.
+	mapBackends = map[string]func(o Options) strmap.Map{
+		"coarse":       func(o Options) strmap.Map { return strmap.NewCoarseMap(o.SetCapacity) },
+		"striped":      func(o Options) strmap.Map { return strmap.NewStripedMap(o.SetCapacity) },
+		"refinable":    func(o Options) strmap.Map { return strmap.NewRefinableMap(o.SetCapacity) },
+		"cuckoo-chain": func(o Options) strmap.Map { return strmap.NewCuckooChainMap(o.SetCapacity) },
+	}
 	queueBackends = map[string]func(o Options) queueBackend{
 		"bounded":   func(o Options) queueBackend { return boundedQueue{queue.NewBoundedQueue[int64](o.QueueCapacity)} },
 		"unbounded": func(o Options) queueBackend { return genericQueue{queue.NewUnboundedQueue[int64]()} },
@@ -298,6 +311,9 @@ func nextPow2(n int) int {
 
 // SetBackends lists the valid -set names.
 func SetBackends() []string { return sortedKeys(setBackends) }
+
+// MapBackends lists the valid -map names.
+func MapBackends() []string { return sortedKeys(mapBackends) }
 
 // QueueBackends lists the valid -queue names.
 func QueueBackends() []string { return sortedKeys(queueBackends) }

@@ -25,11 +25,11 @@ func BenchmarkEngineSet(b *testing.B) {
 			i++
 			switch i % 3 {
 			case 0:
-				e.do(Command{OpSet, i})
+				e.do(Command{Op: OpSet, Arg: i})
 			case 1:
-				e.do(Command{OpGet, i})
+				e.do(Command{Op: OpGet, Arg: i})
 			default:
-				e.do(Command{OpDel, i})
+				e.do(Command{Op: OpDel, Arg: i})
 			}
 		}
 	})
@@ -70,6 +70,74 @@ func BenchmarkServerTCPPipelined(b *testing.B) {
 		for pb.Next() {
 			i++
 			fmt.Fprintf(w, "SET %d\n", i)
+			if window++; window < depth {
+				continue
+			}
+			if err := w.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+			for ; window > 0; window-- {
+				if _, err := r.ReadString('\n'); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+		if window > 0 {
+			if err := w.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+			for ; window > 0; window-- {
+				if _, err := r.ReadString('\n'); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkServerTCPStringMap measures the string-keyed map family over
+// loopback TCP with pipelining: alternating HSET/HGET over a 1024-key
+// working set, exercising string-token parsing, hash routing, and the
+// per-shard dictionaries end to end.
+func BenchmarkServerTCPStringMap(b *testing.B) {
+	const depth = 16
+	srv, err := New(Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := srv.Addr().String()
+
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		w := bufio.NewWriter(conn)
+		i := int64(0)
+		window := 0
+		for pb.Next() {
+			i++
+			if i%2 == 0 {
+				fmt.Fprintf(w, "HSET user:%d %d\n", i%1024, i)
+			} else {
+				fmt.Fprintf(w, "HGET user:%d\n", i%1024)
+			}
 			if window++; window < depth {
 				continue
 			}

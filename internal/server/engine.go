@@ -1,7 +1,8 @@
 // The data plane: N single-goroutine shards in front of the shared
-// concurrent structures. Keyed commands (the set family) hash to a shard
-// that owns a private hash set, so set traffic is contention-local by
-// construction — partitioning first, as McKenney puts it. Unkeyed
+// concurrent structures. Keyed commands (the set and map families) hash
+// to a shard that owns a private hash set and string dictionary, so
+// per-key traffic is contention-local by construction — partitioning
+// first, as McKenney puts it. Unkeyed
 // commands (stack, queue, counter, priority queue) are spread round-robin
 // over the shards but execute against shared structures; the shards then
 // serve as a bounded thread set, which is exactly what the combining tree
@@ -22,6 +23,7 @@ import (
 	"amp/internal/counting"
 	"amp/internal/list"
 	"amp/internal/metrics"
+	"amp/internal/strmap"
 )
 
 // status encodes the shape of a reply.
@@ -75,11 +77,14 @@ func (b *batch) reset() {
 	b.replies = b.replies[:0]
 }
 
-// shard owns a private set instance and a batch channel drained by a
-// single goroutine.
+// shard owns a private set instance, a private string-keyed dictionary,
+// and a batch channel drained by a single goroutine. Map commands route
+// by the FNV-1a hash of their key (Command.ShardKey), then resolve
+// collisions inside the shard's dictionary by full-string chaining.
 type shard struct {
 	id      core.ThreadID
 	set     list.Set
+	dict    strmap.Map
 	batches chan *batch
 }
 
@@ -110,6 +115,10 @@ type engine struct {
 // newEngine builds the structures and starts one goroutine per shard.
 func newEngine(o Options) (*engine, error) {
 	newSet, err := lookup("set", o.Set, setBackends)
+	if err != nil {
+		return nil, err
+	}
+	newMap, err := lookup("map", o.Map, mapBackends)
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +163,7 @@ func newEngine(o Options) (*engine, error) {
 		s := &shard{
 			id:      core.ThreadID(i),
 			set:     newSet(o),
+			dict:    newMap(o),
 			batches: make(chan *batch, shardQueueDepth),
 		}
 		e.shards = append(e.shards, s)
@@ -186,7 +196,7 @@ func (e *engine) abort() {
 func (e *engine) do(cmd Command) reply {
 	var si int
 	if cmd.Op.Keyed() {
-		si = keyShard(cmd.Arg, len(e.shards))
+		si = keyShard(cmd.ShardKey(), len(e.shards))
 	} else {
 		si = e.nextShard()
 	}
@@ -302,6 +312,13 @@ func (e *engine) execute(s *shard, cmd Command) reply {
 		}
 		return reply{status: stInt, val: boolInt(changed)}
 
+	case OpHSet:
+		return reply{status: stInt, val: boolInt(s.dict.Set(cmd.Key, cmd.Arg))}
+	case OpHGet:
+		return valueReply(s.dict.Get(cmd.Key))
+	case OpHDel:
+		return reply{status: stInt, val: boolInt(s.dict.Del(cmd.Key))}
+
 	case OpPush:
 		e.stack.push(cmd.Arg)
 		return reply{status: stOK}
@@ -364,8 +381,8 @@ func boolInt(b bool) int64 {
 func (e *engine) statsBody() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "shards %d\n", len(e.shards))
-	fmt.Fprintf(&sb, "backend set=%s queue=%s stack=%s pqueue=%s counter=%s metrics-counter=%s\n",
-		e.opts.Set, e.opts.Queue, e.opts.Stack, e.opts.PQueue, e.opts.Counter, e.opts.MetricsCounter)
+	fmt.Fprintf(&sb, "backend set=%s map=%s queue=%s stack=%s pqueue=%s counter=%s metrics-counter=%s\n",
+		e.opts.Set, e.opts.Map, e.opts.Queue, e.opts.Stack, e.opts.PQueue, e.opts.Counter, e.opts.MetricsCounter)
 	sb.WriteString(e.batchSizes.Format("shard.batch"))
 	sb.WriteString(e.metrics.Format())
 	return sb.String()

@@ -7,11 +7,15 @@
 // routed through a counting network.
 //
 // Protocol (one command per line, LF or CRLF terminated, ≤ MaxLineLen
-// bytes; integer arguments are signed 64-bit decimals):
+// bytes; integer arguments are signed 64-bit decimals; string keys are
+// single printable tokens — no spaces, tabs or control bytes):
 //
 //	SET k      add k to the set          → 1 (added) | 0 (already present)
 //	GET k      membership of k           → 1 | 0
 //	DEL k      remove k from the set     → 1 (removed) | 0 (absent)
+//	HSET k v   map string key k to v     → 1 (new key) | 0 (overwrote)
+//	HGET k     value at string key k     → v | EMPTY
+//	HDEL k     remove string key k       → 1 (removed) | 0 (absent)
 //	PUSH v     push v on the stack       → OK
 //	POP        pop the stack             → v | EMPTY
 //	ENQ v      enqueue v                 → OK | FULL
@@ -40,6 +44,8 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+
+	"amp/internal/strmap"
 )
 
 // Op enumerates the protocol commands.
@@ -52,6 +58,9 @@ const (
 	OpSet
 	OpGet
 	OpDel
+	OpHSet
+	OpHGet
+	OpHDel
 	OpPush
 	OpPop
 	OpEnq
@@ -73,29 +82,42 @@ const MaxLineLen = 128
 // ErrLineTooLong reports a line over MaxLineLen bytes.
 var ErrLineTooLong = errors.New("line too long")
 
+// argKind classifies a verb's argument shape.
+type argKind uint8
+
+const (
+	argNone   argKind = iota // verb alone
+	argInt                   // verb + signed 64-bit decimal
+	argKey                   // verb + printable string token
+	argKeyInt                // verb + string token + decimal
+)
+
 // opInfo describes one verb.
 type opInfo struct {
-	op     Op
-	hasArg bool
+	op  Op
+	arg argKind
 }
 
 // verbs maps the canonical (upper-case) verb to its op. Lookup is done on
 // an ASCII-uppercased copy, making verbs case-insensitive.
 var verbs = map[string]opInfo{
-	"SET":   {OpSet, true},
-	"GET":   {OpGet, true},
-	"DEL":   {OpDel, true},
-	"PUSH":  {OpPush, true},
-	"POP":   {OpPop, false},
-	"ENQ":   {OpEnq, true},
-	"DEQ":   {OpDeq, false},
-	"INC":   {OpInc, false},
-	"READ":  {OpRead, false},
-	"PQADD": {OpPQAdd, true},
-	"PQMIN": {OpPQMin, false},
-	"STATS": {OpStats, false},
-	"PING":  {OpPing, false},
-	"QUIT":  {OpQuit, false},
+	"SET":   {OpSet, argInt},
+	"GET":   {OpGet, argInt},
+	"DEL":   {OpDel, argInt},
+	"HSET":  {OpHSet, argKeyInt},
+	"HGET":  {OpHGet, argKey},
+	"HDEL":  {OpHDel, argKey},
+	"PUSH":  {OpPush, argInt},
+	"POP":   {OpPop, argNone},
+	"ENQ":   {OpEnq, argInt},
+	"DEQ":   {OpDeq, argNone},
+	"INC":   {OpInc, argNone},
+	"READ":  {OpRead, argNone},
+	"PQADD": {OpPQAdd, argInt},
+	"PQMIN": {OpPQMin, argNone},
+	"STATS": {OpStats, argNone},
+	"PING":  {OpPing, argNone},
+	"QUIT":  {OpQuit, argNone},
 }
 
 // opNames is the inverse of verbs, for error messages.
@@ -117,19 +139,42 @@ func (o Op) String() string {
 }
 
 // HasArg reports whether the op carries an integer argument.
-func (o Op) HasArg() bool { return verbs[o.String()].hasArg }
+func (o Op) HasArg() bool {
+	k := verbs[o.String()].arg
+	return k == argInt || k == argKeyInt
+}
 
-// Keyed reports whether the op addresses the sharded per-key set family.
-// Keyed commands must execute on the shard owning their key; unkeyed
-// commands run against shared structures and may execute on any shard,
-// which is what lets a pipelined batch ride along with whatever run is
-// already open.
-func (o Op) Keyed() bool { return o == OpSet || o == OpGet || o == OpDel }
+// StringKeyed reports whether the op addresses the string-keyed map
+// family: its routing key is a string token, hashed into the int key
+// space for shard selection.
+func (o Op) StringKeyed() bool { return o == OpHSet || o == OpHGet || o == OpHDel }
+
+// Keyed reports whether the op addresses a sharded per-key family (the
+// integer set or the string map). Keyed commands must execute on the
+// shard owning their key; unkeyed commands run against shared structures
+// and may execute on any shard, which is what lets a pipelined batch ride
+// along with whatever run is already open.
+func (o Op) Keyed() bool {
+	return o == OpSet || o == OpGet || o == OpDel || o.StringKeyed()
+}
 
 // Command is one parsed protocol line.
 type Command struct {
 	Op  Op
-	Arg int64 // meaningful only when Op.HasArg()
+	Arg int64  // meaningful only when Op.HasArg()
+	Key string // meaningful only when Op.StringKeyed()
+}
+
+// ShardKey is the integer the shard router hashes to pick a home shard:
+// the FNV-1a hash of the string key for map ops, the integer argument
+// otherwise. Using one extraction point for both families keeps run
+// detection uniform — a contiguous run of same-shard HSETs batches
+// exactly like a run of SETs (see engine.do and Server.serveBatch).
+func (c Command) ShardKey() int64 {
+	if c.Op.StringKeyed() {
+		return int64(strmap.Hash(c.Key))
+	}
+	return c.Arg
 }
 
 // ParseCommand parses one line (without the trailing LF; a trailing CR is
@@ -150,18 +195,35 @@ func ParseCommand(line []byte) (Command, error) {
 	if !ok {
 		return Command{}, fmt.Errorf("unknown command %q", verb)
 	}
-	switch {
-	case info.hasArg && len(fields) != 2:
-		return Command{}, fmt.Errorf("%s needs exactly one integer argument", verb)
-	case !info.hasArg && len(fields) != 1:
-		return Command{}, fmt.Errorf("%s takes no argument", verb)
-	}
 	cmd := Command{Op: info.op}
-	if info.hasArg {
+	switch info.arg {
+	case argNone:
+		if len(fields) != 1 {
+			return Command{}, fmt.Errorf("%s takes no argument", verb)
+		}
+	case argInt:
+		if len(fields) != 2 {
+			return Command{}, fmt.Errorf("%s needs exactly one integer argument", verb)
+		}
 		arg, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			return Command{}, fmt.Errorf("bad integer %q", fields[1])
 		}
+		cmd.Arg = arg
+	case argKey:
+		if len(fields) != 2 {
+			return Command{}, fmt.Errorf("%s needs exactly one key", verb)
+		}
+		cmd.Key = fields[1]
+	case argKeyInt:
+		if len(fields) != 3 {
+			return Command{}, fmt.Errorf("%s needs a key and an integer value", verb)
+		}
+		arg, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return Command{}, fmt.Errorf("bad integer %q", fields[2])
+		}
+		cmd.Key = fields[1]
 		cmd.Arg = arg
 	}
 	return cmd, nil
@@ -215,6 +277,9 @@ var metricNames = [numOps]string{
 	OpSet:   "set.add",
 	OpGet:   "set.contains",
 	OpDel:   "set.remove",
+	OpHSet:  "map.set",
+	OpHGet:  "map.get",
+	OpHDel:  "map.del",
 	OpPush:  "stack.push",
 	OpPop:   "stack.pop",
 	OpEnq:   "queue.enq",

@@ -15,23 +15,28 @@ func TestParseCommandValid(t *testing.T) {
 		line string
 		want Command
 	}{
-		{"SET 42", Command{OpSet, 42}},
-		{"set 42", Command{OpSet, 42}},
-		{"Set\t42", Command{OpSet, 42}},
-		{"  GET   7  ", Command{OpGet, 7}},
-		{"DEL -3", Command{OpDel, -3}},
-		{"PUSH 9223372036854775807", Command{OpPush, 9223372036854775807}},
-		{"POP", Command{OpPop, 0}},
-		{"ENQ -9223372036854775808", Command{OpEnq, -9223372036854775808}},
-		{"DEQ", Command{OpDeq, 0}},
-		{"INC", Command{OpInc, 0}},
-		{"READ", Command{OpRead, 0}},
-		{"PQADD 5", Command{OpPQAdd, 5}},
-		{"PQMIN", Command{OpPQMin, 0}},
-		{"STATS", Command{OpStats, 0}},
-		{"ping", Command{OpPing, 0}},
-		{"QUIT", Command{OpQuit, 0}},
-		{"QUIT\r", Command{OpQuit, 0}},
+		{"SET 42", Command{Op: OpSet, Arg: 42}},
+		{"set 42", Command{Op: OpSet, Arg: 42}},
+		{"Set\t42", Command{Op: OpSet, Arg: 42}},
+		{"  GET   7  ", Command{Op: OpGet, Arg: 7}},
+		{"DEL -3", Command{Op: OpDel, Arg: -3}},
+		{"HSET user:1 42", Command{Op: OpHSet, Key: "user:1", Arg: 42}},
+		{"hset k -7", Command{Op: OpHSet, Key: "k", Arg: -7}},
+		{"HGET user:1", Command{Op: OpHGet, Key: "user:1"}},
+		{"  hget\tUPPER.low  ", Command{Op: OpHGet, Key: "UPPER.low"}},
+		{"HDEL k", Command{Op: OpHDel, Key: "k"}},
+		{"PUSH 9223372036854775807", Command{Op: OpPush, Arg: 9223372036854775807}},
+		{"POP", Command{Op: OpPop}},
+		{"ENQ -9223372036854775808", Command{Op: OpEnq, Arg: -9223372036854775808}},
+		{"DEQ", Command{Op: OpDeq}},
+		{"INC", Command{Op: OpInc}},
+		{"READ", Command{Op: OpRead}},
+		{"PQADD 5", Command{Op: OpPQAdd, Arg: 5}},
+		{"PQMIN", Command{Op: OpPQMin}},
+		{"STATS", Command{Op: OpStats}},
+		{"ping", Command{Op: OpPing}},
+		{"QUIT", Command{Op: OpQuit}},
+		{"QUIT\r", Command{Op: OpQuit}},
 	}
 	for _, c := range cases {
 		got, err := ParseCommand([]byte(c.line))
@@ -56,6 +61,14 @@ func TestParseCommandInvalid(t *testing.T) {
 		"SET x",                           // non-integer
 		"SET 99999999999999999999999",     // overflow
 		"SET 1.5",                         // float
+		"HSET",                            // missing key and value
+		"HSET k",                          // missing value
+		"HSET k v",                        // non-integer value
+		"HSET k 1 2",                      // extra argument
+		"HGET",                            // missing key
+		"HGET a b",                        // extra token
+		"HDEL",                            // missing key
+		"HDEL k\x7f",                      // control byte in key
 		"POP 1",                           // unexpected argument
 		"STATS now",                       // unexpected argument
 		"SET\x001",                        // NUL byte
@@ -166,6 +179,11 @@ func FuzzPipeline(f *testing.F) {
 		strings.Repeat("A", 300),                             // oversized final line, no newline
 		"SET 1\n" + strings.Repeat("B", MaxLineLen+1) + "\n", // max content that still frames: ERR, stays open
 		"GET -9223372036854775808\n",                         // reserved key error from the engine
+		"HSET k 1\nHGET k\nHDEL k\nHGET k\n",                 // map family round trip
+		"hset CaSe 7\r\nHGET CaSe\r\nhget case\r\n",          // verbs fold, keys do not
+		"HSET k\nHGET\nHDEL a b\nHSET  pad  3 \nHGET\tpad\n", // arity errors + embedded whitespace
+		"HGET " + strings.Repeat("K", MaxLineLen-5) + "\n",   // key at the MaxLineLen boundary
+		"HSET " + strings.Repeat("K", MaxLineLen) + " 1\nHGET x\n", // oversized key: ERR + close
 	}
 	for i, s := range seeds {
 		f.Add([]byte(s), byte(i*7+1))
@@ -258,6 +276,8 @@ func FuzzParseCommand(f *testing.F) {
 		"SET 42", "GET 1", "DEL -1", "PUSH 0", "POP", "ENQ 5", "DEQ",
 		"INC", "READ", "PQADD 3", "PQMIN", "STATS", "PING", "QUIT",
 		"", " ", "set\t1", "SET  1 ", "FOO", "SET \x00", "SET 1\r",
+		"HSET k 1", "HGET k", "HDEL  k ", "HSET k", "HGET a b",
+		"hset \x01k 2", "HDEL " + strings.Repeat("x", MaxLineLen),
 		strings.Repeat("A", 200),
 	}
 	for _, s := range seeds {
@@ -273,6 +293,14 @@ func FuzzParseCommand(f *testing.F) {
 		}
 		if !cmd.Op.HasArg() && cmd.Arg != 0 {
 			t.Fatalf("argless op carries arg: %+v from %q", cmd, line)
+		}
+		if cmd.Op.StringKeyed() != (cmd.Key != "") {
+			t.Fatalf("key/op mismatch: %+v from %q", cmd, line)
+		}
+		for i := 0; i < len(cmd.Key); i++ {
+			if b := cmd.Key[i]; b <= ' ' || b == 0x7f {
+				t.Fatalf("accepted key with separator or control byte: %+v from %q", cmd, line)
+			}
 		}
 	})
 }

@@ -302,7 +302,7 @@ func (s *Server) serveBatch(w *bufio.Writer, items []lineItem) bool {
 			}
 		default:
 			if it.cmd.Op.Keyed() {
-				si := keyShard(it.cmd.Arg, len(s.eng.shards))
+				si := keyShard(it.cmd.ShardKey(), len(s.eng.shards))
 				if shard >= 0 && si != shard && !flushRun() {
 					return false
 				}

