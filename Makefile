@@ -25,9 +25,10 @@ bench:
 bench-ci:
 	$(GO) test -run='^$$' -bench='Epoch.*Steady|LockFree.*(EnqDeq|AddRemove)' -benchmem -count=5 \
 		./internal/queue ./internal/list ./internal/skiplist | tee bench.txt
-	$(GO) test -run='^$$' -bench='BenchmarkServerTCP(Pipelined|StringMap)' -benchmem -count=5 \
+	$(GO) test -run='^$$' -bench='BenchmarkServerTCP(Pipelined|StringMap|Txn)' -benchmem -count=5 \
 		./internal/server | tee -a bench.txt
-	$(GO) run ./cmd/benchgate -in bench.txt -out BENCH_ci.json -gate 'Epoch.*Steady'
+	$(GO) run ./cmd/benchgate -in bench.txt -out BENCH_ci.json -gate 'Epoch.*Steady' \
+		-require 'ServerTCPTxn:commits/op'
 
 serve:
 	$(GO) run ./cmd/ampserved -addr $(ADDR)

@@ -13,9 +13,12 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"amp/internal/server"
 )
 
 // loadConfig parameterizes one load run.
@@ -23,9 +26,10 @@ type loadConfig struct {
 	addr    string
 	clients int
 	ops     int    // per client
-	depth   int    // pipeline depth: commands in flight per connection
-	mode    string // "mix" (all families) or "map" (string-keyed HSET/HGET/HDEL)
-	keys    int    // map mode: size of the string key space
+	depth   int    // pipeline depth: commands (or transactions) in flight
+	mode    string // "mix" (all families), "map" (string keys), "txn" (MULTI/EXEC transfers)
+	keys    int    // map/txn mode: size of the string key (account) space
+	txnSize int    // txn mode: staged commands per transaction
 	timeout time.Duration
 }
 
@@ -54,12 +58,24 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 		cfg.timeout = 10 * time.Second
 	}
 	switch cfg.mode {
-	case "", "mix", "map":
+	case "", "mix", "map", "txn":
 	default:
-		return fmt.Errorf("unknown load mode %q (have mix, map)", cfg.mode)
+		return fmt.Errorf("unknown load mode %q (have mix, map, txn)", cfg.mode)
 	}
-	if cfg.mode == "map" && cfg.keys <= 0 {
-		return fmt.Errorf("keys (%d) must be positive in map mode", cfg.keys)
+	if (cfg.mode == "map" || cfg.mode == "txn") && cfg.keys <= 0 {
+		return fmt.Errorf("keys (%d) must be positive in %s mode", cfg.keys, cfg.mode)
+	}
+	if cfg.mode == "txn" && (cfg.txnSize < 2 || cfg.txnSize > server.MaxTxnOps) {
+		return fmt.Errorf("txn-size (%d) must be in 2..%d", cfg.txnSize, server.MaxTxnOps)
+	}
+
+	var baseline int64
+	if cfg.mode == "txn" {
+		b, err := sumBalances(cfg)
+		if err != nil {
+			return err
+		}
+		baseline = b
 	}
 
 	results := make([]clientResult, cfg.clients)
@@ -99,10 +115,98 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 	if mode == "map" {
 		fmt.Fprintf(out, " keys=%d", cfg.keys)
 	}
+	if mode == "txn" {
+		fmt.Fprintf(out, " keys=%d txn-size=%d", cfg.keys, cfg.txnSize)
+	}
 	fmt.Fprintln(out)
-	fmt.Fprintf(out, "  %d ops in %v → %.0f ops/sec\n", total, elapsed.Round(time.Millisecond), opsPerSec)
+	unit := "ops"
+	if mode == "txn" {
+		unit = "txns"
+	}
+	fmt.Fprintf(out, "  %d %s in %v → %.0f %s/sec\n", total, unit, elapsed.Round(time.Millisecond), opsPerSec, unit)
 	fmt.Fprintf(out, "  latency p50=%v p99=%v max=%v\n",
 		quantile(all, 0.50), quantile(all, 0.99), all[total-1])
+	if mode == "txn" {
+		return verifyTxnInvariant(cfg, baseline, out)
+	}
+	return nil
+}
+
+// sumBalances reads every acct:N key over one connection and returns the
+// sum of their balances (absent accounts count 0).
+func sumBalances(cfg loadConfig) (int64, error) {
+	conn, err := net.Dial("tcp", cfg.addr)
+	if err != nil {
+		return 0, fmt.Errorf("invariant check: %w", err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	var sum int64
+	const chunk = 256 // bounded pipelining so neither side's buffer fills
+	for base := 0; base < cfg.keys; base += chunk {
+		end := base + chunk
+		if end > cfg.keys {
+			end = cfg.keys
+		}
+		for a := base; a < end; a++ {
+			fmt.Fprintf(w, "HGET acct:%d\n", a)
+		}
+		if err := w.Flush(); err != nil {
+			return 0, fmt.Errorf("invariant check: %w", err)
+		}
+		conn.SetReadDeadline(time.Now().Add(cfg.timeout))
+		for a := base; a < end; a++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return 0, fmt.Errorf("invariant check acct:%d: %w", a, err)
+			}
+			line = strings.TrimSpace(line)
+			if line == "EMPTY" {
+				continue
+			}
+			v, err := strconv.ParseInt(line, 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("invariant check acct:%d: reply %q", a, line)
+			}
+			sum += v
+		}
+	}
+	return sum, nil
+}
+
+// verifyTxnInvariant reads every account after the load quiesces: the
+// transfers only move value between accounts, so an atomic keyspace must
+// leave sum(balances) exactly where the pre-run baseline snapshot found
+// it — a torn transaction shows up as a nonzero delta. The baseline makes
+// back-to-back runs against one server independent (a prior run with a
+// different -keys leaves individual accounts nonzero even though its own
+// sum is balanced).
+func verifyTxnInvariant(cfg loadConfig, baseline int64, out io.Writer) error {
+	sum, err := sumBalances(cfg)
+	if err != nil {
+		return err
+	}
+
+	conn, err := net.Dial("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("invariant check: %w", err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "TXSTATS\n")
+	conn.SetReadDeadline(time.Now().Add(cfg.timeout))
+	txstats, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("invariant check: TXSTATS: %w", err)
+	}
+	fmt.Fprintf(out, "  txstats: %s\n", strings.TrimSpace(txstats))
+	delta := sum - baseline
+	fmt.Fprintf(out, "  invariant: sum(balances)=%d over %d accounts (baseline %d, delta %d)\n",
+		sum, cfg.keys, baseline, delta)
+	if delta != 0 {
+		return fmt.Errorf("txn invariant violated: sum(balances) changed by %d across the run, want 0", delta)
+	}
 	return nil
 }
 
@@ -112,6 +216,9 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 // command as the round-trip of its window — at depth 1 this is exactly
 // the old per-command round-trip.
 func runClient(cfg loadConfig, id int) clientResult {
+	if cfg.mode == "txn" {
+		return runTxnClient(cfg, id)
+	}
 	conn, err := net.Dial("tcp", cfg.addr)
 	if err != nil {
 		return clientResult{err: err}
@@ -184,6 +291,113 @@ func runClient(cfg loadConfig, id int) clientResult {
 		}
 	}
 	return clientResult{lat: lat}
+}
+
+// runTxnClient replays cfg.ops MULTI/EXEC transfer transactions, keeping
+// cfg.depth whole transactions in flight per connection. Each transaction
+// stages cfg.txnSize commands: balanced ±d HINCR pairs over random account
+// pairs (an odd size adds a trailing HGET), so the global balance sum
+// stays zero exactly when the server commits atomically. Latency is the
+// round-trip of a transaction's window.
+func runTxnClient(cfg loadConfig, id int) clientResult {
+	conn, err := net.Dial("tcp", cfg.addr)
+	if err != nil {
+		return clientResult{err: err}
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	depth := cfg.depth
+	if depth < 1 {
+		depth = 1
+	}
+	rng := rand.New(rand.NewSource(int64(id)*104729 + 7))
+
+	// Per-transaction reply shape: OK, txnSize × +QUEUED, *N, N values.
+	readTxn := func() error {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if got := strings.TrimSpace(line); got != "OK" {
+			return fmt.Errorf("MULTI → %q", got)
+		}
+		for i := 0; i < cfg.txnSize; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			if got := strings.TrimSpace(line); got != "+QUEUED" {
+				return fmt.Errorf("staged %d → %q", i, got)
+			}
+		}
+		line, err = r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if want := "*" + strconv.Itoa(cfg.txnSize); strings.TrimSpace(line) != want {
+			return fmt.Errorf("EXEC → %q, want %q", strings.TrimSpace(line), want)
+		}
+		for i := 0; i < cfg.txnSize; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			if strings.HasPrefix(line, "ERR") {
+				return fmt.Errorf("EXEC reply %d → %s", i, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	}
+
+	lat := make([]time.Duration, 0, cfg.ops)
+	for sent := 0; sent < cfg.ops; {
+		batch := depth
+		if rem := cfg.ops - sent; batch > rem {
+			batch = rem
+		}
+		begin := time.Now()
+		for t := 0; t < batch; t++ {
+			w.WriteString("MULTI\n")
+			for _, cmd := range txnCommands(rng, cfg.keys, cfg.txnSize) {
+				w.WriteString(cmd)
+				w.WriteByte('\n')
+			}
+			w.WriteString("EXEC\n")
+		}
+		if err := w.Flush(); err != nil {
+			return clientResult{err: fmt.Errorf("write txn window at %d: %w", sent, err)}
+		}
+		conn.SetReadDeadline(time.Now().Add(cfg.timeout))
+		for t := 0; t < batch; t++ {
+			if err := readTxn(); err != nil {
+				return clientResult{err: fmt.Errorf("txn %d: %w", sent+t, err)}
+			}
+		}
+		d := time.Since(begin)
+		for t := 0; t < batch; t++ {
+			lat = append(lat, d)
+		}
+		sent += batch
+	}
+	return clientResult{lat: lat}
+}
+
+// txnCommands builds one transaction body: balanced transfer pairs, with
+// a trailing read when size is odd.
+func txnCommands(rng *rand.Rand, accounts, size int) []string {
+	cmds := make([]string, 0, size)
+	for len(cmds)+1 < size {
+		src, dst := rng.Intn(accounts), rng.Intn(accounts)
+		d := 1 + rng.Intn(9)
+		cmds = append(cmds,
+			fmt.Sprintf("HINCR acct:%d %d", src, d),
+			fmt.Sprintf("HINCR acct:%d -%d", dst, d))
+	}
+	if len(cmds) < size {
+		cmds = append(cmds, fmt.Sprintf("HGET acct:%d", rng.Intn(accounts)))
+	}
+	return cmds
 }
 
 // mapCommand draws one string-map command: a Zipf-popular key with a

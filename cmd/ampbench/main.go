@@ -17,6 +17,7 @@
 //	ampbench -serve-addr 127.0.0.1:7171 -clients 16 -ops 5000
 //	ampbench -serve-addr 127.0.0.1:7171 -clients 16 -ops 5000 -depth 8
 //	ampbench -serve-addr 127.0.0.1:7171 -mode map -keys 4096
+//	ampbench -serve-addr 127.0.0.1:7171 -mode txn -clients 64 -txn-size 2
 //
 // Each client opens one TCP connection and replays a mix covering all six
 // command families; the run reports ops/sec and p50/p99 latency. -depth
@@ -25,7 +26,11 @@
 // round-trip of a command's window, so at depth > 1 it measures batch
 // turnaround, not per-command service time. -mode map switches the
 // workload to string-keyed HSET/HGET/HDEL with Zipf-popular keys drawn
-// from a -keys-sized space.
+// from a -keys-sized space. -mode txn replays MULTI/EXEC transfer
+// transactions of -txn-size staged commands over -keys accounts; after
+// the load quiesces it reads every account and fails unless the balance
+// sum is exactly zero — the atomicity invariant — then prints the
+// server's TXSTATS commit/abort line.
 package main
 
 import (
@@ -60,8 +65,9 @@ func run(args []string, out io.Writer) error {
 		serveAddr = fs.String("serve-addr", "", "drive a running ampserved at this address instead of the in-process experiments")
 		clients   = fs.Int("clients", 8, "load mode: concurrent client connections")
 		depth     = fs.Int("depth", 1, "load mode: pipeline depth (commands in flight per connection)")
-		mode      = fs.String("mode", "mix", "load mode workload: mix (all families) or map (Zipf string keys)")
-		keys      = fs.Int("keys", 1024, "load mode: string key-space size for -mode map")
+		mode      = fs.String("mode", "mix", "load mode workload: mix (all families), map (Zipf string keys), or txn (MULTI/EXEC transfers)")
+		keys      = fs.Int("keys", 1024, "load mode: string key-space (account) size for -mode map/txn")
+		txnSize   = fs.Int("txn-size", 2, "load mode: staged commands per transaction for -mode txn")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +79,7 @@ func run(args []string, out io.Writer) error {
 			opsPerClient = 2000
 		}
 		return runLoad(loadConfig{addr: *serveAddr, clients: *clients, ops: opsPerClient,
-			depth: *depth, mode: *mode, keys: *keys}, out)
+			depth: *depth, mode: *mode, keys: *keys, txnSize: *txnSize}, out)
 	}
 
 	if *list {

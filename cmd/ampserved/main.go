@@ -9,6 +9,7 @@
 //	ampserved                              # defaults on 127.0.0.1:7171
 //	ampserved -addr :7171 -shards 8
 //	ampserved -set lockfree -map refinable -queue recycling -counter network
+//	ampserved -txn dstm -cm backoff        # MULTI/EXEC over the DSTM engine
 //	ampserved -http 127.0.0.1:7172         # expvar stats endpoint
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
@@ -66,6 +67,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		counter        = fs.String("counter", "", "counter backend: "+strings.Join(server.CounterBackends(), "|"))
 		metricsCounter = fs.String("metrics-counter", "",
 			"counting backend for the metrics layer: "+strings.Join(server.CounterBackends(), "|"))
+		txn = fs.String("txn", "", "transactional keyspace engine for MULTI/EXEC: "+strings.Join(server.TxnBackends(), "|"))
+		cm  = fs.String("cm", "", "DSTM contention manager: "+strings.Join(server.CMBackends(), "|"))
 
 		setCap   = fs.Int("set-cap", 0, "per-shard hash table size (power of two)")
 		queueCap = fs.Int("queue-cap", 0, "bounded/recycling queue capacity")
@@ -84,6 +87,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		PQueue:         *pqueue,
 		Counter:        *counter,
 		MetricsCounter: *metricsCounter,
+		Txn:            *txn,
+		CM:             *cm,
 		SetCapacity:    *setCap,
 		QueueCapacity:  *queueCap,
 		PQCapacity:     *pqCap,
@@ -96,8 +101,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		return err
 	}
 	opts := srv.Options()
-	fmt.Fprintf(out, "ampserved: listening on %s (shards=%d set=%s map=%s queue=%s stack=%s pqueue=%s counter=%s)\n",
-		srv.Addr(), opts.Shards, opts.Set, opts.Map, opts.Queue, opts.Stack, opts.PQueue, opts.Counter)
+	fmt.Fprintf(out, "ampserved: listening on %s (shards=%d set=%s map=%s queue=%s stack=%s pqueue=%s counter=%s txn=%s cm=%s)\n",
+		srv.Addr(), opts.Shards, opts.Set, opts.Map, opts.Queue, opts.Stack, opts.PQueue, opts.Counter, opts.Txn, opts.CM)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {

@@ -96,8 +96,49 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 }
 
+// TestRunServesTransactions boots with the DSTM engine under the backoff
+// manager and round-trips a MULTI/EXEC transaction.
+func TestRunServesTransactions(t *testing.T) {
+	addr, done, sig := startMain(t, "-txn", "dstm", "-cm", "backoff")
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "MULTI\nHINCR a 4\nHINCR b -4\nEXEC\nHGET a\nTXSTATS\n")
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for i, want := range []string{"OK", "+QUEUED", "+QUEUED", "*2", "4", "-4", "4"} {
+		got, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reply %d: read: %v", i, err)
+		}
+		if got = strings.TrimSuffix(got, "\n"); got != want {
+			t.Fatalf("reply %d = %q, want %q", i, got, want)
+		}
+	}
+	txstats, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("TXSTATS: %v", err)
+	}
+	if !strings.Contains(txstats, "engine=dstm cm=backoff") {
+		t.Fatalf("TXSTATS = %q, want dstm/backoff", txstats)
+	}
+
+	sig <- syscall.SIGINT
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGINT")
+	}
+}
+
 func TestRunRejectsBadBackend(t *testing.T) {
-	for _, flag := range []string{"-set", "-map"} {
+	for _, flag := range []string{"-set", "-map", "-txn", "-cm"} {
 		err := run([]string{flag, "nope"}, io.Discard, nil)
 		if err == nil || !strings.Contains(err.Error(), `"nope"`) {
 			t.Fatalf("run %s error = %v, want unknown-backend", flag, err)

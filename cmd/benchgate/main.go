@@ -16,13 +16,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 func main() {
 	var (
-		in   = flag.String("in", "", "bench output file (default stdin)")
-		out  = flag.String("out", "BENCH_ci.json", "JSON artifact path (empty to skip)")
-		gate = flag.String("gate", "", "regexp of benchmark names that must report 0 allocs/op")
+		in      = flag.String("in", "", "bench output file (default stdin)")
+		out     = flag.String("out", "BENCH_ci.json", "JSON artifact path (empty to skip)")
+		gate    = flag.String("gate", "", "regexp of benchmark names that must report 0 allocs/op")
+		require = flag.String("require", "", "'pattern:metric' — benchmarks matching pattern must report custom metric > 0")
 	)
 	flag.Parse()
 
@@ -68,6 +70,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("benchgate: gate %q passed (0 allocs/op)\n", *gate)
+	}
+
+	if *require != "" {
+		pat, metric, ok := strings.Cut(*require, ":")
+		if !ok || pat == "" || metric == "" {
+			fatalf("benchgate: -require wants 'pattern:metric', got %q", *require)
+		}
+		if err := report.Require(pat, metric); err != nil {
+			fatalf("benchgate: %v", err)
+		}
+		fmt.Printf("benchgate: require %q passed\n", *require)
 	}
 }
 

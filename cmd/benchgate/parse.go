@@ -21,6 +21,10 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (e.g. "commits/op"),
+	// keeping the minimum sample: a liveness requirement must hold for
+	// the worst run, not on average.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the BENCH_ci.json artifact shape.
@@ -29,14 +33,16 @@ type Report struct {
 	Benchmarks []*Benchmark `json:"benchmarks"`
 }
 
-// benchLine matches standard `go test -bench -benchmem` result lines:
+// benchLine matches standard `go test -bench` result lines:
 //
 //	BenchmarkName-8   123456   147.6 ns/op   16 B/op   1 allocs/op
 //
-// The B/op and allocs/op columns require -benchmem; lines without them
-// still parse (zero values) so throughput-only benches can ride along.
+// Everything after ns/op — the -benchmem columns and any custom
+// b.ReportMetric pairs, in whatever order go test emits them — is parsed
+// as `value unit` fields; lines without them still parse (zero values)
+// so throughput-only benches can ride along.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op`)
 
 // Parse consumes `go test -bench` output and aggregates it per name.
 // The goroutine-count suffix (-8) stays in the name: the same benchmark
@@ -60,11 +66,6 @@ func Parse(r io.Reader) (*Report, error) {
 			return nil, fmt.Errorf("line %q: %v", sc.Text(), err)
 		}
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		var bytesOp, allocsOp float64
-		if m[4] != "" {
-			bytesOp, _ = strconv.ParseFloat(m[4], 64)
-			allocsOp, _ = strconv.ParseFloat(m[5], 64)
-		}
 		b := byName[name]
 		if b == nil {
 			b = &Benchmark{Name: name}
@@ -74,11 +75,30 @@ func Parse(r io.Reader) (*Report, error) {
 		b.Runs++
 		b.Iterations += iters
 		sums[name] += ns
-		if bytesOp > b.BytesPerOp {
-			b.BytesPerOp = bytesOp
-		}
-		if allocsOp > b.AllocsPerOp {
-			b.AllocsPerOp = allocsOp
+		fields := strings.Fields(strings.TrimSpace(sc.Text()))
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op", "MB/s":
+			case "B/op":
+				if v > b.BytesPerOp {
+					b.BytesPerOp = v
+				}
+			case "allocs/op":
+				if v > b.AllocsPerOp {
+					b.AllocsPerOp = v
+				}
+			default:
+				if b.Extra == nil {
+					b.Extra = make(map[string]float64)
+				}
+				if cur, ok := b.Extra[unit]; !ok || v < cur {
+					b.Extra[unit] = v
+				}
+			}
 		}
 		samples++
 	}
@@ -117,4 +137,34 @@ func (r *Report) Gate(pattern string) ([]*Benchmark, error) {
 		return nil, fmt.Errorf("gate %q matched no benchmarks — pinned subset renamed?", pattern)
 	}
 	return bad, nil
+}
+
+// Require checks that every benchmark matching pattern reports the named
+// custom metric with a positive worst-case (minimum) sample. This is the
+// liveness gate for benches whose measured work could silently degrade
+// to a no-op — a transactional bench that stops committing still posts
+// plausible ns/op numbers.
+func (r *Report) Require(pattern, metric string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -require pattern: %v", err)
+	}
+	matched := false
+	for _, b := range r.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		matched = true
+		v, ok := b.Extra[metric]
+		if !ok {
+			return fmt.Errorf("require: %s reports no %q metric", b.Name, metric)
+		}
+		if v <= 0 {
+			return fmt.Errorf("require: %s %s = %g, want > 0", b.Name, metric, v)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("require %q matched no benchmarks — pinned subset renamed?", pattern)
+	}
+	return nil
 }

@@ -94,6 +94,72 @@ BenchmarkEpochListSteadyAddRemove-8  1000  200 ns/op  16 B/op  1 allocs/op
 	}
 }
 
+const txnSample = `BenchmarkServerTCPTxn-8  50000  21000 ns/op  1.000 commits/op  900 B/op  14 allocs/op
+BenchmarkServerTCPTxn-8  52000  20500 ns/op  1.002 commits/op  890 B/op  14 allocs/op
+BenchmarkServerTCPPipelined-8  900000  1200 ns/op  64 B/op  2 allocs/op
+`
+
+func TestParseExtraMetrics(t *testing.T) {
+	rep, err := Parse(strings.NewReader(txnSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txn *Benchmark
+	for _, b := range rep.Benchmarks {
+		if b.Name == "BenchmarkServerTCPTxn-8" {
+			txn = b
+		}
+	}
+	if txn == nil {
+		t.Fatal("txn benchmark not found")
+	}
+	if got := txn.Extra["commits/op"]; got != 1.000 {
+		t.Fatalf("Extra[commits/op] = %v, want the minimum sample 1.000", got)
+	}
+	// The -benchmem columns after a custom metric must still parse.
+	if txn.AllocsPerOp != 14 {
+		t.Fatalf("AllocsPerOp = %v, want 14", txn.AllocsPerOp)
+	}
+	if txn.BytesPerOp != 900 {
+		t.Fatalf("BytesPerOp = %v, want worst sample 900", txn.BytesPerOp)
+	}
+}
+
+func TestRequirePassesOnLiveMetric(t *testing.T) {
+	rep, err := Parse(strings.NewReader(txnSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Require(`ServerTCPTxn`, "commits/op"); err != nil {
+		t.Fatalf("Require = %v, want nil", err)
+	}
+}
+
+func TestRequireFailsOnMissingMetric(t *testing.T) {
+	rep, err := Parse(strings.NewReader(txnSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Require(`ServerTCPPipelined`, "commits/op"); err == nil {
+		t.Fatal("Require on a bench without the metric should fail")
+	}
+	if err := rep.Require(`NoSuchBench`, "commits/op"); err == nil {
+		t.Fatal("Require with no matches should fail, not silently pass")
+	}
+}
+
+func TestRequireFailsOnZeroMetric(t *testing.T) {
+	dead := `BenchmarkServerTCPTxn-8  50000  21000 ns/op  0 commits/op  900 B/op  14 allocs/op
+`
+	rep, err := Parse(strings.NewReader(dead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Require(`ServerTCPTxn`, "commits/op"); err == nil {
+		t.Fatal("Require on a zero metric should fail")
+	}
+}
+
 func TestGateRejectsEmptyMatch(t *testing.T) {
 	rep, err := Parse(strings.NewReader(sample))
 	if err != nil {

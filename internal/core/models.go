@@ -261,6 +261,124 @@ func PQueueModel() Model {
 	}
 }
 
+// TxnState is a TxnModel state: the string map plus the transactional
+// counter, one atomic universe. Pairs are kept sorted by key so
+// reflect.DeepEqual works for the checker's state comparisons.
+type TxnState struct {
+	Pairs []MapPair
+	Ctr   int64
+}
+
+// TxnOp is one operation inside a TxnModel "exec" input: Act is a
+// single-op action name ("set", "get", "del", "incr", "inc", "read");
+// K and V are meaningful per action.
+type TxnOp struct {
+	Act string
+	K   string
+	V   int64
+}
+
+// TxnExecInput is the input of a TxnModel "exec" action.
+type TxnExecInput struct {
+	Ops []TxnOp
+}
+
+// TxnModel specifies the transactional keyspace behind MULTI/EXEC: the
+// string-map family and the counter share one state, and "exec" applies
+// a whole operation list in a single atomic step — the model of a
+// committed transaction. Single-op actions model the fast path:
+//
+//	set(MapSetInput{k,v})  -> true if k was absent
+//	get(k)                 -> v, or Empty when absent
+//	del(k)                 -> true if k was present
+//	incr(MapSetInput{k,d}) -> new value (absent keys start at 0)
+//	inc()                  -> old counter value
+//	read()                 -> counter value
+//	exec(TxnExecInput)     -> []any of per-op outputs, in order
+func TxnModel() Model {
+	return Model{
+		Name: "txn",
+		Init: func() any { return TxnState{} },
+		Apply: func(state any, action string, input any) (any, any) {
+			st := state.(TxnState)
+			if action == "exec" {
+				in := input.(TxnExecInput)
+				outs := make([]any, len(in.Ops))
+				for i, op := range in.Ops {
+					st, outs[i] = applyTxnOp(st, op.Act, op.K, op.V)
+				}
+				return st, outs
+			}
+			var k string
+			var v int64
+			switch in := input.(type) {
+			case MapSetInput:
+				k, v = in.K, in.V
+			case string:
+				k = in
+			case nil:
+			default:
+				panic("core: txn model: unexpected input type")
+			}
+			return applyTxnOp(st, action, k, v)
+		},
+	}
+}
+
+// applyTxnOp applies one single-op action to a TxnState, copy-on-write.
+func applyTxnOp(st TxnState, act string, k string, v int64) (TxnState, any) {
+	pairs := st.Pairs
+	i := sort.Search(len(pairs), func(i int) bool { return pairs[i].K >= k })
+	present := i < len(pairs) && pairs[i].K == k
+	setVal := func(nv int64) []MapPair {
+		if present {
+			next := make([]MapPair, len(pairs))
+			copy(next, pairs)
+			next[i].V = nv
+			return next
+		}
+		next := make([]MapPair, len(pairs)+1)
+		copy(next, pairs[:i])
+		next[i] = MapPair{K: k, V: nv}
+		copy(next[i+1:], pairs[i:])
+		return next
+	}
+	switch act {
+	case "set":
+		st.Pairs = setVal(v)
+		return st, !present
+	case "get":
+		if !present {
+			return st, Empty
+		}
+		return st, pairs[i].V
+	case "del":
+		if !present {
+			return st, false
+		}
+		next := make([]MapPair, len(pairs)-1)
+		copy(next, pairs[:i])
+		copy(next[i:], pairs[i+1:])
+		st.Pairs = next
+		return st, true
+	case "incr":
+		var cur int64
+		if present {
+			cur = pairs[i].V
+		}
+		st.Pairs = setVal(cur + v)
+		return st, cur + v
+	case "inc":
+		old := st.Ctr
+		st.Ctr++
+		return st, old
+	case "read":
+		return st, st.Ctr
+	default:
+		panic("core: txn model: unknown action " + act)
+	}
+}
+
 func toInt64(v any) int64 {
 	switch x := v.(type) {
 	case int:

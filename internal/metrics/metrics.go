@@ -324,3 +324,35 @@ func (r *Registry) Format() string {
 	}
 	return sb.String()
 }
+
+// External is a named monotone counter whose value lives in another
+// subsystem and is read through a closure — for statistics the owner
+// already counts (the STM engines' commit/abort totals) and for code
+// paths, like the server's connection goroutines, that have no dense
+// ThreadID and therefore cannot drive the width-bounded Counter backends.
+type External struct {
+	Name string
+	Read func() int64
+}
+
+// Externals is an ordered set of external counters.
+type Externals []External
+
+// Snapshot returns count-only OpStats rows, in order.
+func (e Externals) Snapshot() []OpStats {
+	out := make([]OpStats, 0, len(e))
+	for _, x := range e {
+		out = append(out, OpStats{Name: x.Name, Count: x.Read()})
+	}
+	return out
+}
+
+// Format renders the counters as "op <name> count=…" lines, matching
+// Registry.Format so STATS consumers parse both the same way.
+func (e Externals) Format() string {
+	var sb strings.Builder
+	for _, x := range e {
+		fmt.Fprintf(&sb, "op %s count=%d\n", x.Name, x.Read())
+	}
+	return sb.String()
+}

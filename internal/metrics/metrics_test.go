@@ -236,3 +236,27 @@ func TestRegistryCombiningBackend(t *testing.T) {
 		t.Fatalf("Count() = %d, want 2000", got)
 	}
 }
+
+// TestExternals checks the closure-backed counters format and snapshot
+// like registry ops.
+func TestExternals(t *testing.T) {
+	var commits, aborts int64 = 7, 2
+	e := Externals{
+		{Name: "txn.commit", Read: func() int64 { return commits }},
+		{Name: "txn.abort", Read: func() int64 { return aborts }},
+	}
+	snap := e.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "txn.commit" || snap[0].Count != 7 ||
+		snap[1].Name != "txn.abort" || snap[1].Count != 2 {
+		t.Fatalf("Snapshot() = %+v", snap)
+	}
+	out := e.Format()
+	if !strings.Contains(out, "op txn.commit count=7\n") ||
+		!strings.Contains(out, "op txn.abort count=2\n") {
+		t.Fatalf("Format():\n%s", out)
+	}
+	commits = 8
+	if e.Snapshot()[0].Count != 8 {
+		t.Fatal("Snapshot not reading through the closure")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"amp/internal/skiplist"
 	"amp/internal/stack"
 	"amp/internal/strmap"
+	"amp/internal/txn"
 )
 
 // Options selects the data-plane layout and its backends. The zero value
@@ -40,6 +41,15 @@ type Options struct {
 	PQueue         string // default "skip"
 	Counter        string // default "combining"
 	MetricsCounter string // counting backend for metrics; default "cas"
+
+	// Txn selects the transactional engine serving MULTI/EXEC and, when
+	// enabled, the fast path of the string-map and counter families (so
+	// plain traffic and transactions share one linearizable keyspace):
+	// "tl2" (default), "dstm", or "off". CM selects the DSTM contention
+	// manager (default "aggressive"); it is validated for every engine
+	// but only dstm consults it.
+	Txn string
+	CM  string
 
 	// SetCapacity is the initial per-shard hash-table size for both the
 	// integer set and the string map (power of two, default 1024).
@@ -73,6 +83,8 @@ func (o Options) withDefaults() Options {
 	def(&o.PQueue, "skip")
 	def(&o.Counter, "combining")
 	def(&o.MetricsCounter, "cas")
+	def(&o.Txn, "tl2")
+	def(&o.CM, "aggressive")
 	defInt(&o.SetCapacity, 1024)
 	defInt(&o.QueueCapacity, 4096)
 	defInt(&o.PQCapacity, 1024)
@@ -326,6 +338,35 @@ func PQueueBackends() []string { return sortedKeys(pqBackends) }
 
 // CounterBackends lists the valid -counter and -metrics-counter names.
 func CounterBackends() []string { return sortedKeys(counterBackends) }
+
+// TxnBackends lists the valid -txn names: the internal/txn engines plus
+// "off" (map and counter families served by the -map/-counter backends,
+// transaction verbs answer ERR).
+func TxnBackends() []string {
+	return append([]string{"off"}, txn.Engines()...)
+}
+
+// CMBackends lists the valid -cm names.
+func CMBackends() []string { return txn.Managers() }
+
+// newKeyspace resolves the -txn/-cm selection: a nil keyspace means
+// transactions are off. The contention-manager name is validated even
+// when transactions are off, so a bad -cm never boots.
+func newKeyspace(o Options) (txn.Keyspace, error) {
+	if err := txn.CheckManager(o.CM); err != nil {
+		return nil, fmt.Errorf("server: unknown cm backend %q (have %s)",
+			o.CM, strings.Join(CMBackends(), ", "))
+	}
+	if o.Txn == "off" {
+		return nil, nil
+	}
+	ks, err := txn.New(o.Txn, o.CM)
+	if err != nil {
+		return nil, fmt.Errorf("server: unknown txn backend %q (have %s)",
+			o.Txn, strings.Join(TxnBackends(), ", "))
+	}
+	return ks, nil
+}
 
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))

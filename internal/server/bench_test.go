@@ -167,6 +167,86 @@ func BenchmarkServerTCPStringMap(b *testing.B) {
 	})
 }
 
+// BenchmarkServerTCPTxn measures MULTI/EXEC transactions over loopback
+// TCP with pipelining: each benchmark op is one whole two-key transfer
+// (MULTI, HINCR +1, HINCR -1, EXEC — six reply lines) over a 64-account
+// working set on the default TL2 keyspace, so the measured path includes
+// staging, cross-shard commit, and array framing. Reports STM commits
+// per transaction; benchgate requires that metric to be live and nonzero.
+func BenchmarkServerTCPTxn(b *testing.B) {
+	const depth = 4 // transactions in flight per client
+	srv, err := New(Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := srv.Addr().String()
+
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		w := bufio.NewWriter(conn)
+		readTxn := func() bool {
+			for j := 0; j < 6; j++ { // OK, +QUEUED, +QUEUED, *2, two values
+				if _, err := r.ReadString('\n'); err != nil {
+					b.Error(err)
+					return false
+				}
+			}
+			return true
+		}
+		i := 0
+		window := 0
+		for pb.Next() {
+			i++
+			src, dst := i%64, (i*31+7)%64
+			fmt.Fprintf(w, "MULTI\nHINCR acct:%d 1\nHINCR acct:%d -1\nEXEC\n", src, dst)
+			if window++; window < depth {
+				continue
+			}
+			if err := w.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+			for ; window > 0; window-- {
+				if !readTxn() {
+					return
+				}
+			}
+		}
+		if window > 0 {
+			if err := w.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+			for ; window > 0; window-- {
+				if !readTxn() {
+					return
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	commits := srv.eng.ks.Commits()
+	if commits == 0 {
+		b.Fatal("transactional bench recorded zero commits")
+	}
+	b.ReportMetric(float64(commits)/float64(b.N), "commits/op")
+}
+
 // BenchmarkServerTCP measures full round-trips over loopback TCP, one
 // pipelining-free client per benchmark goroutine.
 func BenchmarkServerTCP(b *testing.B) {

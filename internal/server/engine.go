@@ -24,6 +24,7 @@ import (
 	"amp/internal/list"
 	"amp/internal/metrics"
 	"amp/internal/strmap"
+	"amp/internal/txn"
 )
 
 // status encodes the shape of a reply.
@@ -103,8 +104,10 @@ type engine struct {
 	pq         pqBackend
 	counter    counting.Counter
 	incs       atomic.Int64 // completed INCs: highest ticket + 1
+	ks         txn.Keyspace // transactional keyspace; nil when Txn "off"
 	rr         atomic.Uint32
 	metrics    *metrics.Registry
+	ext        metrics.Externals // closure-backed counters (txn commit/abort)
 	mops       [numOps]*metrics.Op
 	batchSizes *metrics.SizeHistogram // commands combined per shard wakeup
 	stopping   chan struct{}
@@ -142,6 +145,10 @@ func newEngine(o Options) (*engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	ks, err := newKeyspace(o)
+	if err != nil {
+		return nil, err
+	}
 
 	factory := func() counting.Counter { return newMetricsCounter(o) }
 	e := &engine{
@@ -150,9 +157,16 @@ func newEngine(o Options) (*engine, error) {
 		stack:      newStack(o),
 		pq:         newPQ(o),
 		counter:    newCounter(o),
+		ks:         ks,
 		metrics:    metrics.NewRegistry(factory, allMetricNames()...),
 		batchSizes: metrics.NewSizeHistogram(factory),
 		stopping:   make(chan struct{}),
+	}
+	if ks != nil {
+		e.ext = metrics.Externals{
+			{Name: "txn.commit", Read: ks.Commits},
+			{Name: "txn.abort", Read: ks.Aborts},
+		}
 	}
 	for op, name := range metricNames {
 		if name != "" {
@@ -312,12 +326,36 @@ func (e *engine) execute(s *shard, cmd Command) reply {
 		}
 		return reply{status: stInt, val: boolInt(changed)}
 
+	// The string-map family: through the transactional keyspace when the
+	// txn engine is on — the same tvars EXEC commits against, which is
+	// what keeps plain map traffic and transactions mutually
+	// linearizable — and through the shard's dictionary otherwise.
 	case OpHSet:
+		if e.ks != nil {
+			return reply{status: stInt, val: boolInt(e.ks.Set(cmd.Key, cmd.Arg))}
+		}
 		return reply{status: stInt, val: boolInt(s.dict.Set(cmd.Key, cmd.Arg))}
 	case OpHGet:
+		if e.ks != nil {
+			return valueReply(e.ks.Get(cmd.Key))
+		}
 		return valueReply(s.dict.Get(cmd.Key))
 	case OpHDel:
+		if e.ks != nil {
+			return reply{status: stInt, val: boolInt(e.ks.Del(cmd.Key))}
+		}
 		return reply{status: stInt, val: boolInt(s.dict.Del(cmd.Key))}
+	case OpHIncr:
+		if e.ks != nil {
+			return reply{status: stInt, val: e.ks.Incr(cmd.Key, cmd.Arg)}
+		}
+		// Without the keyspace, read-modify-write is still atomic per
+		// key: HINCR is keyed, so every command for this key executes on
+		// this shard goroutine against the shard-private dictionary.
+		v, _ := s.dict.Get(cmd.Key) // absent reads as 0
+		v += cmd.Arg
+		s.dict.Set(cmd.Key, v)
+		return reply{status: stInt, val: v}
 
 	case OpPush:
 		e.stack.push(cmd.Arg)
@@ -335,7 +373,13 @@ func (e *engine) execute(s *shard, cmd Command) reply {
 	case OpDeq:
 		return valueReply(e.queue.deq())
 
+	// The counter family joins the keyspace when the txn engine is on, so
+	// INC/READ can be staged in a MULTI buffer and still agree with the
+	// fast path; otherwise the configured counting backend serves it.
 	case OpInc:
+		if e.ks != nil {
+			return reply{status: stInt, val: e.ks.Inc()}
+		}
 		ticket := e.counter.GetAndIncrement(s.id)
 		for {
 			cur := e.incs.Load()
@@ -345,6 +389,9 @@ func (e *engine) execute(s *shard, cmd Command) reply {
 		}
 		return reply{status: stInt, val: ticket}
 	case OpRead:
+		if e.ks != nil {
+			return reply{status: stInt, val: e.ks.Counter()}
+		}
 		return reply{status: stInt, val: e.incs.Load()}
 
 	case OpPQAdd:
@@ -376,17 +423,74 @@ func boolInt(b bool) int64 {
 	return 0
 }
 
+// execTxn commits one staged MULTI buffer atomically through the
+// transactional keyspace, returning one reply per staged command in
+// order. It runs on the connection goroutine, not on any shard: cross-
+// shard atomicity comes from the STM commit protocol, so the buffer
+// never travels through the shard mailboxes at all.
+func (e *engine) execTxn(staged []Command) []reply {
+	ops := make([]txn.Op, len(staged))
+	for i, cmd := range staged {
+		switch cmd.Op {
+		case OpHGet:
+			ops[i] = txn.Op{Kind: txn.Get, Key: cmd.Key}
+		case OpHSet:
+			ops[i] = txn.Op{Kind: txn.Set, Key: cmd.Key, Val: cmd.Arg}
+		case OpHDel:
+			ops[i] = txn.Op{Kind: txn.Del, Key: cmd.Key}
+		case OpHIncr:
+			ops[i] = txn.Op{Kind: txn.Incr, Key: cmd.Key, Val: cmd.Arg}
+		case OpInc:
+			ops[i] = txn.Op{Kind: txn.CtrInc}
+		case OpRead:
+			ops[i] = txn.Op{Kind: txn.CtrRead}
+		}
+	}
+	results := e.ks.Exec(ops)
+	replies := make([]reply, len(staged))
+	for i, res := range results {
+		switch staged[i].Op {
+		case OpHGet:
+			if !res.Flag {
+				replies[i] = reply{status: stEmpty}
+			} else {
+				replies[i] = reply{status: stInt, val: res.Val}
+			}
+		case OpHSet, OpHDel:
+			replies[i] = reply{status: stInt, val: boolInt(res.Flag)}
+		default: // OpHIncr, OpInc, OpRead
+			replies[i] = reply{status: stInt, val: res.Val}
+		}
+	}
+	return replies
+}
+
+// txStatsLine renders the TXSTATS reply (callers guarantee e.ks != nil).
+func (e *engine) txStatsLine() string {
+	return fmt.Sprintf("engine=%s cm=%s commits=%d aborts=%d",
+		e.opts.Txn, e.opts.CM, e.ks.Commits(), e.ks.Aborts())
+}
+
 // statsBody renders the STATS reply body: the configuration, then one
-// line per measured op from the metrics registry.
+// line per measured op from the metrics registry and the external
+// transaction counters.
 func (e *engine) statsBody() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "shards %d\n", len(e.shards))
 	fmt.Fprintf(&sb, "backend set=%s map=%s queue=%s stack=%s pqueue=%s counter=%s metrics-counter=%s\n",
 		e.opts.Set, e.opts.Map, e.opts.Queue, e.opts.Stack, e.opts.PQueue, e.opts.Counter, e.opts.MetricsCounter)
+	if e.ks != nil {
+		fmt.Fprintf(&sb, "txn engine=%s cm=%s\n", e.opts.Txn, e.opts.CM)
+	} else {
+		sb.WriteString("txn off\n")
+	}
 	sb.WriteString(e.batchSizes.Format("shard.batch"))
 	sb.WriteString(e.metrics.Format())
+	sb.WriteString(e.ext.Format())
 	return sb.String()
 }
 
 // Stats exposes the metrics snapshot (for the expvar endpoint).
-func (e *engine) snapshot() []metrics.OpStats { return e.metrics.Snapshot() }
+func (e *engine) snapshot() []metrics.OpStats {
+	return append(e.metrics.Snapshot(), e.ext.Snapshot()...)
+}

@@ -274,7 +274,10 @@ func TestServerLinearizableMap(t *testing.T) {
 	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
 	for _, name := range MapBackends() {
 		t.Run(name, func(t *testing.T) {
-			testServerLinearizableMap(t, Options{Shards: 4, Map: name}, keys)
+			// Txn off: the harness is checking the named dictionary
+			// backend, not the transactional keyspace (txn_test.go
+			// covers the keyspace-backed histories).
+			testServerLinearizableMap(t, Options{Shards: 4, Map: name, Txn: "off"}, keys)
 		})
 	}
 }
@@ -287,7 +290,7 @@ func TestServerLinearizableMapShardCollision(t *testing.T) {
 	keys := sameShardKeys(t, shards, 3)
 	for _, name := range MapBackends() {
 		t.Run(name, func(t *testing.T) {
-			testServerLinearizableMap(t, Options{Shards: shards, Map: name}, keys)
+			testServerLinearizableMap(t, Options{Shards: shards, Map: name, Txn: "off"}, keys)
 		})
 	}
 }
@@ -324,7 +327,7 @@ func TestPipelinedStringRunsBatch(t *testing.T) {
 
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	if !srv.serveBatch(w, items) {
+	if !srv.serveBatch(w, items, &txnState{}) {
 		t.Fatal("serveBatch reported connection close")
 	}
 	if err := w.Flush(); err != nil {

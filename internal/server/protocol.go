@@ -16,6 +16,7 @@
 //	HSET k v   map string key k to v     → 1 (new key) | 0 (overwrote)
 //	HGET k     value at string key k     → v | EMPTY
 //	HDEL k     remove string key k       → 1 (removed) | 0 (absent)
+//	HINCR k v  add v to key k (0 start)  → new value
 //	PUSH v     push v on the stack       → OK
 //	POP        pop the stack             → v | EMPTY
 //	ENQ v      enqueue v                 → OK | FULL
@@ -27,6 +28,10 @@
 //	STATS      per-op counters/latency   → multi-line body, then END
 //	PING       liveness                  → PONG
 //	QUIT       close the connection      → OK
+//	MULTI      open a transaction        → OK, then +QUEUED per staged line
+//	EXEC       commit the staged buffer  → *N, then N reply lines
+//	DISCARD    drop the staged buffer    → OK
+//	TXSTATS    transaction engine stats  → one info line
 //
 // Any failure is reported as "ERR <reason>"; malformed commands keep the
 // connection open, an oversized line closes it (framing is lost).
@@ -38,6 +43,16 @@
 // Commands on one connection take effect in the order they were sent;
 // commands on different connections may interleave arbitrarily, each
 // atomically (the structures are linearizable).
+//
+// Between MULTI and EXEC the transactional families (HSET/HGET/HDEL/
+// HINCR, INC/READ — at most MaxTxnOps lines) are staged, not executed;
+// each staged line answers "+QUEUED". EXEC commits the whole buffer as
+// one atomic transaction — across keys and across shards — and answers
+// "*N" followed by the N per-command replies in staging order. Any
+// staging error (unknown or non-stageable command, nested MULTI, a full
+// buffer) poisons the window: EXEC then answers ERR and discards the
+// buffer. PING, STATS and TXSTATS execute immediately inside a window;
+// QUIT discards it and closes. With -txn off the four verbs answer ERR.
 package server
 
 import (
@@ -61,6 +76,7 @@ const (
 	OpHSet
 	OpHGet
 	OpHDel
+	OpHIncr
 	OpPush
 	OpPop
 	OpEnq
@@ -72,6 +88,10 @@ const (
 	OpStats
 	OpPing
 	OpQuit
+	OpMulti
+	OpExec
+	OpDiscard
+	OpTxStats
 	numOps
 )
 
@@ -107,6 +127,7 @@ var verbs = map[string]opInfo{
 	"HSET":  {OpHSet, argKeyInt},
 	"HGET":  {OpHGet, argKey},
 	"HDEL":  {OpHDel, argKey},
+	"HINCR": {OpHIncr, argKeyInt},
 	"PUSH":  {OpPush, argInt},
 	"POP":   {OpPop, argNone},
 	"ENQ":   {OpEnq, argInt},
@@ -118,6 +139,11 @@ var verbs = map[string]opInfo{
 	"STATS": {OpStats, argNone},
 	"PING":  {OpPing, argNone},
 	"QUIT":  {OpQuit, argNone},
+
+	"MULTI":   {OpMulti, argNone},
+	"EXEC":    {OpExec, argNone},
+	"DISCARD": {OpDiscard, argNone},
+	"TXSTATS": {OpTxStats, argNone},
 }
 
 // opNames is the inverse of verbs, for error messages.
@@ -147,7 +173,22 @@ func (o Op) HasArg() bool {
 // StringKeyed reports whether the op addresses the string-keyed map
 // family: its routing key is a string token, hashed into the int key
 // space for shard selection.
-func (o Op) StringKeyed() bool { return o == OpHSet || o == OpHGet || o == OpHDel }
+func (o Op) StringKeyed() bool {
+	return o == OpHSet || o == OpHGet || o == OpHDel || o == OpHIncr
+}
+
+// Stageable reports whether the op may be queued inside a MULTI window:
+// the transactional keyspace families (string map and counter). Staging
+// anything else — structures without transactional backing, or control
+// verbs — dirties the transaction so EXEC refuses it.
+func (o Op) Stageable() bool {
+	return o.StringKeyed() || o == OpInc || o == OpRead
+}
+
+// MaxTxnOps bounds the commands staged in one MULTI window, so a client
+// cannot grow an unbounded buffer (or an unboundedly long commit) on the
+// server's behalf.
+const MaxTxnOps = 128
 
 // Keyed reports whether the op addresses a sharded per-key family (the
 // integer set or the string map). Keyed commands must execute on the
@@ -280,6 +321,7 @@ var metricNames = [numOps]string{
 	OpHSet:  "map.set",
 	OpHGet:  "map.get",
 	OpHDel:  "map.del",
+	OpHIncr: "map.incr",
 	OpPush:  "stack.push",
 	OpPop:   "stack.pop",
 	OpEnq:   "queue.enq",

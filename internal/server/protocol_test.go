@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"net"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -110,6 +111,7 @@ type pipeExpect struct {
 // overflows the read buffer) races the close and risks a TCP reset
 // destroying replies in flight, so the client stops there.
 func simulatePipeline(data []byte) (exps []pipeExpect, consume int) {
+	var ps pipeSim
 	pos := 0
 	for pos < len(data) {
 		nl := bytes.IndexByte(data[pos:], '\n')
@@ -130,34 +132,101 @@ func simulatePipeline(data []byte) (exps []pipeExpect, consume int) {
 			// Final line without a terminator: served at EOF when
 			// non-empty, silent close when empty.
 			if len(content) > 0 {
-				exps = append(exps, expectFor(content))
+				e, _ := ps.step(content)
+				exps = append(exps, e...)
 			}
 			return exps, len(data)
 		}
-		e := expectFor(content)
-		exps = append(exps, e)
+		e, closed := ps.step(content)
+		exps = append(exps, e...)
 		pos += nl + 1
-		if e.kind == expExact && e.text == "OK" {
+		if closed {
 			return exps, pos // QUIT: server closes after the OK
 		}
 	}
 	return exps, len(data)
 }
 
-// expectFor maps one line's content to its reply expectation.
-func expectFor(content []byte) pipeExpect {
+// pipeSim mirrors the per-connection MULTI window state machine of
+// Server.serveBatch and serveTxnLine, so the oracle stays line-accurate
+// through transactions. It assumes transactions are enabled — FuzzPipeline
+// runs the default engine, never -txn off.
+type pipeSim struct {
+	active bool // inside a MULTI window
+	dirty  bool // a staging error poisoned the window
+	staged int  // commands queued so far
+}
+
+func (ps *pipeSim) reset() { ps.active, ps.dirty, ps.staged = false, false, 0 }
+
+// step maps one line's content to its reply expectations (an EXEC yields
+// the array header plus one line per staged command) and reports whether
+// the server closes the connection afterwards.
+func (ps *pipeSim) step(content []byte) (exps []pipeExpect, closed bool) {
+	one := func(kind int, text string) ([]pipeExpect, bool) {
+		return []pipeExpect{{kind: kind, text: text}}, false
+	}
 	cmd, err := ParseCommand(content)
+	if ps.active {
+		switch {
+		case err != nil:
+			ps.dirty = true
+			return one(expErr, "")
+		case cmd.Op == OpMulti:
+			ps.dirty = true
+			return one(expErr, "")
+		case cmd.Op == OpExec:
+			if ps.dirty {
+				ps.reset()
+				return one(expErr, "")
+			}
+			n := ps.staged
+			ps.reset()
+			exps = append(exps, pipeExpect{kind: expExact, text: "*" + strconv.Itoa(n)})
+			for i := 0; i < n; i++ {
+				exps = append(exps, pipeExpect{kind: expAny})
+			}
+			return exps, false
+		case cmd.Op == OpDiscard:
+			ps.reset()
+			return one(expExact, "OK")
+		case cmd.Op == OpQuit:
+			ps.reset()
+			exps, _ = one(expExact, "OK")
+			return exps, true
+		case cmd.Op == OpPing:
+			return one(expExact, "PONG")
+		case cmd.Op == OpStats:
+			return one(expStats, "")
+		case cmd.Op == OpTxStats:
+			return one(expAny, "")
+		case !cmd.Op.Stageable(), ps.staged >= MaxTxnOps:
+			ps.dirty = true
+			return one(expErr, "")
+		default:
+			ps.staged++
+			return one(expExact, "+QUEUED")
+		}
+	}
 	switch {
 	case err != nil:
-		return pipeExpect{kind: expErr}
+		return one(expErr, "")
 	case cmd.Op == OpQuit:
-		return pipeExpect{kind: expExact, text: "OK"}
+		exps, _ = one(expExact, "OK")
+		return exps, true
 	case cmd.Op == OpPing:
-		return pipeExpect{kind: expExact, text: "PONG"}
+		return one(expExact, "PONG")
 	case cmd.Op == OpStats:
-		return pipeExpect{kind: expStats}
+		return one(expStats, "")
+	case cmd.Op == OpMulti:
+		ps.active = true
+		return one(expExact, "OK")
+	case cmd.Op == OpExec, cmd.Op == OpDiscard:
+		return one(expErr, "")
+	case cmd.Op == OpTxStats:
+		return one(expAny, "")
 	default:
-		return pipeExpect{kind: expAny}
+		return one(expAny, "")
 	}
 }
 
@@ -184,6 +253,14 @@ func FuzzPipeline(f *testing.F) {
 		"HSET k\nHGET\nHDEL a b\nHSET  pad  3 \nHGET\tpad\n", // arity errors + embedded whitespace
 		"HGET " + strings.Repeat("K", MaxLineLen-5) + "\n",   // key at the MaxLineLen boundary
 		"HSET " + strings.Repeat("K", MaxLineLen) + " 1\nHGET x\n", // oversized key: ERR + close
+		"MULTI\nEXEC\n",                                       // empty transaction commits *0
+		"MULTI\nHSET k 1\nINC\nHGET k\nREAD\nEXEC\nHGET k\n",  // mixed txn, then a fast read
+		"MULTI\nMULTI\nHSET k 1\nEXEC\nEXEC\n",                // nested MULTI poisons the window
+		"DISCARD\nEXEC\nTXSTATS\nMULTI\nTXSTATS\nEXEC\n",      // txn control with and without a window
+		"MULTI\nHSET k 1\nDISCARD\nHGET k\n",                  // DISCARD drops the buffer
+		"MULTI\nPUSH 1\nPING\nSTATS\nFROB\nEXEC\n",            // non-stageable + control verbs inside
+		"MULTI\nHINCR k 2\nQUIT\nEXEC 1\n",                    // QUIT mid-transaction closes
+		"MULTI\n" + strings.Repeat("INC\n", MaxTxnOps+1) + "EXEC\n", // overflowing the staged buffer
 	}
 	for i, s := range seeds {
 		f.Add([]byte(s), byte(i*7+1))
@@ -277,6 +354,8 @@ func FuzzParseCommand(f *testing.F) {
 		"INC", "READ", "PQADD 3", "PQMIN", "STATS", "PING", "QUIT",
 		"", " ", "set\t1", "SET  1 ", "FOO", "SET \x00", "SET 1\r",
 		"HSET k 1", "HGET k", "HDEL  k ", "HSET k", "HGET a b",
+		"HINCR k 5", "HINCR k -5", "HINCR k", "HINCR k x",
+		"MULTI", "EXEC", "DISCARD", "TXSTATS", "MULTI 1",
 		"hset \x01k 2", "HDEL " + strings.Repeat("x", MaxLineLen),
 		strings.Repeat("A", 200),
 	}

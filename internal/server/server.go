@@ -144,6 +144,24 @@ func parseItem(line []byte) lineItem {
 	return lineItem{cmd: cmd, err: err}
 }
 
+// txnState is one connection's MULTI window: the staged commands and
+// whether a staging error has poisoned the window (EXEC then refuses).
+// It lives on the connection goroutine and is reset on DISCARD, EXEC,
+// QUIT and connection teardown — staged commands hold no engine
+// resources (no tvar locks, no shard slots) until the EXEC commit runs,
+// so dropping a connection mid-MULTI leaks nothing.
+type txnState struct {
+	active bool
+	dirty  bool
+	staged []Command
+}
+
+func (ts *txnState) reset() {
+	ts.active = false
+	ts.dirty = false
+	ts.staged = ts.staged[:0]
+}
+
 // handle runs one connection's pipelined read/parse/execute/write loop:
 // block for one line, parse ahead through everything the kernel already
 // delivered, execute the whole batch as contiguous per-shard runs, and
@@ -163,6 +181,8 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, MaxLineLen+2)
 	w := bufio.NewWriter(conn)
 	items := make([]lineItem, 0, maxBatch)
+	ts := &txnState{}
+	defer ts.reset() // drop a mid-MULTI buffer on any teardown path
 
 	for {
 		select {
@@ -185,7 +205,7 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		case errors.Is(err, io.EOF) && len(line) > 0:
 			// Final line without a terminator: serve it, then close.
-			s.serveBatch(w, append(items[:0], parseItem(line)))
+			s.serveBatch(w, append(items[:0], parseItem(line)), ts)
 			w.Flush()
 			return
 		default:
@@ -212,7 +232,7 @@ func (s *Server) handle(conn net.Conn) {
 			items = append(items, parseItem(line))
 		}
 
-		ok := s.serveBatch(w, items)
+		ok := s.serveBatch(w, items, ts)
 		if w.Flush() != nil || !ok {
 			return
 		}
@@ -240,10 +260,15 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 // must reply in position — cuts the run. Each run travels to its shard
 // as one batch, where the flat-combining loop in engine.serve answers it
 // as a unit; runs are submitted strictly in order, one at a time, which
-// is what preserves per-connection program order across shards. The
-// caller flushes the writer; the return is false when the connection
+// is what preserves per-connection program order across shards.
+//
+// A MULTI window (ts.active) suspends that machinery: staged lines
+// answer "+QUEUED" in place and never join a run, so nothing travels to
+// the shards until EXEC commits the buffer through the STM keyspace.
+//
+// The caller flushes the writer; the return is false when the connection
 // must close (write error, QUIT, or engine shutdown).
-func (s *Server) serveBatch(w *bufio.Writer, items []lineItem) bool {
+func (s *Server) serveBatch(w *bufio.Writer, items []lineItem, ts *txnState) bool {
 	b := getBatch()
 	defer putBatch(b)
 	shard := -1 // no keyed command has pinned the open run yet
@@ -277,6 +302,14 @@ func (s *Server) serveBatch(w *bufio.Writer, items []lineItem) bool {
 	}
 
 	for _, it := range items {
+		if ts.active {
+			// Inside a MULTI window the run is always empty (MULTI cut
+			// it), so staged lines reply in place with no flushRun.
+			if !s.serveTxnLine(w, it, ts) {
+				return false
+			}
+			continue
+		}
 		if it.err != nil {
 			if !flushRun() {
 				return false
@@ -300,6 +333,44 @@ func (s *Server) serveBatch(w *bufio.Writer, items []lineItem) bool {
 			if !flushRun() || !s.replyRaw(w, s.eng.statsBody()+"END") {
 				return false
 			}
+		case OpMulti:
+			if !flushRun() {
+				return false
+			}
+			if s.eng.ks == nil {
+				if !s.reply(w, errReply("transactions disabled (-txn off)")) {
+					return false
+				}
+				continue
+			}
+			ts.active = true
+			if !s.reply(w, reply{status: stOK}) {
+				return false
+			}
+		case OpExec, OpDiscard:
+			if !flushRun() {
+				return false
+			}
+			msg := fmt.Sprintf("%s without MULTI", it.cmd.Op)
+			if s.eng.ks == nil {
+				msg = "transactions disabled (-txn off)"
+			}
+			if !s.reply(w, errReply("%s", msg)) {
+				return false
+			}
+		case OpTxStats:
+			if !flushRun() {
+				return false
+			}
+			if s.eng.ks == nil {
+				if !s.reply(w, errReply("transactions disabled (-txn off)")) {
+					return false
+				}
+				continue
+			}
+			if !s.replyRaw(w, s.eng.txStatsLine()) {
+				return false
+			}
 		default:
 			if it.cmd.Op.Keyed() {
 				si := keyShard(it.cmd.ShardKey(), len(s.eng.shards))
@@ -312,6 +383,61 @@ func (s *Server) serveBatch(w *bufio.Writer, items []lineItem) bool {
 		}
 	}
 	return flushRun()
+}
+
+// serveTxnLine answers one line inside an open MULTI window: stageable
+// commands queue, control commands execute in place, everything else
+// poisons the window. false closes the connection (QUIT or write error).
+func (s *Server) serveTxnLine(w *bufio.Writer, it lineItem, ts *txnState) bool {
+	if it.err != nil {
+		ts.dirty = true
+		return s.reply(w, errReply("%v", it.err))
+	}
+	switch op := it.cmd.Op; op {
+	case OpMulti:
+		ts.dirty = true
+		return s.reply(w, errReply("MULTI calls cannot be nested"))
+	case OpExec:
+		if ts.dirty {
+			ts.reset()
+			return s.reply(w, errReply("EXEC aborted (errors while queueing)"))
+		}
+		replies := s.eng.execTxn(ts.staged)
+		ts.reset()
+		if !s.replyRaw(w, "*"+strconv.Itoa(len(replies))) {
+			return false
+		}
+		for _, r := range replies {
+			if !s.reply(w, r) {
+				return false
+			}
+		}
+		return true
+	case OpDiscard:
+		ts.reset()
+		return s.reply(w, reply{status: stOK})
+	case OpQuit:
+		ts.reset()
+		s.reply(w, reply{status: stOK})
+		return false
+	case OpPing:
+		return s.replyRaw(w, "PONG")
+	case OpStats:
+		return s.replyRaw(w, s.eng.statsBody()+"END")
+	case OpTxStats:
+		return s.replyRaw(w, s.eng.txStatsLine())
+	default:
+		if !op.Stageable() {
+			ts.dirty = true
+			return s.reply(w, errReply("%s cannot be staged in MULTI", op))
+		}
+		if len(ts.staged) >= MaxTxnOps {
+			ts.dirty = true
+			return s.reply(w, errReply("transaction exceeds %d staged commands", MaxTxnOps))
+		}
+		ts.staged = append(ts.staged, it.cmd)
+		return s.replyRaw(w, "+QUEUED")
+	}
 }
 
 // reply appends one reply line to the write buffer (the batch loop

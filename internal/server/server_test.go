@@ -191,6 +191,10 @@ func TestBackendMatrix(t *testing.T) {
 		for _, name := range names {
 			t.Run(family+"/"+name, func(t *testing.T) {
 				opts := Options{Shards: 2}
+				// The txn keyspace would absorb the map and counter
+				// families; turn it off so the named backend is the one
+				// actually exercised.
+				opts.Txn = "off"
 				switch family {
 				case "set":
 					opts.Set = name
@@ -245,6 +249,7 @@ func TestUnknownBackend(t *testing.T) {
 	for _, opts := range []Options{
 		{Set: "nope"}, {Map: "nope"}, {Queue: "nope"}, {Stack: "nope"},
 		{PQueue: "nope"}, {Counter: "nope"}, {MetricsCounter: "nope"},
+		{Txn: "nope"}, {CM: "nope"},
 	} {
 		if _, err := New(opts); err == nil || !strings.Contains(err.Error(), `"nope"`) {
 			t.Errorf("New(%+v) error = %v, want unknown-backend error", opts, err)
@@ -285,7 +290,9 @@ func TestPerKeyLinearizable(t *testing.T) {
 // TestCounterTickets checks that concurrent INCs hand out unique tickets
 // and READ converges on the total.
 func TestCounterTickets(t *testing.T) {
-	srv := startServer(t, Options{Shards: 4, Counter: "combining"})
+	// Txn off: INC must be served by the combining tree under test, not
+	// absorbed by the transactional keyspace.
+	srv := startServer(t, Options{Shards: 4, Counter: "combining", Txn: "off"})
 	const clients, each = 8, 200
 
 	results := make(chan int64, clients*each)

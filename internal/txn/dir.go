@@ -1,0 +1,61 @@
+package txn
+
+import (
+	"sync"
+
+	"amp/internal/strmap"
+)
+
+// dirStripes is the lock striping of the key directory. The directory is
+// only touched to resolve a key to its tvar (reads vastly outnumber
+// creations), so a modest RWMutex striping suffices; the tvars themselves
+// carry all transactional synchronization.
+const dirStripes = 64
+
+// dir maps keys to their per-key tvars. Cells are created on first touch
+// and never removed: a transaction that read an absent key must still be
+// able to validate that read at commit, which requires the key to have a
+// stable tvar to validate against (deleting the tvar of a deleted key
+// would re-admit the write-skew the STM exists to prevent).
+type dir[T any] struct {
+	stripes [dirStripes]struct {
+		mu sync.RWMutex
+		m  map[string]*T
+	}
+}
+
+func (d *dir[T]) stripe(key string) *struct {
+	mu sync.RWMutex
+	m  map[string]*T
+} {
+	return &d.stripes[strmap.Hash(key)%dirStripes]
+}
+
+// get returns the key's tvar, or nil if the key has never been touched.
+func (d *dir[T]) get(key string) *T {
+	s := d.stripe(key)
+	s.mu.RLock()
+	v := s.m[key]
+	s.mu.RUnlock()
+	return v
+}
+
+// getOrCreate returns the key's tvar, creating it with fresh if needed.
+// Idempotent: every caller for a key observes the same tvar forever.
+func (d *dir[T]) getOrCreate(key string, fresh func() *T) *T {
+	if v := d.get(key); v != nil {
+		return v
+	}
+	s := d.stripe(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v := s.m[key]; v != nil {
+		return v
+	}
+	if s.m == nil {
+		s.m = make(map[string]*T)
+	}
+	v := fresh()
+	s.m[key] = v
+	return v
+}

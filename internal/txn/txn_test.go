@@ -1,0 +1,314 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// newEach runs f once per engine/manager combination.
+func newEach(t *testing.T, f func(t *testing.T, ks Keyspace)) {
+	t.Helper()
+	for _, engine := range Engines() {
+		for _, cm := range Managers() {
+			if engine == "tl2" && cm != "aggressive" {
+				continue // tl2 ignores the manager; one run is enough
+			}
+			t.Run(engine+"/"+cm, func(t *testing.T) {
+				ks, err := New(engine, cm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f(t, ks)
+			})
+		}
+	}
+}
+
+func TestNewValidatesNames(t *testing.T) {
+	if _, err := New("nope", "aggressive"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := New("tl2", "nope"); err == nil {
+		t.Fatal("unknown contention manager accepted")
+	}
+	if err := CheckManager("backoff"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastPathSemantics(t *testing.T) {
+	newEach(t, func(t *testing.T, ks Keyspace) {
+		if _, ok := ks.Get("a"); ok {
+			t.Fatal("absent key reported present")
+		}
+		if !ks.Set("a", 7) {
+			t.Fatal("first Set not an insert")
+		}
+		if ks.Set("a", 8) {
+			t.Fatal("overwrite reported as insert")
+		}
+		if v, ok := ks.Get("a"); !ok || v != 8 {
+			t.Fatalf("Get(a) = %d,%v want 8,true", v, ok)
+		}
+		if !ks.Del("a") {
+			t.Fatal("Del of present key reported absent")
+		}
+		if ks.Del("a") || ks.Del("never") {
+			t.Fatal("Del of absent key reported removed")
+		}
+		if _, ok := ks.Get("a"); ok {
+			t.Fatal("deleted key still present")
+		}
+		// Incr resurrects through the tombstone, starting from 0.
+		if v := ks.Incr("a", 5); v != 5 {
+			t.Fatalf("Incr(a,5) = %d want 5", v)
+		}
+		if v := ks.Incr("a", -2); v != 3 {
+			t.Fatalf("Incr(a,-2) = %d want 3", v)
+		}
+		if v := ks.Inc(); v != 0 {
+			t.Fatalf("first Inc ticket = %d want 0", v)
+		}
+		if v := ks.Inc(); v != 1 {
+			t.Fatalf("second Inc ticket = %d want 1", v)
+		}
+		if v := ks.Counter(); v != 2 {
+			t.Fatalf("Counter = %d want 2", v)
+		}
+		if c := ks.Commits(); c == 0 {
+			t.Fatal("no commits recorded")
+		}
+	})
+}
+
+func TestExecSemantics(t *testing.T) {
+	newEach(t, func(t *testing.T, ks Keyspace) {
+		ks.Set("x", 1)
+		res := ks.Exec([]Op{
+			{Kind: Get, Key: "x"},
+			{Kind: Get, Key: "ghost"},
+			{Kind: Set, Key: "y", Val: 10},
+			{Kind: Get, Key: "y"}, // read-your-writes inside one txn
+			{Kind: Incr, Key: "y", Val: 5},
+			{Kind: Del, Key: "x"},
+			{Kind: Del, Key: "x"}, // second delete sees our own tombstone
+			{Kind: CtrInc},
+			{Kind: CtrRead},
+		})
+		want := []Result{
+			{Val: 1, Flag: true},
+			{Val: 0, Flag: false},
+			{Val: 10, Flag: true},
+			{Val: 10, Flag: true},
+			{Val: 15, Flag: true},
+			{Flag: true},
+			{Flag: false},
+			{Val: 0},
+			{Val: 1},
+		}
+		for i, w := range want {
+			if res[i] != w {
+				t.Fatalf("res[%d] = %+v want %+v", i, res[i], w)
+			}
+		}
+		if v, ok := ks.Get("y"); !ok || v != 15 {
+			t.Fatalf("post-exec Get(y) = %d,%v want 15,true", v, ok)
+		}
+		if _, ok := ks.Get("x"); ok {
+			t.Fatal("post-exec x still present")
+		}
+		if n := len(ks.Exec(nil)); n != 0 {
+			t.Fatalf("empty Exec returned %d results", n)
+		}
+	})
+}
+
+// TestExecAtomicTransfers is the core atomicity check: transfers between
+// accounts via Exec must never let a concurrent transactional reader see
+// a partial transfer, and the final sum must be unchanged.
+func TestExecAtomicTransfers(t *testing.T) {
+	newEach(t, func(t *testing.T, ks Keyspace) {
+		const (
+			accounts  = 8
+			writers   = 4
+			readers   = 2
+			transfers = 300
+		)
+		key := func(i int) string { return fmt.Sprintf("acct%d", i) }
+		for i := 0; i < accounts; i++ {
+			ks.Set(key(i), 0)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		errs := make(chan error, readers)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ops := make([]Op, accounts)
+				for i := range ops {
+					ops[i] = Op{Kind: Get, Key: key(i)}
+				}
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var sum int64
+					for _, r := range ks.Exec(ops) {
+						sum += r.Val
+					}
+					if sum != 0 {
+						select {
+						case errs <- fmt.Errorf("torn snapshot: sum %d", sum):
+						default:
+						}
+						return
+					}
+				}
+			}()
+		}
+		var writersWG sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			writersWG.Add(1)
+			go func(seed int) {
+				defer writersWG.Done()
+				for n := 0; n < transfers; n++ {
+					from := (seed + n) % accounts
+					to := (seed + n + 1 + n%3) % accounts
+					if from == to {
+						continue
+					}
+					ks.Exec([]Op{
+						{Kind: Incr, Key: key(from), Val: -1},
+						{Kind: Incr, Key: key(to), Val: 1},
+					})
+				}
+			}(w)
+		}
+		writersWG.Wait()
+		close(stop)
+		wg.Wait()
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+		var sum int64
+		for i := 0; i < accounts; i++ {
+			v, ok := ks.Get(key(i))
+			if !ok {
+				t.Fatalf("account %d vanished", i)
+			}
+			sum += v
+		}
+		if sum != 0 {
+			t.Fatalf("final sum %d, want 0", sum)
+		}
+		if ks.Commits() == 0 {
+			t.Fatal("no commits recorded")
+		}
+	})
+}
+
+// TestCounterTickets checks Inc hands out unique, gap-free tickets under
+// concurrency, transactionally and on the fast path.
+func TestCounterTickets(t *testing.T) {
+	newEach(t, func(t *testing.T, ks Keyspace) {
+		const goroutines, each = 4, 200
+		seen := make([]bool, goroutines*each)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < each; i++ {
+					var v int64
+					if (g+i)%2 == 0 {
+						v = ks.Inc()
+					} else {
+						v = ks.Exec([]Op{{Kind: CtrInc}})[0].Val
+					}
+					mu.Lock()
+					if seen[v] {
+						mu.Unlock()
+						t.Errorf("duplicate ticket %d", v)
+						return
+					}
+					seen[v] = true
+					mu.Unlock()
+				}
+			}(g)
+		}
+		wg.Wait()
+		if v := ks.Counter(); v != goroutines*each {
+			t.Fatalf("Counter = %d want %d", v, goroutines*each)
+		}
+	})
+}
+
+// TestRepeatableReadVsFastWrites: a transaction reading the same key
+// twice must see one value, even while fast-path writers hammer the key.
+func TestRepeatableReadVsFastWrites(t *testing.T) {
+	newEach(t, func(t *testing.T, ks Keyspace) {
+		ks.Set("k", 0)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					ks.Set("k", i)
+				}
+			}
+		}()
+		for n := 0; n < 200; n++ {
+			res := ks.Exec([]Op{
+				{Kind: Get, Key: "k"},
+				{Kind: Get, Key: "k"},
+			})
+			if res[0] != res[1] {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("non-repeatable read: %+v vs %+v", res[0], res[1])
+			}
+		}
+		close(stop)
+		wg.Wait()
+	})
+}
+
+// TestAbortAccounting: statistics stay consistent under contention —
+// commits count completed operations exactly, aborts never go negative.
+func TestAbortAccounting(t *testing.T) {
+	newEach(t, func(t *testing.T, ks Keyspace) {
+		const goroutines, each = 4, 100
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < each; i++ {
+					ks.Incr("hot", 1)
+				}
+			}()
+		}
+		wg.Wait()
+		if v, _ := ks.Get("hot"); v != goroutines*each {
+			t.Fatalf("hot = %d want %d", v, goroutines*each)
+		}
+		if c := ks.Commits(); c != goroutines*each {
+			t.Fatalf("Commits = %d want %d", c, goroutines*each)
+		}
+		if a := ks.Aborts(); a < 0 {
+			t.Fatalf("Aborts = %d", a)
+		}
+	})
+}
