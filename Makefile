@@ -21,13 +21,14 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # The CI allocation gate, runnable locally: pinned subset, 5 repeats,
-# fails if any epoch steady-state bench allocates. Writes BENCH_ci.json.
+# fails if any epoch steady-state bench — including the wait-free read
+# bypass path — allocates. Writes BENCH_ci.json.
 bench-ci:
 	$(GO) test -run='^$$' -bench='Epoch.*Steady|LockFree.*(EnqDeq|AddRemove)' -benchmem -count=5 \
 		./internal/queue ./internal/list ./internal/skiplist | tee bench.txt
-	$(GO) test -run='^$$' -bench='BenchmarkServerTCP(Pipelined|StringMap|Txn)' -benchmem -count=5 \
+	$(GO) test -run='^$$' -bench='BenchmarkServerTCP(Pipelined|StringMap|Txn|ReadMostly)|BenchmarkReadBypassSteady' -benchmem -count=5 \
 		./internal/server | tee -a bench.txt
-	$(GO) run ./cmd/benchgate -in bench.txt -out BENCH_ci.json -gate 'Epoch.*Steady' \
+	$(GO) run ./cmd/benchgate -in bench.txt -out BENCH_ci.json -gate 'Epoch.*Steady|ReadBypassSteady' \
 		-require 'ServerTCPTxn:commits/op'
 
 serve:

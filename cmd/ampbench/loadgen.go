@@ -30,7 +30,23 @@ type loadConfig struct {
 	mode    string // "mix" (all families), "map" (string keys), "txn" (MULTI/EXEC transfers)
 	keys    int    // map/txn mode: size of the string key (account) space
 	txnSize int    // txn mode: staged commands per transaction
+	mix     string // read:write ratio like "90:10"; empty = mode's default mix
 	timeout time.Duration
+}
+
+// parseMix turns "R:W" into a read percentage. The two weights need not
+// sum to 100 — "9:1" and "90:10" are the same mix.
+func parseMix(mix string) (int, error) {
+	r, w, ok := strings.Cut(mix, ":")
+	if !ok {
+		return 0, fmt.Errorf("mix %q must be R:W (e.g. 90:10)", mix)
+	}
+	ri, err1 := strconv.Atoi(r)
+	wi, err2 := strconv.Atoi(w)
+	if err1 != nil || err2 != nil || ri < 0 || wi < 0 || ri+wi == 0 {
+		return 0, fmt.Errorf("mix %q must be R:W with non-negative weights", mix)
+	}
+	return 100 * ri / (ri + wi), nil
 }
 
 // loadMix is the command cycle every client replays; it touches all six
@@ -67,6 +83,17 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 	}
 	if cfg.mode == "txn" && (cfg.txnSize < 2 || cfg.txnSize > server.MaxTxnOps) {
 		return fmt.Errorf("txn-size (%d) must be in 2..%d", cfg.txnSize, server.MaxTxnOps)
+	}
+	if cfg.mix != "" {
+		if cfg.mode == "txn" {
+			return fmt.Errorf("-mix does not apply to txn mode")
+		}
+		if _, err := parseMix(cfg.mix); err != nil {
+			return err
+		}
+		if cfg.keys <= 0 {
+			return fmt.Errorf("keys (%d) must be positive with -mix", cfg.keys)
+		}
 	}
 
 	var baseline int64
@@ -118,14 +145,17 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 	if mode == "txn" {
 		fmt.Fprintf(out, " keys=%d txn-size=%d", cfg.keys, cfg.txnSize)
 	}
+	if cfg.mix != "" {
+		fmt.Fprintf(out, " mix=%s", cfg.mix)
+	}
 	fmt.Fprintln(out)
 	unit := "ops"
 	if mode == "txn" {
 		unit = "txns"
 	}
 	fmt.Fprintf(out, "  %d %s in %v → %.0f %s/sec\n", total, unit, elapsed.Round(time.Millisecond), opsPerSec, unit)
-	fmt.Fprintf(out, "  latency p50=%v p99=%v max=%v\n",
-		quantile(all, 0.50), quantile(all, 0.99), all[total-1])
+	fmt.Fprintf(out, "  latency p50=%v p99=%v p99.9=%v max=%v\n",
+		quantile(all, 0.50), quantile(all, 0.99), quantile(all, 0.999), all[total-1])
 	if mode == "txn" {
 		return verifyTxnInvariant(cfg, baseline, out)
 	}
@@ -237,9 +267,15 @@ func runClient(cfg loadConfig, id int) clientResult {
 	// runs are reproducible without being identical across clients.
 	var rng *rand.Rand
 	var zipf *rand.Zipf
-	if cfg.mode == "map" {
+	readPct := -1
+	if cfg.mode == "map" || cfg.mix != "" {
 		rng = rand.New(rand.NewSource(int64(id)*104729 + 7))
+	}
+	if cfg.mode == "map" {
 		zipf = rand.NewZipf(rng, 1.2, 1, uint64(cfg.keys-1))
+	}
+	if cfg.mix != "" {
+		readPct, _ = parseMix(cfg.mix) // validated by runLoad
 	}
 
 	lat := make([]time.Duration, 0, cfg.ops)
@@ -249,9 +285,12 @@ func runClient(cfg loadConfig, id int) clientResult {
 		window = window[:0]
 		for i := sent; i < cfg.ops && len(window) < depth; i++ {
 			var cmd string
-			if zipf != nil {
+			switch {
+			case readPct >= 0:
+				cmd = ratioCommand(rng, zipf, readPct, cfg.keys, base+i)
+			case zipf != nil:
 				cmd = mapCommand(rng, zipf, base+i)
-			} else {
+			default:
 				tmpl := loadMix[i%len(loadMix)]
 				cmd = tmpl
 				if strings.Contains(tmpl, "%d") {
@@ -398,6 +437,35 @@ func txnCommands(rng *rand.Rand, accounts, size int) []string {
 		cmds = append(cmds, fmt.Sprintf("HGET acct:%d", rng.Intn(accounts)))
 	}
 	return cmds
+}
+
+// ratioCommand draws one command at a fixed read percentage (-mix R:W):
+// in map mode (zipf != nil) HGET vs HSET/HDEL over Zipf string keys, in
+// the default mode GET vs SET/DEL over a uniform [0,keys) integer space.
+// Writes split 2:1 insert:delete so the structure stays populated and
+// reads keep finding keys.
+func ratioCommand(rng *rand.Rand, zipf *rand.Zipf, readPct, keys, v int) string {
+	read := rng.Intn(100) < readPct
+	if zipf != nil {
+		key := zipf.Uint64()
+		switch {
+		case read:
+			return fmt.Sprintf("HGET key:%d", key)
+		case rng.Intn(3) < 2:
+			return fmt.Sprintf("HSET key:%d %d", key, v)
+		default:
+			return fmt.Sprintf("HDEL key:%d", key)
+		}
+	}
+	key := rng.Intn(keys)
+	switch {
+	case read:
+		return fmt.Sprintf("GET %d", key)
+	case rng.Intn(3) < 2:
+		return fmt.Sprintf("SET %d", key)
+	default:
+		return fmt.Sprintf("DEL %d", key)
+	}
 }
 
 // mapCommand draws one string-map command: a Zipf-popular key with a

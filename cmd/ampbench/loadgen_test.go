@@ -144,16 +144,88 @@ func TestLoadModeMap(t *testing.T) {
 	for _, s := range srv.Stats() {
 		counts[s.Name] = s.Count
 	}
-	if total := counts["map.set"] + counts["map.get"] + counts["map.del"]; total != 600 {
+	// HGETs take the read bypass (default txn=tl2 keyspace), so they
+	// count under read.bypass rather than the shard-applied map.get.
+	if total := counts["map.set"] + counts["map.get"] + counts["map.del"] + counts["read.bypass"]; total != 600 {
 		t.Errorf("map family executed %d ops, want 600 (%v)", total, counts)
 	}
-	if counts["map.set"] == 0 || counts["map.get"] == 0 || counts["map.del"] == 0 {
+	if counts["map.set"] == 0 || counts["read.bypass"] == 0 || counts["map.del"] == 0 {
 		t.Errorf("map verb mix incomplete: %v", counts)
 	}
 	for _, op := range []string{"set.add", "queue.enq", "stack.push"} {
 		if counts[op] != 0 {
 			t.Errorf("map mode executed %s %d times, want 0", op, counts[op])
 		}
+	}
+}
+
+// TestLoadModeReadMix drives the -mix read-ratio workload against a
+// bypass-capable set backend and checks both the ratio accounting and
+// that the reads actually took the bypass (zero mailbox reads).
+func TestLoadModeReadMix(t *testing.T) {
+	srv, err := server.New(server.Options{Shards: 2, Set: "skip-epoch"})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	var sb strings.Builder
+	err = run([]string{"-serve-addr", srv.Addr().String(),
+		"-clients", "2", "-ops", "400", "-depth", "4", "-mix", "90:10", "-keys", "64"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"mix=90:10", "800 ops", "p99.9="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	counts := map[string]int64{}
+	for _, s := range srv.Stats() {
+		counts[s.Name] = s.Count
+	}
+	reads, writes := counts["read.bypass"], counts["set.add"]+counts["set.remove"]
+	if reads+writes != 800 {
+		t.Errorf("reads(%d)+writes(%d) = %d, want 800 (%v)", reads, writes, reads+writes, counts)
+	}
+	if counts["read.mailbox"] != 0 || counts["set.contains"] != 0 {
+		t.Errorf("GETs rode the mailbox on a bypass-capable backend: %v", counts)
+	}
+	// 90% reads with binomial noise over 800 draws: stay in a wide band.
+	if reads < 640 || reads > 790 {
+		t.Errorf("read.bypass = %d of 800, want ≈720 for a 90:10 mix", reads)
+	}
+}
+
+func TestLoadModeRejectsBadMix(t *testing.T) {
+	var sb strings.Builder
+	for _, mix := range []string{"90", "a:b", "-1:10", "0:0", "90:10:0"} {
+		if err := runLoad(loadConfig{addr: "x", clients: 1, ops: 1, mix: mix, keys: 8}, &sb); err == nil {
+			t.Errorf("mix=%q should fail", mix)
+		}
+	}
+	if err := runLoad(loadConfig{addr: "x", clients: 1, ops: 1,
+		mode: "txn", keys: 8, txnSize: 2, mix: "90:10"}, &sb); err == nil {
+		t.Error("mix in txn mode should fail")
+	}
+	if err := runLoad(loadConfig{addr: "x", clients: 1, ops: 1, mix: "90:10", keys: 0}, &sb); err == nil {
+		t.Error("mix with keys=0 should fail")
 	}
 }
 

@@ -18,6 +18,7 @@
 //	ampbench -serve-addr 127.0.0.1:7171 -clients 16 -ops 5000 -depth 8
 //	ampbench -serve-addr 127.0.0.1:7171 -mode map -keys 4096
 //	ampbench -serve-addr 127.0.0.1:7171 -mode txn -clients 64 -txn-size 2
+//	ampbench -serve-addr 127.0.0.1:7171 -mix 90:10 -keys 1024
 //
 // Each client opens one TCP connection and replays a mix covering all six
 // command families; the run reports ops/sec and p50/p99 latency. -depth
@@ -30,7 +31,10 @@
 // transactions of -txn-size staged commands over -keys accounts; after
 // the load quiesces it reads every account and fails unless the balance
 // sum is exactly zero — the atomicity invariant — then prints the
-// server's TXSTATS commit/abort line.
+// server's TXSTATS commit/abort line. -mix R:W replays a ratio-controlled
+// read/write mix (GET/SET/DEL, or HGET/HSET/HDEL in -mode map) and
+// reports p50/p99/p99.9 — the knob EXPERIMENTS.md E18 uses to measure
+// the wait-free read bypass's tail latency.
 package main
 
 import (
@@ -68,6 +72,7 @@ func run(args []string, out io.Writer) error {
 		mode      = fs.String("mode", "mix", "load mode workload: mix (all families), map (Zipf string keys), or txn (MULTI/EXEC transfers)")
 		keys      = fs.Int("keys", 1024, "load mode: string key-space (account) size for -mode map/txn")
 		txnSize   = fs.Int("txn-size", 2, "load mode: staged commands per transaction for -mode txn")
+		mix       = fs.String("mix", "", "load mode: read:write ratio like 90:10 (GET/SET/DEL in -mode mix, HGET/HSET/HDEL in -mode map)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,7 +84,7 @@ func run(args []string, out io.Writer) error {
 			opsPerClient = 2000
 		}
 		return runLoad(loadConfig{addr: *serveAddr, clients: *clients, ops: opsPerClient,
-			depth: *depth, mode: *mode, keys: *keys, txnSize: *txnSize}, out)
+			depth: *depth, mode: *mode, keys: *keys, txnSize: *txnSize, mix: *mix}, out)
 	}
 
 	if *list {

@@ -10,6 +10,8 @@
 //	ampserved -addr :7171 -shards 8
 //	ampserved -set lockfree -map refinable -queue recycling -counter network
 //	ampserved -txn dstm -cm backoff        # MULTI/EXEC over the DSTM engine
+//	ampserved -set skip-epoch -map epoch -txn off   # every read on the wait-free bypass
+//	ampserved -read-bypass off             # force all reads through the shard mailboxes
 //	ampserved -http 127.0.0.1:7172         # expvar stats endpoint
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
@@ -70,6 +72,9 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		txn = fs.String("txn", "", "transactional keyspace engine for MULTI/EXEC: "+strings.Join(server.TxnBackends(), "|"))
 		cm  = fs.String("cm", "", "DSTM contention manager: "+strings.Join(server.CMBackends(), "|"))
 
+		readBypass = fs.String("read-bypass", "",
+			"wait-free read fast path on capable backends: on|off (default on)")
+
 		setCap   = fs.Int("set-cap", 0, "per-shard hash table size (power of two)")
 		queueCap = fs.Int("queue-cap", 0, "bounded/recycling queue capacity")
 		pqCap    = fs.Int("pq-cap", 0, "heap capacity / linear/tree priority range")
@@ -89,6 +94,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		MetricsCounter: *metricsCounter,
 		Txn:            *txn,
 		CM:             *cm,
+		ReadBypass:     *readBypass,
 		SetCapacity:    *setCap,
 		QueueCapacity:  *queueCap,
 		PQCapacity:     *pqCap,
@@ -101,8 +107,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		return err
 	}
 	opts := srv.Options()
-	fmt.Fprintf(out, "ampserved: listening on %s (shards=%d set=%s map=%s queue=%s stack=%s pqueue=%s counter=%s txn=%s cm=%s)\n",
-		srv.Addr(), opts.Shards, opts.Set, opts.Map, opts.Queue, opts.Stack, opts.PQueue, opts.Counter, opts.Txn, opts.CM)
+	fmt.Fprintf(out, "ampserved: listening on %s (shards=%d set=%s map=%s queue=%s stack=%s pqueue=%s counter=%s txn=%s cm=%s read-bypass=%s)\n",
+		srv.Addr(), opts.Shards, opts.Set, opts.Map, opts.Queue, opts.Stack, opts.PQueue, opts.Counter, opts.Txn, opts.CM, opts.ReadBypass)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {

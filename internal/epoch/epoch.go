@@ -135,6 +135,19 @@ func NewDomain(pools int) *Domain {
 // Epoch reports the current global epoch (diagnostics and tests).
 func (d *Domain) Epoch() uint64 { return d.global.Load() }
 
+// ActivePins counts the slots currently pinned — a leak probe: a domain
+// quiesced between operations must report zero, or some reader exited
+// without Unpin and reclamation is wedged forever.
+func (d *Domain) ActivePins() int {
+	n := 0
+	for i := range d.slots {
+		if d.slots[i].state.Load()&activeBit != 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // acquire pops a slot off the stamped free stack, yielding the scheduler
 // while every slot is pinned (possible only when pinned goroutines
 // outnumber slots, i.e. under heavy oversubscription).

@@ -51,6 +51,10 @@ func NewEpochList() *EpochList {
 	return &EpochList{dom: epoch.NewDomain(2), head: head}
 }
 
+// Domain exposes the reclamation domain for diagnostics and the server's
+// epoch-pin leak tests.
+func (l *EpochList) Domain() *epoch.Domain { return l.dom }
+
 // ref returns a recycled (or fresh) pair set to (n, marked). The pair
 // is exclusively owned until published by a successful CAS.
 func (l *EpochList) ref(s *epoch.Slot, n *elNode, marked bool) *elRef {

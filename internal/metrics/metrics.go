@@ -325,6 +325,26 @@ func (r *Registry) Format() string {
 	return sb.String()
 }
 
+// FlatCounter is a single shared atomic counter for code paths with no
+// dense ThreadID — e.g. the server's connection goroutines, whose
+// population is unbounded and whose concurrent same-ID increments the
+// width-bounded Counter backends forbid. It trades the dispensers'
+// contention spreading for unconditional safety from any goroutine.
+type FlatCounter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *FlatCounter) Inc() { c.v.Add(1) }
+
+// Value reads the current total.
+func (c *FlatCounter) Value() int64 { return c.v.Load() }
+
+// External adapts the counter to an Externals row under the given name.
+func (c *FlatCounter) External(name string) External {
+	return External{Name: name, Read: c.Value}
+}
+
 // External is a named monotone counter whose value lives in another
 // subsystem and is read through a closure — for statistics the owner
 // already counts (the STM engines' commit/abort totals) and for code

@@ -42,6 +42,16 @@ type Options struct {
 	Counter        string // default "combining"
 	MetricsCounter string // counting backend for metrics; default "cas"
 
+	// ReadBypass controls the wait-free read fast path: "on" (default)
+	// executes GET/HGET directly on the connection goroutine — under an
+	// epoch pin where the backend needs one — whenever the serving
+	// backend's reads are safe from any goroutine (see the readBypass
+	// capability on the registry entries); "off" forces every read
+	// through the shard mailbox. Reads on non-capable backends, and
+	// reads staged inside MULTI windows, always take the mailbox/tvar
+	// path regardless of this setting.
+	ReadBypass string
+
 	// Txn selects the transactional engine serving MULTI/EXEC and, when
 	// enabled, the fast path of the string-map and counter families (so
 	// plain traffic and transactions share one linearizable keyspace):
@@ -83,6 +93,7 @@ func (o Options) withDefaults() Options {
 	def(&o.PQueue, "skip")
 	def(&o.Counter, "combining")
 	def(&o.MetricsCounter, "cas")
+	def(&o.ReadBypass, "on")
 	def(&o.Txn, "tl2")
 	def(&o.CM, "aggressive")
 	defInt(&o.SetCapacity, 1024)
@@ -235,28 +246,50 @@ const (
 	sentinelGuardMax = list.KeyMax - 1
 )
 
+// setEntry is one -set registry row: a constructor plus the capability
+// that gates the wait-free read fast path. readBypass asserts that
+// Contains on the built structure is safe to call from any goroutine
+// concurrently with the owning shard's writes — true for the lock-free
+// sets, whose reads are CAS-free pointer chases (epoch-pinned where the
+// structure recycles nodes), false for every lock-based table, where a
+// foreign reader would race the resize/quiesce protocols.
+type setEntry struct {
+	make       func(o Options) list.Set
+	readBypass bool
+}
+
+// mapEntry mirrors setEntry for the -map registry: readBypass asserts
+// Get is safe from any goroutine.
+type mapEntry struct {
+	make       func(o Options) strmap.Map
+	readBypass bool
+}
+
 // Backend constructor tables. Each entry builds a fresh instance from the
 // (defaulted) options.
 var (
-	setBackends = map[string]func(o Options) list.Set{
-		"coarse":    func(o Options) list.Set { return hashset.NewCoarseHashSet(o.SetCapacity) },
-		"striped":   func(o Options) list.Set { return hashset.NewStripedHashSet(o.SetCapacity) },
-		"refinable": func(o Options) list.Set { return hashset.NewRefinableHashSet(o.SetCapacity) },
-		"lockfree":  func(o Options) list.Set { return hashset.NewLockFreeHashSet() },
-		"cuckoo":    func(o Options) list.Set { return hashset.NewStripedCuckooHashSet(o.SetCapacity) },
+	setBackends = map[string]setEntry{
+		"coarse":    {make: func(o Options) list.Set { return hashset.NewCoarseHashSet(o.SetCapacity) }},
+		"striped":   {make: func(o Options) list.Set { return hashset.NewStripedHashSet(o.SetCapacity) }},
+		"refinable": {make: func(o Options) list.Set { return hashset.NewRefinableHashSet(o.SetCapacity) }},
+		"lockfree":  {make: func(o Options) list.Set { return hashset.NewLockFreeHashSet() }, readBypass: true},
+		"cuckoo":    {make: func(o Options) list.Set { return hashset.NewStripedCuckooHashSet(o.SetCapacity) }},
 		// Epoch-recycled ordered sets: allocation-free once warm (see
 		// internal/epoch). Ordered-set semantics instead of hashing.
-		"list-epoch": func(o Options) list.Set { return list.NewEpochList() },
-		"skip-epoch": func(o Options) list.Set { return skiplist.NewEpochSkipList() },
+		"list-epoch": {make: func(o Options) list.Set { return list.NewEpochList() }, readBypass: true},
+		"skip-epoch": {make: func(o Options) list.Set { return skiplist.NewEpochSkipList() }, readBypass: true},
 	}
 	// The map family serves HSET/HGET/HDEL: per-shard string-keyed
 	// dictionaries with open chaining (internal/strmap), mirroring the
 	// set registry's synchronization spectrum.
-	mapBackends = map[string]func(o Options) strmap.Map{
-		"coarse":       func(o Options) strmap.Map { return strmap.NewCoarseMap(o.SetCapacity) },
-		"striped":      func(o Options) strmap.Map { return strmap.NewStripedMap(o.SetCapacity) },
-		"refinable":    func(o Options) strmap.Map { return strmap.NewRefinableMap(o.SetCapacity) },
-		"cuckoo-chain": func(o Options) strmap.Map { return strmap.NewCuckooChainMap(o.SetCapacity) },
+	mapBackends = map[string]mapEntry{
+		"coarse":       {make: func(o Options) strmap.Map { return strmap.NewCoarseMap(o.SetCapacity) }},
+		"striped":      {make: func(o Options) strmap.Map { return strmap.NewStripedMap(o.SetCapacity) }},
+		"refinable":    {make: func(o Options) strmap.Map { return strmap.NewRefinableMap(o.SetCapacity) }},
+		"cuckoo-chain": {make: func(o Options) strmap.Map { return strmap.NewCuckooChainMap(o.SetCapacity) }},
+		// RCU-style epoch-published table: mutex writers, lock-free
+		// epoch-pinned readers — the map family's bypass-capable member.
+		"epoch": {make: func(o Options) strmap.Map { return strmap.NewEpochMap(o.SetCapacity) }, readBypass: true},
 	}
 	queueBackends = map[string]func(o Options) queueBackend{
 		"bounded":   func(o Options) queueBackend { return boundedQueue{queue.NewBoundedQueue[int64](o.QueueCapacity)} },
@@ -326,6 +359,32 @@ func SetBackends() []string { return sortedKeys(setBackends) }
 
 // MapBackends lists the valid -map names.
 func MapBackends() []string { return sortedKeys(mapBackends) }
+
+// BypassSetBackends lists the -set names whose reads may take the
+// wait-free bypass (readBypass capability), for tests and docs.
+func BypassSetBackends() []string {
+	var names []string
+	for name, e := range setBackends {
+		if e.readBypass {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BypassMapBackends lists the -map names whose reads may take the
+// wait-free bypass.
+func BypassMapBackends() []string {
+	var names []string
+	for name, e := range mapBackends {
+		if e.readBypass {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
 
 // QueueBackends lists the valid -queue names.
 func QueueBackends() []string { return sortedKeys(queueBackends) }

@@ -247,6 +247,126 @@ func BenchmarkServerTCPTxn(b *testing.B) {
 	b.ReportMetric(float64(commits)/float64(b.N), "commits/op")
 }
 
+// BenchmarkServerTCPReadMostly measures the read-mostly regime the wait
+// -free bypass targets: pipelined GET-heavy traffic (90% and 99% reads)
+// over a 1024-key space on the epoch-safe skiplist backend, with the
+// bypass on and off. Compare the pairs for the tail-latency and
+// throughput effect of serving reads on the connection goroutine
+// instead of the shard mailbox.
+func BenchmarkServerTCPReadMostly(b *testing.B) {
+	for _, pct := range []int{90, 99} {
+		for _, bypass := range []string{"on", "off"} {
+			b.Run(fmt.Sprintf("mix%d-bypass-%s", pct, bypass), func(b *testing.B) {
+				benchReadMostly(b, pct, bypass)
+			})
+		}
+	}
+}
+
+func benchReadMostly(b *testing.B, readPct int, bypass string) {
+	const depth = 16
+	srv, err := New(Options{Shards: 4, Set: "skip-epoch", Map: "epoch", Txn: "off", ReadBypass: bypass})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := srv.Addr().String()
+
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		w := bufio.NewWriter(conn)
+		i := int64(0)
+		window := 0
+		flush := func() bool {
+			if err := w.Flush(); err != nil {
+				b.Error(err)
+				return false
+			}
+			for ; window > 0; window-- {
+				if _, err := r.ReadString('\n'); err != nil {
+					b.Error(err)
+					return false
+				}
+			}
+			return true
+		}
+		for pb.Next() {
+			i++
+			// i*37 disperses the writes through each 100-op stretch
+			// instead of clustering them, so runs and bypass reads
+			// interleave the way a real mixed stream would.
+			switch k := i % 1024; {
+			case (i*37)%100 < int64(readPct):
+				fmt.Fprintf(w, "GET %d\n", k)
+			case i%3 == 0:
+				fmt.Fprintf(w, "DEL %d\n", k)
+			default:
+				fmt.Fprintf(w, "SET %d\n", k)
+			}
+			if window++; window >= depth && !flush() {
+				return
+			}
+		}
+		if window > 0 {
+			flush()
+		}
+	})
+}
+
+// BenchmarkReadBypassSteady isolates the wait-free read path itself —
+// engine.do on bypass-eligible GET/HGET against warmed epoch-safe
+// structures, no network — and is the allocation gate for the bypass:
+// benchgate fails CI if a read ever allocates, because pin, table load,
+// chain walk, and reply construction are all designed to be free of
+// them (that is what makes the path safe to run on every connection
+// goroutine at once).
+func BenchmarkReadBypassSteady(b *testing.B) {
+	srv, err := New(Options{Shards: 4, Set: "skip-epoch", Map: "epoch", Txn: "off"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	e := srv.eng
+	if !e.bypassSet || !e.bypassMap {
+		b.Fatalf("bypass not enabled: set=%v map=%v", e.bypassSet, e.bypassMap)
+	}
+
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user:%d", i)
+		e.do(Command{Op: OpHSet, Key: keys[i], Arg: int64(i)})
+		e.do(Command{Op: OpSet, Arg: int64(i)})
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if i%2 == 0 {
+				e.do(Command{Op: OpGet, Arg: int64(i % 1024)})
+			} else {
+				e.do(Command{Op: OpHGet, Key: keys[i%1024]})
+			}
+		}
+	})
+}
+
 // BenchmarkServerTCP measures full round-trips over loopback TCP, one
 // pipelining-free client per benchmark goroutine.
 func BenchmarkServerTCP(b *testing.B) {

@@ -107,23 +107,41 @@ type engine struct {
 	ks         txn.Keyspace // transactional keyspace; nil when Txn "off"
 	rr         atomic.Uint32
 	metrics    *metrics.Registry
-	ext        metrics.Externals // closure-backed counters (txn commit/abort)
+	ext        metrics.Externals // closure-backed counters (bypass, txn)
 	mops       [numOps]*metrics.Op
 	batchSizes *metrics.SizeHistogram // commands combined per shard wakeup
 	stopping   chan struct{}
 	abortOnce  sync.Once
 	wg         sync.WaitGroup
+
+	// Wait-free read bypass state. bypassSet/bypassMap record whether
+	// GET/HGET may execute on the calling (connection) goroutine —
+	// registry capability ANDed with Options.ReadBypass, plus the
+	// keyspace override for HGET (tvar reads are safe from anywhere).
+	// The counters split served reads by path for STATS.
+	bypassSet   bool
+	bypassMap   bool
+	readBypass  metrics.FlatCounter // reads served on connection goroutines
+	readMailbox metrics.FlatCounter // reads that rode a shard mailbox
+
+	// applyHook, when set (tests only), runs on the shard goroutine
+	// before each command applies — the seam whitebox interleaving tests
+	// use to wedge a shard mid-drain.
+	applyHook func(Command)
 }
 
 // newEngine builds the structures and starts one goroutine per shard.
 func newEngine(o Options) (*engine, error) {
-	newSet, err := lookup("set", o.Set, setBackends)
+	setEnt, err := lookup("set", o.Set, setBackends)
 	if err != nil {
 		return nil, err
 	}
-	newMap, err := lookup("map", o.Map, mapBackends)
+	mapEnt, err := lookup("map", o.Map, mapBackends)
 	if err != nil {
 		return nil, err
+	}
+	if o.ReadBypass != "on" && o.ReadBypass != "off" {
+		return nil, fmt.Errorf("server: unknown read-bypass mode %q (have on, off)", o.ReadBypass)
 	}
 	newQueue, err := lookup("queue", o.Queue, queueBackends)
 	if err != nil {
@@ -162,11 +180,19 @@ func newEngine(o Options) (*engine, error) {
 		batchSizes: metrics.NewSizeHistogram(factory),
 		stopping:   make(chan struct{}),
 	}
+	// HGET bypass: safe whenever the keyspace serves it (tvar reads are
+	// goroutine-agnostic) or the map backend advertises the capability.
+	e.bypassSet = o.ReadBypass == "on" && setEnt.readBypass
+	e.bypassMap = o.ReadBypass == "on" && (ks != nil || mapEnt.readBypass)
+	e.ext = metrics.Externals{
+		e.readBypass.External("read.bypass"),
+		e.readMailbox.External("read.mailbox"),
+	}
 	if ks != nil {
-		e.ext = metrics.Externals{
-			{Name: "txn.commit", Read: ks.Commits},
-			{Name: "txn.abort", Read: ks.Aborts},
-		}
+		e.ext = append(e.ext,
+			metrics.External{Name: "txn.commit", Read: ks.Commits},
+			metrics.External{Name: "txn.abort", Read: ks.Aborts},
+		)
 	}
 	for op, name := range metricNames {
 		if name != "" {
@@ -176,8 +202,8 @@ func newEngine(o Options) (*engine, error) {
 	for i := 0; i < o.Shards; i++ {
 		s := &shard{
 			id:      core.ThreadID(i),
-			set:     newSet(o),
-			dict:    newMap(o),
+			set:     setEnt.make(o),
+			dict:    mapEnt.make(o),
 			batches: make(chan *batch, shardQueueDepth),
 		}
 		e.shards = append(e.shards, s)
@@ -206,8 +232,61 @@ func (e *engine) abort() {
 	e.abortOnce.Do(func() { close(e.stopping) })
 }
 
+// canBypass reports whether cmd may skip the shard mailbox and execute
+// on the calling goroutine. Only read-pure keyed ops qualify, and only
+// when the serving backend's reads are goroutine-agnostic (registry
+// capability, or the transactional keyspace for HGET). Callers inside a
+// MULTI window never ask: staged reads ride the tvar commit protocol.
+func (e *engine) canBypass(cmd Command) bool {
+	switch cmd.Op {
+	case OpGet:
+		return e.bypassSet
+	case OpHGet:
+		return e.bypassMap
+	}
+	return false
+}
+
+// readLocal serves one bypass-eligible read on the calling goroutine:
+// the wait-free read fast path. The shard's structure is located exactly
+// as the mailbox path would (same hash, same shard), but Contains/Get is
+// invoked directly — under the structure's own epoch pin where it needs
+// one — racing whatever batch the shard goroutine is applying. That race
+// is safe precisely because the registry capability asserted it: the
+// backends publish nodes with atomic stores and retire them through
+// epoch domains, so a concurrent reader observes each write either
+// entirely or not at all, and the read linearizes at its table/chain
+// load inside the call window.
+//
+// Program order is the caller's job: the server flushes (and awaits) any
+// open mailbox run on the connection before calling readLocal, so a read
+// never overtakes this connection's earlier writes.
+func (e *engine) readLocal(cmd Command) reply {
+	e.readBypass.Inc()
+	switch cmd.Op {
+	case OpGet:
+		if cmd.Arg < sentinelGuardMin || cmd.Arg > sentinelGuardMax {
+			return errReply("key %d is reserved", cmd.Arg)
+		}
+		s := e.shards[keyShard(cmd.ShardKey(), len(e.shards))]
+		return reply{status: stInt, val: boolInt(s.set.Contains(int(cmd.Arg)))}
+	case OpHGet:
+		if e.ks != nil {
+			// With transactions on, the bypass reads the same committed
+			// tvar state EXEC publishes — never the per-shard dictionary.
+			return valueReply(e.ks.Get(cmd.Key))
+		}
+		s := e.shards[keyShard(cmd.ShardKey(), len(e.shards))]
+		return valueReply(s.dict.Get(cmd.Key))
+	}
+	return errReply("cannot bypass %s", cmd.Op)
+}
+
 // do routes one command to its shard and waits for the reply.
 func (e *engine) do(cmd Command) reply {
+	if e.canBypass(cmd) {
+		return e.readLocal(cmd)
+	}
 	var si int
 	if cmd.Op.Keyed() {
 		si = keyShard(cmd.ShardKey(), len(e.shards))
@@ -290,7 +369,15 @@ func (e *engine) serve(s *shard) {
 				break drain
 			}
 		}
+		// Record the run size before answering anyone: a caller that has
+		// its replies is then guaranteed to see the observation too (the
+		// resp send orders it), so STATS and tests read a consistent
+		// histogram right after a round-trip.
 		combined := 0
+		for _, b := range run {
+			combined += len(b.cmds)
+		}
+		e.batchSizes.Observe(int64(combined), s.id)
 		for _, b := range run {
 			for _, cmd := range b.cmds {
 				b.replies = append(b.replies, e.execute(s, cmd))
@@ -298,10 +385,8 @@ func (e *engine) serve(s *shard) {
 					op.Observe(time.Since(b.start), s.id)
 				}
 			}
-			combined += len(b.cmds)
 			b.resp <- b.replies
 		}
-		e.batchSizes.Observe(int64(combined), s.id)
 	}
 }
 
@@ -309,6 +394,12 @@ func (e *engine) serve(s *shard) {
 // structures. It runs on the shard goroutine, so s.id is a valid dense
 // ThreadID for the width-bounded counters.
 func (e *engine) execute(s *shard, cmd Command) reply {
+	if e.applyHook != nil {
+		e.applyHook(cmd)
+	}
+	if cmd.Op.ReadPure() {
+		e.readMailbox.Inc()
+	}
 	switch cmd.Op {
 	case OpSet, OpGet, OpDel:
 		if cmd.Arg < sentinelGuardMin || cmd.Arg > sentinelGuardMax {
@@ -416,6 +507,13 @@ func valueReply(v int64, ok bool) reply {
 	return reply{status: stInt, val: v}
 }
 
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
 func boolInt(b bool) int64 {
 	if b {
 		return 1
@@ -484,6 +582,7 @@ func (e *engine) statsBody() string {
 	} else {
 		sb.WriteString("txn off\n")
 	}
+	fmt.Fprintf(&sb, "read-bypass set=%s map=%s\n", onOff(e.bypassSet), onOff(e.bypassMap))
 	sb.WriteString(e.batchSizes.Format("shard.batch"))
 	sb.WriteString(e.metrics.Format())
 	sb.WriteString(e.ext.Format())

@@ -303,7 +303,9 @@ func TestServerLinearizableMapShardCollision(t *testing.T) {
 // into Command.ShardKey, string ops pinned runs on the raw integer
 // argument and every HSET cut the run.
 func TestPipelinedStringRunsBatch(t *testing.T) {
-	srv, err := New(Options{Shards: 4})
+	// Bypass off: with it on, the HGETs would (correctly) skip the
+	// mailbox and the run under test would shrink to the writes.
+	srv, err := New(Options{Shards: 4, ReadBypass: "off"})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -357,5 +359,67 @@ func TestPipelinedStringRunsBatch(t *testing.T) {
 		if got[i] != want[i] {
 			t.Errorf("reply %d = %q, want %q", i, got[i], want[i])
 		}
+	}
+}
+
+// TestPipelinedBypassReplyOrder is the bypass twin of
+// TestPipelinedStringRunsBatch: the same burst with the read bypass on
+// (default txn=tl2 makes every HGET bypass-capable) must still answer in
+// exact line order — interleaving mailbox replies (HSET, INC) with
+// bypass replies (HGET) — while only the mutations travel to the shard:
+// one combined run of 7 (6 HSETs + INC), the reads served in place.
+func TestPipelinedBypassReplyOrder(t *testing.T) {
+	srv, err := New(Options{Shards: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+
+	keys := sameShardKeys(t, 4, 6)
+	var items []lineItem
+	var want []string
+	for i, k := range keys {
+		// Alternate writes and reads so every read is preceded by an
+		// open run it must flush, and followed by more writes it must
+		// not reorder past.
+		items = append(items, parseItem([]byte(fmt.Sprintf("HSET %s %d", k, i))))
+		want = append(want, "1")
+		items = append(items, parseItem([]byte("HGET "+k)))
+		want = append(want, strconv.Itoa(i))
+	}
+	items = append(items, parseItem([]byte("INC")))
+	want = append(want, "0")
+	items = append(items, parseItem([]byte("HGET "+keys[0])))
+	want = append(want, "0")
+
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if !srv.serveBatch(w, items, &txnState{}) {
+		t.Fatal("serveBatch reported connection close")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	got := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("got %d replies %q, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("reply %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if n := srv.eng.readBypass.Value(); n != int64(len(keys)+1) {
+		t.Errorf("read.bypass = %d, want %d (every HGET should bypass)", n, len(keys)+1)
+	}
+	if s := srv.eng.batchSizes.Sum(); s != int64(len(keys)+1) {
+		t.Errorf("shard.batch sum = %d, want %d (only mutations ride the mailbox)", s, len(keys)+1)
 	}
 }

@@ -199,6 +199,14 @@ func (o Op) Keyed() bool {
 	return o == OpSet || o == OpGet || o == OpDel || o.StringKeyed()
 }
 
+// ReadPure reports whether the op observes state without mutating it and
+// addresses a single key: the candidates for the wait-free read bypass.
+// Only keyed point reads qualify — READ and TXSTATS are global, STATS has
+// a multi-line reply, and every other verb mutates.
+func (o Op) ReadPure() bool {
+	return o == OpGet || o == OpHGet
+}
+
 // Command is one parsed protocol line.
 type Command struct {
 	Op  Op

@@ -110,8 +110,8 @@ type pipeExpect struct {
 // writing past a line that closes the connection (QUIT, or one that
 // overflows the read buffer) races the close and risks a TCP reset
 // destroying replies in flight, so the client stops there.
-func simulatePipeline(data []byte) (exps []pipeExpect, consume int) {
-	var ps pipeSim
+func simulatePipeline(data []byte, txnOff bool) (exps []pipeExpect, consume int) {
+	ps := pipeSim{txnOff: txnOff}
 	pos := 0
 	for pos < len(data) {
 		nl := bytes.IndexByte(data[pos:], '\n')
@@ -149,9 +149,14 @@ func simulatePipeline(data []byte) (exps []pipeExpect, consume int) {
 
 // pipeSim mirrors the per-connection MULTI window state machine of
 // Server.serveBatch and serveTxnLine, so the oracle stays line-accurate
-// through transactions. It assumes transactions are enabled — FuzzPipeline
-// runs the default engine, never -txn off.
+// through transactions. With txnOff the four transaction verbs answer
+// ERR and no window ever opens — the -txn off server config FuzzPipeline
+// runs on even chunk bytes. Reply counts and order are identical whether
+// a read rides the mailbox or the wait-free bypass, which is exactly the
+// property the fuzzer pins: bypassed replies must interleave back into
+// line order.
 type pipeSim struct {
+	txnOff bool // transactions disabled: MULTI family answers ERR
 	active bool // inside a MULTI window
 	dirty  bool // a staging error poisoned the window
 	staged int  // commands queued so far
@@ -218,6 +223,9 @@ func (ps *pipeSim) step(content []byte) (exps []pipeExpect, closed bool) {
 		return one(expExact, "PONG")
 	case cmd.Op == OpStats:
 		return one(expStats, "")
+	case ps.txnOff && (cmd.Op == OpMulti || cmd.Op == OpExec ||
+		cmd.Op == OpDiscard || cmd.Op == OpTxStats):
+		return one(expErr, "")
 	case cmd.Op == OpMulti:
 		ps.active = true
 		return one(expExact, "OK")
@@ -261,6 +269,10 @@ func FuzzPipeline(f *testing.F) {
 		"MULTI\nPUSH 1\nPING\nSTATS\nFROB\nEXEC\n",            // non-stageable + control verbs inside
 		"MULTI\nHINCR k 2\nQUIT\nEXEC 1\n",                    // QUIT mid-transaction closes
 		"MULTI\n" + strings.Repeat("INC\n", MaxTxnOps+1) + "EXEC\n", // overflowing the staged buffer
+		"SET 1\nGET 1\nSET 2\nGET 1\nGET 2\nDEL 1\nGET 1\nGET 2\n",  // bypass reads interleave with writes
+		"HSET k 1\nHGET k\nSET 3\nGET 3\nHGET k\nHDEL k\nHGET k\nQUIT\n",            // both read families, then QUIT
+		"MULTI\nHSET k 9\nHGET k\nEXEC\nHGET k\nGET 5\nMULTI\nSET 5\nEXEC\nGET 5\n", // reads inside and after MULTI
+		"GET 1\nGET 1\nGET 1\nHGET h\nHSET h 2\nHGET h\nMULTI\nHDEL h\nEXEC\nHGET h\nQUIT\n",
 	}
 	for i, s := range seeds {
 		f.Add([]byte(s), byte(i*7+1))
@@ -269,9 +281,20 @@ func FuzzPipeline(f *testing.F) {
 		if len(data) > 2048 {
 			data = data[:2048]
 		}
-		exps, consume := simulatePipeline(data)
+		// Even chunk bytes swap in the epoch-backed bypass config: every
+		// GET/HGET is served on the connection goroutine under an epoch
+		// pin instead of riding the shard mailbox, and with transactions
+		// off the MULTI verbs answer ERR. Odd bytes keep the default
+		// engine (striped set — GET on the mailbox — and HGET bypassing
+		// via the tl2 keyspace), so both read paths face the same oracle.
+		txnOff := chunk%2 == 0
+		opts := Options{Shards: 2}
+		if txnOff {
+			opts = Options{Shards: 2, Set: "skip-epoch", Map: "epoch", Txn: "off"}
+		}
+		exps, consume := simulatePipeline(data, txnOff)
 
-		srv := startServer(t, Options{Shards: 2})
+		srv := startServer(t, opts)
 		base := runtime.NumGoroutine()
 		conn, err := net.Dial("tcp", srv.Addr().String())
 		if err != nil {

@@ -3,6 +3,18 @@
 // batch), and graceful shutdown (stop accepting, wake idle readers,
 // finish in-flight commands, then force-close stragglers and stop the
 // shards).
+//
+// Reads have a second path. When the selected backend is epoch-safe
+// (lock-free set backends, the epoch map, or the transactional keyspace),
+// GET and HGET skip the shard mailbox entirely and execute on the
+// connection goroutine under an epoch pin — the wait-free read bypass.
+// serveBatch keeps program order by flushing (and awaiting) the open
+// mailbox run before serving such a read in place, so a read never
+// overtakes the connection's own earlier writes, and reply order stays
+// line order by construction. Reads staged inside a MULTI window, reads
+// on non-epoch-safe backends, and everything under -read-bypass=off ride
+// the mailbox as before. STATS splits the traffic in the
+// `op read.bypass` / `op read.mailbox` rows.
 package server
 
 import (
@@ -266,6 +278,15 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 // answer "+QUEUED" in place and never join a run, so nothing travels to
 // the shards until EXEC commits the buffer through the STM keyspace.
 //
+// Bypass-eligible reads (engine.canBypass) never join a run either: the
+// open run is flushed — submitting it and writing its replies, which is
+// exactly what keeps this connection's earlier writes ahead of the read
+// in program order — and the read executes right here on the connection
+// goroutine via engine.readLocal, its reply written in place. Reply
+// order is therefore position order by construction, interleaving
+// bypass and mailbox replies exactly as the lines arrived, even though
+// the reads never visited a mailbox.
+//
 // The caller flushes the writer; the return is false when the connection
 // must close (write error, QUIT, or engine shutdown).
 func (s *Server) serveBatch(w *bufio.Writer, items []lineItem, ts *txnState) bool {
@@ -372,6 +393,15 @@ func (s *Server) serveBatch(w *bufio.Writer, items []lineItem, ts *txnState) boo
 				return false
 			}
 		default:
+			if s.eng.canBypass(it.cmd) {
+				if !flushRun() {
+					return false
+				}
+				if !s.reply(w, s.eng.readLocal(it.cmd)) {
+					return false
+				}
+				continue
+			}
 			if it.cmd.Op.Keyed() {
 				si := keyShard(it.cmd.ShardKey(), len(s.eng.shards))
 				if shard >= 0 && si != shard && !flushRun() {

@@ -396,18 +396,50 @@ func TestStatsCounts(t *testing.T) {
 	c.expect(t, "PUSH 3", "OK")
 	c.expect(t, "INC", "0")
 
+	// Default options: striped set (no bypass — GET rides the mailbox,
+	// counted under set.contains and read.mailbox) and txn=tl2 (HGET
+	// bypasses via the keyspace, counted under read.bypass, not map.get).
 	body := readStats(t, c, c.cmd(t, "STATS"))
 	for _, want := range []string{
 		"shards 2",
 		"backend set=striped map=striped queue=unbounded stack=treiber pqueue=skip counter=combining",
+		"read-bypass set=off map=on",
 		"op set.add count=2",
 		"op set.contains count=1",
 		"op map.set count=1",
-		"op map.get count=2",
+		"op map.get count=0",
 		"op map.del count=1",
 		"op stack.push count=1",
 		"op counter.inc count=1",
 		"op queue.enq count=0",
+		"op read.bypass count=2",
+		"op read.mailbox count=1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("STATS missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestStatsCountsBypassOff proves the -read-bypass=off escape hatch: the
+// same traffic with the bypass disabled routes every read through the
+// shard mailboxes, restoring the per-op registry counts.
+func TestStatsCountsBypassOff(t *testing.T) {
+	srv := startServer(t, Options{Shards: 2, ReadBypass: "off"})
+	c := dial(t, srv)
+	c.expect(t, "SET 1", "1")
+	c.expect(t, "GET 1", "1")
+	c.expect(t, "HSET k 5", "1")
+	c.expect(t, "HGET k", "5")
+	c.expect(t, "HGET nope", "EMPTY")
+
+	body := readStats(t, c, c.cmd(t, "STATS"))
+	for _, want := range []string{
+		"read-bypass set=off map=off",
+		"op set.contains count=1",
+		"op map.get count=2",
+		"op read.bypass count=0",
+		"op read.mailbox count=3",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("STATS missing %q:\n%s", want, body)

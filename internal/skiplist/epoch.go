@@ -76,6 +76,10 @@ func NewEpochSkipList() *EpochSkipList {
 	return &EpochSkipList{dom: epoch.NewDomain(1 + maxHeight), head: head, tail: tail}
 }
 
+// Domain exposes the reclamation domain for diagnostics and the server's
+// epoch-pin leak tests.
+func (s *EpochSkipList) Domain() *epoch.Domain { return s.dom }
+
 // ref returns a recycled (or fresh) pair set to (n, marked); it is
 // exclusively owned until published by a successful CAS.
 func (s *EpochSkipList) ref(slot *epoch.Slot, n *esNode, marked bool) *esRef {

@@ -1,0 +1,121 @@
+package strmap
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEpochMapLockFreeReaders races continuous Gets against a writer
+// that overwrites, deletes and re-inserts hot keys while also pushing
+// the table through several growths. Every observed value must be one
+// the writer actually published for that key — a torn read (a value
+// from another key, or a half-written node) fails immediately. Run
+// under -race this is also the memory-model check for the RCU
+// publication discipline.
+func TestEpochMapLockFreeReaders(t *testing.T) {
+	m := NewEpochMap(2)
+	const hot = 4
+	// Hot-key values encode their key index in the low bits so a reader
+	// can prove the value it saw belongs to the key it asked for.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				k := i % hot
+				if v, ok := m.Get(fmt.Sprintf("hot-%d", k)); ok {
+					if int(v%hot) != k {
+						t.Errorf("torn read: hot-%d returned %d", k, v)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for round := 0; round < 200; round++ {
+		for k := 0; k < hot; k++ {
+			m.Set(fmt.Sprintf("hot-%d", k), int64(round*hot+k))
+		}
+		// Cold churn drives growth (and, after deletes, node recycling)
+		// while the readers are mid-chain.
+		for i := 0; i < 10; i++ {
+			m.Set(fmt.Sprintf("cold-%d-%d", round, i), int64(i))
+		}
+		if round%2 == 1 {
+			for i := 0; i < 10; i++ {
+				m.Del(fmt.Sprintf("cold-%d-%d", round-1, i))
+			}
+			m.Del(fmt.Sprintf("hot-%d", round%hot))
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if pins := m.Domain().ActivePins(); pins != 0 {
+		t.Errorf("quiesced map still holds %d pins", pins)
+	}
+}
+
+// TestEpochMapRecycles proves steady-state churn stops allocating once
+// the retire rings have warmed: a Set/Del cycle reuses retired nodes
+// instead of minting fresh ones.
+func TestEpochMapRecycles(t *testing.T) {
+	m := NewEpochMap(64)
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k-%02d", i)
+	}
+	// Warm: populate, churn through several epochs so retired nodes
+	// clear their grace period and land in the free lists.
+	for round := 0; round < 50; round++ {
+		for _, k := range keys {
+			m.Set(k, int64(round))
+		}
+		for _, k := range keys {
+			m.Del(k)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for _, k := range keys {
+			m.Set(k, 7)
+		}
+		for _, k := range keys {
+			m.Del(k)
+		}
+	})
+	// 64 ops per run; a warmed map should recycle every node. Allow a
+	// stray allocation for epoch-boundary slop.
+	if avg > 2 {
+		t.Errorf("warm Set/Del churn allocates %.1f per 64-op run, want ~0", avg)
+	}
+}
+
+// TestEpochMapEpochAdvances proves the domain is never wedged by map
+// operations: after a busy mixed workload the epoch can still advance,
+// i.e. no code path leaks a pin.
+func TestEpochMapEpochAdvances(t *testing.T) {
+	m := NewEpochMap(2)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k-%d", i%20)
+		m.Set(k, int64(i))
+		m.Get(k)
+		if i%3 == 2 {
+			m.Del(k)
+		}
+	}
+	if pins := m.Domain().ActivePins(); pins != 0 {
+		t.Fatalf("ActivePins = %d after quiescence, want 0", pins)
+	}
+	before := m.Domain().Epoch()
+	if !m.Domain().TryAdvance() {
+		t.Fatal("TryAdvance failed on a quiesced domain")
+	}
+	if got := m.Domain().Epoch(); got != before+1 {
+		t.Fatalf("epoch %d after advance, want %d", got, before+1)
+	}
+}

@@ -23,6 +23,8 @@ var backends = []struct {
 		func(m Map, h func(string) uint64) { m.(*RefinableMap).hash = h }},
 	{"cuckoo-chain", func(c int) Map { return NewCuckooChainMap(c) },
 		func(m Map, h func(string) uint64) { m.(*CuckooChainMap).hash = h }},
+	{"epoch", func(c int) Map { return NewEpochMap(c) },
+		func(m Map, h func(string) uint64) { m.(*EpochMap).hash = h }},
 }
 
 func TestMapBasics(t *testing.T) {
