@@ -20,16 +20,21 @@ vet:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# The CI allocation gate, runnable locally: pinned subset, 5 repeats,
-# fails if any epoch steady-state bench — including the wait-free read
-# bypass path — allocates. Writes BENCH_ci.json.
+# The CI gates, runnable locally: pinned subset, 5 repeats. Fails if any
+# epoch steady-state bench — including the wait-free read bypass path —
+# allocates, if the txn bench stops committing, or if the pipelined
+# server path regresses more than 15% over the checked-in
+# BENCH_baseline.json. Writes BENCH_ci.json.
 bench-ci:
 	$(GO) test -run='^$$' -bench='Epoch.*Steady|LockFree.*(EnqDeq|AddRemove)' -benchmem -count=5 \
 		./internal/queue ./internal/list ./internal/skiplist | tee bench.txt
 	$(GO) test -run='^$$' -bench='BenchmarkServerTCP(Pipelined|StringMap|Txn|ReadMostly)|BenchmarkReadBypassSteady' -benchmem -count=5 \
 		./internal/server | tee -a bench.txt
+	$(GO) test -run='^$$' -bench='BenchmarkMailboxRingVsChan' -benchmem -count=5 \
+		./internal/mailbox | tee -a bench.txt
 	$(GO) run ./cmd/benchgate -in bench.txt -out BENCH_ci.json -gate 'Epoch.*Steady|ReadBypassSteady' \
-		-require 'ServerTCPTxn:commits/op'
+		-require 'ServerTCPTxn:commits/op' \
+		-baseline BENCH_baseline.json -ratio 'ServerTCPPipelined:1.15'
 
 serve:
 	$(GO) run ./cmd/ampserved -addr $(ADDR)

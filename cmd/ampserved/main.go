@@ -12,6 +12,7 @@
 //	ampserved -txn dstm -cm backoff        # MULTI/EXEC over the DSTM engine
 //	ampserved -set skip-epoch -map epoch -txn off   # every read on the wait-free bypass
 //	ampserved -read-bypass off             # force all reads through the shard mailboxes
+//	ampserved -spin 256                    # longer mailbox spin before shard goroutines park
 //	ampserved -http 127.0.0.1:7172         # expvar stats endpoint
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
@@ -74,6 +75,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 
 		readBypass = fs.String("read-bypass", "",
 			"wait-free read fast path on capable backends: on|off (default on)")
+		spin = fs.Int("spin", 0,
+			"shard mailbox spin budget: empty polls before a shard goroutine parks (0 = default, negative = park immediately)")
 
 		setCap   = fs.Int("set-cap", 0, "per-shard hash table size (power of two)")
 		queueCap = fs.Int("queue-cap", 0, "bounded/recycling queue capacity")
@@ -95,6 +98,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		Txn:            *txn,
 		CM:             *cm,
 		ReadBypass:     *readBypass,
+		SpinBudget:     *spin,
 		SetCapacity:    *setCap,
 		QueueCapacity:  *queueCap,
 		PQCapacity:     *pqCap,
@@ -107,8 +111,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		return err
 	}
 	opts := srv.Options()
-	fmt.Fprintf(out, "ampserved: listening on %s (shards=%d set=%s map=%s queue=%s stack=%s pqueue=%s counter=%s txn=%s cm=%s read-bypass=%s)\n",
-		srv.Addr(), opts.Shards, opts.Set, opts.Map, opts.Queue, opts.Stack, opts.PQueue, opts.Counter, opts.Txn, opts.CM, opts.ReadBypass)
+	fmt.Fprintf(out, "ampserved: listening on %s (shards=%d set=%s map=%s queue=%s stack=%s pqueue=%s counter=%s txn=%s cm=%s read-bypass=%s spin=%d)\n",
+		srv.Addr(), opts.Shards, opts.Set, opts.Map, opts.Queue, opts.Stack, opts.PQueue, opts.Counter, opts.Txn, opts.CM, opts.ReadBypass, opts.SpinBudget)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {

@@ -16,15 +16,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "bench output file (default stdin)")
-		out     = flag.String("out", "BENCH_ci.json", "JSON artifact path (empty to skip)")
-		gate    = flag.String("gate", "", "regexp of benchmark names that must report 0 allocs/op")
-		require = flag.String("require", "", "'pattern:metric' — benchmarks matching pattern must report custom metric > 0")
+		in       = flag.String("in", "", "bench output file (default stdin)")
+		out      = flag.String("out", "BENCH_ci.json", "JSON artifact path (empty to skip)")
+		gate     = flag.String("gate", "", "regexp of benchmark names that must report 0 allocs/op")
+		require  = flag.String("require", "", "'pattern:metric' — benchmarks matching pattern must report custom metric > 0")
+		baseline = flag.String("baseline", "", "baseline JSON artifact (a previous -out) for the -ratio gate")
+		ratio    = flag.String("ratio", "", "'pattern:max' — matching benchmarks must stay within max × baseline ns/op")
 	)
 	flag.Parse()
 
@@ -72,6 +75,36 @@ func main() {
 		fmt.Printf("benchgate: gate %q passed (0 allocs/op)\n", *gate)
 	}
 
+	if *ratio != "" {
+		pat, maxStr, ok := strings.Cut(*ratio, ":")
+		var max float64
+		if ok {
+			max, err = strconv.ParseFloat(maxStr, 64)
+		}
+		if !ok || pat == "" || err != nil || max <= 0 {
+			fatalf("benchgate: -ratio wants 'pattern:max' with max > 0, got %q", *ratio)
+		}
+		if *baseline == "" {
+			fatalf("benchgate: -ratio needs -baseline")
+		}
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fatalf("benchgate: %v", err)
+		}
+		violations, err := report.Ratio(base, pat, max)
+		if err != nil {
+			fatalf("benchgate: %v", err)
+		}
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.1f ns/op is %.2f× baseline %.1f (max %.2f×)\n",
+				v.Name, v.NsPerOp, v.Ratio, v.BaselineNsPerOp, max)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: ratio %q passed vs %s\n", *ratio, *baseline)
+	}
+
 	if *require != "" {
 		pat, metric, ok := strings.Cut(*require, ":")
 		if !ok || pat == "" || metric == "" {
@@ -82,6 +115,22 @@ func main() {
 		}
 		fmt.Printf("benchgate: require %q passed\n", *require)
 	}
+}
+
+// loadBaseline reads a previously written -out artifact.
+func loadBaseline(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("baseline %s: no benchmarks", path)
+	}
+	return &rep, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -139,6 +139,62 @@ func (r *Report) Gate(pattern string) ([]*Benchmark, error) {
 	return bad, nil
 }
 
+// normalizeName strips the trailing -N GOMAXPROCS suffix go test
+// appends, so a baseline recorded at one procs count still matches runs
+// at another ("BenchmarkServerTCPPipelined-8" → "BenchmarkServerTCPPipelined").
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalizeName(name string) string {
+	return procsSuffix.ReplaceAllString(name, "")
+}
+
+// RatioViolation is one benchmark whose ns/op regressed past the
+// allowed ratio over its checked-in baseline.
+type RatioViolation struct {
+	Name            string
+	NsPerOp         float64
+	BaselineNsPerOp float64
+	Ratio           float64
+}
+
+// Ratio compares every benchmark matching pattern against the same
+// (procs-normalized) name in base and returns those whose mean ns/op
+// exceeds baseline × max — the performance-regression gate. A matching
+// benchmark with no baseline entry is an error: a silently unguarded
+// bench is exactly the failure mode the gate exists to prevent.
+func (r *Report) Ratio(base *Report, pattern string, max float64) ([]RatioViolation, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("bad -ratio pattern: %v", err)
+	}
+	baseNs := make(map[string]float64)
+	for _, b := range base.Benchmarks {
+		baseNs[normalizeName(b.Name)] = b.NsPerOp
+	}
+	matched := false
+	var bad []RatioViolation
+	for _, b := range r.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		matched = true
+		ref, ok := baseNs[normalizeName(b.Name)]
+		if !ok {
+			return nil, fmt.Errorf("ratio: %s has no baseline entry — rerecord the baseline", b.Name)
+		}
+		if ref <= 0 {
+			return nil, fmt.Errorf("ratio: baseline ns/op for %s is %g", b.Name, ref)
+		}
+		if ratio := b.NsPerOp / ref; ratio > max {
+			bad = append(bad, RatioViolation{b.Name, b.NsPerOp, ref, ratio})
+		}
+	}
+	if !matched {
+		return nil, fmt.Errorf("ratio %q matched no benchmarks — pinned subset renamed?", pattern)
+	}
+	return bad, nil
+}
+
 // Require checks that every benchmark matching pattern reports the named
 // custom metric with a positive worst-case (minimum) sample. This is the
 // liveness gate for benches whose measured work could silently degrade

@@ -169,3 +169,95 @@ func TestGateRejectsEmptyMatch(t *testing.T) {
 		t.Fatal("gate with no matches should error, not silently pass")
 	}
 }
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkServerTCPPipelined-8":         "BenchmarkServerTCPPipelined",
+		"BenchmarkServerTCPPipelined":           "BenchmarkServerTCPPipelined",
+		"BenchmarkMailboxRingVsChan/ring-16":    "BenchmarkMailboxRingVsChan/ring",
+		"BenchmarkServerTCPPipelined/depth=8-2": "BenchmarkServerTCPPipelined/depth=8",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func ratioReports(t *testing.T, curNs, baseNs string) (*Report, *Report) {
+	t.Helper()
+	cur, err := Parse(strings.NewReader(curNs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Parse(strings.NewReader(baseNs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cur, base
+}
+
+func TestRatioPassesWithinBudget(t *testing.T) {
+	// 10% slower than baseline stays under a 15% ceiling; the baseline's
+	// differing -N procs suffix must not break the match.
+	cur, base := ratioReports(t,
+		"BenchmarkServerTCPPipelined-8  900000  1100 ns/op\n",
+		"BenchmarkServerTCPPipelined-2  900000  1000 ns/op\n")
+	bad, err := cur.Ratio(base, `ServerTCPPipelined`, 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("ratio flagged %+v, want none", bad)
+	}
+}
+
+func TestRatioFlagsRegression(t *testing.T) {
+	cur, base := ratioReports(t,
+		"BenchmarkServerTCPPipelined-8  900000  1300 ns/op\n",
+		"BenchmarkServerTCPPipelined-8  900000  1000 ns/op\n")
+	bad, err := cur.Ratio(base, `ServerTCPPipelined`, 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("ratio flagged %d, want 1", len(bad))
+	}
+	if v := bad[0]; v.Ratio < 1.29 || v.Ratio > 1.31 {
+		t.Fatalf("violation ratio = %v, want ~1.30", v.Ratio)
+	}
+}
+
+func TestRatioAveragesRepeatedRuns(t *testing.T) {
+	// One noisy sample out of three must not fail the gate: the ratio
+	// compares mean ns/op, not the worst run.
+	cur, base := ratioReports(t,
+		"BenchmarkServerTCPPipelined-8  900000  1000 ns/op\n"+
+			"BenchmarkServerTCPPipelined-8  900000  1300 ns/op\n"+
+			"BenchmarkServerTCPPipelined-8  900000  1000 ns/op\n",
+		"BenchmarkServerTCPPipelined-8  900000  1000 ns/op\n")
+	bad, err := cur.Ratio(base, `ServerTCPPipelined`, 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("ratio flagged %+v, want none (mean 1100 = 1.10x)", bad)
+	}
+}
+
+func TestRatioErrorsOnMissingBaseline(t *testing.T) {
+	cur, base := ratioReports(t,
+		"BenchmarkServerTCPPipelined-8  900000  1000 ns/op\n",
+		"BenchmarkSomethingElse-8  900000  1000 ns/op\n")
+	if _, err := cur.Ratio(base, `ServerTCPPipelined`, 1.15); err == nil {
+		t.Fatal("Ratio = nil error, want missing-baseline error")
+	}
+}
+
+func TestRatioErrorsOnNoMatch(t *testing.T) {
+	cur, base := ratioReports(t,
+		"BenchmarkServerTCPPipelined-8  900000  1000 ns/op\n",
+		"BenchmarkServerTCPPipelined-8  900000  1000 ns/op\n")
+	if _, err := cur.Ratio(base, `Renamed`, 1.15); err == nil {
+		t.Fatal("Ratio = nil error, want no-match error")
+	}
+}

@@ -42,6 +42,16 @@ func (c *CASCounter) GetAndIncrement(core.ThreadID) int64 {
 	return c.v.Add(1) - 1
 }
 
+// GetAndAdd takes n consecutive tickets in one fetch-and-add and
+// returns the first — the bulk fast path the metrics layer uses to
+// amortize per-event ticket traffic over a batch (see metrics.Counter
+// IncN). Only the single-cell counters can promise consecutive bulk
+// tickets cheaply; the width-bounded structures fall back to n single
+// tickets.
+func (c *CASCounter) GetAndAdd(_ core.ThreadID, n int64) int64 {
+	return c.v.Add(n) - n
+}
+
 // Capacity reports that any number of threads may use the counter.
 func (c *CASCounter) Capacity() int { return unbounded }
 

@@ -1,0 +1,59 @@
+package mailbox
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkMailboxRingVsChan compares the MPSC handoff shapes the shard
+// mailbox chooses between: the lock-free ring with the spin-then-park
+// protocol versus a buffered Go channel, driven by the same pattern the
+// server produces (each producer publishes a value and a consumer
+// drains them all). Pinned into the CI bench subset so the ratio gate
+// sees the primitive alongside the end-to-end server number.
+func BenchmarkMailboxRingVsChan(b *testing.B) {
+	const capacity = 128
+
+	b.Run("ring", func(b *testing.B) {
+		m := New[int](capacity, DefaultSpinBudget)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := m.Get(); !ok {
+					return
+				}
+			}
+		}()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				i++
+				m.Put(i)
+			}
+		})
+		m.Close()
+		wg.Wait()
+	})
+
+	b.Run("chan", func(b *testing.B) {
+		ch := make(chan int, capacity)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range ch {
+			}
+		}()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				i++
+				ch <- i
+			}
+		})
+		close(ch)
+		wg.Wait()
+	})
+}

@@ -1,0 +1,361 @@
+package mailbox
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// atGOMAXPROCS runs f at the given GOMAXPROCS setting and restores the
+// old value. The park/wake and producer races behave differently
+// oversubscribed (2) and spread out (8), so the concurrency tests pin
+// both instead of inheriting whatever the CI leg happens to set.
+func atGOMAXPROCS(t *testing.T, n int, f func(t *testing.T)) {
+	t.Run(fmt.Sprintf("procs-%d", n), func(t *testing.T) {
+		old := runtime.GOMAXPROCS(n)
+		defer runtime.GOMAXPROCS(old)
+		f(t)
+	})
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](8)
+	for lap := 0; lap < 5; lap++ {
+		for i := 0; i < 8; i++ {
+			if !r.TryPut(lap*8 + i) {
+				t.Fatalf("lap %d: TryPut(%d) refused below capacity", lap, i)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			v, ok := r.TryGet()
+			if !ok || v != lap*8+i {
+				t.Fatalf("lap %d: TryGet = %d,%v, want %d,true", lap, v, ok, lap*8+i)
+			}
+		}
+		if _, ok := r.TryGet(); ok {
+			t.Fatal("TryGet succeeded on an empty ring")
+		}
+	}
+}
+
+// TestRingExactCapacity fills the ring to exactly its capacity, proves
+// the next put refuses, and drains everything back in order.
+func TestRingExactCapacity(t *testing.T) {
+	const capacity = 64
+	r := NewRing[int](capacity)
+	if r.Cap() != capacity {
+		t.Fatalf("Cap = %d, want %d", r.Cap(), capacity)
+	}
+	for i := 0; i < capacity; i++ {
+		if !r.TryPut(i) {
+			t.Fatalf("TryPut(%d) refused with %d slots free", i, capacity-i)
+		}
+	}
+	if r.TryPut(99) {
+		t.Fatal("TryPut succeeded past capacity")
+	}
+	for i := 0; i < capacity; i++ {
+		v, ok := r.TryGet()
+		if !ok || v != i {
+			t.Fatalf("TryGet = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if !r.Empty() {
+		t.Fatal("ring not empty after full drain")
+	}
+}
+
+// TestRingStampWraparound drives the ring across the 2^32 stamp
+// boundary and across the 2^64 wrap: the signed-difference comparisons
+// must keep free/full/claimed decisions correct on both sides. A ring
+// that truncated stamps to 32 bits, or compared them unsigned, wedges
+// or reorders here.
+func TestRingStampWraparound(t *testing.T) {
+	for _, start := range []uint64{
+		1<<32 - 3,      // crosses 2^32
+		^uint64(0) - 3, // crosses 2^64 (full modular wrap)
+	} {
+		r := NewRing[uint64](8)
+		r.jump(start)
+		// Push 64 values through the boundary, interleaving fills and
+		// drains so head and tail both cross it at different offsets.
+		next, expect := uint64(0), uint64(0)
+		for round := 0; round < 16; round++ {
+			for i := 0; i < 4; i++ {
+				if !r.TryPut(next) {
+					t.Fatalf("start %#x: TryPut(%d) refused", start, next)
+				}
+				next++
+			}
+			for i := 0; i < 4; i++ {
+				v, ok := r.TryGet()
+				if !ok || v != expect {
+					t.Fatalf("start %#x: TryGet = %d,%v, want %d,true", start, v, ok, expect)
+				}
+				expect++
+			}
+		}
+		// Exactly-capacity fill still holds on the far side of the wrap.
+		for i := 0; i < 8; i++ {
+			if !r.TryPut(uint64(i)) {
+				t.Fatalf("start %#x: post-wrap fill refused at %d", start, i)
+			}
+		}
+		if r.TryPut(999) {
+			t.Fatalf("start %#x: post-wrap TryPut succeeded past capacity", start)
+		}
+	}
+}
+
+// TestRingConcurrentProducersWedgedConsumer runs 8 producers against a
+// consumer that stays wedged until every producer has finished: no
+// value may be lost or duplicated, and each producer's values must
+// come out in that producer's order (per-producer FIFO — the only
+// order MPSC promises).
+func TestRingConcurrentProducersWedgedConsumer(t *testing.T) {
+	run := func(t *testing.T) {
+		const producers = 8
+		const perProducer = 16 // 8×16 = 128 = capacity: an exact concurrent fill
+		r := NewRing[int](producers * perProducer)
+
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					for !r.TryPut(p*1000 + i) {
+						runtime.Gosched() // capacity guarantees eventual success
+					}
+				}
+			}(p)
+		}
+		wg.Wait() // the consumer is wedged: nothing drained while producing
+
+		if r.TryPut(9999) {
+			t.Fatal("TryPut succeeded on a ring filled to exactly capacity")
+		}
+
+		lastSeen := [producers]int{}
+		for p := range lastSeen {
+			lastSeen[p] = -1
+		}
+		seen := make(map[int]bool, producers*perProducer)
+		for n := 0; n < producers*perProducer; n++ {
+			v, ok := r.TryGet()
+			if !ok {
+				t.Fatalf("ring empty after %d of %d values", n, producers*perProducer)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d", v)
+			}
+			seen[v] = true
+			p, i := v/1000, v%1000
+			if i <= lastSeen[p] {
+				t.Fatalf("producer %d out of order: %d after %d", p, i, lastSeen[p])
+			}
+			lastSeen[p] = i
+		}
+		if _, ok := r.TryGet(); ok {
+			t.Fatal("extra value after full drain")
+		}
+	}
+	atGOMAXPROCS(t, 2, run)
+	atGOMAXPROCS(t, 8, run)
+}
+
+// TestMailboxParkWakeRace hammers the exact window the parked-flag
+// handshake exists for: a producer publishing while the consumer is
+// deciding to park. The spin budget is 1, so the consumer reaches the
+// park decision on nearly every value; a lost wakeup deadlocks the
+// test (bounded by the timeout).
+func TestMailboxParkWakeRace(t *testing.T) {
+	run := func(t *testing.T) {
+		const values = 20000
+		m := New[int](4, 1) // spin budget 1: park on almost every empty poll
+
+		done := make(chan int, 1)
+		go func() {
+			sum := 0
+			for {
+				v, ok := m.Get()
+				if !ok {
+					done <- sum
+					return
+				}
+				sum += v
+			}
+		}()
+
+		want := 0
+		for i := 1; i <= values; i++ {
+			if !m.Put(i) {
+				t.Errorf("Put(%d) failed before Close", i)
+				break
+			}
+			want += i
+		}
+		m.Close()
+
+		select {
+		case got := <-done:
+			if got != want {
+				t.Fatalf("consumer sum = %d, want %d (values lost or duplicated)", got, want)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("consumer never finished: lost wakeup")
+		}
+	}
+	atGOMAXPROCS(t, 2, run)
+	atGOMAXPROCS(t, 8, run)
+}
+
+// TestMailboxConcurrentProducersParkingConsumer combines both races:
+// 8 producers with a small ring (constant full/empty transitions) and
+// a consumer with a tiny spin budget (constant park/wake churn).
+func TestMailboxConcurrentProducersParkingConsumer(t *testing.T) {
+	run := func(t *testing.T) {
+		const producers, perProducer = 8, 2000
+		m := New[int](8, 2)
+
+		done := make(chan map[int]int, 1)
+		go func() {
+			counts := make(map[int]int)
+			for {
+				v, ok := m.Get()
+				if !ok {
+					done <- counts
+					return
+				}
+				counts[v]++
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					if !m.Put(p*perProducer + i) {
+						t.Errorf("producer %d: Put failed before Close", p)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		m.Close()
+
+		select {
+		case counts := <-done:
+			if len(counts) != producers*perProducer {
+				t.Fatalf("consumer saw %d distinct values, want %d", len(counts), producers*perProducer)
+			}
+			for v, n := range counts {
+				if n != 1 {
+					t.Fatalf("value %d delivered %d times", v, n)
+				}
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("consumer never finished: lost wakeup or stuck producer")
+		}
+	}
+	atGOMAXPROCS(t, 2, run)
+	atGOMAXPROCS(t, 8, run)
+}
+
+// TestMailboxCloseRejectsAndDrains: values published before Close are
+// all delivered; Puts after Close fail; Get then reports done.
+func TestMailboxCloseRejectsAndDrains(t *testing.T) {
+	m := New[int](16, 4)
+	for i := 0; i < 5; i++ {
+		if !m.Put(i) {
+			t.Fatalf("Put(%d) failed on an open mailbox", i)
+		}
+	}
+	m.Close()
+	if m.Put(99) {
+		t.Fatal("Put succeeded after Close")
+	}
+	if m.TryPut(99) {
+		t.Fatal("TryPut succeeded after Close")
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := m.Get()
+		if !ok || v != i {
+			t.Fatalf("Get = %d,%v, want %d,true (published values must survive Close)", v, ok, i)
+		}
+	}
+	if _, ok := m.Get(); ok {
+		t.Fatal("Get returned a value after the drain")
+	}
+	if !m.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+// TestMailboxCloseUnblocksFullProducer: a producer backing off against
+// a full ring (wedged consumer) must give up promptly when the mailbox
+// closes, never publishing its value.
+func TestMailboxCloseUnblocksFullProducer(t *testing.T) {
+	m := New[int](2, 4)
+	m.Put(1)
+	m.Put(2) // full; no consumer
+
+	res := make(chan bool, 1)
+	go func() { res <- m.Put(3) }()
+	select {
+	case <-res:
+		t.Fatal("Put returned while the ring was full and open")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	m.Close()
+	select {
+	case ok := <-res:
+		if ok {
+			t.Fatal("Put reported success after Close on a full ring")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Put still blocked after Close")
+	}
+
+	// The two published values are still there.
+	for want := 1; want <= 2; want++ {
+		v, ok := m.Get()
+		if !ok || v != want {
+			t.Fatalf("Get = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := m.Get(); ok {
+		t.Fatal("the aborted Put's value leaked into the ring")
+	}
+}
+
+// TestMailboxSpinParkCounters: a pre-published value resolves without
+// any waiting; a delayed producer first burns the spin budget (spin
+// stat) or parks (park stat).
+func TestMailboxSpinParkCounters(t *testing.T) {
+	m := New[int](8, DefaultSpinBudget)
+	m.Put(1)
+	if v, ok := m.Get(); !ok || v != 1 {
+		t.Fatalf("Get = %d,%v, want 1,true", v, ok)
+	}
+	if s, p := m.Spins(), m.Parks(); s != 0 || p != 0 {
+		t.Fatalf("immediate Get counted spins=%d parks=%d, want 0,0", s, p)
+	}
+
+	go func() {
+		time.Sleep(100 * time.Millisecond) // long past any spin budget
+		m.Put(2)
+	}()
+	if v, ok := m.Get(); !ok || v != 2 {
+		t.Fatalf("Get = %d,%v, want 2,true", v, ok)
+	}
+	if m.Parks() < 1 {
+		t.Fatalf("delayed producer: parks=%d, want >= 1", m.Parks())
+	}
+}

@@ -55,6 +55,39 @@ func (m *Counter) Inc(me core.ThreadID) {
 	}
 }
 
+// bulkTickets is the optional fast path for IncN: single-cell counters
+// (counting.CASCounter) can hand out n consecutive tickets with one
+// fetch-and-add. Backends without it — the combining tree and the
+// counting networks, whose gap-free guarantee is per-ticket — fall back
+// to n single tickets, preserving their semantics exactly.
+type bulkTickets interface {
+	GetAndAdd(me core.ThreadID, n int64) int64
+}
+
+// IncN records n events on behalf of thread me in one call. Equivalent
+// to n calls of Inc but, on bulk-capable backends, with one ticket
+// fetch and one high-water fold instead of n of each — the server uses
+// it to coalesce runs of identical commands inside a combined batch.
+func (m *Counter) IncN(me core.ThreadID, n int64) {
+	if n <= 0 {
+		return
+	}
+	var hi int64
+	if bc, ok := m.c.(bulkTickets); ok {
+		hi = bc.GetAndAdd(me, n) + n
+	} else {
+		for i := int64(0); i < n; i++ {
+			hi = m.c.GetAndIncrement(me) + 1
+		}
+	}
+	for {
+		cur := m.hi.Load()
+		if hi <= cur || m.hi.CompareAndSwap(cur, hi) {
+			return
+		}
+	}
+}
+
 // Value reports the number of events counted so far. While increments are
 // in flight the value may lag by the tickets not yet folded in; after
 // quiescence it is exact.
@@ -106,6 +139,18 @@ func logBucket(v int64, n int) int {
 func (h *Histogram) Observe(d time.Duration, me core.ThreadID) {
 	h.sumNS.Add(int64(d))
 	h.buckets[bucketOf(d.Microseconds())].Inc(me)
+}
+
+// ObserveN records n samples of the same latency d in one call: one sum
+// add and one bulk bucket increment. The server's shard loop reads the
+// clock once per run of identical commands and charges the whole run
+// with ObserveN, which is what makes the amortized clock free.
+func (h *Histogram) ObserveN(d time.Duration, n int64, me core.ThreadID) {
+	if n <= 0 {
+		return
+	}
+	h.sumNS.Add(int64(d) * n)
+	h.buckets[bucketOf(d.Microseconds())].IncN(me, n)
 }
 
 // Count reports the number of samples observed.
@@ -249,6 +294,15 @@ type Op struct {
 func (o *Op) Observe(d time.Duration, me core.ThreadID) {
 	o.count.Inc(me)
 	o.latency.Observe(d, me)
+}
+
+// ObserveN records n completed operations sharing one latency sample.
+func (o *Op) ObserveN(d time.Duration, n int64, me core.ThreadID) {
+	if n <= 0 {
+		return
+	}
+	o.count.IncN(me, n)
+	o.latency.ObserveN(d, n, me)
 }
 
 // Count reports how many operations completed.

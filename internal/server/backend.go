@@ -72,6 +72,18 @@ type Options struct {
 
 	// IdleTimeout drops connections silent for this long (default 2m).
 	IdleTimeout time.Duration
+
+	// SpinBudget is the number of empty polls a shard goroutine makes on
+	// its mailbox before parking: 0 (default) selects
+	// mailbox.DefaultSpinBudget, a negative value disables spinning (the
+	// shard parks on the first empty poll — the pre-mailbox channel
+	// behavior, useful to isolate the spin phase in experiments).
+	SpinBudget int
+
+	// clock overrides the engine's time source (tests only: the
+	// amortized-clock test injects a fake clock here). Nil means
+	// time.Now.
+	clock func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +115,9 @@ func (o Options) withDefaults() Options {
 	o.SetCapacity = nextPow2(max(2, o.SetCapacity))
 	if o.IdleTimeout <= 0 {
 		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.clock == nil {
+		o.clock = time.Now
 	}
 	return o
 }

@@ -255,7 +255,7 @@ func TestServerLinearizableReadMixKeyspace(t *testing.T) {
 }
 
 // TestBypassReadMidDrain is the whitebox interleaving test: applyHook
-// wedges a shard goroutine between two commands of a same-key write
+// wedges the shard's combiner between two commands of a same-key write
 // batch, and a bypass read issued from another connection must (a)
 // complete while the shard is stuck — it would hang on the mailbox
 // otherwise — and (b) observe exactly the prefix of the batch that has
@@ -276,12 +276,13 @@ func TestBypassReadMidDrain(t *testing.T) {
 func testBypassReadMidDrain(t *testing.T) {
 	srv := startServer(t, Options{Shards: 1, Set: "list-epoch", Map: "epoch", Txn: "off"})
 
-	// Wedge points: the hook runs on the (sole) shard goroutine before a
-	// command applies, so parking on HSET k 2 freezes the shard with the
-	// overwrite pending, and parking on DEL 7 freezes a two-command batch
-	// with its first command (SET 8) already applied. Installing the hook
-	// here is safe because no command is in flight yet and the batch
-	// channel send orders this write before the shard's read.
+	// Wedge points: the hook runs on whichever goroutine holds the
+	// shard's combiner lock before a command applies, so parking on
+	// HSET k 2 freezes the combiner with the overwrite pending, and
+	// parking on DEL 7 freezes a two-command batch with its first
+	// command (SET 8) already applied. Installing the hook here is safe
+	// because no command is in flight yet and acquiring the combiner
+	// lock orders this write before the combiner's read.
 	type wedge struct {
 		op  Op
 		arg int64

@@ -7,9 +7,12 @@
 // over the shards but execute against shared structures; the shards then
 // serve as a bounded thread set, which is exactly what the combining tree
 // and the metrics counters need: shard i always calls with ThreadID i.
-// Commands travel in batches — contiguous per-connection runs — and each
-// shard goroutine flat-combines: it drains its queue per wakeup and
-// applies the whole run before replying, one reply slice per batch.
+// Commands travel in batches — contiguous per-connection runs —
+// published quietly into a lock-free MPSC ring (internal/mailbox) and
+// flat-combined by whoever holds the shard's combiner lock: usually the
+// submitting connection itself, which drains the ring and applies its
+// own batch in place, with a dedicated shard goroutine (spin-then-park)
+// as the fallback when combiners collide. One reply slice per batch.
 package server
 
 import (
@@ -22,6 +25,7 @@ import (
 	"amp/internal/core"
 	"amp/internal/counting"
 	"amp/internal/list"
+	"amp/internal/mailbox"
 	"amp/internal/metrics"
 	"amp/internal/strmap"
 	"amp/internal/txn"
@@ -58,7 +62,7 @@ func errReply(format string, args ...any) reply {
 type batch struct {
 	cmds    []Command
 	replies []reply
-	start   time.Time
+	start   int64 // submit stamp on the engine's coarse clock (see engine.coarse)
 	resp    chan []reply
 }
 
@@ -79,21 +83,41 @@ func (b *batch) reset() {
 }
 
 // shard owns a private set instance, a private string-keyed dictionary,
-// and a batch channel drained by a single goroutine. Map commands route
-// by the FNV-1a hash of their key (Command.ShardKey), then resolve
-// collisions inside the shard's dictionary by full-string chaining.
+// and a lock-free MPSC mailbox drained by a single goroutine. Map
+// commands route by the FNV-1a hash of their key (Command.ShardKey),
+// then resolve collisions inside the shard's dictionary by full-string
+// chaining.
 type shard struct {
-	id      core.ThreadID
-	set     list.Set
-	dict    strmap.Map
-	batches chan *batch
+	id   core.ThreadID
+	set  list.Set
+	dict strmap.Map
+	mbox *mailbox.Mailbox[*batch]
+
+	// comb is the combiner lock: whoever holds it is the shard's
+	// single consumer, draining the mailbox and executing batches with
+	// the shard's identity (holding comb is what makes id a valid dense
+	// ThreadID for the width-bounded counters). A submitting connection
+	// goroutine TryLocks it to combine on the spot — the uncontended
+	// fast path costs zero scheduler round-trips — and the dedicated
+	// shard goroutine Locks it as the fallback when producers collide.
+	comb sync.Mutex
+	// run is the combiner's drain scratch, guarded by comb.
+	run []*batch
 }
 
-// shardQueueDepth bounds buffered batches per shard; senders block when
-// a shard is saturated, which is the natural backpressure (submit adds
-// the shutdown escape hatch so a draining server cannot deadlock behind
-// a wedged shard).
+// shardQueueDepth bounds buffered batches per shard; senders back off
+// when a shard is saturated, which is the natural backpressure (the
+// mailbox's stop flag is the shutdown escape hatch, so a draining
+// server cannot deadlock behind a wedged shard).
 const shardQueueDepth = 128
+
+// clockEvery bounds how stale the shard loop's amortized clock may get:
+// the drain loop re-reads the wall clock after at most this many
+// executed commands instead of once per command. On the pipelined hot
+// path the clock read is a vDSO call that showed up at ~9% of the
+// profile; one read per 32 commands makes it noise while keeping every
+// latency observation within one refresh of the truth.
+const clockEvery = 32
 
 // engine is the assembled data plane.
 type engine struct {
@@ -110,9 +134,24 @@ type engine struct {
 	ext        metrics.Externals // closure-backed counters (bypass, txn)
 	mops       [numOps]*metrics.Op
 	batchSizes *metrics.SizeHistogram // commands combined per shard wakeup
-	stopping   chan struct{}
-	abortOnce  sync.Once
 	wg         sync.WaitGroup
+
+	// The amortized clock. now is the engine's time source (time.Now
+	// outside tests — see Options.clock); epoch is its reading at
+	// construction; coarse is the latest published reading, as
+	// nanoseconds since epoch. Latency stamps and observations both
+	// read coarse — no clock call at all on those paths — and the
+	// clock is refreshed (one real read, one atomic store) only once
+	// per parse-ahead round and every clockEvery executed commands
+	// inside a combining sweep. Races between refreshers can step the
+	// published value backwards by one refresh; observers clamp
+	// negative differences to zero.
+	now    func() time.Time
+	epoch  time.Time
+	coarse atomic.Int64
+	// spinBudget is the resolved per-shard mailbox spin budget, kept for
+	// STATS.
+	spinBudget int
 
 	// Wait-free read bypass state. bypassSet/bypassMap record whether
 	// GET/HGET may execute on the calling (connection) goroutine —
@@ -124,7 +163,14 @@ type engine struct {
 	readBypass  metrics.FlatCounter // reads served on connection goroutines
 	readMailbox metrics.FlatCounter // reads that rode a shard mailbox
 
-	// applyHook, when set (tests only), runs on the shard goroutine
+	// Combiner-path split for STATS: drains performed inline by a
+	// submitting connection goroutine versus by the dedicated shard
+	// goroutine after a lost combiner race (or a spin/park wakeup).
+	combCaller metrics.FlatCounter
+	combShard  metrics.FlatCounter
+
+	// applyHook, when set (tests only), runs on the combining goroutine
+	// (the shard goroutine, or a caller holding the combiner lock)
 	// before each command applies — the seam whitebox interleaving tests
 	// use to wedge a shard mid-drain.
 	applyHook func(Command)
@@ -168,6 +214,13 @@ func newEngine(o Options) (*engine, error) {
 		return nil, err
 	}
 
+	spin := o.SpinBudget
+	switch {
+	case spin == 0:
+		spin = mailbox.DefaultSpinBudget
+	case spin < 0:
+		spin = 0
+	}
 	factory := func() counting.Counter { return newMetricsCounter(o) }
 	e := &engine{
 		opts:       o,
@@ -178,7 +231,9 @@ func newEngine(o Options) (*engine, error) {
 		ks:         ks,
 		metrics:    metrics.NewRegistry(factory, allMetricNames()...),
 		batchSizes: metrics.NewSizeHistogram(factory),
-		stopping:   make(chan struct{}),
+		now:        o.clock,
+		epoch:      o.clock(),
+		spinBudget: spin,
 	}
 	// HGET bypass: safe whenever the keyspace serves it (tvar reads are
 	// goroutine-agnostic) or the map backend advertises the capability.
@@ -187,6 +242,26 @@ func newEngine(o Options) (*engine, error) {
 	e.ext = metrics.Externals{
 		e.readBypass.External("read.bypass"),
 		e.readMailbox.External("read.mailbox"),
+		e.combCaller.External("shard.combine.caller"),
+		e.combShard.External("shard.combine.shard"),
+		// The shard goroutines' drain behavior, summed over shards: how
+		// often a Get resolved during the spin phase versus actually
+		// parking. The closures read e.shards at snapshot time, after
+		// the loop below has populated it.
+		metrics.External{Name: "shard.spin", Read: func() int64 {
+			var n int64
+			for _, s := range e.shards {
+				n += s.mbox.Spins()
+			}
+			return n
+		}},
+		metrics.External{Name: "shard.park", Read: func() int64 {
+			var n int64
+			for _, s := range e.shards {
+				n += s.mbox.Parks()
+			}
+			return n
+		}},
 	}
 	if ks != nil {
 		e.ext = append(e.ext,
@@ -201,10 +276,11 @@ func newEngine(o Options) (*engine, error) {
 	}
 	for i := 0; i < o.Shards; i++ {
 		s := &shard{
-			id:      core.ThreadID(i),
-			set:     setEnt.make(o),
-			dict:    mapEnt.make(o),
-			batches: make(chan *batch, shardQueueDepth),
+			id:   core.ThreadID(i),
+			set:  setEnt.make(o),
+			dict: mapEnt.make(o),
+			mbox: mailbox.New[*batch](shardQueueDepth, o.SpinBudget),
+			run:  make([]*batch, 0, shardQueueDepth),
 		}
 		e.shards = append(e.shards, s)
 		e.wg.Add(1)
@@ -213,23 +289,25 @@ func newEngine(o Options) (*engine, error) {
 	return e, nil
 }
 
-// stop drains and terminates the shard goroutines. Callers must guarantee
-// no further do/doBatch calls (the server waits for all connections
-// first).
+// stop terminates the shard goroutines after they finish draining every
+// batch already accepted. Callers must guarantee no further do/doBatch
+// calls (the server waits for all connections first).
 func (e *engine) stop() {
 	e.abort()
-	for _, s := range e.shards {
-		close(s.batches)
-	}
 	e.wg.Wait()
 }
 
-// abort tells submitters stuck on a saturated shard queue to give up
-// instead of blocking forever. The server fires it when the shutdown
-// drain deadline expires, so pipelined clients parked in submit cannot
-// deadlock the drain; stop fires it unconditionally.
+// abort closes every shard mailbox: submitters stuck backing off
+// against a saturated shard give up instead of blocking forever, new
+// submissions fail fast, and each shard goroutine exits once it has
+// drained what was already published. The server fires it when the
+// shutdown drain deadline expires, so pipelined clients parked in
+// submit cannot deadlock the drain; stop fires it unconditionally.
+// Idempotent (mailbox.Close is).
 func (e *engine) abort() {
-	e.abortOnce.Do(func() { close(e.stopping) })
+	for _, s := range e.shards {
+		s.mbox.Close()
+	}
 }
 
 // canBypass reports whether cmd may skip the shard mailbox and execute
@@ -295,6 +373,7 @@ func (e *engine) do(cmd Command) reply {
 	}
 	b := getBatch()
 	b.cmds = append(b.cmds, cmd)
+	b.start = e.refreshCoarse()
 	replies, ok := e.doBatch(si, b)
 	if !ok {
 		putBatch(b)
@@ -308,34 +387,64 @@ func (e *engine) do(cmd Command) reply {
 // nextShard spreads unkeyed runs round-robin over the shards.
 func (e *engine) nextShard() int { return int(e.rr.Add(1)-1) % len(e.shards) }
 
-// doBatch submits a filled batch to shard si and waits for its replies,
-// one per command, in order. ok is false when the engine aborted while
-// the shard queue was full; the batch was not executed and still belongs
-// to the caller.
+// doBatch executes a filled batch on shard si and returns its replies,
+// one per command, in order. Callers stamp b.start. ok is false when
+// the engine aborted (or aborted while the shard mailbox was full); the
+// batch was not executed and still belongs to the caller.
+//
+// The fast path never touches the mailbox at all: the caller bids for
+// the shard's combiner lock first and, on success, drains whatever
+// other producers already published (FIFO fairness), then applies its
+// own batch right here on the connection goroutine — no enqueue, no
+// reply-channel round-trip, no other goroutine involved. Only when
+// another combiner already owns the shard does the caller publish the
+// batch and wait, re-bidding for the lock once (the owner may have
+// finished its final drain just before our publish) and otherwise
+// kicking the dedicated shard goroutine.
 func (e *engine) doBatch(si int, b *batch) ([]reply, bool) {
-	b.start = time.Now()
-	if !e.submit(e.shards[si], b) {
+	s := e.shards[si]
+	if s.comb.TryLock() {
+		if s.mbox.Closed() {
+			s.comb.Unlock()
+			return nil, false
+		}
+		e.combine(s)
+		rs := e.applyDirect(s, b)
+		s.comb.Unlock()
+		e.combCaller.Inc()
+		return rs, true
+	}
+	if !e.submit(s, b) {
 		return nil, false
+	}
+	if s.comb.TryLock() {
+		e.combine(s)
+		s.comb.Unlock()
+		e.combCaller.Inc()
+	} else {
+		s.mbox.Kick()
 	}
 	return <-b.resp, true
 }
 
-// submit enqueues b on its shard. The fast path is a non-blocking send;
-// when the queue is full it blocks, but abandons the wait once abort
-// fires — the unbounded-wait footgun fix: a draining server must not
-// leave connection goroutines parked on a saturated shard forever.
+// submit enqueues b on its shard mailbox, quietly: the caller is about
+// to bid for the combiner lock itself, so the parked shard goroutine is
+// left alone. The fast path is one CAS plus one store; when the ring is
+// full, the put backs off (yielding the processor to a combiner) but
+// abandons the wait once abort closes the mailbox — the unbounded-wait
+// footgun fix: a draining server must not leave connection goroutines
+// parked on a saturated shard forever.
 func (e *engine) submit(s *shard, b *batch) bool {
-	select {
-	case s.batches <- b:
-		return true
-	default:
-	}
-	select {
-	case s.batches <- b:
-		return true
-	case <-e.stopping:
-		return false
-	}
+	return s.mbox.PutQuiet(b)
+}
+
+// refreshCoarse publishes a fresh coarse-clock reading and returns it:
+// one real clock call, amortized over a parse-ahead round or clockEvery
+// executed commands.
+func (e *engine) refreshCoarse() int64 {
+	v := e.now().Sub(e.epoch).Nanoseconds()
+	e.coarse.Store(v)
+	return v
 }
 
 // keyShard spreads keys over shards with a Fibonacci multiplicative hash
@@ -345,29 +454,59 @@ func keyShard(key int64, n int) int {
 	return int((uint64(key) * fib64 >> 17) % uint64(n))
 }
 
-// serve is the shard goroutine, now a flat combiner (the book's Chs.
-// 11–12 argument rendered at the shard queue): each wakeup drains every
-// batch already buffered and applies the whole run against the backends
-// before the next channel receive, amortizing one synchronization
-// round-trip over the run. Each batch is answered as soon as its own
-// commands are done, so early submitters are not held hostage to the
-// rest of the run.
+// serve is the dedicated shard goroutine: the fallback combiner. Under
+// caller-combining it runs only when producers collide on the shard —
+// a submitter that loses the combiner race kicks it — or on a genuine
+// wakeup after idling. The blocking wait is the mailbox's
+// spin-then-park WaitNonempty: a bounded number of empty polls rides
+// out the gap between pipelined batches without a scheduler
+// round-trip, only a genuinely idle shard parks, and a false return
+// means closed-and-drained — the shutdown signal, replacing the
+// closed-channel range.
 func (e *engine) serve(s *shard) {
 	defer e.wg.Done()
-	run := make([]*batch, 0, shardQueueDepth)
-	for b := range s.batches {
-		run = append(run[:0], b)
-	drain:
+	for {
+		if !s.mbox.WaitNonempty() {
+			return // closed and fully drained
+		}
+		s.comb.Lock()
+		e.combine(s)
+		s.comb.Unlock()
+		e.combShard.Inc()
+	}
+}
+
+// combine drains and executes everything published to s's mailbox: the
+// flat-combining pass (the book's Chs. 11–12 argument rendered at the
+// shard mailbox). Each sweep takes every batch already published and
+// applies the whole run against the backends before looking for more,
+// amortizing one synchronization round-trip over the run; each batch is
+// answered as soon as its own commands are done, so early submitters
+// are not held hostage to the rest of the run.
+//
+// Callers must hold s.comb: the combiner lock serializes ring
+// consumption (TryGet is single-consumer) and makes s.id a valid dense
+// ThreadID for the width-bounded counters while combining.
+//
+// Two amortizations live in the loop. The clock: latencies are
+// measured against a wall-clock reading refreshed every clockEvery
+// executed commands, not one read per command. And the metrics:
+// consecutive same-op commands within a batch fold into a single
+// ObserveN — one ticket fetch and one bucket increment for the whole
+// span — which is exactly the shape pipelined load has.
+func (e *engine) combine(s *shard) {
+	for {
+		b, ok := s.mbox.TryGet()
+		if !ok {
+			return
+		}
+		run := append(s.run[:0], b)
 		for len(run) < shardQueueDepth {
-			select {
-			case more, ok := <-s.batches:
-				if !ok {
-					break drain // closed: finish what we hold
-				}
-				run = append(run, more)
-			default:
-				break drain
+			more, ok := s.mbox.TryGet()
+			if !ok {
+				break
 			}
+			run = append(run, more)
 		}
 		// Record the run size before answering anyone: a caller that has
 		// its replies is then guaranteed to see the observation too (the
@@ -378,21 +517,65 @@ func (e *engine) serve(s *shard) {
 			combined += len(b.cmds)
 		}
 		e.batchSizes.Observe(int64(combined), s.id)
+		now := e.coarse.Load() // no clock call: the round's refresh is recent
+		stale := 0             // commands executed since the last refresh
 		for _, b := range run {
-			for _, cmd := range b.cmds {
-				b.replies = append(b.replies, e.execute(s, cmd))
-				if op := e.mops[cmd.Op]; op != nil {
-					op.Observe(time.Since(b.start), s.id)
-				}
-			}
+			e.applyBatch(s, b, &now, &stale)
 			b.resp <- b.replies
 		}
+		// Drop the batch references: the batches are back in the pool
+		// (or their owners' hands) the moment they are answered.
+		for i := range run {
+			run[i] = nil
+		}
+		s.run = run[:0]
+	}
+}
+
+// applyDirect is the caller-combining fast path's tail: execute one
+// batch that never entered the mailbox. Callers hold s.comb and have
+// already drained the mailbox, so published batches from other
+// producers are not overtaken.
+func (e *engine) applyDirect(s *shard, b *batch) []reply {
+	e.batchSizes.Observe(int64(len(b.cmds)), s.id)
+	now := e.coarse.Load()
+	stale := 0
+	e.applyBatch(s, b, &now, &stale)
+	return b.replies
+}
+
+// applyBatch executes one batch's commands under s.comb, filling
+// b.replies in order. Consecutive same-op spans fold into one bulk
+// latency observation, and now/stale thread the amortized clock
+// through the caller's sweep: the wall clock is re-read only every
+// clockEvery executed commands.
+func (e *engine) applyBatch(s *shard, b *batch, now *int64, stale *int) {
+	cmds := b.cmds
+	for i := 0; i < len(cmds); {
+		op := cmds[i].Op
+		j := i
+		for j < len(cmds) && cmds[j].Op == op {
+			b.replies = append(b.replies, e.execute(s, cmds[j]))
+			j++
+		}
+		if *stale += j - i; *stale >= clockEvery {
+			*now = e.refreshCoarse()
+			*stale = 0
+		}
+		if mop := e.mops[op]; mop != nil {
+			d := time.Duration(*now - b.start)
+			if d < 0 {
+				d = 0 // a racing refresh stepped the clock back
+			}
+			mop.ObserveN(d, int64(j-i), s.id)
+		}
+		i = j
 	}
 }
 
 // execute applies one command against the shard's set or the shared
-// structures. It runs on the shard goroutine, so s.id is a valid dense
-// ThreadID for the width-bounded counters.
+// structures. It runs under the shard's combiner lock, so s.id is a
+// valid dense ThreadID for the width-bounded counters.
 func (e *engine) execute(s *shard, cmd Command) reply {
 	if e.applyHook != nil {
 		e.applyHook(cmd)
@@ -583,6 +766,7 @@ func (e *engine) statsBody() string {
 		sb.WriteString("txn off\n")
 	}
 	fmt.Fprintf(&sb, "read-bypass set=%s map=%s\n", onOff(e.bypassSet), onOff(e.bypassMap))
+	fmt.Fprintf(&sb, "mailbox depth=%d spin-budget=%d\n", shardQueueDepth, e.spinBudget)
 	sb.WriteString(e.batchSizes.Format("shard.batch"))
 	sb.WriteString(e.metrics.Format())
 	sb.WriteString(e.ext.Format())

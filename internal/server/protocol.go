@@ -58,7 +58,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"strconv"
 
 	"amp/internal/strmap"
 )
@@ -226,8 +225,22 @@ func (c Command) ShardKey() int64 {
 	return c.Arg
 }
 
+// maxVerbLen is the longest canonical verb ("DISCARD", "TXSTATS").
+const maxVerbLen = 7
+
+// errEmptyCommand reports a line with no fields (or poisoned by a
+// control byte; see ParseCommand).
+var errEmptyCommand = errors.New("empty command")
+
 // ParseCommand parses one line (without the trailing LF; a trailing CR is
 // tolerated). It never panics on hostile input.
+//
+// The happy path is allocation-free: fields are subslices of line, the
+// verb is uppercased into a stack buffer whose map lookup the compiler
+// keeps off the heap, integers parse without the string round-trip, and
+// only a map key escapes (Command.Key must outlive the read buffer the
+// line aliases). Error paths may allocate; they answer one reply and
+// never sit on the pipelined hot path.
 func ParseCommand(line []byte) (Command, error) {
 	if len(line) > MaxLineLen {
 		return Command{}, ErrLineTooLong
@@ -235,87 +248,135 @@ func ParseCommand(line []byte) (Command, error) {
 	if n := len(line); n > 0 && line[n-1] == '\r' {
 		line = line[:n-1]
 	}
-	fields := splitFields(line)
-	if len(fields) == 0 {
-		return Command{}, errors.New("empty command")
-	}
-	verb := asciiUpper(fields[0])
-	info, ok := verbs[verb]
-	if !ok {
-		return Command{}, fmt.Errorf("unknown command %q", verb)
-	}
-	cmd := Command{Op: info.op}
-	switch info.arg {
-	case argNone:
-		if len(fields) != 1 {
-			return Command{}, fmt.Errorf("%s takes no argument", verb)
-		}
-	case argInt:
-		if len(fields) != 2 {
-			return Command{}, fmt.Errorf("%s needs exactly one integer argument", verb)
-		}
-		arg, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return Command{}, fmt.Errorf("bad integer %q", fields[1])
-		}
-		cmd.Arg = arg
-	case argKey:
-		if len(fields) != 2 {
-			return Command{}, fmt.Errorf("%s needs exactly one key", verb)
-		}
-		cmd.Key = fields[1]
-	case argKeyInt:
-		if len(fields) != 3 {
-			return Command{}, fmt.Errorf("%s needs a key and an integer value", verb)
-		}
-		arg, err := strconv.ParseInt(fields[2], 10, 64)
-		if err != nil {
-			return Command{}, fmt.Errorf("bad integer %q", fields[2])
-		}
-		cmd.Key = fields[1]
-		cmd.Arg = arg
-	}
-	return cmd, nil
-}
-
-// splitFields splits on runs of spaces and tabs. Any other control byte
-// poisons the line: no verb or decimal contains one, and rejecting them
-// here keeps garbage (including NULs from half-open sockets) out of error
-// messages.
-func splitFields(line []byte) []string {
-	var fields []string
+	// Split on runs of spaces and tabs, in place: only the first three
+	// fields can matter (a fourth is always an arity error), so at most
+	// four subslices are recorded and the rest only counted. Any other
+	// control byte poisons the line: no verb or decimal contains one,
+	// and rejecting them here keeps garbage (including NULs from
+	// half-open sockets) out of error messages.
+	var tok [4][]byte
+	ntok := 0
 	start := -1
 	for i := 0; i <= len(line); i++ {
-		var b byte
+		b := byte(' ')
 		if i < len(line) {
 			b = line[i]
-		} else {
-			b = ' '
 		}
 		switch {
 		case b == ' ' || b == '\t':
 			if start >= 0 {
-				fields = append(fields, string(line[start:i]))
+				if ntok < len(tok) {
+					tok[ntok] = line[start:i]
+				}
+				ntok++
 				start = -1
 			}
 		case b < 0x20 || b == 0x7f:
-			return nil
+			return Command{}, errEmptyCommand
 		default:
 			if start < 0 {
 				start = i
 			}
 		}
 	}
-	return fields
+	if ntok == 0 {
+		return Command{}, errEmptyCommand
+	}
+	v := tok[0]
+	if len(v) > maxVerbLen {
+		return Command{}, fmt.Errorf("unknown command %q", upperVerb(v))
+	}
+	var vb [maxVerbLen]byte
+	for i := 0; i < len(v); i++ {
+		b := v[i]
+		if 'a' <= b && b <= 'z' {
+			b -= 'a' - 'A'
+		}
+		vb[i] = b
+	}
+	info, ok := verbs[string(vb[:len(v)])]
+	if !ok {
+		return Command{}, fmt.Errorf("unknown command %q", string(vb[:len(v)]))
+	}
+	cmd := Command{Op: info.op}
+	switch info.arg {
+	case argNone:
+		if ntok != 1 {
+			return Command{}, fmt.Errorf("%s takes no argument", info.op)
+		}
+	case argInt:
+		if ntok != 2 {
+			return Command{}, fmt.Errorf("%s needs exactly one integer argument", info.op)
+		}
+		arg, ok := parseInt(tok[1])
+		if !ok {
+			return Command{}, fmt.Errorf("bad integer %q", tok[1])
+		}
+		cmd.Arg = arg
+	case argKey:
+		if ntok != 2 {
+			return Command{}, fmt.Errorf("%s needs exactly one key", info.op)
+		}
+		cmd.Key = string(tok[1])
+	case argKeyInt:
+		if ntok != 3 {
+			return Command{}, fmt.Errorf("%s needs a key and an integer value", info.op)
+		}
+		arg, ok := parseInt(tok[2])
+		if !ok {
+			return Command{}, fmt.Errorf("bad integer %q", tok[2])
+		}
+		cmd.Key = string(tok[1])
+		cmd.Arg = arg
+	}
+	return cmd, nil
 }
 
-// asciiUpper uppercases ASCII letters only (verbs are pure ASCII).
-func asciiUpper(s string) string {
-	up := []byte(s)
-	for i, b := range up {
-		if 'a' <= b && b <= 'z' {
-			up[i] = b - 'a' + 'A'
+// parseInt parses a signed base-10 64-bit decimal, accepting exactly
+// what strconv.ParseInt(string(b), 10, 64) accepts — an optional sign
+// and digits, rejecting overflow — without the string conversion.
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, false
 		}
+	}
+	const cutoff = uint64(1) << 63 // |MinInt64|
+	var n uint64
+	for _, c := range b {
+		d := c - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if n > (cutoff-uint64(d))/10 {
+			return 0, false // past ±2^63 regardless of sign
+		}
+		n = n*10 + uint64(d)
+	}
+	if neg {
+		return -int64(n), true // n ≤ 2^63, so the negation covers MinInt64
+	}
+	if n >= cutoff {
+		return 0, false
+	}
+	return int64(n), true
+}
+
+// upperVerb uppercases ASCII letters of an unrecognized verb for its
+// error message (error path only; allocates).
+func upperVerb(v []byte) string {
+	up := make([]byte, len(v))
+	for i, b := range v {
+		if 'a' <= b && b <= 'z' {
+			b -= 'a' - 'A'
+		}
+		up[i] = b
 	}
 	return string(up)
 }

@@ -248,31 +248,40 @@ func FuzzPipeline(f *testing.F) {
 		"SET 1\nGET 1\nDEL 1\n",
 		"PING\nSTATS\nINC\nREAD\n",
 		"ENQ 5\nDEQ\nPUSH 6\nPOP\nPQADD 2\nPQMIN\n",
-		"QUIT\nSET 9\n",                                      // data after QUIT is ignored
-		"SET 1",                                              // final line without newline
-		"\n\n \n\r\n",                                        // empty and blank lines each get an ERR
-		"FROB\nSET x\nSET 1 2\n",                             // parse errors keep the connection open
-		"SET " + strings.Repeat("9", 200) + "\nGET 1\n",      // oversized: ERR + close, GET unanswered
-		strings.Repeat("A", 300),                             // oversized final line, no newline
-		"SET 1\n" + strings.Repeat("B", MaxLineLen+1) + "\n", // max content that still frames: ERR, stays open
-		"GET -9223372036854775808\n",                         // reserved key error from the engine
-		"HSET k 1\nHGET k\nHDEL k\nHGET k\n",                 // map family round trip
-		"hset CaSe 7\r\nHGET CaSe\r\nhget case\r\n",          // verbs fold, keys do not
-		"HSET k\nHGET\nHDEL a b\nHSET  pad  3 \nHGET\tpad\n", // arity errors + embedded whitespace
-		"HGET " + strings.Repeat("K", MaxLineLen-5) + "\n",   // key at the MaxLineLen boundary
-		"HSET " + strings.Repeat("K", MaxLineLen) + " 1\nHGET x\n", // oversized key: ERR + close
-		"MULTI\nEXEC\n",                                       // empty transaction commits *0
-		"MULTI\nHSET k 1\nINC\nHGET k\nREAD\nEXEC\nHGET k\n",  // mixed txn, then a fast read
-		"MULTI\nMULTI\nHSET k 1\nEXEC\nEXEC\n",                // nested MULTI poisons the window
-		"DISCARD\nEXEC\nTXSTATS\nMULTI\nTXSTATS\nEXEC\n",      // txn control with and without a window
-		"MULTI\nHSET k 1\nDISCARD\nHGET k\n",                  // DISCARD drops the buffer
-		"MULTI\nPUSH 1\nPING\nSTATS\nFROB\nEXEC\n",            // non-stageable + control verbs inside
-		"MULTI\nHINCR k 2\nQUIT\nEXEC 1\n",                    // QUIT mid-transaction closes
-		"MULTI\n" + strings.Repeat("INC\n", MaxTxnOps+1) + "EXEC\n", // overflowing the staged buffer
-		"SET 1\nGET 1\nSET 2\nGET 1\nGET 2\nDEL 1\nGET 1\nGET 2\n",  // bypass reads interleave with writes
+		"QUIT\nSET 9\n",                                                             // data after QUIT is ignored
+		"SET 1",                                                                     // final line without newline
+		"\n\n \n\r\n",                                                               // empty and blank lines each get an ERR
+		"FROB\nSET x\nSET 1 2\n",                                                    // parse errors keep the connection open
+		"SET " + strings.Repeat("9", 200) + "\nGET 1\n",                             // oversized: ERR + close, GET unanswered
+		strings.Repeat("A", 300),                                                    // oversized final line, no newline
+		"SET 1\n" + strings.Repeat("B", MaxLineLen+1) + "\n",                        // max content that still frames: ERR, stays open
+		"GET -9223372036854775808\n",                                                // reserved key error from the engine
+		"HSET k 1\nHGET k\nHDEL k\nHGET k\n",                                        // map family round trip
+		"hset CaSe 7\r\nHGET CaSe\r\nhget case\r\n",                                 // verbs fold, keys do not
+		"HSET k\nHGET\nHDEL a b\nHSET  pad  3 \nHGET\tpad\n",                        // arity errors + embedded whitespace
+		"HGET " + strings.Repeat("K", MaxLineLen-5) + "\n",                          // key at the MaxLineLen boundary
+		"HSET " + strings.Repeat("K", MaxLineLen) + " 1\nHGET x\n",                  // oversized key: ERR + close
+		"MULTI\nEXEC\n",                                                             // empty transaction commits *0
+		"MULTI\nHSET k 1\nINC\nHGET k\nREAD\nEXEC\nHGET k\n",                        // mixed txn, then a fast read
+		"MULTI\nMULTI\nHSET k 1\nEXEC\nEXEC\n",                                      // nested MULTI poisons the window
+		"DISCARD\nEXEC\nTXSTATS\nMULTI\nTXSTATS\nEXEC\n",                            // txn control with and without a window
+		"MULTI\nHSET k 1\nDISCARD\nHGET k\n",                                        // DISCARD drops the buffer
+		"MULTI\nPUSH 1\nPING\nSTATS\nFROB\nEXEC\n",                                  // non-stageable + control verbs inside
+		"MULTI\nHINCR k 2\nQUIT\nEXEC 1\n",                                          // QUIT mid-transaction closes
+		"MULTI\n" + strings.Repeat("INC\n", MaxTxnOps+1) + "EXEC\n",                 // overflowing the staged buffer
+		"SET 1\nGET 1\nSET 2\nGET 1\nGET 2\nDEL 1\nGET 1\nGET 2\n",                  // bypass reads interleave with writes
 		"HSET k 1\nHGET k\nSET 3\nGET 3\nHGET k\nHDEL k\nHGET k\nQUIT\n",            // both read families, then QUIT
 		"MULTI\nHSET k 9\nHGET k\nEXEC\nHGET k\nGET 5\nMULTI\nSET 5\nEXEC\nGET 5\n", // reads inside and after MULTI
 		"GET 1\nGET 1\nGET 1\nHGET h\nHSET h 2\nHGET h\nMULTI\nHDEL h\nEXEC\nHGET h\nQUIT\n",
+		// Mailbox pressure: deep pipelines of same-shard keyed runs (one
+		// key → one shard → maximal contiguous batches through one ring),
+		// with QUIT cutting the burst so accepted-but-unanswered lines
+		// race the teardown drain.
+		strings.Repeat("SET 7\n", 192) + "QUIT\n" + strings.Repeat("SET 7\n", 8), // deep run past maxBatch, QUIT mid-burst
+		strings.Repeat("HSET deep 1\nHINCR deep 3\n", 80),                        // same string key: alternating-op spans, one shard
+		strings.Repeat("SET 5\nDEL 5\n", 100) + "QUIT\nSET 5\n",                  // same-key churn, then QUIT with trailing data
+		strings.Repeat("ENQ 1\n", 150) + "QUIT",                                  // unkeyed deep run, unterminated QUIT
+		strings.Repeat("SET 3\nGET 3\n", 96) + "QUIT\n",                          // bypass reads interleaved into a deep run
 	}
 	for i, s := range seeds {
 		f.Add([]byte(s), byte(i*7+1))

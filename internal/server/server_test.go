@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"amp/internal/core"
+	"amp/internal/mailbox"
 )
 
 // startServer boots a server on a loopback ephemeral port and registers a
@@ -500,13 +501,16 @@ func TestPipelinedBulk(t *testing.T) {
 }
 
 // TestPipelinedSubmitAbortUnblocks is the regression test for the
-// unbounded-wait footgun: a connection goroutine blocked on a full
-// shard queue must give up once the engine aborts, instead of
+// unbounded-wait footgun: a connection goroutine backing off against a
+// full shard mailbox must give up once the engine aborts, instead of
 // deadlocking a draining server.
 func TestPipelinedSubmitAbortUnblocks(t *testing.T) {
-	e := &engine{stopping: make(chan struct{})}
-	s := &shard{batches: make(chan *batch, 1)}
-	s.batches <- &batch{} // saturate the queue; nothing drains it
+	e := &engine{}
+	s := &shard{mbox: mailbox.New[*batch](2, 0)}
+	e.shards = []*shard{s}
+	for s.mbox.TryPut(&batch{}) {
+		// saturate the ring; nothing drains it
+	}
 
 	res := make(chan bool, 1)
 	go func() { res <- e.submit(s, &batch{}) }()
@@ -790,6 +794,111 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 
 	// Shutdown is idempotent.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestShutdownForcePathSaturatedRing wedges the sole shard's combiner
+// mid-command so that subsequent submitters fill the ring to capacity
+// and overflow into the producer backoff, then drives Shutdown's force
+// path (an already-short drain deadline). The force path must abort the
+// mailbox — unblocking every producer parked on the full ring — and once
+// the wedge releases, every batch already accepted must still be drained
+// and answered: no conn goroutine may be left waiting on a reply, which
+// the goroutine-leak check below would catch, and the shard goroutines
+// must all exit.
+func TestShutdownForcePathSaturatedRing(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv, err := New(Options{Shards: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	// The wedge: the first SET 424242 parks its combining goroutine (the
+	// submitting connection itself, holding the combiner lock) until the
+	// test releases it. Installed before any traffic.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wedged sync.Once
+	srv.eng.applyHook = func(cmd Command) {
+		if cmd.Op == OpSet && cmd.Arg == 424242 {
+			wedged.Do(func() {
+				entered <- struct{}{}
+				<-release
+			})
+		}
+	}
+
+	wedgeConn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer wedgeConn.Close()
+	if _, err := wedgeConn.Write([]byte("SET 424242\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	<-entered // combiner lock held, nothing will drain the ring
+
+	// Saturate: more single-batch connections than the ring holds, so the
+	// overflow parks inside the producer backoff. Every client must
+	// eventually unblock — with a reply or a dead socket, never a hang.
+	const clients = shardQueueDepth + 24
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			fmt.Fprintf(conn, "SET %d\n", i)
+			conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+			bufio.NewReader(conn).ReadString('\n')
+		}(i)
+	}
+	time.Sleep(300 * time.Millisecond) // let the ring fill and producers park
+
+	// Force path: the deadline is far shorter than the wedge, so the
+	// drain expires, abort closes the mailboxes, and the parked producers
+	// give up while the wedge is still in place.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+	time.Sleep(400 * time.Millisecond) // deadline expired, abort fired
+	close(release)
+
+	if err := <-shutdownErr; err == nil || !strings.Contains(err.Error(), "drain expired") {
+		t.Fatalf("Shutdown = %v, want drain-expired error", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	wg.Wait()
+
+	// Every accepted batch was answered (a dropped reply would leave its
+	// connection goroutine parked on the reply channel forever) and the
+	// shard goroutines are gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
 	if err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatalf("second Shutdown: %v", err)
 	}
