@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 )
 
@@ -27,7 +26,9 @@ func main() {
 		gate     = flag.String("gate", "", "regexp of benchmark names that must report 0 allocs/op")
 		require  = flag.String("require", "", "'pattern:metric' — benchmarks matching pattern must report custom metric > 0")
 		baseline = flag.String("baseline", "", "baseline JSON artifact (a previous -out) for the -ratio gate")
-		ratio    = flag.String("ratio", "", "'pattern:max' — matching benchmarks must stay within max × baseline ns/op")
+		ratio    = flag.String("ratio", "", "comma-separated 'pattern:max' specs — matching benchmarks must stay within max × baseline ns/op")
+		summary  = flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"),
+			"markdown file to append the ratio comparison table to (default $GITHUB_STEP_SUMMARY; empty = off)")
 	)
 	flag.Parse()
 
@@ -76,13 +77,9 @@ func main() {
 	}
 
 	if *ratio != "" {
-		pat, maxStr, ok := strings.Cut(*ratio, ":")
-		var max float64
-		if ok {
-			max, err = strconv.ParseFloat(maxStr, 64)
-		}
-		if !ok || pat == "" || err != nil || max <= 0 {
-			fatalf("benchgate: -ratio wants 'pattern:max' with max > 0, got %q", *ratio)
+		specs, err := parseRatioSpecs(*ratio)
+		if err != nil {
+			fatalf("benchgate: %v", err)
 		}
 		if *baseline == "" {
 			fatalf("benchgate: -ratio needs -baseline")
@@ -91,15 +88,28 @@ func main() {
 		if err != nil {
 			fatalf("benchgate: %v", err)
 		}
-		violations, err := report.Ratio(base, pat, max)
+		// Render the comparison table before gating so a failing run
+		// still shows its evidence in the step summary.
+		md, err := SummaryTable(report, base, specs)
 		if err != nil {
 			fatalf("benchgate: %v", err)
 		}
-		for _, v := range violations {
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.1f ns/op is %.2f× baseline %.1f (max %.2f×)\n",
-				v.Name, v.NsPerOp, v.Ratio, v.BaselineNsPerOp, max)
+		if err := writeSummary(*summary, md); err != nil {
+			fatalf("benchgate: summary: %v", err)
 		}
-		if len(violations) > 0 {
+		failed := false
+		for _, spec := range specs {
+			violations, err := report.Ratio(base, spec.Pattern, spec.Max)
+			if err != nil {
+				fatalf("benchgate: %v", err)
+			}
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.1f ns/op is %.2f× baseline %.1f (max %.2f×)\n",
+					v.Name, v.NsPerOp, v.Ratio, v.BaselineNsPerOp, spec.Max)
+				failed = true
+			}
+		}
+		if failed {
 			os.Exit(1)
 		}
 		fmt.Printf("benchgate: ratio %q passed vs %s\n", *ratio, *baseline)

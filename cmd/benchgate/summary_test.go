@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseRatioSpecs(t *testing.T) {
+	specs, err := parseRatioSpecs("ServerTCPPipelined:1.15,ServerTCPAdaptive:1.20")
+	if err != nil {
+		t.Fatalf("parseRatioSpecs: %v", err)
+	}
+	want := []RatioSpec{
+		{Pattern: "ServerTCPPipelined", Max: 1.15},
+		{Pattern: "ServerTCPAdaptive", Max: 1.20},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{"", "nope", "x:", "x:0", "x:-1", "a:1.1,:2", "a:1.1,b"} {
+		if _, err := parseRatioSpecs(bad); err == nil {
+			t.Errorf("parseRatioSpecs(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func summaryFixtures() (*Report, *Report) {
+	current := &Report{Benchmarks: []*Benchmark{
+		{Name: "BenchmarkServerTCPPipelined-8", NsPerOp: 1100},
+		{Name: "BenchmarkServerTCPAdaptive-8", NsPerOp: 3000},
+		{Name: "BenchmarkServerTCPNew-8", NsPerOp: 500},
+		{Name: "BenchmarkUnrelated-8", NsPerOp: 42},
+	}}
+	base := &Report{Benchmarks: []*Benchmark{
+		{Name: "BenchmarkServerTCPPipelined-8", NsPerOp: 1000},
+		{Name: "BenchmarkServerTCPAdaptive-8", NsPerOp: 2000},
+	}}
+	return current, base
+}
+
+// TestSummaryTable pins the three verdict shapes: within the ratio, over
+// it, and a matching benchmark with no baseline entry. The unrelated
+// benchmark must not appear.
+func TestSummaryTable(t *testing.T) {
+	current, base := summaryFixtures()
+	md, err := SummaryTable(current, base, []RatioSpec{
+		{Pattern: "ServerTCP(Pipelined|Adaptive|New)", Max: 1.15},
+	})
+	if err != nil {
+		t.Fatalf("SummaryTable: %v", err)
+	}
+
+	for _, want := range []string{
+		"| benchmark | baseline ns/op | current ns/op | ratio | verdict |",
+		"| BenchmarkServerTCPPipelined-8 | 1000.0 | 1100.0 | 1.10× | ✅ within 1.15× |",
+		"| BenchmarkServerTCPAdaptive-8 | 2000.0 | 3000.0 | 1.50× | ❌ over 1.15× |",
+		"| BenchmarkServerTCPNew-8 | — | 500.0 | — | ⚠️ no baseline |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("summary missing %q:\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, "Unrelated") {
+		t.Errorf("summary includes a benchmark outside the ratio specs:\n%s", md)
+	}
+}
+
+// TestSummaryTablePerSpecMax checks that each spec gates its own matches
+// at its own max: the same ratio passes one spec and fails a tighter one.
+func TestSummaryTablePerSpecMax(t *testing.T) {
+	current, base := summaryFixtures()
+	md, err := SummaryTable(current, base, []RatioSpec{
+		{Pattern: "^BenchmarkServerTCPPipelined", Max: 1.05},
+		{Pattern: "^BenchmarkServerTCPAdaptive", Max: 2.0},
+	})
+	if err != nil {
+		t.Fatalf("SummaryTable: %v", err)
+	}
+	for _, want := range []string{
+		"| BenchmarkServerTCPPipelined-8 | 1000.0 | 1100.0 | 1.10× | ❌ over 1.05× |",
+		"| BenchmarkServerTCPAdaptive-8 | 2000.0 | 3000.0 | 1.50× | ✅ within 2.00× |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("summary missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestSummaryTableNoMatches(t *testing.T) {
+	current, base := summaryFixtures()
+	md, err := SummaryTable(current, base, []RatioSpec{{Pattern: "Nothing", Max: 1.5}})
+	if err != nil {
+		t.Fatalf("SummaryTable: %v", err)
+	}
+	if !strings.Contains(md, "no benchmarks matched") {
+		t.Errorf("empty summary missing placeholder row:\n%s", md)
+	}
+
+	if _, err := SummaryTable(current, base, []RatioSpec{{Pattern: "(", Max: 1.5}}); err == nil {
+		t.Error("SummaryTable accepted an invalid pattern")
+	}
+}
+
+// TestWriteSummary appends (GitHub's step-summary contract) and treats
+// an empty path as off.
+func TestWriteSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "summary.md")
+	if err := writeSummary(path, "first"); err != nil {
+		t.Fatalf("writeSummary: %v", err)
+	}
+	if err := writeSummary(path, "second"); err != nil {
+		t.Fatalf("writeSummary: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got, want := string(data), "first\nsecond\n"; got != want {
+		t.Errorf("summary file = %q, want %q", got, want)
+	}
+
+	if err := writeSummary("", "ignored"); err != nil {
+		t.Errorf("writeSummary(\"\") = %v, want nil", err)
+	}
+}

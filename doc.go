@@ -20,6 +20,11 @@
 //	hashset    striped/refinable/split-ordered/cuckoo hash sets (Ch. 13)
 //	strmap     the Ch. 13 lock disciplines as string→int64 maps: coarse,
 //	           striped, refinable, chained phased cuckoo (FNV-1a hashing)
+//	adaptive   contention-adaptive "adjusted" set/map wrappers that morph
+//	           the live member along the Ch. 13 ladder (coarse → striped →
+//	           refinable → lock-free, plus an epoch read member) from
+//	           observed contention and read mix, flipping at shard batch
+//	           boundaries with one atomic pointer store
 //	skiplist   lazy and lock-free skiplists (Ch. 14)
 //	pqueue     bounded pools, fine-grained heap, skip-queue (Ch. 15)
 //	steal      work-stealing deques and executors (Ch. 16)
@@ -39,7 +44,9 @@
 // Binaries: cmd/ampserved serves the structures over TCP (see
 // internal/server for the protocol); cmd/ampbench regenerates the
 // evaluation tables (experiments E1–E16, see DESIGN.md and
-// EXPERIMENTS.md) and, with -serve-addr, load-tests a running ampserved;
+// EXPERIMENTS.md) and, with -serve-addr, load-tests a running ampserved
+// (including -mode phases, the shifting-workload schedule E20 uses to
+// exercise the adaptive backends' live morphing);
 // cmd/linearize checks recorded histories for linearizability. Runnable
 // walkthroughs live in examples/.
 //

@@ -1,0 +1,211 @@
+// Package adaptive implements contention-adaptive "adjusted" backends:
+// meta-containers that wrap the per-family implementation ladders
+// (internal/strmap, internal/hashset) behind the unchanged Map / Set
+// interfaces and morph the live implementation to fit the observed
+// workload — Kane's Adjusted Objects idea driven by the cheap signals
+// Alistarh et al. argue actually predict behavior: real lock-wait /
+// CAS-failure counts and the read/write mix, not worst-case assumptions.
+//
+// The containers are built for ampserved's shard discipline: all writes
+// to one container are serialized by its owning shard (the combiner
+// lock), while reads may additionally arrive from any goroutine through
+// the wait-free bypass (TryGet / TryContains). The owner calls Tick at
+// batch boundaries; every cfg.Every ticks the controller closes a
+// sampling window and consults the policy:
+//
+//   - window read fraction ≥ ReadHi  → morph to the read-optimized
+//     member (map: the RCU-style epoch table; set: the lock-free
+//     split-ordered set), whose reads are safe from any goroutine, so
+//     the server can turn the wait-free read bypass on.
+//   - on an off-ladder read member with read fraction < ReadLo → morph
+//     back to the saved write-ladder rung.
+//   - otherwise, contended ops per hundred ≥ HiPct climbs the write
+//     ladder one rung (coarse → striped → refinable → ...), and ≤ LoPct
+//     descends one rung — under low contention the simplest structure
+//     is the fastest, so an idle container drifts back to coarse.
+//
+// A morph runs entirely on the owner goroutine at a batch boundary: the
+// old implementation is quiesced by construction (zero concurrent
+// writers), Range migrates its entries into a fresh instance of the
+// target, and one atomic pointer store flips future operations over.
+// Concurrent bypass readers linearize at their pointer load: a reader
+// that loaded the old implementation finishes against it — the old
+// structure is never mutated again and stays reachable until the GC
+// collects it — and every operation after the flip sees the migrated
+// state. No stop-the-world, no interface change.
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Config tunes one controller. The zero value selects the defaults.
+type Config struct {
+	// Every is the number of owner ticks (batch drains) between policy
+	// evaluations. Default 32.
+	Every int
+	// MinOps is the minimum operations a sampling window must hold
+	// before the policy may act; smaller windows carry too much noise.
+	// Default 256.
+	MinOps int64
+	// ReadHi is the window read fraction at which the container morphs
+	// to its read-optimized member. Default 0.90.
+	ReadHi float64
+	// ReadLo is the read fraction below which an off-ladder read member
+	// morphs back to the saved write-ladder rung. Default 0.50.
+	ReadLo float64
+	// HiPct / LoPct bound the contention band, in contended operations
+	// per hundred: at or above HiPct the controller climbs the write
+	// ladder, at or below LoPct it descends. Defaults 5 and 1.
+	HiPct int64
+	LoPct int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Every <= 0 {
+		c.Every = 32
+	}
+	if c.MinOps <= 0 {
+		c.MinOps = 256
+	}
+	if c.ReadHi <= 0 {
+		c.ReadHi = 0.90
+	}
+	if c.ReadLo <= 0 {
+		c.ReadLo = 0.50
+	}
+	if c.HiPct <= 0 {
+		c.HiPct = 5
+	}
+	if c.LoPct <= 0 {
+		c.LoPct = 1
+	}
+	return c
+}
+
+// contender is the contention-signal capability every ladder member
+// implements (lock-wait counts on the locked backends, CAS-failure
+// counts on the lock-free ones).
+type contender interface {
+	Contention() int64
+}
+
+// Transition is one observed morph edge, for STATS.
+type Transition struct {
+	From, To string
+	N        int64
+}
+
+// controller is the per-container policy state. All fields except flips
+// and the transition log are owned by the container's single writer
+// (ampserved: the shard's combining goroutine); flips and transitions
+// are also read by STATS snapshots from other goroutines.
+type controller struct {
+	cfg       Config
+	ladderLen int // write-ladder members are indexes [0, ladderLen)
+	readIdx   int // read-optimized member; == ladderLen when off-ladder
+	pos       int // current member index
+	rung      int // ladder rung to return to when leaving an off-ladder read member
+
+	drains int // owner ticks since the last evaluation
+
+	flips atomic.Int64
+	mu    sync.Mutex // guards trans
+	trans map[[2]string]int64
+}
+
+// decide maps one closed window (reads, writes, contended ops) to a
+// target member index, or ok=false to stay put. Pure: no state changes.
+func (c *controller) decide(reads, writes, cont int64) (int, bool) {
+	total := reads + writes
+	if total < c.cfg.MinOps {
+		return 0, false
+	}
+	frac := float64(reads) / float64(total)
+	contPct := 100 * cont / total
+	switch {
+	case frac >= c.cfg.ReadHi:
+		if c.pos != c.readIdx {
+			return c.readIdx, true
+		}
+	case c.pos == c.readIdx && c.readIdx >= c.ladderLen:
+		// Off-ladder read member and the mix is no longer read-dominated.
+		if frac < c.cfg.ReadLo {
+			return c.rung, true
+		}
+	default:
+		if contPct >= c.cfg.HiPct && c.pos+1 < c.ladderLen {
+			return c.pos + 1, true
+		}
+		if contPct <= c.cfg.LoPct && c.pos > 0 {
+			return c.pos - 1, true
+		}
+	}
+	return 0, false
+}
+
+// applyMorph commits a decision: remember the rung when stepping off the
+// ladder, move, count the flip.
+func (c *controller) applyMorph(target int) {
+	if target == c.readIdx && c.readIdx >= c.ladderLen {
+		c.rung = c.pos
+	}
+	c.pos = target
+	c.flips.Add(1)
+}
+
+func (c *controller) record(from, to string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.trans == nil {
+		c.trans = make(map[[2]string]int64)
+	}
+	c.trans[[2]string{from, to}]++
+}
+
+// Flips reports completed morphs. Safe from any goroutine.
+func (c *controller) Flips() int64 { return c.flips.Load() }
+
+// Transitions reports the morph edges taken so far, sorted by (from,
+// to). Safe from any goroutine.
+func (c *controller) Transitions() []Transition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Transition, 0, len(c.trans))
+	for k, n := range c.trans {
+		out = append(out, Transition{From: k[0], To: k[1], N: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func contentionOf(v any) int64 {
+	if c, ok := v.(contender); ok {
+		return c.Contention()
+	}
+	return 0
+}
+
+// normCap rounds a requested capacity up to a power of two ≥ 2 (the
+// ladder constructors' requirement).
+func normCap(n int) int {
+	p := 2
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func checkCapability(ok bool, name, capability string) {
+	if !ok {
+		panic(fmt.Sprintf("adaptive: backend %q does not implement %s", name, capability))
+	}
+}

@@ -1,0 +1,221 @@
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// cfg1 evaluates on every tick and accepts one-op windows: the unit
+// tests drive windows explicitly.
+var cfg1 = Config{Every: 1, MinOps: 1}
+
+// TestDecidePolicy pins the pure policy on a map-shaped controller
+// (off-ladder read member at index 4).
+func TestDecidePolicy(t *testing.T) {
+	mk := func(pos, rung int) *controller {
+		return &controller{cfg: Config{}.withDefaults(), ladderLen: 4, readIdx: 4, pos: pos, rung: rung}
+	}
+	cases := []struct {
+		name                string
+		c                   *controller
+		reads, writes, cont int64
+		want                int
+		ok                  bool
+	}{
+		{"window too small", mk(1, 1), 100, 10, 0, 0, false},
+		{"read-heavy morphs to read member", mk(1, 1), 950, 50, 0, 4, true},
+		{"read member stays in hysteresis band", mk(4, 1), 700, 300, 0, 0, false},
+		{"read member returns on write-heavy", mk(4, 2), 100, 900, 0, 2, true},
+		{"contention climbs", mk(1, 1), 100, 900, 100, 2, true},
+		{"top rung cannot climb", mk(3, 1), 100, 900, 500, 0, false},
+		{"quiet descends", mk(2, 2), 100, 900, 0, 1, true},
+		{"bottom rung cannot descend", mk(0, 0), 100, 900, 0, 0, false},
+		{"mid-band holds", mk(1, 1), 100, 900, 30, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := tc.c.decide(tc.reads, tc.writes, tc.cont)
+			if ok != tc.ok || (ok && got != tc.want) {
+				t.Fatalf("decide(%d,%d,%d) = %d,%v; want %d,%v",
+					tc.reads, tc.writes, tc.cont, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+
+	// The on-ladder read member (set shape): a write-heavy window leaves
+	// it by the ordinary contention descent, not the ReadLo exit.
+	c := &controller{cfg: Config{}.withDefaults(), ladderLen: 4, readIdx: 3, pos: 3, rung: 1}
+	if got, ok := c.decide(100, 900, 0); !ok || got != 2 {
+		t.Fatalf("on-ladder read member: decide = %d,%v; want 2,true", got, ok)
+	}
+}
+
+// window drives one sampled window of the given shape through m and
+// closes it with a Tick.
+func mapWindow(m *Map, reads, writes int) (string, string, bool) {
+	for i := 0; i < writes; i++ {
+		m.Set(fmt.Sprintf("w%05d", i), int64(i))
+	}
+	for i := 0; i < reads; i++ {
+		m.Get(fmt.Sprintf("w%05d", i%(writes+1)))
+	}
+	return m.Tick()
+}
+
+// TestMapMorphLifecycle walks the map through read-heavy and write-heavy
+// windows and checks the member sequence, entry survival, and the
+// transition log.
+func TestMapMorphLifecycle(t *testing.T) {
+	m := NewMap(64, cfg1)
+	if got := m.Current(); got != "striped" {
+		t.Fatalf("boot member %q, want striped", got)
+	}
+	if m.BypassOK() {
+		t.Fatal("striped member must not advertise bypass")
+	}
+
+	// Seed entries that must survive every morph below.
+	for i := 0; i < 100; i++ {
+		m.Set(fmt.Sprintf("seed%03d", i), int64(1000+i))
+	}
+
+	// Pure-write window: quiet striped descends to coarse.
+	if from, to, ok := mapWindow(m, 0, 400); !ok || from != "striped" || to != "coarse" {
+		t.Fatalf("write window: morph %q→%q ok=%v, want striped→coarse", from, to, ok)
+	}
+
+	// Read-heavy window: morphs to epoch and turns bypass on.
+	if from, to, ok := mapWindow(m, 400, 10); !ok || from != "coarse" || to != "epoch" {
+		t.Fatalf("read window: morph %q→%q ok=%v, want coarse→epoch", from, to, ok)
+	}
+	if !m.BypassOK() {
+		t.Fatal("epoch member must advertise bypass")
+	}
+	if v, ok, served := m.TryGet("seed007"); !served || !ok || v != 1007 {
+		t.Fatalf("TryGet(seed007) = %d,%v,%v; want 1007,true,true", v, ok, served)
+	}
+
+	// Write-heavy window: returns to the saved rung (coarse).
+	if from, to, ok := mapWindow(m, 10, 400); !ok || from != "epoch" || to != "coarse" {
+		t.Fatalf("return window: morph %q→%q ok=%v, want epoch→coarse", from, to, ok)
+	}
+	if _, _, served := m.TryGet("seed007"); served {
+		t.Fatal("TryGet served on a non-bypass member")
+	}
+
+	// Every seed entry survived three migrations.
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("seed%03d", i)
+		if v, ok := m.Get(k); !ok || v != int64(1000+i) {
+			t.Fatalf("Get(%s) = %d,%v after morphs; want %d,true", k, v, ok, 1000+i)
+		}
+	}
+
+	if got := m.Flips(); got != 3 {
+		t.Fatalf("Flips() = %d, want 3", got)
+	}
+	want := []Transition{
+		{From: "coarse", To: "epoch", N: 1},
+		{From: "epoch", To: "coarse", N: 1},
+		{From: "striped", To: "coarse", N: 1},
+	}
+	got := m.Transitions()
+	if len(got) != len(want) {
+		t.Fatalf("Transitions() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Transitions()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSetMorphLifecycle mirrors the map lifecycle for the set: the read
+// member is the on-ladder lock-free top rung, left by ordinary descent.
+func TestSetMorphLifecycle(t *testing.T) {
+	s := NewSet(64, cfg1)
+	if got := s.Current(); got != "striped" {
+		t.Fatalf("boot member %q, want striped", got)
+	}
+	for i := 0; i < 100; i++ {
+		s.Add(i)
+	}
+
+	// Read-heavy window (the 100 Adds above are in it too): jump to
+	// lockfree.
+	for i := 0; i < 1000; i++ {
+		s.Contains(i % 100)
+	}
+	if from, to, ok := s.Tick(); !ok || from != "striped" || to != "lockfree" {
+		t.Fatalf("read window: morph %q→%q ok=%v, want striped→lockfree", from, to, ok)
+	}
+	if member, served := s.TryContains(42); !served || !member {
+		t.Fatalf("TryContains(42) = %v,%v; want true,true", member, served)
+	}
+
+	// Write-heavy quiet window: descend one rung at a time back to coarse.
+	wantDown := []string{"refinable", "striped", "coarse"}
+	at := "lockfree"
+	for _, next := range wantDown {
+		for i := 0; i < 400; i++ {
+			s.Add(1000 + i)
+			s.Remove(1000 + i)
+		}
+		if from, to, ok := s.Tick(); !ok || from != at || to != next {
+			t.Fatalf("descent: morph %q→%q ok=%v, want %s→%s", from, to, ok, at, next)
+		}
+		at = next
+	}
+	for i := 0; i < 100; i++ {
+		if !s.Contains(i) {
+			t.Fatalf("member %d lost across morphs", i)
+		}
+	}
+	if got := s.Flips(); got != 4 {
+		t.Fatalf("Flips() = %d, want 4", got)
+	}
+}
+
+// TestTryGetDuringMorphs races wait-free readers against an owner that
+// morphs continuously; the invariant is that a served read of an
+// immutable key always returns its value. Run under -race this is the
+// package's publication-safety proof.
+func TestTryGetDuringMorphs(t *testing.T) {
+	m := NewMap(64, cfg1)
+	m.Set("stable", 42)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok, served := m.TryGet("stable"); served && (!ok || v != 42) {
+					t.Errorf("TryGet(stable) = %d,%v mid-morph; want 42,true", v, ok)
+					return
+				}
+			}
+		}()
+	}
+
+	flips := m.Flips()
+	for round := 0; round < 40; round++ {
+		mapWindow(m, 400, 10) // pull toward epoch
+		mapWindow(m, 10, 400) // push back to the ladder
+	}
+	close(done)
+	wg.Wait()
+	if got := m.Flips(); got <= flips {
+		t.Fatalf("no morphs happened during the race (flips %d)", got)
+	}
+	if v, ok := m.Get("stable"); !ok || v != 42 {
+		t.Fatalf("Get(stable) = %d,%v after the race; want 42,true", v, ok)
+	}
+}

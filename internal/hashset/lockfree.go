@@ -74,6 +74,7 @@ type LockFreeHashSet struct {
 	segments   []atomic.Pointer[soSegment]
 	bucketSize atomic.Uint64 // current bucket count, a power of two
 	setSize    atomic.Int64
+	cont       atomic.Int64 // failed CAS rounds in Add/Remove
 }
 
 const (
@@ -208,11 +209,13 @@ func (s *LockFreeHashSet) Add(x int) bool {
 		node := newSONode(key, x, curr)
 		expected := pred.next.Load()
 		if expected.node != curr || expected.marked {
+			s.cont.Add(1)
 			continue
 		}
 		if pred.next.CompareAndSwap(expected, &soRef{node: node}) {
 			break
 		}
+		s.cont.Add(1)
 	}
 	size := s.setSize.Add(1)
 	if bs := s.bucketSize.Load(); bs < soMaxBuckets && size/int64(bs) > soThreshold {
@@ -232,9 +235,11 @@ func (s *LockFreeHashSet) Remove(x int) bool {
 		}
 		succRef := curr.next.Load()
 		if succRef.marked {
+			s.cont.Add(1)
 			continue
 		}
 		if !curr.next.CompareAndSwap(succRef, &soRef{node: succRef.node, marked: true}) {
+			s.cont.Add(1)
 			continue
 		}
 		s.setSize.Add(-1)
@@ -252,6 +257,28 @@ func (s *LockFreeHashSet) Contains(x int) bool {
 		curr = curr.next.Load().node
 	}
 	return curr != nil && curr.key == key && curr.item == x && !curr.next.Load().marked
+}
+
+// Contention reports Add/Remove rounds lost to a concurrent CAS — the
+// direct "practical wait-freedom" signal: retries happen exactly when
+// another thread won the same window.
+func (s *LockFreeHashSet) Contention() int64 { return s.cont.Load() }
+
+// Range enumerates items until f returns false by walking the whole
+// split-ordered list from the head sentinel, skipping sentinels (even
+// keys) and logically deleted nodes. Concurrent with writers it is a
+// weakly consistent snapshot; with writers quiesced (how the adaptive
+// migration calls it) it is exact.
+func (s *LockFreeHashSet) Range(f func(x int) bool) {
+	for n := s.head; n != nil; {
+		ref := n.next.Load()
+		if n.key&1 == 1 && !ref.marked {
+			if !f(n.item) {
+				return
+			}
+		}
+		n = ref.node
+	}
 }
 
 // Size reports the number of items (approximate under concurrency).

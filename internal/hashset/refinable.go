@@ -19,6 +19,7 @@ type lockArray struct {
 // then swaps both arrays.
 type RefinableHashSet struct {
 	resizing atomic.Bool                 // the "owner mark": a resize is announced
+	cont     atomic.Int64                // contended acquire rounds
 	locks    atomic.Pointer[lockArray]   // current stripe array
 	table    atomic.Pointer[bucketTable] // current bucket table
 }
@@ -39,17 +40,49 @@ func NewRefinableHashSet(capacity int) *RefinableHashSet {
 // acquire loop).
 func (s *RefinableHashSet) acquire(x int) (*lockArray, *sync.Mutex) {
 	for {
+		contended := false
 		for s.resizing.Load() {
+			contended = true
 			runtime.Gosched() // a resize is announced; stand back
 		}
 		oldLocks := s.locks.Load()
 		l := &oldLocks.locks[hashIndex(x, len(oldLocks.locks))]
-		l.Lock()
+		if !l.TryLock() {
+			contended = true
+			l.Lock()
+		}
 		if !s.resizing.Load() && s.locks.Load() == oldLocks {
+			if contended {
+				s.cont.Add(1)
+			}
 			return oldLocks, l
 		}
 		l.Unlock()
+		s.cont.Add(1)
 	}
+}
+
+// Contention reports acquire rounds that waited or retried.
+func (s *RefinableHashSet) Contention() int64 { return s.cont.Load() }
+
+// Range enumerates items until f returns false, using the resize
+// protocol to quiesce: announce ownership, lock every current stripe,
+// walk, release. Nothing is swapped.
+func (s *RefinableHashSet) Range(f func(x int) bool) {
+	for !s.resizing.CompareAndSwap(false, true) {
+		runtime.Gosched() // wait out a real resize
+	}
+	defer s.resizing.Store(false)
+	old := s.locks.Load()
+	for i := range old.locks {
+		old.locks[i].Lock()
+	}
+	defer func() {
+		for i := range old.locks {
+			old.locks[i].Unlock()
+		}
+	}()
+	s.table.Load().rangeItems(f)
 }
 
 // Add inserts x, reporting whether it was absent.

@@ -73,10 +73,23 @@ func (t *bucketTable) policy() bool {
 	return t.size.Load()/int64(len(t.buckets)) > 4
 }
 
+// rangeItems calls f for every item until f returns false. Callers must
+// hold whatever locks cover the whole table.
+func (t *bucketTable) rangeItems(f func(x int) bool) {
+	for _, bucket := range t.buckets {
+		for _, v := range bucket {
+			if !f(v) {
+				return
+			}
+		}
+	}
+}
+
 // CoarseHashSet is the Fig. 13.2 baseline: a single lock serializes
 // everything, including resizing.
 type CoarseHashSet struct {
 	mu    sync.Mutex
+	cont  atomic.Int64
 	table *bucketTable
 }
 
@@ -88,9 +101,21 @@ func NewCoarseHashSet(capacity int) *CoarseHashSet {
 	return &CoarseHashSet{table: newBucketTable(capacity)}
 }
 
+// lock takes the set lock, counting the acquisition as contended when a
+// TryLock probe misses first.
+func (s *CoarseHashSet) lock() {
+	if !s.mu.TryLock() {
+		s.cont.Add(1)
+		s.mu.Lock()
+	}
+}
+
+// Contention reports lock acquisitions that found the lock held.
+func (s *CoarseHashSet) Contention() int64 { return s.cont.Load() }
+
 // Add inserts x, reporting whether it was absent.
 func (s *CoarseHashSet) Add(x int) bool {
-	s.mu.Lock()
+	s.lock()
 	defer s.mu.Unlock()
 	ok := s.table.add(x)
 	if ok && s.table.policy() {
@@ -101,16 +126,23 @@ func (s *CoarseHashSet) Add(x int) bool {
 
 // Remove deletes x, reporting whether it was present.
 func (s *CoarseHashSet) Remove(x int) bool {
-	s.mu.Lock()
+	s.lock()
 	defer s.mu.Unlock()
 	return s.table.remove(x)
 }
 
 // Contains reports membership of x.
 func (s *CoarseHashSet) Contains(x int) bool {
-	s.mu.Lock()
+	s.lock()
 	defer s.mu.Unlock()
 	return s.table.contains(x)
+}
+
+// Range enumerates items under the set lock until f returns false.
+func (s *CoarseHashSet) Range(f func(x int) bool) {
+	s.lock()
+	defer s.mu.Unlock()
+	s.table.rangeItems(f)
 }
 
 // StripedHashSet (Fig. 13.6) keeps a fixed array of L locks; bucket i is
@@ -118,6 +150,7 @@ func (s *CoarseHashSet) Contains(x int) bool {
 // each lock covers more buckets as the set fills.
 type StripedHashSet struct {
 	locks []sync.Mutex
+	cont  atomic.Int64
 	table *bucketTable
 }
 
@@ -138,8 +171,27 @@ func NewStripedHashSet(capacity int) *StripedHashSet {
 // grows (the stripe count divides every table size).
 func (s *StripedHashSet) lockFor(x int) *sync.Mutex {
 	l := &s.locks[hashIndex(x, len(s.locks))]
-	l.Lock()
+	if !l.TryLock() {
+		s.cont.Add(1)
+		l.Lock()
+	}
 	return l
+}
+
+// Contention reports stripe acquisitions that found the stripe held.
+func (s *StripedHashSet) Contention() int64 { return s.cont.Load() }
+
+// Range enumerates items with every stripe held until f returns false.
+func (s *StripedHashSet) Range(f func(x int) bool) {
+	for i := range s.locks {
+		s.locks[i].Lock()
+	}
+	defer func() {
+		for i := range s.locks {
+			s.locks[i].Unlock()
+		}
+	}()
+	s.table.rangeItems(f)
 }
 
 // Add inserts x, reporting whether it was absent.

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"amp/internal/adaptive"
 	"amp/internal/counting"
 	"amp/internal/hashset"
 	"amp/internal/list"
@@ -52,6 +53,20 @@ type Options struct {
 	// path regardless of this setting.
 	ReadBypass string
 
+	// Morph controls live morphing on the "adaptive" set/map backends:
+	// "on" (default) lets each shard's controller migrate its structure
+	// between ladder members as the observed workload shifts; "off"
+	// freezes the adaptive backends on their boot member (striped).
+	// Ignored unless an adaptive backend is selected.
+	//
+	// MorphEvery is the number of batch drains between controller
+	// evaluations per shard (default 32); MorphReadPct is the window
+	// read percentage at which a shard morphs to its read-optimized
+	// member (default 90).
+	Morph        string
+	MorphEvery   int
+	MorphReadPct int
+
 	// Txn selects the transactional engine serving MULTI/EXEC and, when
 	// enabled, the fast path of the string-map and counter families (so
 	// plain traffic and transactions share one linearizable keyspace):
@@ -84,6 +99,11 @@ type Options struct {
 	// amortized-clock test injects a fake clock here). Nil means
 	// time.Now.
 	clock func() time.Time
+
+	// morphMinOps overrides the adaptive controllers' minimum window
+	// size (tests only: whitebox morph tests shrink it so short
+	// histories still close windows). 0 means the adaptive default.
+	morphMinOps int
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +126,9 @@ func (o Options) withDefaults() Options {
 	def(&o.Counter, "combining")
 	def(&o.MetricsCounter, "cas")
 	def(&o.ReadBypass, "on")
+	def(&o.Morph, "on")
+	defInt(&o.MorphEvery, 32)
+	defInt(&o.MorphReadPct, 90)
 	def(&o.Txn, "tl2")
 	def(&o.CM, "aggressive")
 	defInt(&o.SetCapacity, 1024)
@@ -268,9 +291,13 @@ const (
 // sets, whose reads are CAS-free pointer chases (epoch-pinned where the
 // structure recycles nodes), false for every lock-based table, where a
 // foreign reader would race the resize/quiesce protocols.
+// The adaptive capability marks the self-tuning meta-backends, whose
+// bypass safety is per-shard and per-moment (the live member decides);
+// the engine consults the shard's container instead of this table.
 type setEntry struct {
 	make       func(o Options) list.Set
 	readBypass bool
+	adaptive   bool
 }
 
 // mapEntry mirrors setEntry for the -map registry: readBypass asserts
@@ -278,6 +305,17 @@ type setEntry struct {
 type mapEntry struct {
 	make       func(o Options) strmap.Map
 	readBypass bool
+	adaptive   bool
+}
+
+// morphConfig renders the -morph options as an adaptive controller
+// configuration (zero fields select the adaptive defaults).
+func (o Options) morphConfig() adaptive.Config {
+	return adaptive.Config{
+		Every:  o.MorphEvery,
+		ReadHi: float64(o.MorphReadPct) / 100,
+		MinOps: int64(o.morphMinOps),
+	}
 }
 
 // Backend constructor tables. Each entry builds a fresh instance from the
@@ -293,6 +331,12 @@ var (
 		// internal/epoch). Ordered-set semantics instead of hashing.
 		"list-epoch": {make: func(o Options) list.Set { return list.NewEpochList() }, readBypass: true},
 		"skip-epoch": {make: func(o Options) list.Set { return skiplist.NewEpochSkipList() }, readBypass: true},
+		// Self-tuning meta-backend (internal/adaptive): starts striped and
+		// morphs along coarse→striped→refinable→lockfree with observed
+		// contention and read mix; reads take the wait-free bypass
+		// whenever the live member is the lock-free set.
+		"adaptive": {make: func(o Options) list.Set { return adaptive.NewSet(o.SetCapacity, o.morphConfig()) },
+			adaptive: true},
 	}
 	// The map family serves HSET/HGET/HDEL: per-shard string-keyed
 	// dictionaries with open chaining (internal/strmap), mirroring the
@@ -305,6 +349,12 @@ var (
 		// RCU-style epoch-published table: mutex writers, lock-free
 		// epoch-pinned readers — the map family's bypass-capable member.
 		"epoch": {make: func(o Options) strmap.Map { return strmap.NewEpochMap(o.SetCapacity) }, readBypass: true},
+		// Self-tuning meta-backend: morphs along the write ladder
+		// (coarse→striped→refinable→cuckoo-chain) with contention and
+		// jumps to the epoch table when the mix turns read-heavy, turning
+		// the wait-free HGET bypass on live.
+		"adaptive": {make: func(o Options) strmap.Map { return adaptive.NewMap(o.SetCapacity, o.morphConfig()) },
+			adaptive: true},
 	}
 	queueBackends = map[string]func(o Options) queueBackend{
 		"bounded":   func(o Options) queueBackend { return boundedQueue{queue.NewBoundedQueue[int64](o.QueueCapacity)} },

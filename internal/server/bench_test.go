@@ -327,6 +327,93 @@ func benchReadMostly(b *testing.B, readPct int, bypass string) {
 	})
 }
 
+// BenchmarkServerTCPAdaptive measures the self-tuning backends under the
+// workload they exist for: pipelined traffic whose read fraction swings
+// between write-heavy and read-heavy every few thousand operations, so
+// the per-shard controllers step the ladder and flip members while the
+// benchmark is running. The reported morphs metric proves the morphing
+// actually happened in-measurement; CI's ratio gate holds the ns/op
+// within range of the recorded baseline so the adaptive wrapper's
+// steady-state overhead cannot regress silently.
+func BenchmarkServerTCPAdaptive(b *testing.B) {
+	const depth = 16
+	srv, err := New(Options{Shards: 4, Set: "adaptive", Map: "adaptive", Txn: "off"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := srv.Addr().String()
+
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		w := bufio.NewWriter(conn)
+		i := int64(0)
+		window := 0
+		flush := func() bool {
+			if err := w.Flush(); err != nil {
+				b.Error(err)
+				return false
+			}
+			for ; window > 0; window-- {
+				if _, err := r.ReadString('\n'); err != nil {
+					b.Error(err)
+					return false
+				}
+			}
+			return true
+		}
+		for pb.Next() {
+			i++
+			// Alternate regimes every 4096 ops per client: a 95%-read
+			// stretch (pushes shards onto the read-optimized member)
+			// then a 10%-read stretch (pulls them back down-ladder).
+			readPct := int64(95)
+			if (i>>12)&1 == 1 {
+				readPct = 10
+			}
+			switch k := i % 1024; {
+			case (i*37)%100 < readPct:
+				fmt.Fprintf(w, "GET %d\n", k)
+			case i%3 == 0:
+				fmt.Fprintf(w, "DEL %d\n", k)
+			default:
+				fmt.Fprintf(w, "SET %d\n", k)
+			}
+			if window++; window >= depth && !flush() {
+				return
+			}
+		}
+		if window > 0 {
+			flush()
+		}
+	})
+	b.StopTimer()
+	var flips int64
+	for _, s := range srv.eng.shards {
+		if s.adSet != nil {
+			flips += s.adSet.Flips()
+		}
+		if s.adMap != nil {
+			flips += s.adMap.Flips()
+		}
+	}
+	b.ReportMetric(float64(flips), "morphs")
+}
+
 // BenchmarkReadBypassSteady isolates the wait-free read path itself —
 // engine.do on bypass-eligible GET/HGET against warmed epoch-safe
 // structures, no network — and is the allocation gate for the bypass:

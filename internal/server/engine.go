@@ -17,11 +17,13 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"amp/internal/adaptive"
 	"amp/internal/core"
 	"amp/internal/counting"
 	"amp/internal/list"
@@ -93,6 +95,14 @@ type shard struct {
 	dict strmap.Map
 	mbox *mailbox.Mailbox[*batch]
 
+	// adSet/adMap alias set/dict when the family runs the adaptive
+	// meta-backend (nil otherwise): the engine consults them for the
+	// per-shard dynamic bypass capability and ticks them at batch
+	// boundaries, the morph point where the structure is quiesced by
+	// construction.
+	adSet *adaptive.Set
+	adMap *adaptive.Map
+
 	// comb is the combiner lock: whoever holds it is the shard's
 	// single consumer, draining the mailbox and executing batches with
 	// the shard's identity (holding comb is what makes id a valid dense
@@ -163,6 +173,16 @@ type engine struct {
 	readBypass  metrics.FlatCounter // reads served on connection goroutines
 	readMailbox metrics.FlatCounter // reads that rode a shard mailbox
 
+	// Adaptive morphing state. bypassDynSet/bypassDynMap mark families
+	// whose bypass capability is dynamic — the adaptive backends, where
+	// safety is a property of the shard's live member, consulted per
+	// command. morphOn gates the batch-boundary controller ticks;
+	// morphFlips counts completed morphs across all shards for STATS.
+	bypassDynSet bool
+	bypassDynMap bool
+	morphOn      bool
+	morphFlips   metrics.FlatCounter
+
 	// Combiner-path split for STATS: drains performed inline by a
 	// submitting connection goroutine versus by the dedicated shard
 	// goroutine after a lost combiner race (or a spin/park wakeup).
@@ -188,6 +208,12 @@ func newEngine(o Options) (*engine, error) {
 	}
 	if o.ReadBypass != "on" && o.ReadBypass != "off" {
 		return nil, fmt.Errorf("server: unknown read-bypass mode %q (have on, off)", o.ReadBypass)
+	}
+	if o.Morph != "on" && o.Morph != "off" {
+		return nil, fmt.Errorf("server: unknown morph mode %q (have on, off)", o.Morph)
+	}
+	if o.MorphReadPct < 1 || o.MorphReadPct > 100 {
+		return nil, fmt.Errorf("server: morph read percentage %d outside [1,100]", o.MorphReadPct)
 	}
 	newQueue, err := lookup("queue", o.Queue, queueBackends)
 	if err != nil {
@@ -237,8 +263,14 @@ func newEngine(o Options) (*engine, error) {
 	}
 	// HGET bypass: safe whenever the keyspace serves it (tvar reads are
 	// goroutine-agnostic) or the map backend advertises the capability.
+	// For the adaptive backends the capability is dynamic — it holds
+	// exactly while a shard's live member is its read-optimized one — so
+	// canBypass consults the shard instead of a static flag.
 	e.bypassSet = o.ReadBypass == "on" && setEnt.readBypass
 	e.bypassMap = o.ReadBypass == "on" && (ks != nil || mapEnt.readBypass)
+	e.bypassDynSet = o.ReadBypass == "on" && setEnt.adaptive
+	e.bypassDynMap = o.ReadBypass == "on" && mapEnt.adaptive && ks == nil
+	e.morphOn = o.Morph == "on" && (setEnt.adaptive || mapEnt.adaptive)
 	e.ext = metrics.Externals{
 		e.readBypass.External("read.bypass"),
 		e.readMailbox.External("read.mailbox"),
@@ -269,6 +301,9 @@ func newEngine(o Options) (*engine, error) {
 			metrics.External{Name: "txn.abort", Read: ks.Aborts},
 		)
 	}
+	if setEnt.adaptive || mapEnt.adaptive {
+		e.ext = append(e.ext, e.morphFlips.External("morph.flip"))
+	}
 	for op, name := range metricNames {
 		if name != "" {
 			e.mops[op] = e.metrics.Op(name)
@@ -281,6 +316,12 @@ func newEngine(o Options) (*engine, error) {
 			dict: mapEnt.make(o),
 			mbox: mailbox.New[*batch](shardQueueDepth, o.SpinBudget),
 			run:  make([]*batch, 0, shardQueueDepth),
+		}
+		if setEnt.adaptive {
+			s.adSet = s.set.(*adaptive.Set)
+		}
+		if mapEnt.adaptive {
+			s.adMap = s.dict.(*adaptive.Map)
 		}
 		e.shards = append(e.shards, s)
 		e.wg.Add(1)
@@ -315,12 +356,31 @@ func (e *engine) abort() {
 // when the serving backend's reads are goroutine-agnostic (registry
 // capability, or the transactional keyspace for HGET). Callers inside a
 // MULTI window never ask: staged reads ride the tvar commit protocol.
+//
+// On the adaptive backends the answer is per-shard and per-moment: the
+// bypass holds exactly while the key's shard is on its read-optimized
+// member, so the engine asks the shard's live container. A morph racing
+// between this check and the read is handled by readLocal's revalidation
+// (TryGet/TryContains report served=false and the command falls through
+// to the mailbox path). Crucially the check is false while a shard is on
+// the write ladder, so reads keep riding batches there instead of
+// cutting every pipelined run in two.
 func (e *engine) canBypass(cmd Command) bool {
 	switch cmd.Op {
 	case OpGet:
-		return e.bypassSet
+		if e.bypassSet {
+			return true
+		}
+		if e.bypassDynSet {
+			return e.shards[keyShard(cmd.ShardKey(), len(e.shards))].adSet.BypassOK()
+		}
 	case OpHGet:
-		return e.bypassMap
+		if e.bypassMap {
+			return true
+		}
+		if e.bypassDynMap {
+			return e.shards[keyShard(cmd.ShardKey(), len(e.shards))].adMap.BypassOK()
+		}
 	}
 	return false
 }
@@ -339,31 +399,56 @@ func (e *engine) canBypass(cmd Command) bool {
 // Program order is the caller's job: the server flushes (and awaits) any
 // open mailbox run on the connection before calling readLocal, so a read
 // never overtakes this connection's earlier writes.
-func (e *engine) readLocal(cmd Command) reply {
-	e.readBypass.Inc()
+//
+// served=false means an adaptive shard morphed off its read-optimized
+// member between canBypass and here; the command was not executed and
+// must ride the mailbox instead. The fixed bypass backends always serve.
+func (e *engine) readLocal(cmd Command) (reply, bool) {
 	switch cmd.Op {
 	case OpGet:
 		if cmd.Arg < sentinelGuardMin || cmd.Arg > sentinelGuardMax {
-			return errReply("key %d is reserved", cmd.Arg)
+			e.readBypass.Inc()
+			return errReply("key %d is reserved", cmd.Arg), true
 		}
 		s := e.shards[keyShard(cmd.ShardKey(), len(e.shards))]
-		return reply{status: stInt, val: boolInt(s.set.Contains(int(cmd.Arg)))}
+		if s.adSet != nil {
+			member, served := s.adSet.TryContains(int(cmd.Arg))
+			if !served {
+				return reply{}, false
+			}
+			e.readBypass.Inc()
+			return reply{status: stInt, val: boolInt(member)}, true
+		}
+		e.readBypass.Inc()
+		return reply{status: stInt, val: boolInt(s.set.Contains(int(cmd.Arg)))}, true
 	case OpHGet:
 		if e.ks != nil {
 			// With transactions on, the bypass reads the same committed
 			// tvar state EXEC publishes — never the per-shard dictionary.
-			return valueReply(e.ks.Get(cmd.Key))
+			e.readBypass.Inc()
+			return valueReply(e.ks.Get(cmd.Key)), true
 		}
 		s := e.shards[keyShard(cmd.ShardKey(), len(e.shards))]
-		return valueReply(s.dict.Get(cmd.Key))
+		if s.adMap != nil {
+			v, ok, served := s.adMap.TryGet(cmd.Key)
+			if !served {
+				return reply{}, false
+			}
+			e.readBypass.Inc()
+			return valueReply(v, ok), true
+		}
+		e.readBypass.Inc()
+		return valueReply(s.dict.Get(cmd.Key)), true
 	}
-	return errReply("cannot bypass %s", cmd.Op)
+	return errReply("cannot bypass %s", cmd.Op), true
 }
 
 // do routes one command to its shard and waits for the reply.
 func (e *engine) do(cmd Command) reply {
 	if e.canBypass(cmd) {
-		return e.readLocal(cmd)
+		if r, served := e.readLocal(cmd); served {
+			return r
+		}
 	}
 	var si int
 	if cmd.Op.Keyed() {
@@ -571,6 +656,27 @@ func (e *engine) applyBatch(s *shard, b *batch, now *int64, stale *int) {
 		}
 		i = j
 	}
+	e.afterBatch(s)
+}
+
+// afterBatch is the adaptive backends' morph point: it runs on the
+// combining goroutine right after a batch applies, while s.comb still
+// serializes every writer, so a Tick that decides to morph migrates a
+// structure with zero concurrent mutators. No-op unless morphing is on.
+func (e *engine) afterBatch(s *shard) {
+	if !e.morphOn {
+		return
+	}
+	if s.adSet != nil {
+		if _, _, flipped := s.adSet.Tick(); flipped {
+			e.morphFlips.Inc()
+		}
+	}
+	if s.adMap != nil {
+		if _, _, flipped := s.adMap.Tick(); flipped {
+			e.morphFlips.Inc()
+		}
+	}
 }
 
 // execute applies one command against the shard's set or the shared
@@ -765,11 +871,103 @@ func (e *engine) statsBody() string {
 	} else {
 		sb.WriteString("txn off\n")
 	}
-	fmt.Fprintf(&sb, "read-bypass set=%s map=%s\n", onOff(e.bypassSet), onOff(e.bypassMap))
+	fmt.Fprintf(&sb, "read-bypass set=%s map=%s\n", e.bypassState(e.bypassSet, e.bypassDynSet),
+		e.bypassState(e.bypassMap, e.bypassDynMap))
+	sb.WriteString(e.morphLines())
 	fmt.Fprintf(&sb, "mailbox depth=%d spin-budget=%d\n", shardQueueDepth, e.spinBudget)
 	sb.WriteString(e.batchSizes.Format("shard.batch"))
 	sb.WriteString(e.metrics.Format())
 	sb.WriteString(e.ext.Format())
+	return sb.String()
+}
+
+// bypassState renders one family's read-bypass column: the static
+// capability is on/off; the adaptive backends report "adaptive" — the
+// bypass follows each shard's live member.
+func (e *engine) bypassState(static, dynamic bool) string {
+	if dynamic {
+		return "adaptive"
+	}
+	return onOff(static)
+}
+
+// morphLines renders the adaptive-morphing STATS block: one state line
+// for the two keyed families, then one row per morph edge taken. Fixed
+// backends report state "fixed"; an adaptive family reports its shards'
+// live members as adaptive(name:shards ...), sorted by name.
+func (e *engine) morphLines() string {
+	var sb strings.Builder
+	var flips int64
+	for _, s := range e.shards {
+		if s.adSet != nil {
+			flips += s.adSet.Flips()
+		}
+		if s.adMap != nil {
+			flips += s.adMap.Flips()
+		}
+	}
+	fmt.Fprintf(&sb, "morph mode=%s every=%d set=%s map=%s flips=%d\n",
+		e.opts.Morph, e.opts.MorphEvery, e.morphState(true), e.morphState(false), flips)
+	sb.WriteString(e.morphEdges("set", true))
+	sb.WriteString(e.morphEdges("map", false))
+	return sb.String()
+}
+
+// morphState renders one family's live-member census.
+func (e *engine) morphState(set bool) string {
+	counts := make(map[string]int)
+	for _, s := range e.shards {
+		switch {
+		case set && s.adSet != nil:
+			counts[s.adSet.Current()]++
+		case !set && s.adMap != nil:
+			counts[s.adMap.Current()]++
+		default:
+			return "fixed"
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s:%d", n, counts[n])
+	}
+	return "adaptive(" + strings.Join(parts, " ") + ")"
+}
+
+// morphEdges renders one family's morph-transition rows, aggregated over
+// shards and sorted by edge.
+func (e *engine) morphEdges(family string, set bool) string {
+	agg := make(map[[2]string]int64)
+	for _, s := range e.shards {
+		var trans []adaptive.Transition
+		switch {
+		case set && s.adSet != nil:
+			trans = s.adSet.Transitions()
+		case !set && s.adMap != nil:
+			trans = s.adMap.Transitions()
+		}
+		for _, t := range trans {
+			agg[[2]string{t.From, t.To}] += t.N
+		}
+	}
+	edges := make([][2]string, 0, len(agg))
+	for k := range agg {
+		edges = append(edges, k)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	var sb strings.Builder
+	for _, k := range edges {
+		fmt.Fprintf(&sb, "morph %s=%s→%s n=%d\n", family, k[0], k[1], agg[k])
+	}
 	return sb.String()
 }
 

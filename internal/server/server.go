@@ -416,10 +416,15 @@ func (s *Server) serveBatch(w *bufio.Writer, items []lineItem, ts *txnState) boo
 				if !flushRun() {
 					return false
 				}
-				if !s.reply(w, s.eng.readLocal(it.cmd)) {
-					return false
+				// served=false means an adaptive shard morphed off its
+				// read-optimized member under us: fall through and let the
+				// read join a run like any mailbox read.
+				if r, served := s.eng.readLocal(it.cmd); served {
+					if !s.reply(w, r) {
+						return false
+					}
+					continue
 				}
-				continue
 			}
 			if it.cmd.Op.Keyed() {
 				si := keyShard(it.cmd.ShardKey(), len(s.eng.shards))

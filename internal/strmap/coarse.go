@@ -1,12 +1,16 @@
 package strmap
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // CoarseMap is the baseline: a single lock serializes everything,
 // including growth — the map rendering of Fig. 13.2.
 type CoarseMap struct {
 	hash  func(string) uint64
 	mu    sync.Mutex
+	cont  atomic.Int64
 	table *chainTable
 }
 
@@ -18,10 +22,22 @@ func NewCoarseMap(capacity int) *CoarseMap {
 	return &CoarseMap{hash: Hash, table: newChainTable(capacity)}
 }
 
+// lock takes the map lock, counting the acquisition as contended when a
+// TryLock probe misses first.
+func (m *CoarseMap) lock() {
+	if !m.mu.TryLock() {
+		m.cont.Add(1)
+		m.mu.Lock()
+	}
+}
+
+// Contention reports lock acquisitions that found the lock held.
+func (m *CoarseMap) Contention() int64 { return m.cont.Load() }
+
 // Set maps key to val, reporting whether the key was absent.
 func (m *CoarseMap) Set(key string, val int64) bool {
 	h := m.hash(key)
-	m.mu.Lock()
+	m.lock()
 	defer m.mu.Unlock()
 	ok := m.table.set(h, key, val)
 	if ok && m.table.policy() {
@@ -33,7 +49,7 @@ func (m *CoarseMap) Set(key string, val int64) bool {
 // Get returns the value at key.
 func (m *CoarseMap) Get(key string) (int64, bool) {
 	h := m.hash(key)
-	m.mu.Lock()
+	m.lock()
 	defer m.mu.Unlock()
 	return m.table.get(h, key)
 }
@@ -41,7 +57,14 @@ func (m *CoarseMap) Get(key string) (int64, bool) {
 // Del removes key, reporting whether it was present.
 func (m *CoarseMap) Del(key string) bool {
 	h := m.hash(key)
-	m.mu.Lock()
+	m.lock()
 	defer m.mu.Unlock()
 	return m.table.del(h, key)
+}
+
+// Range enumerates entries under the map lock until f returns false.
+func (m *CoarseMap) Range(f func(key string, val int64) bool) {
+	m.lock()
+	defer m.mu.Unlock()
+	m.table.rangeEntries(f)
 }

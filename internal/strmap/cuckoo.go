@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // CuckooChainMap is the phased concurrent cuckoo map (Fig. 13.21–13.27):
@@ -22,6 +23,7 @@ type CuckooChainMap struct {
 	hash     func(string) uint64
 	locks    [2][]sync.Mutex // fixed stripes, one array per table
 	mu       sync.Mutex      // serializes resizes
+	cont     atomic.Int64    // contended stripe-pair acquisitions
 	capacity int             // guarded by any stripe (readers) / all stripes (resizer)
 	table    [2][][]*node    // probe chains
 }
@@ -69,10 +71,52 @@ func (m *CuckooChainMap) stripe(i int, h uint64) *sync.Mutex {
 }
 
 // acquire locks the two stripes for base hash h in table order
-// (deadlock-free by the fixed order).
+// (deadlock-free by the fixed order), counting the pair as contended
+// when either TryLock probe misses.
 func (m *CuckooChainMap) acquire(h uint64) {
-	m.stripe(0, h).Lock()
-	m.stripe(1, h).Lock()
+	contended := false
+	if l := m.stripe(0, h); !l.TryLock() {
+		contended = true
+		l.Lock()
+	}
+	if l := m.stripe(1, h); !l.TryLock() {
+		contended = true
+		l.Lock()
+	}
+	if contended {
+		m.cont.Add(1)
+	}
+}
+
+// Contention reports stripe-pair acquisitions that found a stripe held.
+func (m *CuckooChainMap) Contention() int64 { return m.cont.Load() }
+
+// Range enumerates entries with the resize lock and every stripe held
+// until f returns false.
+func (m *CuckooChainMap) Range(f func(key string, val int64) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := 0; i < 2; i++ {
+		for k := range m.locks[i] {
+			m.locks[i][k].Lock()
+		}
+	}
+	defer func() {
+		for i := 0; i < 2; i++ {
+			for k := range m.locks[i] {
+				m.locks[i][k].Unlock()
+			}
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		for _, chain := range m.table[i] {
+			for _, n := range chain {
+				if !f(n.key, n.val) {
+					return
+				}
+			}
+		}
+	}
 }
 
 func (m *CuckooChainMap) release(h uint64) {

@@ -53,6 +53,7 @@ type EpochMap struct {
 	hash func(string) uint64
 
 	mu    sync.Mutex // writers and growth
+	cont  atomic.Int64
 	table atomic.Pointer[emTable]
 	size  int // entries, writer-owned (read under mu)
 }
@@ -77,6 +78,35 @@ func NewEpochMap(capacity int) *EpochMap {
 // epoch-pin leak tests.
 func (m *EpochMap) Domain() *epoch.Domain { return m.dom }
 
+// lock takes the writer lock, counting the acquisition as contended when
+// a TryLock probe misses first. Readers never touch it, so contention
+// here measures writer/writer collisions only.
+func (m *EpochMap) lock() {
+	if !m.mu.TryLock() {
+		m.cont.Add(1)
+		m.mu.Lock()
+	}
+}
+
+// Contention reports writer-lock acquisitions that found the lock held.
+func (m *EpochMap) Contention() int64 { return m.cont.Load() }
+
+// Range enumerates entries under the writer lock until f returns false.
+// With writers excluded the published chains are frozen, and retired
+// nodes are unreachable from the live table, so the walk needs no pin.
+func (m *EpochMap) Range(f func(key string, val int64) bool) {
+	m.lock()
+	defer m.mu.Unlock()
+	t := m.table.Load()
+	for i := range t.buckets {
+		for n := t.buckets[i].Load(); n != nil; n = n.next.Load() {
+			if !f(n.key, n.val) {
+				return
+			}
+		}
+	}
+}
+
 // node returns a recycled (or fresh) node. The caller owns it until the
 // atomic store that publishes it.
 func (m *EpochMap) node(s *epoch.Slot, h uint64, key string, val int64) *emNode {
@@ -91,7 +121,7 @@ func (m *EpochMap) node(s *epoch.Slot, h uint64, key string, val int64) *emNode 
 // Set maps key to val, reporting whether the key was absent.
 func (m *EpochMap) Set(key string, val int64) bool {
 	h := m.hash(key)
-	m.mu.Lock()
+	m.lock()
 	defer m.mu.Unlock()
 	s := m.dom.Pin()
 	defer m.dom.Unpin(s)
@@ -142,7 +172,7 @@ func (m *EpochMap) Get(key string) (int64, bool) {
 // Del removes key, reporting whether it was present.
 func (m *EpochMap) Del(key string) bool {
 	h := m.hash(key)
-	m.mu.Lock()
+	m.lock()
 	defer m.mu.Unlock()
 	s := m.dom.Pin()
 	defer m.dom.Unpin(s)

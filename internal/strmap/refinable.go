@@ -19,6 +19,7 @@ type lockArray struct {
 type RefinableMap struct {
 	hash     func(string) uint64
 	resizing atomic.Bool                // the "owner mark": a resize is announced
+	cont     atomic.Int64               // contended acquire rounds
 	locks    atomic.Pointer[lockArray]  // current stripe array
 	table    atomic.Pointer[chainTable] // current bucket table
 }
@@ -36,20 +37,34 @@ func NewRefinableMap(capacity int) *RefinableMap {
 
 // acquire locks the stripe for hash h against the *current* arrays,
 // retrying if a resize was announced or swapped the arrays underneath us.
+// Each round that missed (TryLock failure, resize wait, or a failed
+// validation) counts once toward Contention.
 func (m *RefinableMap) acquire(h uint64) *sync.Mutex {
 	for {
+		contended := false
 		for m.resizing.Load() {
+			contended = true
 			runtime.Gosched() // a resize is announced; stand back
 		}
 		oldLocks := m.locks.Load()
 		l := &oldLocks.locks[int(h&uint64(len(oldLocks.locks)-1))]
-		l.Lock()
+		if !l.TryLock() {
+			contended = true
+			l.Lock()
+		}
 		if !m.resizing.Load() && m.locks.Load() == oldLocks {
+			if contended {
+				m.cont.Add(1)
+			}
 			return l
 		}
 		l.Unlock()
+		m.cont.Add(1)
 	}
 }
+
+// Contention reports acquire rounds that waited or retried.
+func (m *RefinableMap) Contention() int64 { return m.cont.Load() }
 
 // Set maps key to val, reporting whether the key was absent.
 func (m *RefinableMap) Set(key string, val int64) bool {
@@ -79,6 +94,27 @@ func (m *RefinableMap) Del(key string) bool {
 	l := m.acquire(h)
 	defer l.Unlock()
 	return m.table.Load().del(h, key)
+}
+
+// Range enumerates entries until f returns false, using the resize
+// protocol to quiesce: announce ownership, then lock every current
+// stripe. No table or stripe swap happens, so in-flight operations just
+// see an unusually long resize that changed nothing.
+func (m *RefinableMap) Range(f func(key string, val int64) bool) {
+	for !m.resizing.CompareAndSwap(false, true) {
+		runtime.Gosched() // wait out a real resize
+	}
+	defer m.resizing.Store(false)
+	old := m.locks.Load()
+	for i := range old.locks {
+		old.locks[i].Lock()
+	}
+	defer func() {
+		for i := range old.locks {
+			old.locks[i].Unlock()
+		}
+	}()
+	m.table.Load().rangeEntries(f)
 }
 
 // resize announces itself, quiesces every stripe, then installs a doubled

@@ -1,6 +1,9 @@
 package strmap
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // StripedMap keeps a fixed array of L locks (L = the initial capacity);
 // the stripe covering a key is chosen by the same masked hash bits as its
@@ -9,6 +12,7 @@ import "sync"
 type StripedMap struct {
 	hash  func(string) uint64
 	locks []sync.Mutex
+	cont  atomic.Int64
 	table *chainTable
 }
 
@@ -24,12 +28,19 @@ func NewStripedMap(capacity int) *StripedMap {
 	}
 }
 
-// lockFor locks the stripe covering hash h and returns it for unlocking.
+// lockFor locks the stripe covering hash h and returns it for unlocking,
+// counting the acquisition as contended when a TryLock probe misses.
 func (m *StripedMap) lockFor(h uint64) *sync.Mutex {
 	l := &m.locks[int(h&uint64(len(m.locks)-1))]
-	l.Lock()
+	if !l.TryLock() {
+		m.cont.Add(1)
+		l.Lock()
+	}
 	return l
 }
+
+// Contention reports stripe acquisitions that found the stripe held.
+func (m *StripedMap) Contention() int64 { return m.cont.Load() }
 
 // Set maps key to val, reporting whether the key was absent.
 func (m *StripedMap) Set(key string, val int64) bool {
@@ -58,6 +69,20 @@ func (m *StripedMap) Del(key string) bool {
 	l := m.lockFor(h)
 	defer l.Unlock()
 	return m.table.del(h, key)
+}
+
+// Range enumerates entries with every stripe held (the resize quiesce)
+// until f returns false.
+func (m *StripedMap) Range(f func(key string, val int64) bool) {
+	for i := range m.locks {
+		m.locks[i].Lock()
+	}
+	defer func() {
+		for i := range m.locks {
+			m.locks[i].Unlock()
+		}
+	}()
+	m.table.rangeEntries(f)
 }
 
 // resize acquires every stripe in order (deadlock-free by total order),

@@ -36,6 +36,17 @@ type Map interface {
 	Del(key string) bool
 }
 
+// Every map in the package additionally implements two capabilities the
+// adaptive meta-backend discovers by assertion:
+//
+//	Contention() int64                       // lock-wait / CAS-retry events so far
+//	Range(f func(key string, val int64) bool) // enumerate entries; stop on false
+//
+// Contention counts are cheap monotone signals (a TryLock miss or an
+// acquire retry costs one atomic add), not precise wait times. Range
+// quiesces the whole structure (all stripes / the writer lock), so it is
+// a migration primitive, not a fast iterator.
+
 // FNV-1a 64-bit parameters (the classic offset basis and prime).
 const (
 	fnvOffset64 = 14695981039346656037
@@ -141,4 +152,17 @@ func (t *chainTable) grow() {
 // policy is the book's resize trigger: average chain length exceeds 4.
 func (t *chainTable) policy() bool {
 	return t.size.Load()/int64(len(t.buckets)) > 4
+}
+
+// rangeEntries calls f for every entry until f returns false. Callers
+// must hold whatever locks cover the whole table (the per-map Range
+// methods do).
+func (t *chainTable) rangeEntries(f func(key string, val int64) bool) {
+	for _, n := range t.buckets {
+		for ; n != nil; n = n.next {
+			if !f(n.key, n.val) {
+				return
+			}
+		}
+	}
 }
