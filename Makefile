@@ -29,14 +29,14 @@ bench:
 bench-ci:
 	$(GO) test -run='^$$' -bench='Epoch.*Steady|LockFree.*(EnqDeq|AddRemove)' -benchmem -count=5 \
 		./internal/queue ./internal/list ./internal/skiplist | tee bench.txt
-	$(GO) test -run='^$$' -bench='BenchmarkServerTCP(Pipelined|StringMap|Txn|ReadMostly|Adaptive)|BenchmarkReadBypassSteady' -benchmem -count=5 \
+	$(GO) test -run='^$$' -bench='BenchmarkServerTCP(Pipelined|StringMap|Txn|ReadMostly|Adaptive|Snapshot)|BenchmarkReadBypassSteady' -benchmem -count=5 \
 		./internal/server | tee -a bench.txt
 	$(GO) test -run='^$$' -bench='BenchmarkMailboxRingVsChan' -benchmem -count=5 \
 		./internal/mailbox | tee -a bench.txt
 	$(GO) run ./cmd/benchgate -in bench.txt -out BENCH_ci.json -gate 'Epoch.*Steady|ReadBypassSteady' \
 		-require 'ServerTCPTxn:commits/op' \
 		-baseline BENCH_baseline.json \
-		-ratio 'ServerTCPPipelined:1.15,ServerTCPAdaptive:1.25'
+		-ratio 'ServerTCPPipelined:1.15,ServerTCPAdaptive:1.25,ServerTCPSnapshot:1.40'
 
 serve:
 	$(GO) run ./cmd/ampserved -addr $(ADDR)

@@ -83,8 +83,16 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 			return fmt.Errorf("-mix does not apply to phases mode (the schedule sets the ratios)")
 		}
 		return runPhases(cfg, out)
+	case "snapshot":
+		if cfg.keys <= 0 {
+			return fmt.Errorf("keys (%d) must be positive in snapshot mode", cfg.keys)
+		}
+		if cfg.mix != "" {
+			return fmt.Errorf("-mix does not apply to snapshot mode (the segments fix the ratio)")
+		}
+		return runSnapshot(cfg, out)
 	default:
-		return fmt.Errorf("unknown load mode %q (have mix, map, txn, phases)", cfg.mode)
+		return fmt.Errorf("unknown load mode %q (have mix, map, txn, phases, snapshot)", cfg.mode)
 	}
 	if (cfg.mode == "map" || cfg.mode == "txn") && cfg.keys <= 0 {
 		return fmt.Errorf("keys (%d) must be positive in %s mode", cfg.keys, cfg.mode)

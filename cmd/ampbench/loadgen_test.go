@@ -308,6 +308,49 @@ func TestLoadModeTxnRejectsBadSize(t *testing.T) {
 	}
 }
 
+// TestLoadModeSnapshot runs the snapshot schedule against an in-process
+// server: all five segments report, the SAVE and RESHARD control verbs
+// succeed mid-load, and the closing STATS rows show the snapshot taken
+// and the doubled shard count.
+func TestLoadModeSnapshot(t *testing.T) {
+	srv, err := server.New(server.Options{Shards: 2, MaxShards: 4, SnapshotDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	var sb strings.Builder
+	err = run([]string{"-serve-addr", srv.Addr().String(), "-mode", "snapshot",
+		"-clients", "4", "-ops", "400", "-depth", "4", "-keys", "256"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"before", "during-save", "after-save", "during-reshard", "after-reshard",
+		"[SAVE → OK in", "[RESHARD 4 → OK in",
+		"server snap saves=1", "server shards 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestLoadModeRejectsBadMode(t *testing.T) {
 	var sb strings.Builder
 	if err := runLoad(loadConfig{addr: "x", clients: 1, ops: 1, mode: "nope"}, &sb); err == nil {

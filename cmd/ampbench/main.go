@@ -20,6 +20,7 @@
 //	ampbench -serve-addr 127.0.0.1:7171 -mode txn -clients 64 -txn-size 2
 //	ampbench -serve-addr 127.0.0.1:7171 -mix 90:10 -keys 1024
 //	ampbench -serve-addr 127.0.0.1:7171 -mode phases -keys 4096
+//	ampbench -serve-addr 127.0.0.1:7171 -mode snapshot -clients 8 -depth 8
 //
 // Each client opens one TCP connection and replays a mix covering all six
 // command families; the run reports ops/sec and p50/p99 latency. -depth
@@ -41,7 +42,13 @@
 // persist across phases, reporting per-phase and whole-run ops/sec plus
 // the server's morph STATS rows: the probe EXPERIMENTS.md E20 uses to
 // show the adaptive backends morph at phase boundaries and track the
-// per-phase best fixed backend.
+// per-phase best fixed backend. -mode snapshot replays a steady
+// GET/SET/DEL load through five segments — quiet, SAVE landing
+// mid-segment, quiet, RESHARD doubling mid-segment, quiet — and reports
+// each segment's ops/sec and p50/p99 plus the control verb's own
+// round-trip: the durability and elasticity stall probe EXPERIMENTS.md
+// E21 uses (the server needs a writable -snapshot-dir and headroom
+// under -max-shards).
 package main
 
 import (
@@ -76,8 +83,8 @@ func run(args []string, out io.Writer) error {
 		serveAddr = fs.String("serve-addr", "", "drive a running ampserved at this address instead of the in-process experiments")
 		clients   = fs.Int("clients", 8, "load mode: concurrent client connections")
 		depth     = fs.Int("depth", 1, "load mode: pipeline depth (commands in flight per connection)")
-		mode      = fs.String("mode", "mix", "load mode workload: mix (all families), map (Zipf string keys), txn (MULTI/EXEC transfers), or phases (shifting read/write + hot/cold schedule)")
-		keys      = fs.Int("keys", 1024, "load mode: string key-space (account) size for -mode map/txn/phases")
+		mode      = fs.String("mode", "mix", "load mode workload: mix (all families), map (Zipf string keys), txn (MULTI/EXEC transfers), phases (shifting read/write + hot/cold schedule), or snapshot (p99 before/during/after SAVE and RESHARD)")
+		keys      = fs.Int("keys", 1024, "load mode: key-space (account) size for -mode map/txn/phases/snapshot")
 		txnSize   = fs.Int("txn-size", 2, "load mode: staged commands per transaction for -mode txn")
 		mix       = fs.String("mix", "", "load mode: read:write ratio like 90:10 (GET/SET/DEL in -mode mix, HGET/HSET/HDEL in -mode map)")
 	)

@@ -1,0 +1,243 @@
+// Snapshot mode: ampbench -serve-addr ... -mode snapshot measures what
+// durability and elasticity cost the data plane. A steady mixed
+// GET/SET/DEL load runs through five segments — a quiet baseline, one
+// with a SAVE cut landing mid-segment, a recovery segment, one with a
+// RESHARD doubling landing mid-segment, and a final segment on the
+// widened topology — and reports each segment's ops/sec and p50/p99
+// plus the control verb's own round-trip time. The before/during/after
+// deltas are the stall evidence EXPERIMENTS.md E21 records; the run
+// ends with the server's snap and shards STATS rows.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// snapSegment is one leg of the schedule; ctl is a control verb
+// round-tripped on its own connection once the segment is underway.
+type snapSegment struct {
+	name string
+	ctl  string
+}
+
+// snapClient is one persistent connection reused across every segment:
+// resharding must be invisible to established connections, so the load
+// never reconnects mid-run.
+type snapClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	rng  *rand.Rand
+}
+
+// runSnapshot executes the segment schedule and prints per-segment
+// rates, control-verb latencies, and the server's snapshot STATS rows.
+func runSnapshot(cfg loadConfig, out io.Writer) error {
+	depth := cfg.depth
+	if depth < 1 {
+		depth = 1
+	}
+
+	shards, err := statsShards(cfg)
+	if err != nil {
+		return err
+	}
+	segments := []snapSegment{
+		{name: "before"},
+		{name: "during-save", ctl: "SAVE"},
+		{name: "after-save"},
+		{name: "during-reshard", ctl: fmt.Sprintf("RESHARD %d", 2*shards)},
+		{name: "after-reshard"},
+	}
+
+	clients := make([]*snapClient, cfg.clients)
+	for id := range clients {
+		conn, err := net.Dial("tcp", cfg.addr)
+		if err != nil {
+			return fmt.Errorf("snapshot: dial client %d: %w", id, err)
+		}
+		defer conn.Close()
+		clients[id] = &snapClient{
+			conn: conn,
+			r:    bufio.NewReader(conn),
+			w:    bufio.NewWriter(conn),
+			rng:  rand.New(rand.NewSource(int64(id)*60013 + 11)),
+		}
+	}
+	ctlConn, err := net.Dial("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("snapshot: dial control: %w", err)
+	}
+	defer ctlConn.Close()
+	ctlR := bufio.NewReader(ctlConn)
+
+	fmt.Fprintf(out, "ampbench snapshot: addr=%s clients=%d ops/client/segment=%d depth=%d keys=%d shards=%d→%d\n",
+		cfg.addr, cfg.clients, cfg.ops, depth, cfg.keys, shards, 2*shards)
+
+	// The control verb fires a third of the way into its segment, timed
+	// off the previous segment's wall clock so it lands while the load
+	// is in full swing.
+	var lastElapsed time.Duration
+	for _, seg := range segments {
+		results := make([]clientResult, len(clients))
+		start := time.Now()
+		var wg sync.WaitGroup
+		for id, c := range clients {
+			wg.Add(1)
+			go func(id int, c *snapClient) {
+				defer wg.Done()
+				results[id] = runSnapClient(cfg, c, depth, id)
+			}(id, c)
+		}
+		var ctlDur time.Duration
+		if seg.ctl != "" {
+			time.Sleep(lastElapsed / 3)
+			ctlStart := time.Now()
+			if _, err := fmt.Fprintf(ctlConn, "%s\n", seg.ctl); err != nil {
+				return fmt.Errorf("snapshot: %s: %w", seg.ctl, err)
+			}
+			ctlConn.SetReadDeadline(time.Now().Add(cfg.timeout))
+			line, err := ctlR.ReadString('\n')
+			if err != nil {
+				return fmt.Errorf("snapshot: %s: %w", seg.ctl, err)
+			}
+			if line = strings.TrimSpace(line); line != "OK" {
+				return fmt.Errorf("snapshot: %s → %s", seg.ctl, line)
+			}
+			ctlDur = time.Since(ctlStart)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		lastElapsed = elapsed
+
+		var lat []time.Duration
+		for id, r := range results {
+			if r.err != nil {
+				return fmt.Errorf("snapshot: segment %s client %d: %w", seg.name, id, r.err)
+			}
+			lat = append(lat, r.lat...)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fmt.Fprintf(out, "  %-15s %9.0f ops/s  p50=%-10v p99=%v",
+			seg.name, float64(len(lat))/elapsed.Seconds(), quantile(lat, 0.50), quantile(lat, 0.99))
+		if seg.ctl != "" {
+			fmt.Fprintf(out, "  [%s → OK in %v]", seg.ctl, ctlDur)
+		}
+		fmt.Fprintln(out)
+	}
+	return printSnapStats(cfg, out)
+}
+
+// runSnapClient replays cfg.ops mixed set-family commands over the
+// client's persistent connection, pipelined at depth.
+func runSnapClient(cfg loadConfig, c *snapClient, depth, id int) clientResult {
+	lat := make([]time.Duration, 0, cfg.ops)
+	window := make([]string, 0, depth)
+	for sent := 0; sent < cfg.ops; sent += len(window) {
+		window = window[:0]
+		for i := sent; i < cfg.ops && len(window) < depth; i++ {
+			window = append(window, snapCommand(c.rng, cfg.keys))
+		}
+		begin := time.Now()
+		for _, cmd := range window {
+			c.w.WriteString(cmd)
+			c.w.WriteByte('\n')
+		}
+		if err := c.w.Flush(); err != nil {
+			return clientResult{err: fmt.Errorf("write window at %d: %w", sent, err)}
+		}
+		c.conn.SetReadDeadline(time.Now().Add(cfg.timeout))
+		for _, cmd := range window {
+			line, err := c.r.ReadString('\n')
+			if err != nil {
+				return clientResult{err: fmt.Errorf("read reply to %q: %w", cmd, err)}
+			}
+			if strings.HasPrefix(line, "ERR") {
+				return clientResult{err: fmt.Errorf("%q → %s", cmd, strings.TrimSpace(line))}
+			}
+		}
+		d := time.Since(begin)
+		for range window {
+			lat = append(lat, d)
+		}
+	}
+	return clientResult{lat: lat}
+}
+
+// snapCommand draws one GET/SET/DEL over the integer key space, reads
+// at 50% with writes split 3:2 insert:delete so reads keep finding
+// members.
+func snapCommand(rng *rand.Rand, keys int) string {
+	k := rng.Intn(keys)
+	switch r := rng.Intn(100); {
+	case r < 50:
+		return fmt.Sprintf("GET %d", k)
+	case r < 80:
+		return fmt.Sprintf("SET %d", k)
+	default:
+		return fmt.Sprintf("DEL %d", k)
+	}
+}
+
+// statsShards reads the server's current shard count from STATS.
+func statsShards(cfg loadConfig) (int, error) {
+	body, err := statsBody(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: STATS: %w", err)
+	}
+	for _, line := range body {
+		if rest, ok := strings.CutPrefix(line, "shards "); ok {
+			return strconv.Atoi(rest)
+		}
+	}
+	return 0, fmt.Errorf("snapshot: STATS body has no shards row")
+}
+
+// printSnapStats relays the snapshot and topology STATS rows — saves
+// taken, last-save age, snapshot size, and the live shard count.
+func printSnapStats(cfg loadConfig, out io.Writer) error {
+	body, err := statsBody(cfg)
+	if err != nil {
+		return fmt.Errorf("snapshot: STATS: %w", err)
+	}
+	for _, line := range body {
+		if strings.HasPrefix(line, "snap ") || strings.HasPrefix(line, "shards ") {
+			fmt.Fprintf(out, "  server %s\n", line)
+		}
+	}
+	return nil
+}
+
+// statsBody round-trips one STATS command and returns the body lines.
+func statsBody(cfg loadConfig) ([]string, error) {
+	conn, err := net.Dial("tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "STATS\n"); err != nil {
+		return nil, err
+	}
+	r := bufio.NewReader(conn)
+	var body []string
+	for {
+		conn.SetReadDeadline(time.Now().Add(cfg.timeout))
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		if line = strings.TrimSpace(line); line == "END" {
+			return body, nil
+		}
+		body = append(body, line)
+	}
+}

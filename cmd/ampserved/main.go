@@ -16,6 +16,9 @@
 //	ampserved -read-bypass off             # force all reads through the shard mailboxes
 //	ampserved -spin 256                    # longer mailbox spin before shard goroutines park
 //	ampserved -http 127.0.0.1:7172         # expvar stats endpoint
+//	ampserved -snapshot-dir /var/lib/amp   # where SAVE/BGSAVE write the snapshot
+//	ampserved -restore /var/lib/amp/ampserved.snap  # boot from the last snapshot
+//	ampserved -shards 4 -max-shards 16     # allow RESHARD up to 16 shards
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
 // finishes in-flight commands, and drains connections for -drain before
@@ -58,11 +61,14 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	fs := flag.NewFlagSet("ampserved", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7171", "TCP listen address")
-		httpAddr = fs.String("http", "", "optional expvar HTTP address (empty = off)")
-		shards   = fs.Int("shards", 0, "data-plane shards (0 = GOMAXPROCS)")
-		drain    = fs.Duration("drain", 5*time.Second, "connection drain budget on shutdown")
-		idle     = fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle this long")
+		addr      = fs.String("addr", "127.0.0.1:7171", "TCP listen address")
+		httpAddr  = fs.String("http", "", "optional expvar HTTP address (empty = off)")
+		shards    = fs.Int("shards", 0, "data-plane shards (0 = GOMAXPROCS)")
+		maxShards = fs.Int("max-shards", 0, "RESHARD ceiling (0 = 2x shards)")
+		drain     = fs.Duration("drain", 5*time.Second, "connection drain budget on shutdown")
+		idle      = fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle this long")
+		snapDir   = fs.String("snapshot-dir", "", "directory for SAVE/BGSAVE snapshot files (default .)")
+		restore   = fs.String("restore", "", "load this snapshot file before serving (empty = fresh state)")
 
 		set            = fs.String("set", "", "set backend: "+strings.Join(server.SetBackends(), "|"))
 		mapb           = fs.String("map", "", "string-map backend: "+strings.Join(server.MapBackends(), "|"))
@@ -96,6 +102,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 
 	srv, err := server.New(server.Options{
 		Shards:         *shards,
+		MaxShards:      *maxShards,
+		SnapshotDir:    *snapDir,
 		Set:            *set,
 		Map:            *mapb,
 		Queue:          *queue,
@@ -118,7 +126,15 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
+	if *restore != "" {
+		if err := srv.Restore(*restore); err != nil {
+			srv.Shutdown(context.Background())
+			return fmt.Errorf("restore %s: %w", *restore, err)
+		}
+		fmt.Fprintf(out, "ampserved: restored state from %s\n", *restore)
+	}
 	if err := srv.Listen(*addr); err != nil {
+		srv.Shutdown(context.Background())
 		return err
 	}
 	opts := srv.Options()

@@ -31,19 +31,20 @@ func startMain(t *testing.T, extra ...string) (addr string, done chan error, sig
 		pw.Close()
 	}()
 
-	// The first output line announces the address.
-	line, err := bufio.NewReader(pr).ReadString('\n')
-	if err != nil {
-		t.Fatalf("read banner: %v (run may have failed: %v)", err, drainErr(done))
-	}
-	m := addrRE.FindStringSubmatch(line)
-	if m == nil {
-		t.Fatalf("banner %q has no address", line)
+	// The startup banner announces the address; with -restore a
+	// restored-state line precedes it, so scan until it appears.
+	br := bufio.NewReader(pr)
+	var m []string
+	for m == nil {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read banner: %v (run may have failed: %v)", err, drainErr(done))
+		}
+		m = addrRE.FindStringSubmatch(line)
 	}
 	go func() { // keep the pipe from filling up
-		r := bufio.NewReader(pr)
 		for {
-			if _, err := r.ReadString('\n'); err != nil {
+			if _, err := br.ReadString('\n'); err != nil {
 				return
 			}
 		}

@@ -1,0 +1,252 @@
+package main
+
+// Kill-and-restore end to end: a real ampserved process is loaded over
+// TCP, cuts a snapshot with BGSAVE, dies hard under SIGKILL — no
+// graceful shutdown, no parting save — and a fresh process booted with
+// -restore must come back holding exactly the snapshot's state. A
+// companion in-process test drives run() through the same lifecycle and
+// checks that restore-boot plus shutdown leaks no goroutines.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"amp/internal/snapshot"
+)
+
+// sendExpect round-trips one command on a raw connection.
+func sendExpect(t *testing.T, conn net.Conn, r *bufio.Reader, cmd, want string) {
+	t.Helper()
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		t.Fatalf("%s: write: %v", cmd, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	got, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("%s: read: %v", cmd, err)
+	}
+	if got = strings.TrimSuffix(got, "\n"); got != want {
+		t.Fatalf("%s → %q, want %q", cmd, got, want)
+	}
+}
+
+// startProc launches the built binary and scans its stdout for the
+// listening banner, returning the bound address.
+func startProc(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	br := bufio.NewReader(stdout)
+	var m []string
+	for m == nil {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("read banner: %v", err)
+		}
+		m = addrRE.FindStringSubmatch(line)
+	}
+	go func() { // keep the pipe from filling up
+		for {
+			if _, err := br.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+	return cmd, m[1]
+}
+
+// TestKillAndRestoreE2E builds the real binary, loads it over TCP, cuts
+// a BGSAVE, SIGKILLs the process, and verifies a -restore boot serves
+// exactly the snapshot's state: pre-cut data present, post-cut
+// mutations gone, counter continuing from its saved value.
+func TestKillAndRestoreE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "ampserved")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "ampserved.snap")
+
+	cmd, addr := startProc(t, bin, "-snapshot-dir", dir, "-shards", "4")
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	for i := 0; i < 50; i++ {
+		sendExpect(t, conn, r, fmt.Sprintf("SET %d", i), "1")
+	}
+	sendExpect(t, conn, r, "HSET tag 77", "1")
+	sendExpect(t, conn, r, "ENQ 1", "OK")
+	sendExpect(t, conn, r, "ENQ 2", "OK")
+	sendExpect(t, conn, r, "PUSH 9", "OK")
+	sendExpect(t, conn, r, "PQADD 4", "OK")
+	sendExpect(t, conn, r, "INC", "0")
+	sendExpect(t, conn, r, "INC", "1")
+	// BGSAVE takes its cut synchronously and replies before the file is
+	// written, so everything after the OK is deterministically outside
+	// the snapshot.
+	sendExpect(t, conn, r, "BGSAVE", "OK")
+	sendExpect(t, conn, r, "SET 999", "1")
+	sendExpect(t, conn, r, "DEL 0", "1")
+	sendExpect(t, conn, r, "INC", "2")
+
+	// Write is an atomic create-temp-and-rename, so a decodable file at
+	// the final path is a complete one; poll for it.
+	var st *snapshot.State
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err = snapshot.Read(snapPath)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background save never landed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(st.Set) != 50 || st.Counter != 2 {
+		t.Fatalf("snapshot has %d set members, counter %d; want 50 and 2", len(st.Set), st.Counter)
+	}
+
+	// Die hard: no drain, no shutdown hook, nothing but the snapshot
+	// survives.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	cmd.Wait()
+	killed = true
+
+	cmd2, addr2 := startProc(t, bin, "-snapshot-dir", dir, "-shards", "2", "-restore", snapPath)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	conn2, err := net.Dial("tcp", addr2)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr2, err)
+	}
+	defer conn2.Close()
+	r2 := bufio.NewReader(conn2)
+
+	sendExpect(t, conn2, r2, "GET 0", "1") // post-cut DEL 0 is gone
+	sendExpect(t, conn2, r2, "GET 49", "1")
+	sendExpect(t, conn2, r2, "GET 999", "0") // post-cut SET 999 is gone
+	sendExpect(t, conn2, r2, "HGET tag", "77")
+	sendExpect(t, conn2, r2, "DEQ", "1")
+	sendExpect(t, conn2, r2, "DEQ", "2")
+	sendExpect(t, conn2, r2, "POP", "9")
+	sendExpect(t, conn2, r2, "PQMIN", "4")
+	sendExpect(t, conn2, r2, "READ", "2")
+	sendExpect(t, conn2, r2, "INC", "2")
+
+	// And the revived process still dies politely.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd2.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("restored server exited with %v, want clean shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("restored server did not exit after SIGTERM")
+	}
+}
+
+// TestRestoreRunNoGoroutineLeak runs the save → shutdown → restore-boot
+// → shutdown lifecycle in-process and checks the goroutine count
+// returns to its baseline: the restore path must not strand shard
+// goroutines, snapshot writers, or connection handlers.
+func TestRestoreRunNoGoroutineLeak(t *testing.T) {
+	dir := t.TempDir()
+
+	addr, done, sig := startMain(t, "-snapshot-dir", dir, "-shards", "4")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	r := bufio.NewReader(conn)
+	sendExpect(t, conn, r, "SET 5", "1")
+	sendExpect(t, conn, r, "ENQ 3", "OK")
+	sendExpect(t, conn, r, "SAVE", "OK")
+	conn.Close()
+	sig <- syscall.SIGINT
+	if err := <-done; err != nil {
+		t.Fatalf("run returned error: %v", err)
+	}
+
+	base := stableGoroutines()
+
+	addr2, done2, sig2 := startMain(t,
+		"-snapshot-dir", dir, "-restore", filepath.Join(dir, "ampserved.snap"), "-shards", "4")
+	conn2, err := net.Dial("tcp", addr2)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr2, err)
+	}
+	r2 := bufio.NewReader(conn2)
+	sendExpect(t, conn2, r2, "GET 5", "1")
+	sendExpect(t, conn2, r2, "DEQ", "3")
+	conn2.Close()
+	sig2 <- syscall.SIGINT
+	if err := <-done2; err != nil {
+		t.Fatalf("restored run returned error: %v", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return // pipe-drain helpers may linger briefly; all server goroutines reaped
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines %d > baseline %d after restore lifecycle:\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// stableGoroutines samples the goroutine count until it stops falling.
+func stableGoroutines() int {
+	min := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if n := runtime.NumGoroutine(); n < min {
+			min = n
+			i = 0
+		}
+	}
+	return min
+}

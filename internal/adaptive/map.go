@@ -175,6 +175,13 @@ func (m *Map) Tick() (from, to string, flipped bool) {
 	return cur.name, next.name, true
 }
 
+// Range enumerates the live member (every selectable member has the
+// capability — checked at construction). Owner only, like the writes:
+// callers quiesce the shard first, exactly as Tick's migration does.
+func (m *Map) Range(f func(key string, val int64) bool) {
+	m.cur.Load().impl.(mapRanger).Range(f)
+}
+
 // Current reports the live member's name. Safe from any goroutine.
 func (m *Map) Current() string { return m.cur.Load().name }
 

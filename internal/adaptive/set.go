@@ -156,6 +156,13 @@ func (s *Set) Tick() (from, to string, flipped bool) {
 	return cur.name, next.name, true
 }
 
+// Range enumerates the live member (every ladder rung has the
+// capability — checked at construction). Owner only, like the writes:
+// callers quiesce the shard first, exactly as Tick's migration does.
+func (s *Set) Range(f func(x int) bool) {
+	s.cur.Load().impl.(setRanger).Range(f)
+}
+
 // Current reports the live member's name. Safe from any goroutine.
 func (s *Set) Current() string { return s.cur.Load().name }
 

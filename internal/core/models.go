@@ -62,8 +62,9 @@ func RegisterModel(initial any) Model {
 
 // QueueModel specifies a FIFO queue of int values:
 //
-//	enq(v) -> nil
-//	deq()  -> v, or Empty when the queue is empty
+//	enq(v)     -> nil
+//	deq()      -> v, or Empty when the queue is empty
+//	snapshot() -> the whole state, front to back
 func QueueModel() Model {
 	return Model{
 		Name: "queue",
@@ -71,6 +72,8 @@ func QueueModel() Model {
 		Apply: func(state any, action string, input any) (any, any) {
 			q := state.([]int)
 			switch action {
+			case "snapshot":
+				return q, snapshotInts(q)
 			case "enq":
 				next := make([]int, len(q)+1)
 				copy(next, q)
@@ -125,12 +128,16 @@ func StackModel() Model {
 //	add(k)      -> true if k was absent
 //	remove(k)   -> true if k was present
 //	contains(k) -> membership
+//	snapshot()  -> the whole state, sorted ascending
 func SetModel() Model {
 	return Model{
 		Name: "set",
 		Init: func() any { return []int(nil) },
 		Apply: func(state any, action string, input any) (any, any) {
 			s := state.([]int)
+			if action == "snapshot" {
+				return s, snapshotInts(s)
+			}
 			k := input.(int)
 			i := sort.SearchInts(s, k)
 			present := i < len(s) && s[i] == k
@@ -181,6 +188,7 @@ type MapSetInput struct {
 //	set(MapSetInput{k,v}) -> true if k was absent (insert vs overwrite)
 //	get(k)                -> v, or Empty when k is absent
 //	del(k)                -> true if k was present
+//	snapshot()            -> the whole state, sorted by key
 func MapModel() Model {
 	return Model{
 		Name: "map",
@@ -192,6 +200,11 @@ func MapModel() Model {
 				return i, i < len(s) && s[i].K == k
 			}
 			switch action {
+			case "snapshot":
+				if len(s) == 0 {
+					return s, []MapPair(nil)
+				}
+				return s, s
 			case "set":
 				in := input.(MapSetInput)
 				i, present := find(in.K)
@@ -377,6 +390,16 @@ func applyTxnOp(st TxnState, act string, k string, v int64) (TxnState, any) {
 	default:
 		panic("core: txn model: unknown action " + act)
 	}
+}
+
+// snapshotInts is the output of a "snapshot" action on an []int-state
+// model: the state itself, normalized so an empty snapshot compares
+// DeepEqual to a nil decode (reflect.DeepEqual separates nil from empty).
+func snapshotInts(s []int) any {
+	if len(s) == 0 {
+		return []int(nil)
+	}
+	return s
 }
 
 func toInt64(v any) int64 {

@@ -254,6 +254,38 @@ func (s *StripedCuckooHashSet) Add(x int) bool {
 	return true
 }
 
+// Range calls f for each member until f returns false. It runs as a
+// full-table read phase — resize lock plus every stripe held, the same
+// quiesce resize uses — so the enumeration is a consistent cut even
+// against concurrent adders and removers.
+func (s *StripedCuckooHashSet) Range(f func(x int) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.locks[0] {
+		s.locks[0][i].Lock()
+	}
+	for i := range s.locks[1] {
+		s.locks[1][i].Lock()
+	}
+	defer func() {
+		for i := range s.locks[0] {
+			s.locks[0][i].Unlock()
+		}
+		for i := range s.locks[1] {
+			s.locks[1][i].Unlock()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		for _, set := range s.table[i] {
+			for _, x := range set {
+				if !f(x) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // stripeForSlot returns the stripe covering slot hi of table i. Stripe
 // count divides every table capacity, so slot index mod stripe count is the
 // covering stripe.

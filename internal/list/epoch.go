@@ -177,6 +177,24 @@ func (l *EpochList) Remove(x int) bool {
 	}
 }
 
+// Range calls f for each member in ascending order until f returns
+// false, skipping logically deleted nodes. Like Contains it only
+// traverses, pinned for the duration; callers needing a consistent cut
+// must quiesce writers (the server ranges under the shard combiner
+// lock).
+func (l *EpochList) Range(f func(x int) bool) {
+	s := l.dom.Pin()
+	defer l.dom.Unpin(s)
+	curr := l.head.next.Load().node
+	for curr.key < KeyMax {
+		ref := curr.next.Load()
+		if !ref.marked && !f(curr.key) {
+			return
+		}
+		curr = ref.node
+	}
+}
+
 // Contains traverses once and reports (found ∧ unmarked). It snips
 // nothing but still pins: the traversal chases pointers that concurrent
 // removers are retiring.

@@ -34,6 +34,17 @@ type Options struct {
 	// commands are spread round-robin.
 	Shards int
 
+	// MaxShards caps live resharding (default 2×Shards, never below
+	// Shards): RESHARD may double the shard count until it would exceed
+	// this bound. The width-bounded counting structures (combining
+	// trees, counting networks, per-thread metrics) are sized to it at
+	// boot, which is what makes post-reshard shard IDs valid ThreadIDs.
+	MaxShards int
+
+	// SnapshotDir is where SAVE/BGSAVE write the snapshot file
+	// (default "."). See internal/snapshot for the format.
+	SnapshotDir string
+
 	// Backend names per family; see *Backends() for the valid names.
 	Set            string // default "striped"
 	Map            string // default "striped"
@@ -118,6 +129,11 @@ func (o Options) withDefaults() Options {
 		}
 	}
 	defInt(&o.Shards, runtime.GOMAXPROCS(0))
+	defInt(&o.MaxShards, 2*o.Shards)
+	if o.MaxShards < o.Shards {
+		o.MaxShards = o.Shards
+	}
+	def(&o.SnapshotDir, ".")
 	def(&o.Set, "striped")
 	def(&o.Map, "striped")
 	def(&o.Queue, "unbounded")
@@ -401,9 +417,15 @@ var (
 )
 
 // counterWidth sizes combining trees and counting networks: a power of
-// two covering every shard (the structures require width ≥ 2).
+// two covering every shard the engine may ever run (the structures
+// require width ≥ 2). MaxShards, not Shards — a live reshard doubles
+// the shard count up to that bound, and the new shards' IDs must be
+// valid lanes in the width-bounded structures built at boot.
 func counterWidth(o Options) int {
-	w := o.Shards
+	w := o.MaxShards
+	if w < o.Shards {
+		w = o.Shards
+	}
 	if w < 2 {
 		w = 2
 	}

@@ -403,7 +403,7 @@ func BenchmarkServerTCPAdaptive(b *testing.B) {
 	})
 	b.StopTimer()
 	var flips int64
-	for _, s := range srv.eng.shards {
+	for _, s := range srv.eng.allShards() {
 		if s.adSet != nil {
 			flips += s.adSet.Flips()
 		}
@@ -493,4 +493,101 @@ func BenchmarkServerTCP(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServerTCPSnapshot measures pipelined set-family throughput
+// while a background client cuts a SAVE every few milliseconds: the
+// steady-state cost of riding the quiesce cut and snapshot encode on a
+// live data plane. The key space is bounded so the snapshot — and with
+// it the per-save encode cost — stays a fixed size. Compare with
+// BenchmarkServerTCPPipelined for the no-snapshot ceiling.
+func BenchmarkServerTCPSnapshot(b *testing.B) {
+	const depth = 16
+	srv, err := New(Options{Shards: 4, SnapshotDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := srv.Addr().String()
+
+	stop := make(chan struct{})
+	saverDone := make(chan struct{})
+	go func() {
+		defer close(saverDone)
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			if _, err := fmt.Fprintf(conn, "SAVE\n"); err != nil {
+				b.Error(err)
+				return
+			}
+			conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+			if line, err := r.ReadString('\n'); err != nil || line != "OK\n" {
+				b.Errorf("SAVE → %q, %v", line, err)
+				return
+			}
+		}
+	}()
+
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		w := bufio.NewWriter(conn)
+		i := int64(0)
+		window := 0
+		for pb.Next() {
+			i++
+			fmt.Fprintf(w, "SET %d\n", i%8192)
+			if window++; window < depth {
+				continue
+			}
+			if err := w.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+			for ; window > 0; window-- {
+				if _, err := r.ReadString('\n'); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+		if window > 0 {
+			if err := w.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+			for ; window > 0; window-- {
+				if _, err := r.ReadString('\n'); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+	close(stop)
+	<-saverDone
 }

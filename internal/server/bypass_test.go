@@ -418,7 +418,7 @@ func TestBypassEpochPinsReleased(t *testing.T) {
 	}
 
 	var domains []*epoch.Domain
-	for _, sh := range srv.eng.shards {
+	for _, sh := range srv.eng.allShards() {
 		switch s := sh.set.(type) {
 		case *list.EpochList:
 			domains = append(domains, s.Domain())

@@ -48,7 +48,7 @@ func TestAmortizedClockObservations(t *testing.T) {
 	b.start = e.refreshCoarse()
 	nanos.Add(int64(step)) // the one tick: all n commands truly take step
 
-	replies, ok := e.doBatch(0, b)
+	replies, ok := e.doBatch(e.router.Load(), 0, b)
 	if !ok {
 		t.Fatal("doBatch aborted")
 	}

@@ -66,6 +66,16 @@ type batch struct {
 	replies []reply
 	start   int64 // submit stamp on the engine's coarse clock (see engine.coarse)
 	resp    chan []reply
+
+	// Routing provenance, for staleness detection under live resharding:
+	// the router the submitter consulted and the slot it picked. pinned
+	// marks runs containing keyed commands — only those can go stale (an
+	// unkeyed run is correct on any shard). A combiner that finds a
+	// pinned batch whose slot no longer resolves to its shard redispatches
+	// the commands through the current router instead of executing them.
+	rt     *router
+	slot   int32
+	pinned bool
 }
 
 var batchPool = sync.Pool{
@@ -82,6 +92,37 @@ func putBatch(b *batch) {
 func (b *batch) reset() {
 	b.cmds = b.cmds[:0]
 	b.replies = b.replies[:0]
+	b.rt = nil
+	b.slot = 0
+	b.pinned = false
+}
+
+// router maps key slots to shards. The slice is immutable once published
+// (engine.router swaps whole routers); the slot pointers are atomic so a
+// reshard can flip individual slots from an aliased source shard to its
+// freshly split half while the router stays live. Slot i of an N-slot
+// router always resolves keys with keyShard(k, N) == i, and doubling
+// preserves homes: (k mod 2N) mod N == k mod N, so splitting N→2N only
+// ever moves keys from slot i to slot N+i.
+type router struct {
+	slots []atomic.Pointer[shard]
+}
+
+func (r *router) n() int             { return len(r.slots) }
+func (r *router) shard(i int) *shard { return r.slots[i].Load() }
+
+// distinct returns the router's shards, deduplicated (during a reshard's
+// alias phase two slots share one shard), in slot order.
+func (r *router) distinct() []*shard {
+	seen := make(map[*shard]bool, len(r.slots))
+	out := make([]*shard, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.shard(i); !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // shard owns a private set instance, a private string-keyed dictionary,
@@ -131,8 +172,50 @@ const clockEvery = 32
 
 // engine is the assembled data plane.
 type engine struct {
-	opts       Options
-	shards     []*shard
+	opts Options
+
+	// router is the live slot→shard map consulted by every submitter.
+	// It is replaced wholesale on RESHARD (never mutated in place except
+	// for the per-slot pointer flips the reshard itself performs under
+	// the source shard's combiner lock).
+	router atomic.Pointer[router]
+
+	// all is every shard ever started, in registration order — the
+	// canonical lock order for quiesce and the set abort must close.
+	// aborted gates late registrations (a reshard racing shutdown).
+	allMu   sync.Mutex
+	all     []*shard
+	aborted bool
+
+	// reconfigMu serializes the whole-engine reconfigurations: SAVE,
+	// BGSAVE's collect phase, RESTORE and RESHARD. Everything under it
+	// sees a stable shard census.
+	reconfigMu sync.Mutex
+
+	// ksGate freezes EXEC commits during a quiesce: every other keyspace
+	// writer runs under a shard combiner lock (which quiesce holds), but
+	// EXEC commits on the connection goroutine. Quiesce takes the write
+	// side after the combiner locks; EXEC holds the read side only around
+	// the commit, never while waiting on a shard, so the order is safe.
+	ksGate sync.RWMutex
+
+	// ctrBase offsets the counter family after a restore (without the
+	// transactional keyspace, the counting backends cannot be set): INC
+	// answers ctrBase+ticket, READ answers ctrBase+incs.
+	ctrBase atomic.Int64
+
+	// Snapshot bookkeeping: background BGSAVE writers (stop waits for
+	// them), completed saves, and the last save's coarse stamp and size.
+	snapWG    sync.WaitGroup
+	snapSaves metrics.FlatCounter
+	snapLast  atomic.Int64 // coarse-clock stamp of the last completed save
+	snapBytes atomic.Int64 // size of the last completed save
+
+	// setEnt/mapEnt are the resolved registry rows, kept so a reshard can
+	// construct new shards with the configured backends.
+	setEnt setEntry
+	mapEnt mapEntry
+
 	queue      queueBackend
 	stack      stackBackend
 	pq         pqBackend
@@ -250,6 +333,8 @@ func newEngine(o Options) (*engine, error) {
 	factory := func() counting.Counter { return newMetricsCounter(o) }
 	e := &engine{
 		opts:       o,
+		setEnt:     setEnt,
+		mapEnt:     mapEnt,
 		queue:      newQueue(o),
 		stack:      newStack(o),
 		pq:         newPQ(o),
@@ -278,22 +363,23 @@ func newEngine(o Options) (*engine, error) {
 		e.combShard.External("shard.combine.shard"),
 		// The shard goroutines' drain behavior, summed over shards: how
 		// often a Get resolved during the spin phase versus actually
-		// parking. The closures read e.shards at snapshot time, after
-		// the loop below has populated it.
+		// parking. The closures take the shard census at snapshot time,
+		// after the loop below has populated it.
 		metrics.External{Name: "shard.spin", Read: func() int64 {
 			var n int64
-			for _, s := range e.shards {
+			for _, s := range e.allShards() {
 				n += s.mbox.Spins()
 			}
 			return n
 		}},
 		metrics.External{Name: "shard.park", Read: func() int64 {
 			var n int64
-			for _, s := range e.shards {
+			for _, s := range e.allShards() {
 				n += s.mbox.Parks()
 			}
 			return n
 		}},
+		e.snapSaves.External("snap.save"),
 	}
 	if ks != nil {
 		e.ext = append(e.ext,
@@ -309,32 +395,65 @@ func newEngine(o Options) (*engine, error) {
 			e.mops[op] = e.metrics.Op(name)
 		}
 	}
+	rt := &router{slots: make([]atomic.Pointer[shard], o.Shards)}
 	for i := 0; i < o.Shards; i++ {
-		s := &shard{
-			id:   core.ThreadID(i),
-			set:  setEnt.make(o),
-			dict: mapEnt.make(o),
-			mbox: mailbox.New[*batch](shardQueueDepth, o.SpinBudget),
-			run:  make([]*batch, 0, shardQueueDepth),
-		}
-		if setEnt.adaptive {
-			s.adSet = s.set.(*adaptive.Set)
-		}
-		if mapEnt.adaptive {
-			s.adMap = s.dict.(*adaptive.Map)
-		}
-		e.shards = append(e.shards, s)
-		e.wg.Add(1)
+		s := e.newShard(core.ThreadID(i))
+		rt.slots[i].Store(s)
+		e.register(s)
 		go e.serve(s)
 	}
+	e.router.Store(rt)
 	return e, nil
 }
 
+// newShard builds one shard with the configured backends; the caller
+// registers it and starts its serve goroutine.
+func (e *engine) newShard(id core.ThreadID) *shard {
+	s := &shard{
+		id:   id,
+		set:  e.setEnt.make(e.opts),
+		dict: e.mapEnt.make(e.opts),
+		mbox: mailbox.New[*batch](shardQueueDepth, e.opts.SpinBudget),
+		run:  make([]*batch, 0, shardQueueDepth),
+	}
+	if e.setEnt.adaptive {
+		s.adSet = s.set.(*adaptive.Set)
+	}
+	if e.mapEnt.adaptive {
+		s.adMap = s.dict.(*adaptive.Map)
+	}
+	return s
+}
+
+// register adds a shard to the census and accounts its serve goroutine;
+// false when the engine already aborted (the shard must not start).
+func (e *engine) register(s *shard) bool {
+	e.allMu.Lock()
+	defer e.allMu.Unlock()
+	if e.aborted {
+		return false
+	}
+	e.all = append(e.all, s)
+	e.wg.Add(1)
+	return true
+}
+
+// allShards snapshots the census: every shard started so far, in
+// registration order (slot order at boot, split halves appended by
+// reshard).
+func (e *engine) allShards() []*shard {
+	e.allMu.Lock()
+	defer e.allMu.Unlock()
+	return append([]*shard(nil), e.all...)
+}
+
 // stop terminates the shard goroutines after they finish draining every
-// batch already accepted. Callers must guarantee no further do/doBatch
-// calls (the server waits for all connections first).
+// batch already accepted, and waits out any background snapshot writer.
+// Callers must guarantee no further do/doBatch calls (the server waits
+// for all connections first).
 func (e *engine) stop() {
 	e.abort()
+	e.snapWG.Wait()
 	e.wg.Wait()
 }
 
@@ -344,9 +463,15 @@ func (e *engine) stop() {
 // drained what was already published. The server fires it when the
 // shutdown drain deadline expires, so pipelined clients parked in
 // submit cannot deadlock the drain; stop fires it unconditionally.
-// Idempotent (mailbox.Close is).
+// Idempotent (mailbox.Close is). The aborted flag keeps a racing reshard
+// from starting shards whose mailboxes would never close: registration
+// and abort serialize on allMu.
 func (e *engine) abort() {
-	for _, s := range e.shards {
+	e.allMu.Lock()
+	e.aborted = true
+	all := append([]*shard(nil), e.all...)
+	e.allMu.Unlock()
+	for _, s := range all {
 		s.mbox.Close()
 	}
 }
@@ -372,17 +497,32 @@ func (e *engine) canBypass(cmd Command) bool {
 			return true
 		}
 		if e.bypassDynSet {
-			return e.shards[keyShard(cmd.ShardKey(), len(e.shards))].adSet.BypassOK()
+			rt := e.router.Load()
+			return rt.shard(keyShard(cmd.ShardKey(), rt.n())).adSet.BypassOK()
 		}
 	case OpHGet:
 		if e.bypassMap {
 			return true
 		}
 		if e.bypassDynMap {
-			return e.shards[keyShard(cmd.ShardKey(), len(e.shards))].adMap.BypassOK()
+			rt := e.router.Load()
+			return rt.shard(keyShard(cmd.ShardKey(), rt.n())).adMap.BypassOK()
 		}
 	}
 	return false
+}
+
+// moved revalidates a bypass read's route after the structure access: it
+// reports whether the slot the reader resolved no longer feeds the shard
+// it read. A reshard deletes migrated keys from the source shard only
+// after flipping the slot to the split half, and the deletion is what a
+// too-late reader can observe — but observing it means the reader's
+// structure access synchronized with the migrator (the backends publish
+// with release stores), so this re-load is guaranteed to see the flip
+// and the read retries through the mailbox instead of serving a miss.
+func (e *engine) moved(rt *router, si int, s *shard) bool {
+	cur := e.router.Load()
+	return cur != rt || cur.shard(si) != s
 }
 
 // readLocal serves one bypass-eligible read on the calling goroutine:
@@ -401,8 +541,9 @@ func (e *engine) canBypass(cmd Command) bool {
 // never overtakes this connection's earlier writes.
 //
 // served=false means an adaptive shard morphed off its read-optimized
-// member between canBypass and here; the command was not executed and
-// must ride the mailbox instead. The fixed bypass backends always serve.
+// member between canBypass and here, or a reshard moved the key's slot
+// off the shard mid-read (engine.moved); the command was not executed
+// and must ride the mailbox instead.
 func (e *engine) readLocal(cmd Command) (reply, bool) {
 	switch cmd.Op {
 	case OpGet:
@@ -410,35 +551,51 @@ func (e *engine) readLocal(cmd Command) (reply, bool) {
 			e.readBypass.Inc()
 			return errReply("key %d is reserved", cmd.Arg), true
 		}
-		s := e.shards[keyShard(cmd.ShardKey(), len(e.shards))]
+		rt := e.router.Load()
+		si := keyShard(cmd.ShardKey(), rt.n())
+		s := rt.shard(si)
+		var member bool
 		if s.adSet != nil {
-			member, served := s.adSet.TryContains(int(cmd.Arg))
+			var served bool
+			member, served = s.adSet.TryContains(int(cmd.Arg))
 			if !served {
 				return reply{}, false
 			}
-			e.readBypass.Inc()
-			return reply{status: stInt, val: boolInt(member)}, true
+		} else {
+			member = s.set.Contains(int(cmd.Arg))
+		}
+		if e.moved(rt, si, s) {
+			return reply{}, false
 		}
 		e.readBypass.Inc()
-		return reply{status: stInt, val: boolInt(s.set.Contains(int(cmd.Arg)))}, true
+		return reply{status: stInt, val: boolInt(member)}, true
 	case OpHGet:
 		if e.ks != nil {
 			// With transactions on, the bypass reads the same committed
-			// tvar state EXEC publishes — never the per-shard dictionary.
+			// tvar state EXEC publishes — never the per-shard dictionary
+			// (and the keyspace is global, so resharding cannot move it).
 			e.readBypass.Inc()
 			return valueReply(e.ks.Get(cmd.Key)), true
 		}
-		s := e.shards[keyShard(cmd.ShardKey(), len(e.shards))]
+		rt := e.router.Load()
+		si := keyShard(cmd.ShardKey(), rt.n())
+		s := rt.shard(si)
+		var v int64
+		var ok bool
 		if s.adMap != nil {
-			v, ok, served := s.adMap.TryGet(cmd.Key)
+			var served bool
+			v, ok, served = s.adMap.TryGet(cmd.Key)
 			if !served {
 				return reply{}, false
 			}
-			e.readBypass.Inc()
-			return valueReply(v, ok), true
+		} else {
+			v, ok = s.dict.Get(cmd.Key)
+		}
+		if e.moved(rt, si, s) {
+			return reply{}, false
 		}
 		e.readBypass.Inc()
-		return valueReply(s.dict.Get(cmd.Key)), true
+		return valueReply(v, ok), true
 	}
 	return errReply("cannot bypass %s", cmd.Op), true
 }
@@ -450,16 +607,19 @@ func (e *engine) do(cmd Command) reply {
 			return r
 		}
 	}
+	rt := e.router.Load()
 	var si int
-	if cmd.Op.Keyed() {
-		si = keyShard(cmd.ShardKey(), len(e.shards))
+	pinned := cmd.Op.Keyed()
+	if pinned {
+		si = keyShard(cmd.ShardKey(), rt.n())
 	} else {
-		si = e.nextShard()
+		si = e.nextShard(rt)
 	}
 	b := getBatch()
 	b.cmds = append(b.cmds, cmd)
+	b.pinned = pinned
 	b.start = e.refreshCoarse()
-	replies, ok := e.doBatch(si, b)
+	replies, ok := e.doBatch(rt, si, b)
 	if !ok {
 		putBatch(b)
 		return errReply("server shutting down")
@@ -469,13 +629,14 @@ func (e *engine) do(cmd Command) reply {
 	return r
 }
 
-// nextShard spreads unkeyed runs round-robin over the shards.
-func (e *engine) nextShard() int { return int(e.rr.Add(1)-1) % len(e.shards) }
+// nextShard spreads unkeyed runs round-robin over the router's slots.
+func (e *engine) nextShard(rt *router) int { return int(e.rr.Add(1)-1) % rt.n() }
 
-// doBatch executes a filled batch on shard si and returns its replies,
-// one per command, in order. Callers stamp b.start. ok is false when
-// the engine aborted (or aborted while the shard mailbox was full); the
-// batch was not executed and still belongs to the caller.
+// doBatch executes a filled batch on slot si of router rt and returns
+// its replies, one per command, in order. Callers stamp b.start and set
+// b.pinned. ok is false when the engine aborted (or aborted while the
+// shard mailbox was full); the batch was not executed and still belongs
+// to the caller.
 //
 // The fast path never touches the mailbox at all: the caller bids for
 // the shard's combiner lock first and, on success, drains whatever
@@ -486,12 +647,28 @@ func (e *engine) nextShard() int { return int(e.rr.Add(1)-1) % len(e.shards) }
 // batch and wait, re-bidding for the lock once (the owner may have
 // finished its final drain just before our publish) and otherwise
 // kicking the dedicated shard goroutine.
-func (e *engine) doBatch(si int, b *batch) ([]reply, bool) {
-	s := e.shards[si]
+//
+// A concurrent RESHARD can strand the batch: its keys were routed under
+// rt, but by execution time the current router may map them elsewhere.
+// The staleness check runs under the shard's combiner lock, which is
+// exactly what a reshard holds while it splits that shard, so a batch
+// that passes the check executes against a slot assignment that cannot
+// change until the lock is released (an alias-phase router swap can
+// intervene, but aliasing maps the batch's keys to the same shard). A
+// stale batch is redispatched per command through the current router;
+// forward progress holds because redispatch always targets strictly
+// newer routers.
+func (e *engine) doBatch(rt *router, si int, b *batch) ([]reply, bool) {
+	b.rt, b.slot = rt, int32(si)
+	s := rt.shard(si)
 	if s.comb.TryLock() {
 		if s.mbox.Closed() {
 			s.comb.Unlock()
 			return nil, false
+		}
+		if e.staleBatch(b, s) {
+			s.comb.Unlock()
+			return e.redispatch(b), true
 		}
 		e.combine(s)
 		rs := e.applyDirect(s, b)
@@ -510,6 +687,31 @@ func (e *engine) doBatch(si int, b *batch) ([]reply, bool) {
 		s.mbox.Kick()
 	}
 	return <-b.resp, true
+}
+
+// staleBatch reports whether a pinned batch's routing no longer holds:
+// the router moved on and its slot no longer resolves to the shard the
+// batch was queued for. Callers hold s.comb, so a false answer is
+// stable for the duration of the critical section (the slot flip for
+// keys homed on s happens under this same lock).
+func (e *engine) staleBatch(b *batch, s *shard) bool {
+	if !b.pinned {
+		return false // unkeyed runs execute correctly on any shard
+	}
+	cur := e.router.Load()
+	return cur != b.rt || cur.shard(int(b.slot)) != s
+}
+
+// redispatch replays a stale batch one command at a time through the
+// current router, filling the batch's replies in order. Used directly
+// by the caller-combining path (nothing held) and via a rescue
+// goroutine from combine (which must not block while holding a
+// combiner lock).
+func (e *engine) redispatch(b *batch) []reply {
+	for _, cmd := range b.cmds {
+		b.replies = append(b.replies, e.do(cmd))
+	}
+	return b.replies
 }
 
 // submit enqueues b on its shard mailbox, quietly: the caller is about
@@ -605,6 +807,20 @@ func (e *engine) combine(s *shard) {
 		now := e.coarse.Load() // no clock call: the round's refresh is recent
 		stale := 0             // commands executed since the last refresh
 		for _, b := range run {
+			if e.staleBatch(b, s) {
+				// A reshard moved this batch's keys off s while it sat in
+				// the mailbox. Replay it through the current router on a
+				// rescue goroutine — never synchronously: redispatch can
+				// block on another shard's mailbox, and blocking while
+				// holding s.comb could deadlock against a quiesce that
+				// holds that shard and wants this one. The submitter is
+				// still parked on b.resp; the rescue answers it.
+				go func(b *batch) {
+					e.redispatch(b)
+					b.resp <- b.replies
+				}(b)
+				continue
+			}
 			e.applyBatch(s, b, &now, &stale)
 			b.resp <- b.replies
 		}
@@ -767,12 +983,15 @@ func (e *engine) execute(s *shard, cmd Command) reply {
 				break
 			}
 		}
-		return reply{status: stInt, val: ticket}
+		// ctrBase re-homes the ticket space after a snapshot restore (the
+		// counting backends cannot be set to an arbitrary value); zero
+		// until a RESTORE lands.
+		return reply{status: stInt, val: e.ctrBase.Load() + ticket}
 	case OpRead:
 		if e.ks != nil {
 			return reply{status: stInt, val: e.ks.Counter()}
 		}
-		return reply{status: stInt, val: e.incs.Load()}
+		return reply{status: stInt, val: e.ctrBase.Load() + e.incs.Load()}
 
 	case OpPQAdd:
 		if err := e.pq.add(cmd.Arg); err == errFull {
@@ -833,7 +1052,14 @@ func (e *engine) execTxn(staged []Command) []reply {
 			ops[i] = txn.Op{Kind: txn.CtrRead}
 		}
 	}
+	// The read side of ksGate lets a quiescing snapshot (which already
+	// holds every shard combiner, freezing all other keyspace writers)
+	// freeze EXEC commits too — the one keyspace mutator that runs on a
+	// connection goroutine. Held only around the commit; Exec never waits
+	// on a shard, so this cannot deadlock against the quiesce lock order.
+	e.ksGate.RLock()
 	results := e.ks.Exec(ops)
+	e.ksGate.RUnlock()
 	replies := make([]reply, len(staged))
 	for i, res := range results {
 		switch staged[i].Op {
@@ -863,9 +1089,10 @@ func (e *engine) txStatsLine() string {
 // transaction counters.
 func (e *engine) statsBody() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "shards %d\n", len(e.shards))
+	fmt.Fprintf(&sb, "shards %d\n", e.router.Load().n())
 	fmt.Fprintf(&sb, "backend set=%s map=%s queue=%s stack=%s pqueue=%s counter=%s metrics-counter=%s\n",
 		e.opts.Set, e.opts.Map, e.opts.Queue, e.opts.Stack, e.opts.PQueue, e.opts.Counter, e.opts.MetricsCounter)
+	fmt.Fprintf(&sb, "snap %s\n", e.snapLine())
 	if e.ks != nil {
 		fmt.Fprintf(&sb, "txn engine=%s cm=%s\n", e.opts.Txn, e.opts.CM)
 	} else {
@@ -879,6 +1106,20 @@ func (e *engine) statsBody() string {
 	sb.WriteString(e.metrics.Format())
 	sb.WriteString(e.ext.Format())
 	return sb.String()
+}
+
+// snapLine renders the snapshot STATS row: completed saves, the age of
+// the freshest one on the coarse clock, and its encoded size.
+func (e *engine) snapLine() string {
+	saves := e.snapSaves.Value()
+	if saves == 0 {
+		return "saves=0 last-age=never bytes=0"
+	}
+	age := time.Duration(e.refreshCoarse() - e.snapLast.Load())
+	if age < 0 {
+		age = 0
+	}
+	return fmt.Sprintf("saves=%d last-age=%s bytes=%d", saves, age.Round(time.Millisecond), e.snapBytes.Load())
 }
 
 // bypassState renders one family's read-bypass column: the static
@@ -898,7 +1139,7 @@ func (e *engine) bypassState(static, dynamic bool) string {
 func (e *engine) morphLines() string {
 	var sb strings.Builder
 	var flips int64
-	for _, s := range e.shards {
+	for _, s := range e.allShards() {
 		if s.adSet != nil {
 			flips += s.adSet.Flips()
 		}
@@ -916,7 +1157,7 @@ func (e *engine) morphLines() string {
 // morphState renders one family's live-member census.
 func (e *engine) morphState(set bool) string {
 	counts := make(map[string]int)
-	for _, s := range e.shards {
+	for _, s := range e.allShards() {
 		switch {
 		case set && s.adSet != nil:
 			counts[s.adSet.Current()]++
@@ -942,7 +1183,7 @@ func (e *engine) morphState(set bool) string {
 // shards and sorted by edge.
 func (e *engine) morphEdges(family string, set bool) string {
 	agg := make(map[[2]string]int64)
-	for _, s := range e.shards {
+	for _, s := range e.allShards() {
 		var trans []adaptive.Transition
 		switch {
 		case set && s.adSet != nil:

@@ -173,7 +173,7 @@ func testAdaptiveMorphHistory(t *testing.T) {
 		}
 
 		var flips int64
-		for _, sh := range srv.eng.shards {
+		for _, sh := range srv.eng.allShards() {
 			flips += sh.adSet.Flips() + sh.adMap.Flips()
 		}
 		if flips == 0 {

@@ -32,6 +32,10 @@
 //	EXEC       commit the staged buffer  → *N, then N reply lines
 //	DISCARD    drop the staged buffer    → OK
 //	TXSTATS    transaction engine stats  → one info line
+//	SAVE       snapshot to disk          → OK (synchronous write)
+//	BGSAVE     snapshot in background    → OK (cut taken, write async)
+//	RESTORE p  load the snapshot at p    → OK
+//	RESHARD n  double the shards to n    → OK (n must be exactly 2× current)
 //
 // Any failure is reported as "ERR <reason>"; malformed commands keep the
 // connection open, an oversized line closes it (framing is lost).
@@ -53,6 +57,17 @@
 // buffer) poisons the window: EXEC then answers ERR and discards the
 // buffer. PING, STATS and TXSTATS execute immediately inside a window;
 // QUIT discards it and closes. With -txn off the four verbs answer ERR.
+//
+// SAVE and BGSAVE write a consistent point-in-time snapshot of every
+// family to -snapshot-dir (format: internal/snapshot); the cut is taken
+// with every shard quiesced at a batch boundary and EXEC commits gated,
+// so it contains exactly the commands answered before it and no torn
+// state. SAVE writes before answering; BGSAVE answers after the cut and
+// writes in the background. RESTORE replaces the entire logical state
+// with the image at the given path. RESHARD doubles the shard count
+// live — traffic keeps flowing while each shard splits — up to the
+// -max-shards bound; only exact doubling is accepted. None of the four
+// may be staged in a MULTI window.
 package server
 
 import (
@@ -91,6 +106,10 @@ const (
 	OpExec
 	OpDiscard
 	OpTxStats
+	OpSave
+	OpBGSave
+	OpRestore
+	OpReshard
 	numOps
 )
 
@@ -143,6 +162,11 @@ var verbs = map[string]opInfo{
 	"EXEC":    {OpExec, argNone},
 	"DISCARD": {OpDiscard, argNone},
 	"TXSTATS": {OpTxStats, argNone},
+
+	"SAVE":    {OpSave, argNone},
+	"BGSAVE":  {OpBGSave, argNone},
+	"RESTORE": {OpRestore, argKey}, // the key token is a file path
+	"RESHARD": {OpReshard, argInt},
 }
 
 // opNames is the inverse of verbs, for error messages.

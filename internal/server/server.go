@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"amp/internal/metrics"
+	"amp/internal/snapshot"
 )
 
 // Server is the ampserved TCP server. Construct with New, then Listen and
@@ -68,6 +69,19 @@ func (s *Server) Options() Options { return s.opts }
 
 // Stats returns the current per-op metrics snapshot.
 func (s *Server) Stats() []metrics.OpStats { return s.eng.snapshot() }
+
+// Restore replaces the server's entire logical state with the snapshot
+// at path (see internal/snapshot for the format): the restart-with-
+// restore entry point, typically called between New and Serve, but safe
+// on a live server too — the load runs under the same full quiesce the
+// RESTORE verb uses.
+func (s *Server) Restore(path string) error {
+	st, err := snapshot.Read(path)
+	if err != nil {
+		return err
+	}
+	return s.eng.loadSnapshot(st)
+}
 
 // Listen binds the TCP address (e.g. "127.0.0.1:0").
 func (s *Server) Listen(addr string) error {
@@ -306,6 +320,12 @@ func (s *Server) serveBatch(w *bufio.Writer, items []lineItem, ts *txnState) boo
 	defer putBatch(b)
 	shard := -1 // no keyed command has pinned the open run yet
 
+	// One router resolution per parse-ahead batch: routing decisions and
+	// submissions agree on the topology. A RESHARD landing mid-batch is
+	// caught by the engine's staleness check, which replays affected runs
+	// through the new router.
+	rt := s.eng.router.Load()
+
 	// One latency origin per parse-ahead batch: every run submitted from
 	// this batch measures from here, trading one clock read per run for
 	// one per batch (runs are answered serially, so a later run's
@@ -317,11 +337,12 @@ func (s *Server) serveBatch(w *bufio.Writer, items []lineItem, ts *txnState) boo
 			return true
 		}
 		si := shard
+		b.pinned = si >= 0
 		if si < 0 {
-			si = s.eng.nextShard()
+			si = s.eng.nextShard(rt)
 		}
 		b.start = start
-		replies, ok := s.eng.doBatch(si, b)
+		replies, ok := s.eng.doBatch(rt, si, b)
 		if !ok {
 			// Aborted shutdown: still answer each accepted command.
 			for range b.cmds {
@@ -411,6 +432,28 @@ func (s *Server) serveBatch(w *bufio.Writer, items []lineItem, ts *txnState) boo
 			if !s.replyRaw(w, s.eng.txStatsLine()) {
 				return false
 			}
+		// The durability/elasticity verbs execute inline on the connection
+		// goroutine, after the open run flushes (they must observe this
+		// connection's earlier commands, and a reshard invalidates the
+		// batch's pinned routing anyway). They also refresh the cached
+		// router: a successful RESHARD changes the topology mid-batch.
+		case OpSave:
+			if !flushRun() || !s.reply(w, s.eng.save()) {
+				return false
+			}
+		case OpBGSave:
+			if !flushRun() || !s.reply(w, s.eng.bgsave()) {
+				return false
+			}
+		case OpRestore:
+			if !flushRun() || !s.reply(w, s.eng.restoreFrom(it.cmd.Key)) {
+				return false
+			}
+		case OpReshard:
+			if !flushRun() || !s.reply(w, s.eng.doReshard(int(it.cmd.Arg))) {
+				return false
+			}
+			rt = s.eng.router.Load()
 		default:
 			if s.eng.canBypass(it.cmd) {
 				if !flushRun() {
@@ -427,7 +470,7 @@ func (s *Server) serveBatch(w *bufio.Writer, items []lineItem, ts *txnState) boo
 				}
 			}
 			if it.cmd.Op.Keyed() {
-				si := keyShard(it.cmd.ShardKey(), len(s.eng.shards))
+				si := keyShard(it.cmd.ShardKey(), rt.n())
 				if shard >= 0 && si != shard && !flushRun() {
 					return false
 				}

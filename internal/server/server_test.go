@@ -507,7 +507,7 @@ func TestPipelinedBulk(t *testing.T) {
 func TestPipelinedSubmitAbortUnblocks(t *testing.T) {
 	e := &engine{}
 	s := &shard{mbox: mailbox.New[*batch](2, 0)}
-	e.shards = []*shard{s}
+	e.all = []*shard{s}
 	for s.mbox.TryPut(&batch{}) {
 		// saturate the ring; nothing drains it
 	}

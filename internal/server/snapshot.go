@@ -1,0 +1,452 @@
+// Durability and elasticity: point-in-time snapshots (SAVE/BGSAVE),
+// restart-with-restore (RESTORE, Server.Restore), and live N→2N
+// resharding (RESHARD).
+//
+// A snapshot is collected under a full quiesce — every shard's combiner
+// lock held at a batch boundary, in registration order, plus the EXEC
+// gate — so the image is a consistent cut of the history: every command
+// answered before SAVE returned is in it, no torn transactions, no
+// half-applied batches. Commands still in flight (submitted, not yet
+// answered) linearize after the cut, which linearizability permits.
+//
+// Resharding doubles the shard count without stopping traffic. Slot
+// doubling has a convenient algebra: keyShard(k, 2N) is either
+// keyShard(k, N) or keyShard(k, N)+N, so shard i's keys split only
+// between slots i and i+N. The reshard first publishes a 2N router
+// whose new slots alias the old shards (routing-correct immediately),
+// then per source shard — under that shard's combiner lock, at a batch
+// boundary — copies the movers into a fresh shard, flips slot i+N to
+// it, and deletes the movers from the source. In-flight batches routed
+// under a superseded router are detected by the combiner's staleness
+// check and replayed through the current router (engine.redispatch),
+// so no command is lost, duplicated, or executed against a stale home.
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"amp/internal/core"
+	"amp/internal/snapshot"
+	"amp/internal/strmap"
+)
+
+// snapFile is the snapshot filename under Options.SnapshotDir: SAVE and
+// BGSAVE write it, ampserved -restore typically reads it back.
+const snapFile = "ampserved.snap"
+
+func (e *engine) snapPath() string {
+	return filepath.Join(e.opts.SnapshotDir, snapFile)
+}
+
+// setRanger / mapRanger are the iteration capabilities collect needs
+// from the per-shard structures. Every registered backend implements
+// them; the assertion failure path survives so a future backend without
+// iteration degrades to an ERR reply instead of a panic.
+type setRanger interface {
+	Range(f func(x int) bool)
+}
+
+type mapRanger interface {
+	Range(f func(key string, val int64) bool)
+}
+
+// quiesce freezes the data plane: every shard combiner acquired in
+// registration order (the canonical order — reshard appends, never
+// reorders), each mailbox drained to a batch boundary, then the EXEC
+// gate. The returned slice is what release must be given. Callers hold
+// reconfigMu, so the census cannot grow mid-acquisition.
+//
+// Lock order argument: quiesce is the only path that holds more than
+// one combiner at a time, and it acquires in one global order. The
+// ksGate write side is taken after every combiner; the only read-side
+// holder (execTxn) never waits on a combiner while holding it. Rescue
+// goroutines spawned by the drains park on mailboxes, not locks, and
+// quiesce never waits for them — their batches simply linearize after
+// the cut.
+func (e *engine) quiesce() []*shard {
+	shards := e.allShards()
+	for _, s := range shards {
+		s.comb.Lock()
+		e.combine(s)
+	}
+	e.ksGate.Lock()
+	return shards
+}
+
+// release undoes quiesce in reverse order.
+func (e *engine) release(shards []*shard) {
+	e.ksGate.Unlock()
+	for i := len(shards) - 1; i >= 0; i-- {
+		shards[i].comb.Unlock()
+	}
+}
+
+// collect reads every family's logical state into a snapshot image.
+// Callers hold the full quiesce, so plain Range calls observe a frozen
+// structure and the unkeyed families can be drained and refilled
+// without a concurrent producer interleaving.
+func (e *engine) collect(shards []*shard) (*snapshot.State, error) {
+	st := &snapshot.State{Shards: int64(e.router.Load().n())}
+
+	for _, s := range shards {
+		sr, ok := s.set.(setRanger)
+		if !ok {
+			return nil, fmt.Errorf("set backend %q does not support snapshot iteration", e.opts.Set)
+		}
+		sr.Range(func(x int) bool {
+			st.Set = append(st.Set, int64(x))
+			return true
+		})
+	}
+	sort.Slice(st.Set, func(i, j int) bool { return st.Set[i] < st.Set[j] })
+
+	if e.ks != nil {
+		e.ks.Range(func(k string, v int64) bool {
+			st.Map = append(st.Map, snapshot.Entry{Key: k, Val: v})
+			return true
+		})
+		st.Counter = e.ks.Counter()
+	} else {
+		for _, s := range shards {
+			mr, ok := s.dict.(mapRanger)
+			if !ok {
+				return nil, fmt.Errorf("map backend %q does not support snapshot iteration", e.opts.Map)
+			}
+			mr.Range(func(k string, v int64) bool {
+				st.Map = append(st.Map, snapshot.Entry{Key: k, Val: v})
+				return true
+			})
+		}
+		st.Counter = e.ctrBase.Load() + e.incs.Load()
+	}
+	sort.Slice(st.Map, func(i, j int) bool { return st.Map[i].Key < st.Map[j].Key })
+
+	// The unkeyed families have no iterators — their structures are
+	// strictly queue-shaped — so collect drains and refills them. Safe
+	// under the quiesce (no concurrent producer or consumer), and the
+	// refill cannot overflow a bounded backend: it returns exactly what
+	// was just removed.
+	for {
+		v, ok := e.queue.deq()
+		if !ok {
+			break
+		}
+		st.Queue = append(st.Queue, v)
+	}
+	for _, v := range st.Queue {
+		if err := e.queue.enq(v); err != nil {
+			return nil, fmt.Errorf("snapshot: queue refill: %v", err)
+		}
+	}
+
+	var popped []int64 // top to bottom
+	for {
+		v, ok := e.stack.pop()
+		if !ok {
+			break
+		}
+		popped = append(popped, v)
+	}
+	for i := len(popped) - 1; i >= 0; i-- {
+		st.Stack = append(st.Stack, popped[i]) // stored bottom to top
+	}
+	for _, v := range st.Stack {
+		e.stack.push(v)
+	}
+
+	for {
+		v, ok := e.pq.removeMin()
+		if !ok {
+			break
+		}
+		st.PQ = append(st.PQ, v) // ascending by construction
+	}
+	for _, v := range st.PQ {
+		if err := e.pq.add(v); err != nil {
+			return nil, fmt.Errorf("snapshot: pqueue refill: %v", err)
+		}
+	}
+
+	return st, nil
+}
+
+// collectQuiesced is the shared SAVE/BGSAVE front half: quiesce, read
+// the cut, release. Callers hold reconfigMu.
+func (e *engine) collectQuiesced() (*snapshot.State, error) {
+	shards := e.quiesce()
+	defer e.release(shards)
+	return e.collect(shards)
+}
+
+// noteSave records a completed save for STATS.
+func (e *engine) noteSave(bytes int) {
+	e.snapLast.Store(e.refreshCoarse())
+	e.snapBytes.Store(int64(bytes))
+	e.snapSaves.Inc()
+}
+
+// save serves SAVE: collect a consistent cut under the quiesce, release
+// the data plane, then encode and write synchronously. The write happens
+// outside the quiesce — only the collect needs the freeze — so the stall
+// seen by concurrent clients is the cut, not the disk.
+func (e *engine) save() reply {
+	e.reconfigMu.Lock()
+	st, err := e.collectQuiesced()
+	e.reconfigMu.Unlock()
+	if err != nil {
+		return errReply("%v", err)
+	}
+	n, err := snapshot.Write(e.snapPath(), st)
+	if err != nil {
+		return errReply("%v", err)
+	}
+	e.noteSave(n)
+	return reply{status: stOK}
+}
+
+// bgsave serves BGSAVE: the same consistent cut as SAVE, but the encode
+// and write run on a background goroutine (stop waits for it), so the
+// client's reply returns as soon as the cut is taken. A failed
+// background write is recorded nowhere except the absent STATS update;
+// SAVE is the verb with synchronous error reporting.
+func (e *engine) bgsave() reply {
+	e.reconfigMu.Lock()
+	st, err := e.collectQuiesced()
+	e.reconfigMu.Unlock()
+	if err != nil {
+		return errReply("%v", err)
+	}
+	e.snapWG.Add(1)
+	go func() {
+		defer e.snapWG.Done()
+		if n, err := snapshot.Write(e.snapPath(), st); err == nil {
+			e.noteSave(n)
+		}
+	}()
+	return reply{status: stOK}
+}
+
+// loadSnapshot replaces the engine's entire logical state with st: the
+// RESTORE verb and Server.Restore both land here. The current state is
+// cleared and the image inserted under one quiesce, so no client ever
+// observes a half-restored keyspace. The shard topology is kept as-is —
+// st.Shards records the count at save time for inspection, but the
+// image routes correctly onto any topology (restore hashes every key
+// through the live router).
+func (e *engine) loadSnapshot(st *snapshot.State) error {
+	for _, x := range st.Set {
+		if x < sentinelGuardMin || x > sentinelGuardMax {
+			return fmt.Errorf("snapshot: set member %d is reserved", x)
+		}
+	}
+	for _, p := range st.PQ {
+		if p < sentinelGuardMin || p > sentinelGuardMax {
+			return fmt.Errorf("snapshot: priority %d out of range", p)
+		}
+	}
+
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+	shards := e.quiesce()
+	defer e.release(shards)
+
+	// Clear: collect keys first, then delete (no mutation mid-Range).
+	for _, s := range shards {
+		sr, ok := s.set.(setRanger)
+		if !ok {
+			return fmt.Errorf("set backend %q does not support snapshot iteration", e.opts.Set)
+		}
+		var keys []int
+		sr.Range(func(x int) bool { keys = append(keys, x); return true })
+		for _, x := range keys {
+			s.set.Remove(x)
+		}
+	}
+	if e.ks != nil {
+		var keys []string
+		e.ks.Range(func(k string, v int64) bool { keys = append(keys, k); return true })
+		for _, k := range keys {
+			e.ks.Del(k)
+		}
+	} else {
+		for _, s := range shards {
+			mr, ok := s.dict.(mapRanger)
+			if !ok {
+				return fmt.Errorf("map backend %q does not support snapshot iteration", e.opts.Map)
+			}
+			var keys []string
+			mr.Range(func(k string, v int64) bool { keys = append(keys, k); return true })
+			for _, k := range keys {
+				s.dict.Del(k)
+			}
+		}
+	}
+	for {
+		if _, ok := e.queue.deq(); !ok {
+			break
+		}
+	}
+	for {
+		if _, ok := e.stack.pop(); !ok {
+			break
+		}
+	}
+	for {
+		if _, ok := e.pq.removeMin(); !ok {
+			break
+		}
+	}
+
+	// Insert, routing keyed state through the live router.
+	rt := e.router.Load()
+	for _, x := range st.Set {
+		rt.shard(keyShard(x, rt.n())).set.Add(int(x))
+	}
+	if e.ks != nil {
+		for _, ent := range st.Map {
+			e.ks.Set(ent.Key, ent.Val)
+		}
+		e.ks.SetCounter(st.Counter)
+	} else {
+		for _, ent := range st.Map {
+			rt.shard(keyShard(int64(strmap.Hash(ent.Key)), rt.n())).dict.Set(ent.Key, ent.Val)
+		}
+		// Re-home the ticket space: READ answers ctrBase+incs, so after
+		// this store it reads exactly st.Counter and future INCs continue
+		// from there.
+		e.ctrBase.Store(st.Counter - e.incs.Load())
+	}
+	for _, v := range st.Queue {
+		if err := e.queue.enq(v); err != nil {
+			return fmt.Errorf("snapshot: queue restore: %v", err)
+		}
+	}
+	for _, v := range st.Stack {
+		e.stack.push(v)
+	}
+	for _, p := range st.PQ {
+		if err := e.pq.add(p); err != nil {
+			return fmt.Errorf("snapshot: pqueue restore: %v", err)
+		}
+	}
+	return nil
+}
+
+// restoreFrom serves the RESTORE verb: read, validate, load.
+func (e *engine) restoreFrom(path string) reply {
+	st, err := snapshot.Read(path)
+	if err != nil {
+		return errReply("%v", err)
+	}
+	if err := e.loadSnapshot(st); err != nil {
+		return errReply("%v", err)
+	}
+	return reply{status: stOK}
+}
+
+// reshard serves RESHARD n: split every shard in two, live. Only exact
+// doubling is supported (the slot algebra above is what makes the
+// migration per-shard local), and the target must fit under MaxShards —
+// the bound the counting structures were sized to at boot.
+func (e *engine) reshard(n int) error {
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+	old := e.router.Load()
+	if n != 2*old.n() {
+		return fmt.Errorf("reshard target %d is not double the current %d shards", n, old.n())
+	}
+	if n > e.opts.MaxShards {
+		return fmt.Errorf("reshard target %d exceeds -max-shards %d", n, e.opts.MaxShards)
+	}
+
+	// Phase A: publish the doubled router with every new slot aliasing
+	// its source shard. Routing under it is correct immediately — slot
+	// i and slot i+N resolve to the shard that owns both key ranges —
+	// and batches routed under the old router start failing the
+	// staleness check, which replays them here.
+	nr := &router{slots: make([]atomic.Pointer[shard], n)}
+	half := old.n()
+	for i := 0; i < half; i++ {
+		s := old.shard(i)
+		nr.slots[i].Store(s)
+		nr.slots[half+i].Store(s)
+	}
+	e.router.Store(nr)
+
+	// Phase B: per source shard — under its combiner lock, at a batch
+	// boundary — copy the movers out, start the split half, flip the
+	// slot, delete the movers. Copy→flip→delete ordering means a key is
+	// always reachable through at least one slot, and the flip happens
+	// under the same lock the staleness check runs under, so no batch
+	// executes against the source after its keys left.
+	for i := 0; i < half; i++ {
+		src := old.shard(i)
+		ns := e.newShard(core.ThreadID(half + i))
+
+		src.comb.Lock()
+		e.combine(src)
+
+		sr, ok := src.set.(setRanger)
+		if !ok {
+			src.comb.Unlock()
+			return fmt.Errorf("set backend %q does not support resharding", e.opts.Set)
+		}
+		var movedSet []int
+		sr.Range(func(x int) bool {
+			if keyShard(int64(x), n) == half+i {
+				movedSet = append(movedSet, x)
+			}
+			return true
+		})
+		for _, x := range movedSet {
+			ns.set.Add(x)
+		}
+
+		var movedKeys []string
+		var movedVals []int64
+		if e.ks == nil { // with the keyspace on, shard dicts are unused
+			mr, ok := src.dict.(mapRanger)
+			if !ok {
+				src.comb.Unlock()
+				return fmt.Errorf("map backend %q does not support resharding", e.opts.Map)
+			}
+			mr.Range(func(k string, v int64) bool {
+				if keyShard(int64(strmap.Hash(k)), n) == half+i {
+					movedKeys = append(movedKeys, k)
+					movedVals = append(movedVals, v)
+				}
+				return true
+			})
+			for j, k := range movedKeys {
+				ns.dict.Set(k, movedVals[j])
+			}
+		}
+
+		if !e.register(ns) {
+			src.comb.Unlock()
+			return fmt.Errorf("server shutting down")
+		}
+		go e.serve(ns)
+		nr.slots[half+i].Store(ns)
+
+		for _, x := range movedSet {
+			src.set.Remove(x)
+		}
+		for _, k := range movedKeys {
+			src.dict.Del(k)
+		}
+		src.comb.Unlock()
+	}
+	return nil
+}
+
+// doReshard wraps reshard for the protocol path.
+func (e *engine) doReshard(n int) reply {
+	if err := e.reshard(n); err != nil {
+		return errReply("%v", err)
+	}
+	return reply{status: stOK}
+}

@@ -1,0 +1,499 @@
+package server
+
+// Snapshot-consistency and reshard harnesses: SAVE taken by a concurrent
+// client mid-history must decode to a consistent cut — a state the
+// sequential model could have held at some instant inside the SAVE's
+// [call, return] window — and a live RESHARD under recorded pipelined
+// traffic must leave the history linearizable with zero dropped or
+// duplicated replies. The snapshot check works by recording the SAVE as
+// an ordinary history operation ("snapshot") whose output is the decoded
+// file contents; the Wing & Gong checker then has to find a legal
+// linearization point for it like any other op.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"amp/internal/core"
+	"amp/internal/snapshot"
+)
+
+// recOp is one scripted command of a recorded client: the wire line, the
+// model action/input it corresponds to, and a parser from the reply line
+// to the model's output domain.
+type recOp struct {
+	line   string
+	action string
+	input  any
+	parse  func(reply string) (any, error)
+}
+
+func parseBool(reply string) (any, error) {
+	switch reply {
+	case "1":
+		return true, nil
+	case "0":
+		return false, nil
+	}
+	return nil, fmt.Errorf("reply %q, want 0 or 1", reply)
+}
+
+func parseOK(reply string) (any, error) {
+	if reply != "OK" {
+		return nil, fmt.Errorf("reply %q, want OK", reply)
+	}
+	return nil, nil
+}
+
+func parseIntOrEmpty(reply string) (any, error) {
+	if reply == "EMPTY" {
+		return core.Empty, nil
+	}
+	v, err := strconv.Atoi(reply)
+	if err != nil {
+		return nil, fmt.Errorf("reply %q, want integer or EMPTY", reply)
+	}
+	return v, nil
+}
+
+// runRecClient pipelines a script through one connection with the given
+// window depth, recording every op. Each command is matched to exactly
+// one reply line; any shortfall or surplus surfaces as a read error or a
+// parse failure, so a nil return certifies the reply accounting.
+func runRecClient(addr string, rec *core.Recorder, me core.ThreadID, depth int, ops []recOp) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	type sent struct {
+		pend *core.PendingOp
+		op   recOp
+	}
+	window := make([]sent, 0, depth)
+	for next := 0; next < len(ops); {
+		window = window[:0]
+		for next < len(ops) && len(window) < depth {
+			op := ops[next]
+			window = append(window, sent{pend: rec.Call(me, op.action, op.input), op: op})
+			fmt.Fprintf(w, "%s\n", op.line)
+			next++
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		for _, s := range window {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			out, err := s.op.parse(strings.TrimSuffix(line, "\n"))
+			if err != nil {
+				return fmt.Errorf("%s: %v", s.op.line, err)
+			}
+			s.pend.Done(out)
+		}
+	}
+	return nil
+}
+
+// setOps mixes SET/DEL over a small shared key range so clients contend
+// on membership and the snapshot lands on a state that is genuinely in
+// flux.
+func setOps(id, n int) []recOp {
+	ops := make([]recOp, n)
+	for i := range ops {
+		k := (id*31 + i*7) % 16
+		if i%2 == 0 {
+			ops[i] = recOp{line: fmt.Sprintf("SET %d", k), action: "add", input: k, parse: parseBool}
+		} else {
+			ops[i] = recOp{line: fmt.Sprintf("DEL %d", k), action: "remove", input: k, parse: parseBool}
+		}
+	}
+	return ops
+}
+
+func mapOps(id, n int) []recOp {
+	ops := make([]recOp, n)
+	for i := range ops {
+		k := fmt.Sprintf("k%d", (id*5+i*3)%8)
+		if i%2 == 0 {
+			v := int64(id*100_000 + i)
+			ops[i] = recOp{line: fmt.Sprintf("HSET %s %d", k, v), action: "set",
+				input: core.MapSetInput{K: k, V: v}, parse: parseBool}
+		} else {
+			ops[i] = recOp{line: "HDEL " + k, action: "del", input: k, parse: parseBool}
+		}
+	}
+	return ops
+}
+
+func queueOps(id, n int) []recOp {
+	ops := make([]recOp, n)
+	for i := range ops {
+		if i%2 == 0 {
+			v := id*100_000 + i
+			ops[i] = recOp{line: fmt.Sprintf("ENQ %d", v), action: "enq", input: v, parse: parseOK}
+		} else {
+			ops[i] = recOp{line: "DEQ", action: "deq", input: nil, parse: parseIntOrEmpty}
+		}
+	}
+	return ops
+}
+
+// Projections from a decoded snapshot to the model's state domain. Empty
+// families normalize to nil so they compare DeepEqual with the models'
+// nil-initial states.
+
+func projectSetState(st *snapshot.State) any {
+	if len(st.Set) == 0 {
+		return []int(nil)
+	}
+	out := make([]int, len(st.Set))
+	for i, v := range st.Set {
+		out[i] = int(v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func projectMapState(st *snapshot.State) any {
+	if len(st.Map) == 0 {
+		return []core.MapPair(nil)
+	}
+	out := make([]core.MapPair, len(st.Map))
+	for i, e := range st.Map {
+		out[i] = core.MapPair{K: e.Key, V: e.Val}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+func projectQueueState(st *snapshot.State) any {
+	if len(st.Queue) == 0 {
+		return []int(nil)
+	}
+	out := make([]int, len(st.Queue))
+	for i, v := range st.Queue {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// recordSave round-trips one SAVE on its own connection, decodes the
+// written file, and records the whole exchange as a "snapshot" operation
+// whose output is the decoded family state. Decoding happens before
+// Done, inside the operation's window — that only widens the window the
+// checker must place the cut in, which is sound.
+func recordSave(srv *Server, rec *core.Recorder, me core.ThreadID, project func(*snapshot.State) any) error {
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	pend := rec.Call(me, "snapshot", nil)
+	if _, err := fmt.Fprint(conn, "SAVE\n"); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if line != "OK\n" {
+		return fmt.Errorf("SAVE reply %q, want OK", strings.TrimSuffix(line, "\n"))
+	}
+	st, err := snapshot.Read(srv.eng.snapPath())
+	if err != nil {
+		return fmt.Errorf("decode snapshot: %v", err)
+	}
+	pend.Done(project(st))
+	return nil
+}
+
+// testSnapshotConsistency records concurrent family traffic with a SAVE
+// landing mid-history, then checks the combined history — including the
+// snapshot op, whose output is the decoded file — against the model. As
+// in testServerLinearizable, an exhausted search budget proves nothing,
+// so the harness re-records rather than hanging; only a decided
+// non-linearizable verdict fails.
+func testSnapshotConsistency(t *testing.T, opts Options, model core.Model,
+	genOps func(id, n int) []recOp, project func(*snapshot.State) any) {
+	for _, procs := range []int{2, 8} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			const clients, opsEach = 4, 150
+			const budget = 2_000_000
+			const attempts = 6
+			for attempt := 1; attempt <= attempts; attempt++ {
+				o := opts
+				o.SnapshotDir = t.TempDir()
+				srv := startServer(t, o)
+				rec := core.NewRecorder()
+
+				var wg sync.WaitGroup
+				for id := 0; id < clients; id++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						depth := 1 + id%2
+						err := runRecClient(srv.Addr().String(), rec, core.ThreadID(id),
+							depth, genOps(id, opsEach))
+						if err != nil {
+							t.Errorf("client %d: %v", id, err)
+						}
+					}(id)
+				}
+				saveErr := make(chan error, 1)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Land inside the clients' few-millisecond run.
+					time.Sleep(2 * time.Millisecond)
+					saveErr <- recordSave(srv, rec, core.ThreadID(clients), project)
+				}()
+				wg.Wait()
+				if err := <-saveErr; err != nil {
+					t.Fatalf("saver: %v", err)
+				}
+				if t.Failed() {
+					return
+				}
+
+				h := rec.History()
+				if got, want := len(h), clients*opsEach+1; got != want {
+					t.Fatalf("history has %d ops, want %d", got, want)
+				}
+				res := core.CheckBudget(model, h, budget)
+				switch {
+				case res.Exhausted:
+					t.Logf("%s: attempt %d/%d exhausted the %d-step budget on %d ops; re-recording",
+						model.Name, attempt, attempts, budget, len(h))
+				case !res.Linearizable:
+					t.Fatalf("%s: history with mid-flight snapshot is not linearizable — SAVE did not capture a consistent cut", model.Name)
+				default:
+					return
+				}
+			}
+			t.Fatalf("%s: checker budget exhausted on %d consecutive recordings", model.Name, attempts)
+		})
+	}
+}
+
+func TestSnapshotConsistencySet(t *testing.T) {
+	testSnapshotConsistency(t, Options{Shards: 4}, core.SetModel(), setOps, projectSetState)
+}
+
+// TestSnapshotConsistencyMap runs the map family through the default
+// transactional keyspace, so the snapshot's map section is collected via
+// Keyspace.Range.
+func TestSnapshotConsistencyMap(t *testing.T) {
+	testSnapshotConsistency(t, Options{Shards: 4}, core.MapModel(), mapOps, projectMapState)
+}
+
+// TestSnapshotConsistencyMapSharded disables the keyspace so HSET/HGET
+// run against the per-shard string maps and the snapshot's map section
+// is collected by ranging the shards.
+func TestSnapshotConsistencyMapSharded(t *testing.T) {
+	testSnapshotConsistency(t, Options{Shards: 4, Txn: "off"}, core.MapModel(), mapOps, projectMapState)
+}
+
+func TestSnapshotConsistencyQueue(t *testing.T) {
+	testSnapshotConsistency(t, Options{Shards: 4}, core.QueueModel(), queueOps, projectQueueState)
+}
+
+// TestReshardUnderLoadLinearizable doubles the shard count twice while
+// recorded pipelined clients hammer the keyed set family. Every command
+// must get exactly one reply (runRecClient errors otherwise, and the
+// recorded-op count is checked), the combined history must stay
+// linearizable, and STATS must report the final shard count.
+func TestReshardUnderLoadLinearizable(t *testing.T) {
+	const clients, opsEach = 4, 200
+	const budget = 2_000_000
+	const attempts = 6
+	for attempt := 1; attempt <= attempts; attempt++ {
+		srv := startServer(t, Options{Shards: 2, MaxShards: 8})
+		rec := core.NewRecorder()
+
+		var wg sync.WaitGroup
+		for id := 0; id < clients; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				depth := 1 + id%2
+				err := runRecClient(srv.Addr().String(), rec, core.ThreadID(id),
+					depth, setOps(id, opsEach))
+				if err != nil {
+					t.Errorf("client %d: %v", id, err)
+				}
+			}(id)
+		}
+		reshardErr := make(chan error, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reshardErr <- func() error {
+				conn, err := net.Dial("tcp", srv.Addr().String())
+				if err != nil {
+					return err
+				}
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for _, n := range []int{4, 8} {
+					time.Sleep(time.Millisecond)
+					if _, err := fmt.Fprintf(conn, "RESHARD %d\n", n); err != nil {
+						return err
+					}
+					conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return err
+					}
+					if line != "OK\n" {
+						return fmt.Errorf("RESHARD %d reply %q, want OK", n, strings.TrimSuffix(line, "\n"))
+					}
+				}
+				return nil
+			}()
+		}()
+		wg.Wait()
+		if err := <-reshardErr; err != nil {
+			t.Fatalf("resharder: %v", err)
+		}
+		if t.Failed() {
+			return
+		}
+
+		if got, want := rec.Len(), clients*opsEach; got != want {
+			t.Fatalf("recorded %d ops, want %d: replies were dropped or duplicated", got, want)
+		}
+		res := core.CheckBudget(core.SetModel(), rec.History(), budget)
+		switch {
+		case res.Exhausted:
+			t.Logf("attempt %d/%d exhausted the %d-step budget; re-recording", attempt, attempts, budget)
+			continue
+		case !res.Linearizable:
+			t.Fatalf("set history across RESHARD 2→4→8 is not linearizable")
+		}
+
+		c := dial(t, srv)
+		body := readStats(t, c, c.cmd(t, "STATS"))
+		if !strings.Contains(body, "shards 8\n") {
+			t.Fatalf("STATS after reshard missing %q:\n%s", "shards 8", body)
+		}
+		return
+	}
+	t.Fatalf("checker budget exhausted on %d consecutive recordings", attempts)
+}
+
+// TestReshardValidation pins the deterministic reshard contract: only
+// exact doubling is accepted, the MaxShards ceiling is enforced, data
+// survives a doubling, and STATS reflects the new count.
+func TestReshardValidation(t *testing.T) {
+	srv := startServer(t, Options{Shards: 4}) // MaxShards defaults to 8
+	c := dial(t, srv)
+
+	for _, k := range []int{1, 2, 3, 100, 1 << 40} {
+		c.expect(t, fmt.Sprintf("SET %d", k), "1")
+	}
+	c.expect(t, "HSET alpha 7", "1")
+	c.expect(t, "ENQ 10", "OK")
+	c.expect(t, "ENQ 20", "OK")
+	c.expect(t, "INC", "0")
+
+	c.expect(t, "RESHARD 4", "ERR reshard target 4 is not double the current 4 shards")
+	c.expect(t, "RESHARD 6", "ERR reshard target 6 is not double the current 4 shards")
+	c.expect(t, "RESHARD 16", "ERR reshard target 16 is not double the current 4 shards")
+	c.expect(t, "RESHARD 8", "OK")
+	c.expect(t, "RESHARD 16", "ERR reshard target 16 exceeds -max-shards 8")
+
+	// State is intact after the doubling.
+	for _, k := range []int{1, 2, 3, 100, 1 << 40} {
+		c.expect(t, fmt.Sprintf("GET %d", k), "1")
+	}
+	c.expect(t, "GET 4", "0")
+	c.expect(t, "HGET alpha", "7")
+	c.expect(t, "DEQ", "10")
+	c.expect(t, "DEQ", "20")
+	c.expect(t, "READ", "1")
+
+	body := readStats(t, c, c.cmd(t, "STATS"))
+	if !strings.Contains(body, "shards 8\n") {
+		t.Fatalf("STATS missing %q after reshard:\n%s", "shards 8", body)
+	}
+}
+
+// TestSaveRestoreServer saves one server's state and restores it into a
+// second live server with a different shard count: the restored state
+// must equal the snapshot point, not include post-save mutations, and
+// the counter must continue from its saved value.
+func TestSaveRestoreServer(t *testing.T) {
+	dir := t.TempDir()
+	src := startServer(t, Options{Shards: 4, SnapshotDir: dir})
+	c := dial(t, src)
+
+	c.expect(t, "SET 7", "1")
+	c.expect(t, "SET 99", "1")
+	c.expect(t, "HSET user:1 41", "1")
+	c.expect(t, "ENQ 5", "OK")
+	c.expect(t, "ENQ 6", "OK")
+	c.expect(t, "PUSH 8", "OK")
+	c.expect(t, "PQADD 3", "OK")
+	c.expect(t, "INC", "0")
+	c.expect(t, "INC", "1")
+	c.expect(t, "SAVE", "OK")
+	// Mutations after the save must not be in the snapshot.
+	c.expect(t, "SET 1000", "1")
+	c.expect(t, "DEL 7", "1")
+	c.expect(t, "INC", "2")
+
+	dst := startServer(t, Options{Shards: 2, SnapshotDir: t.TempDir()})
+	if err := dst.Restore(src.eng.snapPath()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	d := dial(t, dst)
+	d.expect(t, "GET 7", "1")
+	d.expect(t, "GET 99", "1")
+	d.expect(t, "GET 1000", "0")
+	d.expect(t, "HGET user:1", "41")
+	d.expect(t, "DEQ", "5")
+	d.expect(t, "DEQ", "6")
+	d.expect(t, "POP", "8")
+	d.expect(t, "PQMIN", "3")
+	d.expect(t, "READ", "2")
+	d.expect(t, "INC", "2")
+	d.expect(t, "READ", "3")
+}
+
+// TestRestoreVerb exercises the RESTORE wire verb end to end, including
+// its error reply for a missing file.
+func TestRestoreVerb(t *testing.T) {
+	dir := t.TempDir()
+	src := startServer(t, Options{Shards: 2, SnapshotDir: dir})
+	c := dial(t, src)
+	c.expect(t, "SET 12", "1")
+	c.expect(t, "SAVE", "OK")
+
+	dst := startServer(t, Options{Shards: 4, SnapshotDir: t.TempDir()})
+	d := dial(t, dst)
+	d.expect(t, "RESTORE "+src.eng.snapPath(), "OK")
+	d.expect(t, "GET 12", "1")
+	if got := d.cmd(t, "RESTORE "+src.eng.snapPath()+".missing"); !strings.HasPrefix(got, "ERR ") {
+		t.Fatalf("RESTORE missing file → %q, want ERR", got)
+	}
+	// The failed restore left the previous state alone.
+	d.expect(t, "GET 12", "1")
+}

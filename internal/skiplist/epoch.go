@@ -334,6 +334,10 @@ func (s *EpochSkipList) Min() (int, bool) {
 	return 0, false
 }
 
+// Range is Ascend under the migration-capability name the adaptive and
+// snapshot layers look for.
+func (s *EpochSkipList) Range(f func(x int) bool) { s.Ascend(f) }
+
 // Ascend calls f on each key in ascending order, skipping logically
 // deleted nodes, until f returns false. The whole traversal runs under
 // one pin, so a slow f delays reclamation (but never correctness).

@@ -1,0 +1,49 @@
+package snapshot
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzSnapshot feeds arbitrary bytes to Decode: it must never panic, and
+// any image it accepts must be canonical — re-encoding the decoded state
+// reproduces the input exactly, and decoding that reproduction agrees.
+// The checked-in corpus (testdata/fuzz/FuzzSnapshot) seeds valid images
+// of every shape plus truncated, bit-flipped and version-bumped mutants.
+func FuzzSnapshot(f *testing.F) {
+	states := []*State{
+		{},
+		sample(),
+		{Set: []int64{1, 2, 3}},
+		{Map: []Entry{{Key: "", Val: 0}, {Key: "k", Val: -1}}},
+		{Queue: []int64{9}, Stack: []int64{8}, PQ: []int64{7}, Counter: -2, Shards: 16},
+	}
+	for _, st := range states {
+		f.Add(Encode(st))
+	}
+	good := Encode(sample())
+	f.Add(good[:len(good)-7])            // truncated
+	f.Add(append([]byte("AMPSNAP9"), 0)) // version bump
+	flip := append([]byte(nil), good...)
+	flip[11] ^= 0x80
+	f.Add(flip) // bit flip under the checksum
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		st, err := Decode(b)
+		if err != nil {
+			return // rejected, without panicking: fine
+		}
+		enc := Encode(st)
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("accepted image is not canonical:\n in  %x\n out %x", b, enc)
+		}
+		st2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted image failed: %v", err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatalf("decode/encode/decode drift:\n %+v\n %+v", st, st2)
+		}
+	})
+}

@@ -1,0 +1,314 @@
+// Package snapshot defines ampserved's point-in-time snapshot format: a
+// versioned, checksummed binary image of every command family's logical
+// state — set members, string-map entries, queue/stack/pqueue contents,
+// and the shared counter. The server collects a State under a full
+// quiesce (every shard combiner held at a batch boundary, EXEC commits
+// gated), so an encoded snapshot is a consistent cut of the history; see
+// internal/server's SAVE/BGSAVE/RESTORE verbs.
+//
+// The layout is deliberately boring: a 8-byte header (magic "AMPSNAP1"
+// where the trailing digit is the format version), one tagged section
+// per family — tag byte, little-endian uint64 element count, elements —
+// and a trailing CRC32 (IEEE) of everything before it. Integers are
+// little-endian int64; strings are uint32-length-prefixed UTF-8 bytes.
+// Decode never panics on hostile input: every count is validated against
+// the remaining bytes before allocation, and truncation, corruption and
+// version skew all surface as errors (ErrTruncated, ErrChecksum,
+// ErrVersion, ErrMagic).
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Magic opens every snapshot file; its last byte is the format version.
+const (
+	magic   = "AMPSNAP"
+	Version = 1
+)
+
+// Section tags, one per family. Sections appear in tag order, each
+// exactly once, so encode(decode(b)) == b for every valid b.
+const (
+	secSet     byte = 1 // int64 members
+	secMap     byte = 2 // (string key, int64 value) entries
+	secQueue   byte = 3 // int64 items, front to back
+	secStack   byte = 4 // int64 items, bottom to top
+	secPQ      byte = 5 // int64 priorities, ascending
+	secCounter byte = 6 // exactly one int64: the counter reading
+	secShards  byte = 7 // exactly one int64: shard count at save time
+)
+
+// Decode errors. Decode wraps them with positional context; test with
+// errors.Is.
+var (
+	ErrMagic     = errors.New("snapshot: bad magic")
+	ErrVersion   = errors.New("snapshot: unsupported version")
+	ErrTruncated = errors.New("snapshot: truncated")
+	ErrChecksum  = errors.New("snapshot: checksum mismatch")
+	ErrFormat    = errors.New("snapshot: malformed")
+)
+
+// Entry is one string-map key/value pair.
+type Entry struct {
+	Key string
+	Val int64
+}
+
+// State is the logical state of every family: what SAVE collects and
+// RESTORE reloads. Orders are semantic for Queue (front to back), Stack
+// (bottom to top) and PQ (ascending); Set and Map are sorted by the
+// encoder's caller for determinism but any order round-trips.
+type State struct {
+	Set     []int64
+	Map     []Entry
+	Queue   []int64
+	Stack   []int64
+	PQ      []int64
+	Counter int64
+	Shards  int64
+}
+
+// maxStr bounds one map key; protocol lines are ≤ 128 bytes so real keys
+// are far smaller, and the bound keeps a hostile length prefix from
+// driving a huge allocation before the remaining-bytes check.
+const maxStr = 1 << 16
+
+// Encode renders the state in the on-disk format (header, sections,
+// trailing CRC32).
+func Encode(st *State) []byte {
+	n := 8 + 4 // header + checksum
+	n += 9 + 8*len(st.Set)
+	n += 9
+	for _, e := range st.Map {
+		n += 4 + len(e.Key) + 8
+	}
+	n += 9 + 8*len(st.Queue)
+	n += 9 + 8*len(st.Stack)
+	n += 9 + 8*len(st.PQ)
+	n += 9 + 8 // counter
+	n += 9 + 8 // shards
+	buf := make([]byte, 0, n)
+	buf = append(buf, magic...)
+	buf = append(buf, '0'+Version)
+	buf = appendInts(buf, secSet, st.Set)
+	buf = appendSection(buf, secMap, len(st.Map))
+	for _, e := range st.Map {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Key)))
+		buf = append(buf, e.Key...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Val))
+	}
+	buf = appendInts(buf, secQueue, st.Queue)
+	buf = appendInts(buf, secStack, st.Stack)
+	buf = appendInts(buf, secPQ, st.PQ)
+	buf = appendInts(buf, secCounter, []int64{st.Counter})
+	buf = appendInts(buf, secShards, []int64{st.Shards})
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func appendSection(buf []byte, tag byte, count int) []byte {
+	buf = append(buf, tag)
+	return binary.LittleEndian.AppendUint64(buf, uint64(count))
+}
+
+func appendInts(buf []byte, tag byte, vs []int64) []byte {
+	buf = appendSection(buf, tag, len(vs))
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// reader walks the byte image with bounds checks; every primitive read
+// reports ErrTruncated instead of slicing past the end.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, ErrTruncated
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// section checks the tag and returns the validated element count: counts
+// larger than the bytes that could possibly remain are rejected before
+// any allocation.
+func (r *reader) section(tag byte, elemSize int) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, ErrTruncated
+	}
+	if r.b[r.off] != tag {
+		return 0, fmt.Errorf("%w: expected section %d, found %d at offset %d",
+			ErrFormat, tag, r.b[r.off], r.off)
+	}
+	r.off++
+	n, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(r.b)-r.off)/uint64(elemSize) {
+		return 0, fmt.Errorf("%w: section %d count %d exceeds remaining bytes", ErrTruncated, tag, n)
+	}
+	return int(n), nil
+}
+
+func (r *reader) ints(tag byte) ([]int64, error) {
+	n, err := r.section(tag, 8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		v, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+func (r *reader) one(tag byte) (int64, error) {
+	vs, err := r.ints(tag)
+	if err != nil {
+		return 0, err
+	}
+	if len(vs) != 1 {
+		return 0, fmt.Errorf("%w: section %d wants exactly one element, has %d", ErrFormat, tag, len(vs))
+	}
+	return vs[0], nil
+}
+
+// Decode parses and validates one snapshot image. It never panics; any
+// deviation from the format — bad magic, unknown version, truncation,
+// checksum mismatch, trailing garbage — is an error.
+func Decode(b []byte) (*State, error) {
+	if len(b) < 8+4 {
+		return nil, ErrTruncated
+	}
+	if string(b[:7]) != magic {
+		return nil, ErrMagic
+	}
+	if b[7] != '0'+Version {
+		return nil, fmt.Errorf("%w: %q (want %d)", ErrVersion, b[7], Version)
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrChecksum
+	}
+	r := &reader{b: body, off: 8}
+	st := &State{}
+	var err error
+	if st.Set, err = r.ints(secSet); err != nil {
+		return nil, err
+	}
+	nmap, err := r.section(secMap, 4+8)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nmap; i++ {
+		kl, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if kl > maxStr {
+			return nil, fmt.Errorf("%w: key length %d", ErrFormat, kl)
+		}
+		kb, err := r.bytes(int(kl))
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		st.Map = append(st.Map, Entry{Key: string(kb), Val: int64(v)})
+	}
+	if st.Queue, err = r.ints(secQueue); err != nil {
+		return nil, err
+	}
+	if st.Stack, err = r.ints(secStack); err != nil {
+		return nil, err
+	}
+	if st.PQ, err = r.ints(secPQ); err != nil {
+		return nil, err
+	}
+	if st.Counter, err = r.one(secCounter); err != nil {
+		return nil, err
+	}
+	if st.Shards, err = r.one(secShards); err != nil {
+		return nil, err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(body)-r.off)
+	}
+	return st, nil
+}
+
+// Write encodes st to path atomically: temp file in the same directory,
+// fsync, rename. A reader (or a restart) never observes a partial file.
+func Write(path string, st *State) (int, error) {
+	b := Encode(st)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(b); err == nil {
+		err = f.Sync()
+	} else {
+		f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// Read loads and decodes the snapshot at path.
+func Read(path string) (*State, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}

@@ -1,0 +1,127 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func appendChecksum(b []byte) []byte {
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func sample() *State {
+	return &State{
+		Set:     []int64{-3, 0, 7, 1 << 40},
+		Map:     []Entry{{Key: "alpha", Val: 1}, {Key: "k:42", Val: -9}, {Key: "π", Val: 1 << 50}},
+		Queue:   []int64{10, 20, 30},
+		Stack:   []int64{5, 6},
+		PQ:      []int64{1, 1, 2},
+		Counter: 17,
+		Shards:  4,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, st := range map[string]*State{
+		"empty":  {},
+		"sample": sample(),
+		"single": {Set: []int64{1}, Counter: 1, Shards: 1},
+	} {
+		b := Encode(st)
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, st) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", name, got, st)
+		}
+		// Canonical: re-encoding the decoded state reproduces the bytes.
+		if b2 := Encode(got); !reflect.DeepEqual(b, b2) {
+			t.Errorf("%s: encode(decode(b)) != b", name)
+		}
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.amps")
+	st := sample()
+	n, err := Write(path, st)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(n) {
+		t.Fatalf("Stat after Write: %v (size %d want %d)", err, fi.Size(), n)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Errorf("Write/Read mismatch:\n got %+v\nwant %+v", got, st)
+	}
+	// No temp files left behind.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Errorf("directory has %d entries after Write, want 1", len(ents))
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	good := Encode(sample())
+	cases := map[string]struct {
+		mutate func([]byte) []byte
+		want   error
+	}{
+		"empty":     {func(b []byte) []byte { return nil }, ErrTruncated},
+		"magic":     {func(b []byte) []byte { b[0] = 'X'; return b }, ErrMagic},
+		"version":   {func(b []byte) []byte { b[7] = '9'; return b }, ErrVersion},
+		"truncated": {func(b []byte) []byte { return b[:len(b)/2] }, nil},
+		"bitflip":   {func(b []byte) []byte { b[20] ^= 0x40; return b }, ErrChecksum},
+		"trailing":  {func(b []byte) []byte { return append(b, 0) }, ErrChecksum},
+	}
+	for name, tc := range cases {
+		b := tc.mutate(append([]byte(nil), good...))
+		_, err := Decode(b)
+		if err == nil {
+			t.Errorf("%s: Decode accepted a corrupt image", name)
+			continue
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", name, err, tc.want)
+		}
+	}
+}
+
+// A version bump must error even when the checksum is recomputed to
+// match (a pure version check, not a checksum side effect).
+func TestDecodeRejectsRechecksummedVersion(t *testing.T) {
+	st := sample()
+	b := Encode(st)
+	b[7] = '0' + Version + 1
+	b = b[:len(b)-4]
+	b = appendChecksum(b)
+	if _, err := Decode(b); !errors.Is(err, ErrVersion) {
+		t.Errorf("Decode = %v, want ErrVersion", err)
+	}
+}
+
+// A hostile count that exceeds the remaining bytes must be rejected
+// before allocation, not panic or OOM.
+func TestDecodeRejectsHostileCount(t *testing.T) {
+	b := []byte(magic)
+	b = append(b, '0'+Version)
+	b = append(b, secSet)
+	for i := 0; i < 8; i++ {
+		b = append(b, 0xff) // count ~2^64
+	}
+	b = appendChecksum(b)
+	if _, err := Decode(b); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Decode = %v, want ErrTruncated", err)
+	}
+}

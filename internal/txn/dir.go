@@ -40,6 +40,24 @@ func (d *dir[T]) get(key string) *T {
 	return v
 }
 
+// each calls f for every (key, tvar) pair until f returns false,
+// stripe by stripe under the stripe read locks. f must not touch the
+// directory (it may load the tvar freely — tvar synchronization is the
+// STM's, not the directory's).
+func (d *dir[T]) each(f func(key string, v *T) bool) {
+	for i := range d.stripes {
+		s := &d.stripes[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !f(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
 // getOrCreate returns the key's tvar, creating it with fresh if needed.
 // Idempotent: every caller for a key observes the same tvar forever.
 func (d *dir[T]) getOrCreate(key string, fresh func() *T) *T {

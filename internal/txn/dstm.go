@@ -89,6 +89,23 @@ func (k *dstmKeyspace) Inc() int64 {
 
 func (k *dstmKeyspace) Counter() int64 { return k.ctr.Load() }
 
+// Range enumerates present keys with their committed values; see
+// Keyspace.Range for the consistency contract.
+func (k *dstmKeyspace) Range(f func(key string, v int64) bool) {
+	k.dir.each(func(key string, c *stm.OFTVar[cell]) bool {
+		v := c.Load()
+		if !v.present {
+			return true
+		}
+		return f(key, v.v)
+	})
+}
+
+// SetCounter overwrites the counter (snapshot restore).
+func (k *dstmKeyspace) SetCounter(v int64) {
+	k.stm.Atomic(func(tx *stm.OFTx) { k.ctr.Set(tx, v) })
+}
+
 func (k *dstmKeyspace) Exec(ops []Op) []Result {
 	// Same up-front resolution as TL2: reads of absent keys validate
 	// against the key's (tombstone) tvar.

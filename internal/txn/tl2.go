@@ -81,6 +81,23 @@ func (k *tl2Keyspace) Inc() int64 {
 
 func (k *tl2Keyspace) Counter() int64 { return k.ctr.Load() }
 
+// Range enumerates present keys with their committed values; see
+// Keyspace.Range for the consistency contract.
+func (k *tl2Keyspace) Range(f func(key string, v int64) bool) {
+	k.dir.each(func(key string, c *stm.TVar[cell]) bool {
+		v := c.Load()
+		if !v.present {
+			return true
+		}
+		return f(key, v.v)
+	})
+}
+
+// SetCounter overwrites the counter (snapshot restore).
+func (k *tl2Keyspace) SetCounter(v int64) {
+	k.stm.Atomic(func(tx *stm.Tx) { k.ctr.Set(tx, v) })
+}
+
 func (k *tl2Keyspace) Exec(ops []Op) []Result {
 	// Resolve every key's tvar up front — including keys only read, and
 	// keys that do not exist yet. A read of an absent key must join the

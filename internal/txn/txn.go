@@ -70,6 +70,15 @@ type Keyspace interface {
 	// Exec applies ops as one atomic transaction, returning one Result
 	// per op in order.
 	Exec(ops []Op) []Result
+	// Range calls f for each present key with its committed value until
+	// f returns false (tombstoned keys are skipped). Each read is an
+	// atomic committed-cell load, but the enumeration as a whole is a
+	// consistent cut only when the caller has quiesced committers — the
+	// server's snapshot path holds its EXEC gate and shard combiner
+	// locks across it.
+	Range(f func(key string, v int64) bool)
+	// SetCounter overwrites the shared counter (snapshot restore).
+	SetCounter(v int64)
 	// Commits and Aborts expose the engine's transaction statistics
 	// (fast-path single-op transactions included).
 	Commits() int64
