@@ -205,11 +205,24 @@ type engine struct {
 	ctrBase atomic.Int64
 
 	// Snapshot bookkeeping: background BGSAVE writers (stop waits for
-	// them), completed saves, and the last save's coarse stamp and size.
+	// them), completed and failed saves, and the last save's coarse stamp
+	// and size.
 	snapWG    sync.WaitGroup
 	snapSaves metrics.FlatCounter
-	snapLast  atomic.Int64 // coarse-clock stamp of the last completed save
-	snapBytes atomic.Int64 // size of the last completed save
+	snapFails metrics.FlatCounter // snapshot writes that errored (SAVE or BGSAVE)
+	snapLast  atomic.Int64        // coarse-clock stamp of the last completed save
+	snapBytes atomic.Int64        // size of the last completed save
+
+	// restoreGen is a seqlock-style generation for RESTORE's mutation
+	// phase: loadSnapshot increments it to odd before the first clear and
+	// back to even after the last insert, both while holding the full
+	// quiesce. Bypass readers (readLocal) take no lock, so they bracket
+	// each structure access with restoreGen loads and retry through the
+	// mailbox — which blocks behind the quiesce — whenever a restore
+	// overlapped the access. A plain flag would not do: a reader could
+	// observe torn mid-restore state, then find the flag already cleared;
+	// the generation comparison catches that window.
+	restoreGen atomic.Uint64
 
 	// setEnt/mapEnt are the resolved registry rows, kept so a reshard can
 	// construct new shards with the configured backends.
@@ -277,6 +290,12 @@ type engine struct {
 	// before each command applies — the seam whitebox interleaving tests
 	// use to wedge a shard mid-drain.
 	applyHook func(Command)
+
+	// restoreHook, when set (tests only), runs inside loadSnapshot's
+	// mutation phase, between the clear and the insert — the seam the
+	// torn-restore bypass test uses to wedge a restore at its most
+	// inconsistent point.
+	restoreHook func()
 }
 
 // newEngine builds the structures and starts one goroutine per shard.
@@ -380,6 +399,7 @@ func newEngine(o Options) (*engine, error) {
 			return n
 		}},
 		e.snapSaves.External("snap.save"),
+		e.snapFails.External("snap.fail"),
 	}
 	if ks != nil {
 		e.ext = append(e.ext,
@@ -525,6 +545,17 @@ func (e *engine) moved(rt *router, si int, s *shard) bool {
 	return cur != rt || cur.shard(si) != s
 }
 
+// restoreTorn reports whether a RESTORE's mutation phase overlapped a
+// bypass read: g is the restoreGen sample the reader took before its
+// structure access. An odd sample means the access started mid-restore;
+// a changed value means a restore began (and possibly finished) during
+// the access. Either way the read may have observed the half-restored
+// keyspace and must retry through the mailbox, where it parks behind
+// the restore's quiesce.
+func (e *engine) restoreTorn(g uint64) bool {
+	return g&1 != 0 || e.restoreGen.Load() != g
+}
+
 // readLocal serves one bypass-eligible read on the calling goroutine:
 // the wait-free read fast path. The shard's structure is located exactly
 // as the mailbox path would (same hash, same shard), but Contains/Get is
@@ -541,10 +572,14 @@ func (e *engine) moved(rt *router, si int, s *shard) bool {
 // never overtakes this connection's earlier writes.
 //
 // served=false means an adaptive shard morphed off its read-optimized
-// member between canBypass and here, or a reshard moved the key's slot
-// off the shard mid-read (engine.moved); the command was not executed
-// and must ride the mailbox instead.
+// member between canBypass and here, a reshard moved the key's slot off
+// the shard mid-read (engine.moved), or a RESTORE's mutation phase
+// overlapped the access (engine.restoreTorn); the command was not
+// executed and must ride the mailbox instead.
 func (e *engine) readLocal(cmd Command) (reply, bool) {
+	// Sample the restore generation before touching any structure; the
+	// post-access restoreTorn check rejects reads that raced a RESTORE.
+	g := e.restoreGen.Load()
 	switch cmd.Op {
 	case OpGet:
 		if cmd.Arg < sentinelGuardMin || cmd.Arg > sentinelGuardMax {
@@ -564,7 +599,7 @@ func (e *engine) readLocal(cmd Command) (reply, bool) {
 		} else {
 			member = s.set.Contains(int(cmd.Arg))
 		}
-		if e.moved(rt, si, s) {
+		if e.moved(rt, si, s) || e.restoreTorn(g) {
 			return reply{}, false
 		}
 		e.readBypass.Inc()
@@ -573,9 +608,14 @@ func (e *engine) readLocal(cmd Command) (reply, bool) {
 		if e.ks != nil {
 			// With transactions on, the bypass reads the same committed
 			// tvar state EXEC publishes — never the per-shard dictionary
-			// (and the keyspace is global, so resharding cannot move it).
+			// (and the keyspace is global, so resharding cannot move it —
+			// but a RESTORE clears and refills it, hence the torn check).
+			v, ok := e.ks.Get(cmd.Key)
+			if e.restoreTorn(g) {
+				return reply{}, false
+			}
 			e.readBypass.Inc()
-			return valueReply(e.ks.Get(cmd.Key)), true
+			return valueReply(v, ok), true
 		}
 		rt := e.router.Load()
 		si := keyShard(cmd.ShardKey(), rt.n())
@@ -591,7 +631,7 @@ func (e *engine) readLocal(cmd Command) (reply, bool) {
 		} else {
 			v, ok = s.dict.Get(cmd.Key)
 		}
-		if e.moved(rt, si, s) {
+		if e.moved(rt, si, s) || e.restoreTorn(g) {
 			return reply{}, false
 		}
 		e.readBypass.Inc()
@@ -1108,18 +1148,21 @@ func (e *engine) statsBody() string {
 	return sb.String()
 }
 
-// snapLine renders the snapshot STATS row: completed saves, the age of
-// the freshest one on the coarse clock, and its encoded size.
+// snapLine renders the snapshot STATS row: completed saves, failed
+// writes (the only trace a failed BGSAVE leaves — its write runs after
+// the OK reply), the age of the freshest save on the coarse clock, and
+// its encoded size.
 func (e *engine) snapLine() string {
-	saves := e.snapSaves.Value()
+	saves, fails := e.snapSaves.Value(), e.snapFails.Value()
 	if saves == 0 {
-		return "saves=0 last-age=never bytes=0"
+		return fmt.Sprintf("saves=0 fails=%d last-age=never bytes=0", fails)
 	}
 	age := time.Duration(e.refreshCoarse() - e.snapLast.Load())
 	if age < 0 {
 		age = 0
 	}
-	return fmt.Sprintf("saves=%d last-age=%s bytes=%d", saves, age.Round(time.Millisecond), e.snapBytes.Load())
+	return fmt.Sprintf("saves=%d fails=%d last-age=%s bytes=%d",
+		saves, fails, age.Round(time.Millisecond), e.snapBytes.Load())
 }
 
 // bypassState renders one family's read-bypass column: the static

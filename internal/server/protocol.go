@@ -34,7 +34,8 @@
 //	TXSTATS    transaction engine stats  → one info line
 //	SAVE       snapshot to disk          → OK (synchronous write)
 //	BGSAVE     snapshot in background    → OK (cut taken, write async)
-//	RESTORE p  load the snapshot at p    → OK
+//	RESTORE f  load snapshot file f      → OK (f is a bare filename,
+//	           resolved under -snapshot-dir; paths are rejected)
 //	RESHARD n  double the shards to n    → OK (n must be exactly 2× current)
 //
 // Any failure is reported as "ERR <reason>"; malformed commands keep the
@@ -64,7 +65,11 @@
 // so it contains exactly the commands answered before it and no torn
 // state. SAVE writes before answering; BGSAVE answers after the cut and
 // writes in the background. RESTORE replaces the entire logical state
-// with the image at the given path. RESHARD doubles the shard count
+// with the named snapshot image; the name must be a bare filename — it
+// is resolved under -snapshot-dir, and anything containing a path
+// separator or dot-dot answers ERR, so clients cannot read arbitrary
+// server-side files (booting with -restore takes a full path; that one
+// is the operator's). RESHARD doubles the shard count
 // live — traffic keeps flowing while each shard splits — up to the
 // -max-shards bound; only exact doubling is accepted. None of the four
 // may be staged in a MULTI window.
@@ -165,7 +170,7 @@ var verbs = map[string]opInfo{
 
 	"SAVE":    {OpSave, argNone},
 	"BGSAVE":  {OpBGSave, argNone},
-	"RESTORE": {OpRestore, argKey}, // the key token is a file path
+	"RESTORE": {OpRestore, argKey}, // the key token is a filename under -snapshot-dir
 	"RESHARD": {OpReshard, argInt},
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync/atomic"
 
 	"amp/internal/core"
@@ -201,6 +202,7 @@ func (e *engine) save() reply {
 	}
 	n, err := snapshot.Write(e.snapPath(), st)
 	if err != nil {
+		e.snapFails.Inc()
 		return errReply("%v", err)
 	}
 	e.noteSave(n)
@@ -209,9 +211,11 @@ func (e *engine) save() reply {
 
 // bgsave serves BGSAVE: the same consistent cut as SAVE, but the encode
 // and write run on a background goroutine (stop waits for it), so the
-// client's reply returns as soon as the cut is taken. A failed
-// background write is recorded nowhere except the absent STATS update;
-// SAVE is the verb with synchronous error reporting.
+// client's reply returns as soon as the cut is taken. The OK therefore
+// promises only the cut, not the disk: a failed background write counts
+// into the snap.fail STATS row (the `snap ... fails=` column), which is
+// what operators must watch; SAVE is the verb with synchronous error
+// reporting.
 func (e *engine) bgsave() reply {
 	e.reconfigMu.Lock()
 	st, err := e.collectQuiesced()
@@ -222,29 +226,62 @@ func (e *engine) bgsave() reply {
 	e.snapWG.Add(1)
 	go func() {
 		defer e.snapWG.Done()
-		if n, err := snapshot.Write(e.snapPath(), st); err == nil {
-			e.noteSave(n)
+		n, err := snapshot.Write(e.snapPath(), st)
+		if err != nil {
+			e.snapFails.Inc()
+			return
 		}
+		e.noteSave(n)
 	}()
 	return reply{status: stOK}
 }
 
 // loadSnapshot replaces the engine's entire logical state with st: the
-// RESTORE verb and Server.Restore both land here. The current state is
-// cleared and the image inserted under one quiesce, so no client ever
-// observes a half-restored keyspace. The shard topology is kept as-is —
-// st.Shards records the count at save time for inspection, but the
-// image routes correctly onto any topology (restore hashes every key
-// through the live router).
+// RESTORE verb and Server.Restore both land here. The shard topology is
+// kept as-is — st.Shards records the count at save time for inspection,
+// but the image routes correctly onto any topology (restore hashes
+// every key through the live router).
+//
+// The load is all-or-nothing. Everything that can reject an image —
+// reserved sentinel values, bounded queue/pqueue capacities, priority
+// ranges — is validated first by filling fresh scratch instances of the
+// unkeyed backends, before any live state is touched; a refused
+// snapshot returns an error with the store exactly as it was. Only then
+// does the mutation phase run, under the full quiesce, with no failure
+// paths left: clear the keyed families, insert the image, and swap the
+// scratch unkeyed structures in.
+//
+// Mailbox and EXEC traffic cannot observe the half-restored keyspace
+// (the quiesce holds every combiner lock and the ksGate), and neither
+// can the wait-free read bypass: the mutation phase is bracketed by
+// restoreGen increments, and readLocal re-checks the generation after
+// every lock-free structure access, retrying through the mailbox on
+// overlap.
 func (e *engine) loadSnapshot(st *snapshot.State) error {
 	for _, x := range st.Set {
 		if x < sentinelGuardMin || x > sentinelGuardMax {
 			return fmt.Errorf("snapshot: set member %d is reserved", x)
 		}
 	}
+
+	// Build the unkeyed families off-line: the configured backends apply
+	// their own capacity and range checks element by element, so an image
+	// saved under a roomier configuration (or hand-forged) is rejected
+	// here, before the live structures are cleared.
+	queue := queueBackends[e.opts.Queue](e.opts)
+	for _, v := range st.Queue {
+		if err := queue.enq(v); err != nil {
+			return fmt.Errorf("snapshot: queue restore: %v", err)
+		}
+	}
+	stack := stackBackends[e.opts.Stack](e.opts)
+	for _, v := range st.Stack {
+		stack.push(v)
+	}
+	pq := pqBackends[e.opts.PQueue](e.opts)
 	for _, p := range st.PQ {
-		if p < sentinelGuardMin || p > sentinelGuardMax {
-			return fmt.Errorf("snapshot: priority %d out of range", p)
+		if err := pq.add(p); err != nil {
+			return fmt.Errorf("snapshot: pqueue restore: %v", err)
 		}
 	}
 
@@ -253,14 +290,26 @@ func (e *engine) loadSnapshot(st *snapshot.State) error {
 	shards := e.quiesce()
 	defer e.release(shards)
 
+	// Last refusal point: the keyed backends must be iterable to clear
+	// (every shard runs the same backend, so shard 0 answers for all).
+	if _, ok := shards[0].set.(setRanger); !ok {
+		return fmt.Errorf("set backend %q does not support snapshot iteration", e.opts.Set)
+	}
+	if e.ks == nil {
+		if _, ok := shards[0].dict.(mapRanger); !ok {
+			return fmt.Errorf("map backend %q does not support snapshot iteration", e.opts.Map)
+		}
+	}
+
+	// Mutation phase: no failure paths from here on. The odd generation
+	// sends concurrent bypass reads to the mailbox (engine.restoreGen).
+	e.restoreGen.Add(1)
+	defer e.restoreGen.Add(1) // even again before the quiesce releases
+
 	// Clear: collect keys first, then delete (no mutation mid-Range).
 	for _, s := range shards {
-		sr, ok := s.set.(setRanger)
-		if !ok {
-			return fmt.Errorf("set backend %q does not support snapshot iteration", e.opts.Set)
-		}
 		var keys []int
-		sr.Range(func(x int) bool { keys = append(keys, x); return true })
+		s.set.(setRanger).Range(func(x int) bool { keys = append(keys, x); return true })
 		for _, x := range keys {
 			s.set.Remove(x)
 		}
@@ -273,31 +322,16 @@ func (e *engine) loadSnapshot(st *snapshot.State) error {
 		}
 	} else {
 		for _, s := range shards {
-			mr, ok := s.dict.(mapRanger)
-			if !ok {
-				return fmt.Errorf("map backend %q does not support snapshot iteration", e.opts.Map)
-			}
 			var keys []string
-			mr.Range(func(k string, v int64) bool { keys = append(keys, k); return true })
+			s.dict.(mapRanger).Range(func(k string, v int64) bool { keys = append(keys, k); return true })
 			for _, k := range keys {
 				s.dict.Del(k)
 			}
 		}
 	}
-	for {
-		if _, ok := e.queue.deq(); !ok {
-			break
-		}
-	}
-	for {
-		if _, ok := e.stack.pop(); !ok {
-			break
-		}
-	}
-	for {
-		if _, ok := e.pq.removeMin(); !ok {
-			break
-		}
+
+	if e.restoreHook != nil {
+		e.restoreHook() // tests: wedge between clear and insert
 	}
 
 	// Insert, routing keyed state through the live router.
@@ -319,25 +353,27 @@ func (e *engine) loadSnapshot(st *snapshot.State) error {
 		// from there.
 		e.ctrBase.Store(st.Counter - e.incs.Load())
 	}
-	for _, v := range st.Queue {
-		if err := e.queue.enq(v); err != nil {
-			return fmt.Errorf("snapshot: queue restore: %v", err)
-		}
-	}
-	for _, v := range st.Stack {
-		e.stack.push(v)
-	}
-	for _, p := range st.PQ {
-		if err := e.pq.add(p); err != nil {
-			return fmt.Errorf("snapshot: pqueue restore: %v", err)
-		}
-	}
+
+	// The unkeyed families swap wholesale to the pre-filled scratch
+	// structures. Safe under the quiesce: these fields are only read by
+	// combiners (all parked on their shard locks) and by collect (which
+	// runs under the same quiesce).
+	e.queue, e.stack, e.pq = queue, stack, pq
 	return nil
 }
 
-// restoreFrom serves the RESTORE verb: read, validate, load.
-func (e *engine) restoreFrom(path string) reply {
-	st, err := snapshot.Read(path)
+// restoreFrom serves the RESTORE verb. The client names a snapshot
+// file, not a path: the name is resolved under -snapshot-dir, and
+// anything containing a path separator or dot-dot is rejected, so a TCP
+// client can only reach snapshots the operator put next to the server's
+// own (and cannot probe or slurp arbitrary server-side files). Booting
+// with -restore (Server.Restore) still accepts a full operator-given
+// path.
+func (e *engine) restoreFrom(name string) reply {
+	if name == "" || name == "." || name == ".." || strings.ContainsAny(name, `/\`) {
+		return errReply("RESTORE takes a snapshot filename under -snapshot-dir, not a path")
+	}
+	st, err := snapshot.Read(filepath.Join(e.opts.SnapshotDir, name))
 	if err != nil {
 		return errReply("%v", err)
 	}

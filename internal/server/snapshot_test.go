@@ -14,6 +14,8 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -478,8 +480,9 @@ func TestSaveRestoreServer(t *testing.T) {
 	d.expect(t, "READ", "3")
 }
 
-// TestRestoreVerb exercises the RESTORE wire verb end to end, including
-// its error reply for a missing file.
+// TestRestoreVerb exercises the RESTORE wire verb end to end: the
+// filename is resolved under the destination's -snapshot-dir, a missing
+// file answers ERR, and path-shaped names are rejected outright.
 func TestRestoreVerb(t *testing.T) {
 	dir := t.TempDir()
 	src := startServer(t, Options{Shards: 2, SnapshotDir: dir})
@@ -487,13 +490,228 @@ func TestRestoreVerb(t *testing.T) {
 	c.expect(t, "SET 12", "1")
 	c.expect(t, "SAVE", "OK")
 
-	dst := startServer(t, Options{Shards: 4, SnapshotDir: t.TempDir()})
+	// The verb names a file under the destination server's own
+	// -snapshot-dir, so the destination points at the source's directory.
+	dst := startServer(t, Options{Shards: 4, SnapshotDir: dir})
 	d := dial(t, dst)
-	d.expect(t, "RESTORE "+src.eng.snapPath(), "OK")
+	d.expect(t, "RESTORE "+snapFile, "OK")
 	d.expect(t, "GET 12", "1")
-	if got := d.cmd(t, "RESTORE "+src.eng.snapPath()+".missing"); !strings.HasPrefix(got, "ERR ") {
+	if got := d.cmd(t, "RESTORE missing.snap"); !strings.HasPrefix(got, "ERR ") {
 		t.Fatalf("RESTORE missing file → %q, want ERR", got)
 	}
 	// The failed restore left the previous state alone.
 	d.expect(t, "GET 12", "1")
+
+	// Path-shaped names never reach the filesystem: a TCP client must
+	// not be able to point the server at arbitrary files (or use the
+	// error replies as an existence oracle).
+	for _, name := range []string{
+		".", "..", "../" + snapFile, "a/b", `..\evil`, "/etc/passwd",
+		src.eng.snapPath(), // full paths are for the -restore boot flag only
+	} {
+		want := "ERR RESTORE takes a snapshot filename under -snapshot-dir, not a path"
+		if got := d.cmd(t, "RESTORE "+name); got != want {
+			t.Fatalf("RESTORE %q → %q, want %q", name, got, want)
+		}
+	}
+	d.expect(t, "GET 12", "1")
+}
+
+// TestRestoreAllOrNothing forges a snapshot the configured backends must
+// refuse (a queue section over the bounded queue's capacity) and asserts
+// the refusal happens before any live state is touched: a failed RESTORE
+// answers ERR and leaves every family exactly as it was, never a cleared
+// store with a half-loaded image.
+func TestRestoreAllOrNothing(t *testing.T) {
+	dir := t.TempDir()
+	srv := startServer(t, Options{Shards: 2, SnapshotDir: dir, Queue: "bounded", QueueCapacity: 2})
+	c := dial(t, srv)
+	c.expect(t, "SET 5", "1")
+	c.expect(t, "HSET k 9", "1")
+	c.expect(t, "ENQ 1", "OK")
+	c.expect(t, "PUSH 4", "OK")
+
+	st := &snapshot.State{Set: []int64{77}, Queue: []int64{1, 2, 3}, Shards: 2}
+	if _, err := snapshot.Write(filepath.Join(dir, "big.snap"), st); err != nil {
+		t.Fatalf("write forged snapshot: %v", err)
+	}
+	got := c.cmd(t, "RESTORE big.snap")
+	if !strings.HasPrefix(got, "ERR ") || !strings.Contains(got, "queue restore") {
+		t.Fatalf("RESTORE over-capacity queue → %q, want ERR about the queue", got)
+	}
+	// The refused image changed nothing.
+	c.expect(t, "GET 5", "1")
+	c.expect(t, "GET 77", "0")
+	c.expect(t, "HGET k", "9")
+	c.expect(t, "DEQ", "1")
+	c.expect(t, "DEQ", "EMPTY")
+	c.expect(t, "POP", "4")
+}
+
+// TestSnapshotWriteFailureCounted points -snapshot-dir at a regular
+// file, so every snapshot write fails, and asserts the failures surface
+// in STATS: SAVE's synchronously (plus the fails counter), and BGSAVE's
+// — whose OK only promises the cut — through the fails counter alone.
+func TestSnapshotWriteFailureCounted(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "notadir")
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, Options{Shards: 2, SnapshotDir: dir})
+	c := dial(t, srv)
+	if got := c.cmd(t, "SAVE"); !strings.HasPrefix(got, "ERR ") {
+		t.Fatalf("SAVE into a non-directory → %q, want ERR", got)
+	}
+	c.expect(t, "BGSAVE", "OK") // the cut succeeds; the background write cannot
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		body := readStats(t, c, c.cmd(t, "STATS"))
+		if strings.Contains(body, "snap saves=0 fails=2 ") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("STATS never showed the two failed writes:\n%s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBypassReadRefusedMidRestore pins the torn-restore fix
+// deterministically: loadSnapshot is wedged (restoreHook) at its most
+// inconsistent point — every family cleared, nothing inserted yet — and
+// a wait-free bypass read must then refuse to serve (served=false, so
+// the caller retries through the mailbox and parks behind the quiesce)
+// rather than report the torn miss. Covers both bypass flavors: the
+// lock-free set's per-shard read and the transactional keyspace's HGET.
+func TestBypassReadRefusedMidRestore(t *testing.T) {
+	run := func(t *testing.T, opts Options, seed string, cmd Command, want int64) {
+		opts.Shards = 2
+		opts.SnapshotDir = t.TempDir()
+		srv := startServer(t, opts)
+		c := dial(t, srv)
+		c.expect(t, seed, "1")
+		c.expect(t, "SAVE", "OK")
+		st, err := snapshot.Read(srv.eng.snapPath())
+		if err != nil {
+			t.Fatalf("read snapshot back: %v", err)
+		}
+
+		e := srv.eng
+		if r, served := e.readLocal(cmd); !served || r.val != want {
+			t.Fatalf("bypass read before restore: served=%v reply=%+v", served, r)
+		}
+		midway, release := make(chan struct{}), make(chan struct{})
+		e.restoreHook = func() { close(midway); <-release }
+		done := make(chan error, 1)
+		go func() { done <- e.loadSnapshot(st) }()
+		<-midway
+		if r, served := e.readLocal(cmd); served {
+			t.Fatalf("bypass read served the torn mid-restore state: %+v", r)
+		}
+		close(release)
+		if err := <-done; err != nil {
+			t.Fatalf("loadSnapshot: %v", err)
+		}
+		e.restoreHook = nil
+		if r, served := e.readLocal(cmd); !served || r.val != want {
+			t.Fatalf("bypass read after restore: served=%v reply=%+v", served, r)
+		}
+	}
+
+	t.Run("set-lockfree", func(t *testing.T) {
+		run(t, Options{Set: "lockfree", Txn: "off"}, "SET 5", Command{Op: OpGet, Arg: 5}, 1)
+	})
+	t.Run("map-keyspace", func(t *testing.T) {
+		run(t, Options{}, "HSET k 7", Command{Op: OpHGet, Key: "k"}, 7)
+	})
+}
+
+// TestBypassReadsDuringRestore pins the torn-restore fix: wait-free
+// bypass reads run on connection goroutines with no combiner lock, so
+// without the restoreGen seqlock they could observe RESTORE's
+// half-restored keyspace. Every key here is present — with the same
+// value — both before and after each restore, so any miss is a
+// linearizability violation. Two legs: the lock-free set (GET bypass
+// against per-shard structures) and the transactional keyspace (HGET
+// bypass against the tvar directory RESTORE clears and refills).
+func TestBypassReadsDuringRestore(t *testing.T) {
+	const keys = 512
+	const depth = 32 // pipelined reads per burst: the bypass fires per line
+	run := func(t *testing.T, opts Options, seed func(c *client, k int), read func(k int) (line, want string)) {
+		opts.Shards = 2
+		opts.SnapshotDir = t.TempDir()
+		srv := startServer(t, opts)
+		c := dial(t, srv)
+		for k := 0; k < keys; k++ {
+			seed(c, k)
+		}
+		c.expect(t, "SAVE", "OK")
+
+		stop := make(chan struct{})
+		errc := make(chan error, 4)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", srv.Addr().String())
+				if err != nil {
+					errc <- err
+					return
+				}
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				w := bufio.NewWriter(conn)
+				for base := g; ; base = (base + 41) % keys {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for i := 0; i < depth; i++ {
+						line, _ := read((base + i) % keys)
+						fmt.Fprintf(w, "%s\n", line)
+					}
+					if err := w.Flush(); err != nil {
+						errc <- err
+						return
+					}
+					conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+					for i := 0; i < depth; i++ {
+						line, want := read((base + i) % keys)
+						reply, err := r.ReadString('\n')
+						if err != nil {
+							errc <- fmt.Errorf("%s: %v", line, err)
+							return
+						}
+						if got := strings.TrimSuffix(reply, "\n"); got != want {
+							errc <- fmt.Errorf("%s → %q, want %q (torn restore observed)", line, got, want)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		for i := 0; i < 40; i++ {
+			c.expect(t, "RESTORE "+snapFile, "OK")
+		}
+		close(stop)
+		wg.Wait()
+		select {
+		case err := <-errc:
+			t.Fatalf("reader: %v", err)
+		default:
+		}
+	}
+
+	t.Run("set-lockfree", func(t *testing.T) {
+		run(t, Options{Set: "lockfree", Txn: "off"},
+			func(c *client, k int) { c.expect(t, fmt.Sprintf("SET %d", k), "1") },
+			func(k int) (string, string) { return fmt.Sprintf("GET %d", k), "1" })
+	})
+	t.Run("map-keyspace", func(t *testing.T) {
+		run(t, Options{},
+			func(c *client, k int) { c.expect(t, fmt.Sprintf("HSET k%d %d", k, k+1000), "1") },
+			func(k int) (string, string) { return fmt.Sprintf("HGET k%d", k), strconv.Itoa(k+1000) })
+	})
 }

@@ -276,8 +276,12 @@ func Decode(b []byte) (*State, error) {
 	return st, nil
 }
 
-// Write encodes st to path atomically: temp file in the same directory,
-// fsync, rename. A reader (or a restart) never observes a partial file.
+// Write encodes st to path atomically and durably: temp file in the
+// same directory, fsync, rename, then fsync the directory. A reader (or
+// a restart) never observes a partial file, and once Write returns nil
+// the rename itself survives a power failure — without the directory
+// sync the new name could be lost (or the old image resurrected) even
+// though the file's own data was synced.
 func Write(path string, st *State) (int, error) {
 	b := Encode(st)
 	dir := filepath.Dir(path)
@@ -301,7 +305,23 @@ func Write(path string, st *State) (int, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
 	return len(b), nil
+}
+
+// syncDir fsyncs a directory, making a rename within it crash-durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Read loads and decodes the snapshot at path.
